@@ -1,0 +1,358 @@
+//! Breadth-first search (BFS): the paper's iterative map-only benchmark
+//! (one of the three Graph500 kernels).
+//!
+//! Two stages, as in the paper:
+//!
+//! 1. **Graph partitioning** — every undirected edge is emitted in both
+//!    directions keyed by endpoint and shuffled to the endpoint's owner
+//!    rank, which builds its local adjacency. The paper notes BFS's
+//!    *peak memory usage occurs in this phase* (the full edge list flows
+//!    through the framework), which is why KV compression does not lower
+//!    BFS's peak (Figures 11–13).
+//! 2. **Level-synchronous traversal** — each iteration maps over the
+//!    local frontier, emitting `(neighbor, parent)` KVs shuffled to the
+//!    neighbor's owner; unvisited neighbors join the next frontier. This
+//!    is "map-only": no convert/reduce. KV compression can merge
+//!    duplicate `(neighbor, …)` proposals before the exchange.
+//!
+//! Vertex ownership is `partition_of(key)` — identical to the shuffle's
+//! partitioner, so shuffled KVs land exactly on their owner.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mimir_core::{partition_of, typed, Emitter, KvMeta, MimirContext};
+use mimir_io::SpillStore;
+use mimir_mem::{MemPool, Reservation};
+use mimir_mpi::{Comm, ReduceOp};
+use mrmpi::{MapReduce, MrMpiConfig};
+
+use crate::RunMetrics;
+
+/// BFS options (partial reduction does not apply to a map-only job).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsOptions {
+    /// KV-hint: fixed 8-byte vertex key and value.
+    pub hint: bool,
+    /// Map-side KV compression during traversal (first-parent wins).
+    pub compress: bool,
+}
+
+impl BfsOptions {
+    /// Hint + compression.
+    pub fn all() -> Self {
+        Self {
+            hint: true,
+            compress: true,
+        }
+    }
+
+    fn meta(&self) -> KvMeta {
+        if self.hint {
+            KvMeta::fixed(8, 8)
+        } else {
+            KvMeta::var()
+        }
+    }
+}
+
+/// The traversal output on one rank.
+#[derive(Debug, Clone, Default)]
+pub struct BfsResult {
+    /// `vertex → parent` for the vertices this rank owns (the root maps
+    /// to itself).
+    pub parents: HashMap<u64, u64>,
+    /// Vertices reached globally.
+    pub visited_global: u64,
+    /// Tree depth (BFS levels executed).
+    pub depth: u32,
+}
+
+/// Keeps the first-proposed parent — a valid choice for BFS trees, and
+/// the compression callback for traversal KVs.
+fn keep_first(_k: &[u8], a: &[u8], _b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(a);
+}
+
+/// Local adjacency: owner-rank's vertices to their neighbors, with its
+/// heap footprint charged to the node pool.
+struct Adjacency {
+    map: HashMap<u64, Vec<u64>>,
+    res: Reservation,
+    bytes: usize,
+}
+
+impl Adjacency {
+    fn new(pool: &MemPool) -> mimir_core::Result<Self> {
+        Ok(Self {
+            map: HashMap::new(),
+            res: pool.try_reserve(0)?,
+            bytes: 0,
+        })
+    }
+
+    fn add(&mut self, v: u64, n: u64) -> mimir_core::Result<()> {
+        let entry = self.map.entry(v).or_insert_with(|| {
+            self.bytes += 64;
+            Vec::new()
+        });
+        entry.push(n);
+        self.bytes += 8;
+        if self.bytes.abs_diff(self.res.bytes()) > 16 * 1024 {
+            self.res.resize(self.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Picks a root every rank agrees on: the globally smallest vertex id
+/// that has at least one edge.
+pub fn pick_root(comm: &mut Comm, edges: &[(u64, u64)]) -> u64 {
+    let local_min = edges
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .min()
+        .unwrap_or(u64::MAX);
+    comm.allreduce_u64(ReduceOp::Min, local_min)
+}
+
+/// BFS on Mimir over this rank's edge share.
+///
+/// # Errors
+/// Out-of-memory or configuration errors.
+pub fn bfs_mimir(
+    ctx: &mut MimirContext<'_>,
+    edges: &[(u64, u64)],
+    root: u64,
+    opts: &BfsOptions,
+) -> mimir_core::Result<(BfsResult, RunMetrics)> {
+    let t0 = Instant::now();
+    let meta = opts.meta();
+    let p = ctx.size();
+    let rank = ctx.rank();
+    let mut metrics = RunMetrics::default();
+
+    // --- Stage 1: graph partitioning (map-only with shuffle). ----------
+    let mut part_map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
+        for &(u, v) in edges {
+            em.emit(&typed::enc_u64(u), &typed::enc_u64(v))?;
+            em.emit(&typed::enc_u64(v), &typed::enc_u64(u))?;
+        }
+        Ok(())
+    };
+    let out = ctx.job().kv_meta(meta).map_shuffle(&mut part_map)?;
+    metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
+    metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
+    metrics.exchange_rounds += out.stats.shuffle.rounds;
+
+    let mut adj = Adjacency::new(ctx.pool())?;
+    out.output.drain(|k, v| {
+        adj.add(typed::dec_u64(k), typed::dec_u64(v))
+    })?;
+
+    // --- Stage 2: level-synchronous traversal (iterative map-only). ----
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    let mut frontier: Vec<u64> = Vec::new();
+    if partition_of(&typed::enc_u64(root), p) == rank {
+        parents.insert(root, root);
+        frontier.push(root);
+    }
+    let mut depth = 0u32;
+    loop {
+        let mut trav_map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
+            for &v in &frontier {
+                if let Some(neighbors) = adj.map.get(&v) {
+                    for &n in neighbors {
+                        em.emit(&typed::enc_u64(n), &typed::enc_u64(v))?;
+                    }
+                }
+            }
+            Ok(())
+        };
+        let job = ctx.job().kv_meta(meta);
+        let out = if opts.compress {
+            job.map_shuffle_compress(&mut trav_map, Box::new(keep_first))?
+        } else {
+            job.map_shuffle(&mut trav_map)?
+        };
+        metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
+        metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
+        metrics.exchange_rounds += out.stats.shuffle.rounds;
+
+        let mut next: Vec<u64> = Vec::new();
+        out.output.drain(|k, v| {
+            let vertex = typed::dec_u64(k);
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(vertex) {
+                e.insert(typed::dec_u64(v));
+                next.push(vertex);
+            }
+            Ok(())
+        })?;
+        frontier = next;
+        let frontier_global = ctx.allreduce_sum(frontier.len() as u64);
+        if frontier_global == 0 {
+            break;
+        }
+        depth += 1;
+        metrics.iterations += 1;
+    }
+
+    let visited_global = ctx.allreduce_sum(parents.len() as u64);
+    metrics.wall = t0.elapsed();
+    metrics.node_peak = ctx.pool().peak();
+    Ok((
+        BfsResult {
+            parents,
+            visited_global,
+            depth,
+        },
+        metrics,
+    ))
+}
+
+/// BFS on MR-MPI (fresh page sets per stage/iteration).
+///
+/// # Errors
+/// Page overflow, OOM allocating page sets, or I/O failures.
+pub fn bfs_mrmpi(
+    comm: &mut Comm,
+    pool: MemPool,
+    store: &SpillStore,
+    cfg: MrMpiConfig,
+    edges: &[(u64, u64)],
+    root: u64,
+    opts: &BfsOptions,
+) -> mrmpi::Result<(BfsResult, RunMetrics)> {
+    let t0 = Instant::now();
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut metrics = RunMetrics::default();
+
+    // MR-MPI has no hints; `opts.hint` is ignored (paper: hint is a Mimir
+    // addition). Compression during partitioning would merge adjacency —
+    // not applicable, as in the paper.
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    {
+        let inner = SpillStore::new_temp("bfs-part", store.model().clone())?;
+        let mut mr = MapReduce::new(comm, pool.clone(), inner, cfg);
+        mr.map(|em| {
+            for &(u, v) in edges {
+                em.emit(&typed::enc_u64(u), &typed::enc_u64(v))?;
+                em.emit(&typed::enc_u64(v), &typed::enc_u64(u))?;
+            }
+            Ok(())
+        })?;
+        metrics.kv_bytes += mr.kv_bytes();
+        metrics.kvs_emitted += mr.kv_count();
+        mr.aggregate()?;
+        mr.scan(|k, v| {
+            adj.entry(typed::dec_u64(k))
+                .or_default()
+                .push(typed::dec_u64(v));
+            Ok(())
+        })?;
+        let s = mr.stats();
+        metrics.spilled |= s.spilled;
+        metrics.exchange_rounds += s.exchange_rounds;
+    }
+
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    let mut frontier: Vec<u64> = Vec::new();
+    // MR-MPI's partitioner is FNV-based; ownership must match the rank
+    // that aggregate sent the adjacency to. Probe it with the same hash
+    // the library uses by checking which rank holds the root's adjacency:
+    // simpler and robust — the owner is whoever has it in `adj`, and the
+    // root's owner is agreed by an allreduce.
+    let i_own_root = adj.contains_key(&root);
+    let owners = comm.allgather_u64(u64::from(i_own_root));
+    let owner = owners.iter().position(|&o| o == 1);
+    if owner == Some(rank) || (owner.is_none() && rank == 0) {
+        parents.insert(root, root);
+        frontier.push(root);
+    }
+
+    let mut depth = 0u32;
+    loop {
+        let mut received: Vec<(u64, u64)> = Vec::new();
+        {
+            let inner = SpillStore::new_temp("bfs-trav", store.model().clone())?;
+            let mut mr = MapReduce::new(comm, pool.clone(), inner, cfg);
+            mr.map(|em| {
+                for &v in &frontier {
+                    if let Some(neighbors) = adj.get(&v) {
+                        for &n in neighbors {
+                            em.emit(&typed::enc_u64(n), &typed::enc_u64(v))?;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            metrics.kv_bytes += mr.kv_bytes();
+            metrics.kvs_emitted += mr.kv_count();
+            if opts.compress {
+                mr.compress(keep_first)?;
+            }
+            mr.aggregate()?;
+            mr.scan(|k, v| {
+                received.push((typed::dec_u64(k), typed::dec_u64(v)));
+                Ok(())
+            })?;
+            let s = mr.stats();
+            metrics.spilled |= s.spilled;
+            metrics.exchange_rounds += s.exchange_rounds;
+        }
+
+        let mut next: Vec<u64> = Vec::new();
+        for (vertex, parent) in received {
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(vertex) {
+                e.insert(parent);
+                next.push(vertex);
+            }
+        }
+        frontier = next;
+        let frontier_global = comm.allreduce_u64(ReduceOp::Sum, frontier.len() as u64);
+        if frontier_global == 0 {
+            break;
+        }
+        depth += 1;
+        metrics.iterations += 1;
+    }
+
+    let visited_global = comm.allreduce_u64(ReduceOp::Sum, parents.len() as u64);
+    metrics.wall = t0.elapsed();
+    metrics.node_peak = pool.peak();
+    let _ = p;
+    Ok((
+        BfsResult {
+            parents,
+            visited_global,
+            depth,
+        },
+        metrics,
+    ))
+}
+
+/// Serial reference BFS: the reachable set and its distances from
+/// `root`.
+pub fn bfs_serial(all_edges: &[(u64, u64)], root: u64) -> HashMap<u64, u32> {
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(u, v) in all_edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let mut dist = HashMap::new();
+    dist.insert(root, 0u32);
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if let Some(ns) = adj.get(&v) {
+            for &n in ns {
+                dist.entry(n).or_insert_with(|| {
+                    queue.push_back(n);
+                    d + 1
+                });
+            }
+        }
+    }
+    dist
+}

@@ -1,0 +1,25 @@
+//! # mimir-apps — the paper's three benchmarks
+//!
+//! Each benchmark has a Mimir implementation, an MR-MPI implementation,
+//! and a serial reference used by the test suite to validate both:
+//!
+//! * [`wordcount`] — WC, "a single-pass MapReduce application" counting
+//!   word occurrences. Supports all three optional optimizations.
+//! * [`octree`] — OC, "an iterative MapReduce application with multiple
+//!   MapReduce stages": density-based clustering of 3-D points by
+//!   progressive octree refinement (Estrada et al.). Supports all three
+//!   optimizations.
+//! * [`bfs`] — "an iterative map-only application": Graph500-style
+//!   breadth-first search with a graph-partitioning stage (where its
+//!   memory peak lives) and a level-synchronous traversal. Supports
+//!   KV-hint and KV compression (partial reduction does not apply, as in
+//!   the paper).
+
+pub mod bfs;
+pub mod octree;
+pub mod validate;
+pub mod wordcount;
+
+mod metrics;
+
+pub use metrics::RunMetrics;

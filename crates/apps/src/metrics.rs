@@ -1,0 +1,36 @@
+use std::time::Duration;
+
+/// Framework-neutral per-rank metrics collected by every benchmark run —
+/// the quantities the paper's figures plot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    /// Measured compute wall time on this rank (excludes modeled I/O,
+    /// which the harness adds from the shared `IoModel`).
+    pub wall: Duration,
+    /// Peak bytes on this rank's node pool.
+    pub node_peak: usize,
+    /// Intermediate KV bytes emitted (paper Figure 7's metric).
+    pub kv_bytes: u64,
+    /// Intermediate KVs emitted.
+    pub kvs_emitted: u64,
+    /// Whether any data spilled to the I/O subsystem (MR-MPI only; Mimir
+    /// fails instead of spilling).
+    pub spilled: bool,
+    /// Exchange rounds across all stages.
+    pub exchange_rounds: u64,
+    /// Iterations executed (octree levels, BFS depth; 1 for WordCount).
+    pub iterations: u32,
+}
+
+impl RunMetrics {
+    /// Merges metrics from a later stage of the same run.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.wall += other.wall;
+        self.node_peak = self.node_peak.max(other.node_peak);
+        self.kv_bytes += other.kv_bytes;
+        self.kvs_emitted += other.kvs_emitted;
+        self.spilled |= other.spilled;
+        self.exchange_rounds += other.exchange_rounds;
+        self.iterations += other.iterations;
+    }
+}

@@ -1,0 +1,322 @@
+//! Octree clustering (OC): the paper's iterative multi-stage benchmark.
+//!
+//! The MapReduce clustering algorithm of Estrada et al. for 3-D point
+//! data: starting from the unit cube, each iteration deepens the octree
+//! one level — every point inside a currently-dense octant maps to its
+//! child octant id, the reduction counts points per child, and children
+//! holding at least `density` of the total points stay dense. The
+//! algorithm stops when no octant is dense (the previous level's dense
+//! octants are the clusters) or at `max_depth`.
+//!
+//! The intermediate key is the octant path (one byte per level), so at
+//! level ℓ the key has exactly ℓ bytes — a natural fit for the paper's
+//! fixed-length KV-hint. The value is a fixed 8-byte count.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use mimir_core::{typed, Emitter, KvMeta, LenHint, MimirContext};
+use mimir_io::SpillStore;
+use mimir_mem::MemPool;
+use mimir_mpi::Comm;
+use mrmpi::{MapReduce, MrMpiConfig};
+
+use crate::RunMetrics;
+
+/// A point in the unit cube.
+pub type Point = [f32; 3];
+
+/// Octree clustering options.
+#[derive(Debug, Clone, Copy)]
+pub struct OcOptions {
+    /// KV-hint: fixed-length octant-path key, fixed 8-byte value.
+    pub hint: bool,
+    /// Partial reduction instead of convert+reduce.
+    pub partial_reduce: bool,
+    /// Map-side KV compression.
+    pub compress: bool,
+    /// Density threshold as a fraction of total points (paper: 1 %).
+    pub density: f64,
+    /// Maximum refinement depth.
+    pub max_depth: usize,
+}
+
+impl Default for OcOptions {
+    fn default() -> Self {
+        Self {
+            hint: false,
+            partial_reduce: false,
+            compress: false,
+            density: 0.01,
+            max_depth: 8,
+        }
+    }
+}
+
+impl OcOptions {
+    /// The full optimization stack.
+    pub fn all() -> Self {
+        Self {
+            hint: true,
+            partial_reduce: true,
+            compress: true,
+            ..Self::default()
+        }
+    }
+
+    fn meta(&self, level: usize) -> KvMeta {
+        if self.hint {
+            KvMeta {
+                key: LenHint::Fixed(level),
+                val: LenHint::Fixed(8),
+            }
+        } else {
+            KvMeta::var()
+        }
+    }
+}
+
+/// The octant path of `p` down to `depth` levels: one digit (0..8) per
+/// level, bit 0/1/2 selecting the x/y/z half.
+pub fn octant_path(p: Point, depth: usize) -> Vec<u8> {
+    let mut lo = [0f32; 3];
+    let mut half = 0.5f32;
+    let mut path = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let mut digit = 0u8;
+        for axis in 0..3 {
+            let mid = lo[axis] + half;
+            if p[axis] >= mid {
+                digit |= 1 << axis;
+                lo[axis] = mid;
+            }
+        }
+        path.push(digit);
+        half *= 0.5;
+    }
+    path
+}
+
+/// The result of a clustering run: the dense octant paths of the deepest
+/// level that had any, with their point counts (on the rank that reduced
+/// them), plus the level reached.
+#[derive(Debug, Clone, Default)]
+pub struct OcResult {
+    /// Dense octant paths with counts, as reduced on this rank.
+    pub local_dense: Vec<(Vec<u8>, u64)>,
+    /// The deepest level that still had dense octants.
+    pub final_level: usize,
+}
+
+fn sum_u64(_k: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a) + typed::dec_u64(b)));
+}
+
+/// Gathers dense octant keys from every rank into a global active set.
+fn allgather_dense(comm: &mut Comm, local: &[(Vec<u8>, u64)], level: usize) -> HashSet<Vec<u8>> {
+    let mut packed = Vec::new();
+    for (k, _) in local {
+        debug_assert_eq!(k.len(), level);
+        packed.extend_from_slice(k);
+    }
+    let mut set = HashSet::new();
+    for buf in comm.allgather(packed) {
+        for chunk in buf.chunks_exact(level) {
+            set.insert(chunk.to_vec());
+        }
+    }
+    set
+}
+
+/// Octree clustering on Mimir over this rank's points.
+///
+/// # Errors
+/// Out-of-memory or configuration errors.
+pub fn octree_mimir(
+    ctx: &mut MimirContext<'_>,
+    points: &[Point],
+    opts: &OcOptions,
+) -> mimir_core::Result<(OcResult, RunMetrics)> {
+    let t0 = Instant::now();
+    let total_points = ctx.allreduce_sum(points.len() as u64);
+    let threshold = (total_points as f64 * opts.density).ceil() as u64;
+
+    let mut active: HashSet<Vec<u8>> = HashSet::new();
+    active.insert(Vec::new()); // the root octant
+    let mut result = OcResult::default();
+    let mut metrics = RunMetrics {
+        iterations: 0,
+        ..RunMetrics::default()
+    };
+
+    for level in 1..=opts.max_depth {
+        if active.is_empty() {
+            break;
+        }
+        let meta = opts.meta(level);
+        let one = typed::enc_u64(1);
+        let mut map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
+            for &p in points {
+                let path = octant_path(p, level);
+                if active.contains(&path[..level - 1]) {
+                    em.emit(&path, &one)?;
+                }
+            }
+            Ok(())
+        };
+        let job = ctx.job().kv_meta(meta).out_meta(meta);
+        let out = match (opts.partial_reduce, opts.compress) {
+            (true, true) => {
+                job.map_partial_reduce_compress(&mut map, Box::new(sum_u64), Box::new(sum_u64))?
+            }
+            (true, false) => job.map_partial_reduce(&mut map, Box::new(sum_u64))?,
+            (false, true) => {
+                job.map_reduce_compress(&mut map, Box::new(sum_u64), &mut |k, vals, em| {
+                    let total: u64 = vals.map(typed::dec_u64).sum();
+                    em.emit(k, &typed::enc_u64(total))
+                })?
+            }
+            (false, false) => job.map_reduce(&mut map, &mut |k, vals, em| {
+                let total: u64 = vals.map(typed::dec_u64).sum();
+                em.emit(k, &typed::enc_u64(total))
+            })?,
+        };
+        metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
+        metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
+        metrics.exchange_rounds += out.stats.shuffle.rounds;
+        metrics.iterations += 1;
+
+        let mut local_dense = Vec::new();
+        out.output.drain(|k, v| {
+            let count = typed::dec_u64(v);
+            if count >= threshold {
+                local_dense.push((k.to_vec(), count));
+            }
+            Ok(())
+        })?;
+        let dense = allgather_dense(ctx.comm(), &local_dense, level);
+        if dense.is_empty() {
+            break;
+        }
+        result = OcResult {
+            local_dense,
+            final_level: level,
+        };
+        active = dense;
+    }
+
+    metrics.wall = t0.elapsed();
+    metrics.node_peak = ctx.pool().peak();
+    Ok((result, metrics))
+}
+
+/// Octree clustering on MR-MPI. A fresh `MapReduce` object (and page
+/// sets) is created per iteration — the repeated allocate/free pattern
+/// the paper describes for iterative MR-MPI jobs.
+///
+/// # Errors
+/// Page overflow, OOM allocating page sets, or I/O failures.
+pub fn octree_mrmpi(
+    comm: &mut Comm,
+    pool: MemPool,
+    store: &SpillStore,
+    cfg: MrMpiConfig,
+    points: &[Point],
+    opts: &OcOptions,
+) -> mrmpi::Result<(OcResult, RunMetrics)> {
+    let t0 = Instant::now();
+    let total_points = comm.allreduce_u64(mimir_mpi::ReduceOp::Sum, points.len() as u64);
+    let threshold = (total_points as f64 * opts.density).ceil() as u64;
+
+    let mut active: HashSet<Vec<u8>> = HashSet::new();
+    active.insert(Vec::new());
+    let mut result = OcResult::default();
+    let mut metrics = RunMetrics::default();
+
+    for level in 1..=opts.max_depth {
+        if active.is_empty() {
+            break;
+        }
+        let mut local_dense = Vec::new();
+        {
+            let inner_store = SpillStore::new_temp("oc-iter", store.model().clone())?;
+            let mut mr = MapReduce::new(comm, pool.clone(), inner_store, cfg);
+            mr.map(|em| {
+                for &p in points {
+                    let path = octant_path(p, level);
+                    if active.contains(&path[..level - 1]) {
+                        em.emit(&path, &typed::enc_u64(1))?;
+                    }
+                }
+                Ok(())
+            })?;
+            metrics.kv_bytes += mr.kv_bytes();
+            metrics.kvs_emitted += mr.kv_count();
+            if opts.compress {
+                mr.compress(sum_u64)?;
+            }
+            mr.aggregate()?;
+            mr.convert()?;
+            mr.reduce(|k, vals, em| {
+                let total: u64 = vals.map(typed::dec_u64).sum();
+                em.emit(k, &typed::enc_u64(total))
+            })?;
+            mr.scan(|k, v| {
+                let count = typed::dec_u64(v);
+                if count >= threshold {
+                    local_dense.push((k.to_vec(), count));
+                }
+                Ok(())
+            })?;
+            let s = mr.stats();
+            metrics.spilled |= s.spilled;
+            metrics.exchange_rounds += s.exchange_rounds;
+        }
+        metrics.iterations += 1;
+
+        let dense = allgather_dense(comm, &local_dense, level);
+        if dense.is_empty() {
+            break;
+        }
+        result = OcResult {
+            local_dense,
+            final_level: level,
+        };
+        active = dense;
+    }
+
+    metrics.wall = t0.elapsed();
+    metrics.node_peak = pool.peak();
+    Ok((result, metrics))
+}
+
+/// Serial reference: the dense octant set of the deepest level that has
+/// one, over the whole dataset.
+pub fn octree_serial(all_points: &[Point], density: f64, max_depth: usize) -> OcResult {
+    let threshold = (all_points.len() as f64 * density).ceil() as u64;
+    let mut active: HashSet<Vec<u8>> = HashSet::new();
+    active.insert(Vec::new());
+    let mut result = OcResult::default();
+    for level in 1..=max_depth {
+        let mut counts: std::collections::HashMap<Vec<u8>, u64> = std::collections::HashMap::new();
+        for &p in all_points {
+            let path = octant_path(p, level);
+            if active.contains(&path[..level - 1]) {
+                *counts.entry(path).or_insert(0) += 1;
+            }
+        }
+        let dense: Vec<(Vec<u8>, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        if dense.is_empty() {
+            break;
+        }
+        active = dense.iter().map(|(k, _)| k.clone()).collect();
+        result = OcResult {
+            local_dense: dense,
+            final_level: level,
+        };
+    }
+    result
+}

@@ -1,0 +1,93 @@
+//! Cross-framework validation helpers used by the test suite and the
+//! bench harness: merge per-rank outputs and check them against the
+//! serial references (Graph500-style tree validation for BFS).
+
+use std::collections::HashMap;
+
+use crate::bfs::BfsResult;
+
+/// Merges per-rank `(key, count)` outputs, asserting each key was
+/// reduced on exactly one rank.
+///
+/// # Panics
+/// Panics if a key appears on two ranks — a partitioning bug.
+pub fn merge_counts(per_rank: Vec<Vec<(Vec<u8>, u64)>>) -> HashMap<Vec<u8>, u64> {
+    let mut merged = HashMap::new();
+    for rank_output in per_rank {
+        for (k, v) in rank_output {
+            assert!(
+                merged.insert(k.clone(), v).is_none(),
+                "key {:?} reduced on two ranks",
+                String::from_utf8_lossy(&k)
+            );
+        }
+    }
+    merged
+}
+
+/// Graph500-style BFS tree validation: merges per-rank parent maps and
+/// checks the tree against the full edge list and the reference
+/// distances.
+///
+/// Returns the merged parent map on success.
+///
+/// # Panics
+/// Panics with a description of the violated invariant.
+pub fn validate_bfs_tree(
+    per_rank: Vec<BfsResult>,
+    all_edges: &[(u64, u64)],
+    root: u64,
+    reference_dist: &HashMap<u64, u32>,
+) -> HashMap<u64, u64> {
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    for r in per_rank {
+        for (v, p) in r.parents {
+            assert!(
+                parents.insert(v, p).is_none(),
+                "vertex {v} has parents on two ranks"
+            );
+        }
+    }
+
+    // 1. Root is its own parent.
+    assert_eq!(parents.get(&root), Some(&root), "root parent");
+
+    // 2. Every tree edge is a graph edge.
+    let mut edge_set = std::collections::HashSet::new();
+    for &(u, v) in all_edges {
+        edge_set.insert((u, v));
+        edge_set.insert((v, u));
+    }
+    for (&v, &p) in &parents {
+        if v != root {
+            assert!(
+                edge_set.contains(&(p, v)),
+                "tree edge ({p} -> {v}) is not a graph edge"
+            );
+        }
+    }
+
+    // 3. Exactly the reachable set is visited.
+    assert_eq!(
+        parents.len(),
+        reference_dist.len(),
+        "visited set size mismatch"
+    );
+    for v in parents.keys() {
+        assert!(reference_dist.contains_key(v), "unreachable vertex {v} visited");
+    }
+
+    // 4. Levels are consistent: dist(v) == dist(parent(v)) + 1, and both
+    //    match the reference (BFS trees are shortest-path trees).
+    for (&v, &p) in &parents {
+        if v != root {
+            assert_eq!(
+                reference_dist[&v],
+                reference_dist[&p] + 1,
+                "vertex {v}: non-shortest tree edge from {p}"
+            );
+        }
+    }
+
+    parents
+}

@@ -1,0 +1,182 @@
+//! WordCount (WC): the paper's single-pass benchmark.
+//!
+//! Counts occurrences of each unique word. The KV-hint configuration is
+//! the paper's own example: "the key in the WordCount application is
+//! usually a string with variable length, but the value is always a
+//! 64-bit integer" — so the hint declares a NUL-terminated key and a
+//! fixed 8-byte value.
+
+use std::time::Instant;
+
+use mimir_core::{typed, Emitter, KvMeta, MimirContext};
+use mimir_io::{words, LineReader, SpillStore};
+use mimir_mem::MemPool;
+use mimir_mpi::Comm;
+use mrmpi::{MapReduce, MrMpiConfig};
+
+use crate::RunMetrics;
+
+/// Reduced `(word, count)` pairs on one rank, with the run's metrics.
+pub type WcOutput = (Vec<(Vec<u8>, u64)>, RunMetrics);
+
+/// Which optional optimizations a Mimir WordCount run enables
+/// (paper Section IV's `hint` / `pr` / `cps`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WcOptions {
+    /// KV-hint: NUL-terminated key, fixed 8-byte value.
+    pub hint: bool,
+    /// Partial reduction instead of convert+reduce.
+    pub partial_reduce: bool,
+    /// Map-side KV compression.
+    pub compress: bool,
+}
+
+impl WcOptions {
+    /// The full optimization stack (`hint;pr;cps`).
+    pub fn all() -> Self {
+        Self {
+            hint: true,
+            partial_reduce: true,
+            compress: true,
+        }
+    }
+
+    fn meta(&self) -> KvMeta {
+        if self.hint {
+            KvMeta::cstr_key_u64_val()
+        } else {
+            KvMeta::var()
+        }
+    }
+}
+
+fn sum_u64(_k: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a) + typed::dec_u64(b)));
+}
+
+/// Runs WordCount on Mimir over this rank's text share. Returns the
+/// locally reduced `(word, count)` pairs (each word on exactly one rank)
+/// and run metrics.
+///
+/// # Errors
+/// Out-of-memory (Mimir does not spill) or configuration errors.
+pub fn wordcount_mimir(
+    ctx: &mut MimirContext<'_>,
+    text: &[u8],
+    opts: &WcOptions,
+) -> mimir_core::Result<WcOutput> {
+    let t0 = Instant::now();
+    let meta = opts.meta();
+    let one = typed::enc_u64(1);
+    let mut map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
+        for line in LineReader::new(text) {
+            for w in words(line) {
+                em.emit(w, &one)?;
+            }
+        }
+        Ok(())
+    };
+
+    let job = ctx.job().kv_meta(meta).out_meta(meta);
+    let out = match (opts.partial_reduce, opts.compress) {
+        (true, true) => {
+            job.map_partial_reduce_compress(&mut map, Box::new(sum_u64), Box::new(sum_u64))?
+        }
+        (true, false) => job.map_partial_reduce(&mut map, Box::new(sum_u64))?,
+        (false, true) => job.map_reduce_compress(
+            &mut map,
+            Box::new(sum_u64),
+            &mut |k, vals, em| {
+                let total: u64 = vals.map(typed::dec_u64).sum();
+                em.emit(k, &typed::enc_u64(total))
+            },
+        )?,
+        (false, false) => job.map_reduce(&mut map, &mut |k, vals, em| {
+            let total: u64 = vals.map(typed::dec_u64).sum();
+            em.emit(k, &typed::enc_u64(total))
+        })?,
+    };
+
+    let mut counts = Vec::with_capacity(out.output.len() as usize);
+    out.output.drain(|k, v| {
+        counts.push((k.to_vec(), typed::dec_u64(v)));
+        Ok(())
+    })?;
+    let metrics = RunMetrics {
+        wall: t0.elapsed(),
+        node_peak: ctx.pool().peak(),
+        kv_bytes: out.stats.shuffle.kv_bytes_emitted,
+        kvs_emitted: out.stats.shuffle.kvs_emitted,
+        spilled: false,
+        exchange_rounds: out.stats.shuffle.rounds,
+        iterations: 1,
+    };
+    Ok((counts, metrics))
+}
+
+/// Runs WordCount on MR-MPI over this rank's text share, with MR-MPI's
+/// explicit phase calls (and optionally its KV compression).
+///
+/// # Errors
+/// Page overflow (out-of-core disabled), OOM allocating page sets, or
+/// I/O failures while spilling.
+pub fn wordcount_mrmpi(
+    comm: &mut Comm,
+    pool: MemPool,
+    store: SpillStore,
+    cfg: MrMpiConfig,
+    text: &[u8],
+    compress: bool,
+) -> mrmpi::Result<WcOutput> {
+    let t0 = Instant::now();
+    let mut mr = MapReduce::new(comm, pool.clone(), store, cfg);
+    mr.map(|em| {
+        for line in LineReader::new(text) {
+            for w in words(line) {
+                em.emit(w, &typed::enc_u64(1))?;
+            }
+        }
+        Ok(())
+    })?;
+    let kv_bytes = mr.kv_bytes();
+    let kvs = mr.kv_count();
+    if compress {
+        mr.compress(sum_u64)?;
+    }
+    mr.aggregate()?;
+    mr.convert()?;
+    mr.reduce(|k, vals, em| {
+        let total: u64 = vals.map(typed::dec_u64).sum();
+        em.emit(k, &typed::enc_u64(total))
+    })?;
+
+    let mut counts = Vec::new();
+    mr.scan(|k, v| {
+        counts.push((k.to_vec(), typed::dec_u64(v)));
+        Ok(())
+    })?;
+    let stats = mr.stats();
+    let metrics = RunMetrics {
+        wall: t0.elapsed(),
+        node_peak: pool.peak(),
+        kv_bytes,
+        kvs_emitted: kvs,
+        spilled: stats.spilled,
+        exchange_rounds: stats.exchange_rounds,
+        iterations: 1,
+    };
+    Ok((counts, metrics))
+}
+
+/// Serial reference: exact word counts of a whole corpus.
+pub fn wordcount_serial(shares: &[&[u8]]) -> std::collections::HashMap<Vec<u8>, u64> {
+    let mut counts = std::collections::HashMap::new();
+    for share in shares {
+        for line in LineReader::new(share) {
+            for w in words(line) {
+                *counts.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}

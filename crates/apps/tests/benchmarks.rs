@@ -1,0 +1,305 @@
+//! Cross-framework validation: every benchmark, both frameworks, all
+//! optimization combinations, checked against the serial references.
+
+use mimir_apps::bfs::{bfs_mimir, bfs_mrmpi, bfs_serial, pick_root, BfsOptions};
+use mimir_apps::octree::{octree_mimir, octree_mrmpi, octree_serial, OcOptions};
+use mimir_apps::validate::{merge_counts, validate_bfs_tree};
+use mimir_apps::wordcount::{wordcount_mimir, wordcount_mrmpi, wordcount_serial, WcOptions};
+use mimir_core::{MimirConfig, MimirContext};
+use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
+use mimir_io::{IoModel, SpillStore};
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mrmpi::MrMpiConfig;
+
+const N_RANKS: usize = 4;
+
+fn pool() -> MemPool {
+    MemPool::unlimited("node", 16 * 1024)
+}
+
+// --- WordCount ----------------------------------------------------------
+
+fn wc_corpus(rank: usize) -> Vec<u8> {
+    // Mix of uniform and skewed text exercises balanced and hot keys.
+    let mut text = UniformWords {
+        vocab: 200,
+        word_len: 6,
+        seed: 7,
+    }
+    .generate(rank, N_RANKS, 40_000);
+    text.extend(WikipediaWords::new(9).generate(rank, N_RANKS, 40_000));
+    text
+}
+
+fn wc_reference() -> std::collections::HashMap<Vec<u8>, u64> {
+    let shares: Vec<Vec<u8>> = (0..N_RANKS).map(wc_corpus).collect();
+    wordcount_serial(&shares.iter().map(Vec::as_slice).collect::<Vec<_>>())
+}
+
+#[test]
+fn wordcount_mimir_all_option_combinations_match_serial() {
+    let expected = wc_reference();
+    for hint in [false, true] {
+        for pr in [false, true] {
+            for cps in [false, true] {
+                let opts = WcOptions {
+                    hint,
+                    partial_reduce: pr,
+                    compress: cps,
+                };
+                let per_rank = run_world(N_RANKS, move |comm| {
+                    let mut ctx = MimirContext::new(
+                        comm,
+                        pool(),
+                        IoModel::free(),
+                        MimirConfig::default(),
+                    )
+                    .unwrap();
+                    let text = wc_corpus(ctx.rank());
+                    wordcount_mimir(&mut ctx, &text, &opts).unwrap().0
+                });
+                let got = merge_counts(per_rank);
+                assert_eq!(got, expected, "hint={hint} pr={pr} cps={cps}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wordcount_mrmpi_matches_serial() {
+    let expected = wc_reference();
+    for cps in [false, true] {
+        let per_rank = run_world(N_RANKS, move |comm| {
+            let p = pool();
+            let store = SpillStore::new_temp("wc", IoModel::free()).unwrap();
+            let text = wc_corpus(comm.rank());
+            wordcount_mrmpi(
+                comm,
+                p,
+                store,
+                MrMpiConfig::with_page_size(64 * 1024),
+                &text,
+                cps,
+            )
+            .unwrap()
+            .0
+        });
+        let got = merge_counts(per_rank);
+        assert_eq!(got, expected, "cps={cps}");
+    }
+}
+
+#[test]
+fn wordcount_hint_reduces_kv_bytes() {
+    let bytes_of = |hint: bool| {
+        let runs = run_world(N_RANKS, move |comm| {
+            let mut ctx =
+                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
+                    .unwrap();
+            let text = wc_corpus(ctx.rank());
+            let opts = WcOptions {
+                hint,
+                ..WcOptions::default()
+            };
+            wordcount_mimir(&mut ctx, &text, &opts).unwrap().1
+        });
+        runs.iter().map(|m| m.kv_bytes).sum::<u64>()
+    };
+    let plain = bytes_of(false);
+    let hinted = bytes_of(true);
+    let saving = 1.0 - hinted as f64 / plain as f64;
+    // Figure 7 territory: the paper reports ~26 %.
+    assert!(
+        (0.15..0.45).contains(&saving),
+        "hint saving {saving:.3} (plain {plain}, hinted {hinted})"
+    );
+}
+
+// --- Octree clustering ---------------------------------------------------
+
+const OC_POINTS: usize = 20_000;
+
+fn oc_points(rank: usize) -> Vec<[f32; 3]> {
+    PointGen::new(42).generate(rank, N_RANKS, OC_POINTS)
+}
+
+fn oc_reference(opts: &OcOptions) -> mimir_apps::octree::OcResult {
+    let all: Vec<[f32; 3]> = (0..N_RANKS).flat_map(oc_points).collect();
+    octree_serial(&all, opts.density, opts.max_depth)
+}
+
+fn dense_set(r: &mimir_apps::octree::OcResult) -> std::collections::BTreeSet<Vec<u8>> {
+    r.local_dense.iter().map(|(k, _)| k.clone()).collect()
+}
+
+#[test]
+fn octree_mimir_all_option_combinations_match_serial() {
+    let base = OcOptions::default();
+    let expected = oc_reference(&base);
+    let expected_set: std::collections::BTreeSet<Vec<u8>> = dense_set(&expected);
+    for hint in [false, true] {
+        for pr in [false, true] {
+            for cps in [false, true] {
+                let opts = OcOptions {
+                    hint,
+                    partial_reduce: pr,
+                    compress: cps,
+                    ..base
+                };
+                let per_rank = run_world(N_RANKS, move |comm| {
+                    let mut ctx = MimirContext::new(
+                        comm,
+                        pool(),
+                        IoModel::free(),
+                        MimirConfig::default(),
+                    )
+                    .unwrap();
+                    let pts = oc_points(ctx.rank());
+                    octree_mimir(&mut ctx, &pts, &opts).unwrap().0
+                });
+                let mut got = std::collections::BTreeSet::new();
+                let mut level = 0;
+                for r in per_rank {
+                    got.extend(dense_set(&r));
+                    level = level.max(r.final_level);
+                }
+                assert_eq!(level, expected.final_level, "hint={hint} pr={pr} cps={cps}");
+                assert_eq!(got, expected_set, "hint={hint} pr={pr} cps={cps}");
+            }
+        }
+    }
+}
+
+#[test]
+fn octree_mrmpi_matches_serial() {
+    let base = OcOptions::default();
+    let expected = oc_reference(&base);
+    let expected_set = dense_set(&expected);
+    for cps in [false, true] {
+        let opts = OcOptions {
+            compress: cps,
+            ..base
+        };
+        let per_rank = run_world(N_RANKS, move |comm| {
+            let p = pool();
+            let store = SpillStore::new_temp("oc", IoModel::free()).unwrap();
+            let pts = oc_points(comm.rank());
+            octree_mrmpi(
+                comm,
+                p,
+                &store,
+                MrMpiConfig::with_page_size(64 * 1024),
+                &pts,
+                &opts,
+            )
+            .unwrap()
+            .0
+        });
+        let mut got = std::collections::BTreeSet::new();
+        for r in per_rank {
+            got.extend(dense_set(&r));
+        }
+        assert_eq!(got, expected_set, "cps={cps}");
+    }
+}
+
+// --- BFS ------------------------------------------------------------------
+
+fn bfs_edges(rank: usize, scale: u32) -> Vec<(u64, u64)> {
+    Graph500::new(scale, 5).edges(rank, N_RANKS)
+}
+
+#[test]
+fn bfs_mimir_tree_is_valid_under_all_options() {
+    let scale = 9;
+    let all_edges: Vec<(u64, u64)> = (0..N_RANKS).flat_map(|r| bfs_edges(r, scale)).collect();
+    for hint in [false, true] {
+        for cps in [false, true] {
+            let opts = BfsOptions {
+                hint,
+                compress: cps,
+            };
+            let results = run_world(N_RANKS, move |comm| {
+                let edges = bfs_edges(comm.rank(), scale);
+                let root = pick_root(comm, &edges);
+                let mut ctx =
+                    MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
+                        .unwrap();
+                let (res, _) = bfs_mimir(&mut ctx, &edges, root, &opts).unwrap();
+                (root, res)
+            });
+            let root = results[0].0;
+            let reference = bfs_serial(&all_edges, root);
+            let per_rank: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
+            assert!(per_rank[0].visited_global > 1, "hint={hint} cps={cps}");
+            validate_bfs_tree(per_rank, &all_edges, root, &reference);
+        }
+    }
+}
+
+#[test]
+fn bfs_mrmpi_tree_is_valid() {
+    let scale = 8;
+    let all_edges: Vec<(u64, u64)> = (0..N_RANKS).flat_map(|r| bfs_edges(r, scale)).collect();
+    for cps in [false, true] {
+        let opts = BfsOptions {
+            hint: false,
+            compress: cps,
+        };
+        let results = run_world(N_RANKS, move |comm| {
+            let edges = bfs_edges(comm.rank(), scale);
+            let root = pick_root(comm, &edges);
+            let p = pool();
+            let store = SpillStore::new_temp("bfs", IoModel::free()).unwrap();
+            let (res, _) = bfs_mrmpi(
+                comm,
+                p,
+                &store,
+                MrMpiConfig::with_page_size(64 * 1024),
+                &edges,
+                root,
+                &opts,
+            )
+            .unwrap();
+            (root, res)
+        });
+        let root = results[0].0;
+        let reference = bfs_serial(&all_edges, root);
+        let per_rank: Vec<_> = results.into_iter().map(|(_, r)| r).collect();
+        validate_bfs_tree(per_rank, &all_edges, root, &reference);
+    }
+}
+
+#[test]
+fn frameworks_agree_on_wordcount() {
+    let mimir = {
+        let per_rank = run_world(N_RANKS, |comm| {
+            let mut ctx =
+                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
+                    .unwrap();
+            let text = wc_corpus(ctx.rank());
+            wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+        });
+        merge_counts(per_rank)
+    };
+    let mrmpi_counts = {
+        let per_rank = run_world(N_RANKS, |comm| {
+            let p = pool();
+            let store = SpillStore::new_temp("wc2", IoModel::free()).unwrap();
+            let text = wc_corpus(comm.rank());
+            wordcount_mrmpi(
+                comm,
+                p,
+                store,
+                MrMpiConfig::with_page_size(64 * 1024),
+                &text,
+                true,
+            )
+            .unwrap()
+            .0
+        });
+        merge_counts(per_rank)
+    };
+    assert_eq!(mimir, mrmpi_counts);
+}

@@ -1,0 +1,151 @@
+//! Robustness tests beyond the happy path: spilled MR-MPI runs of the
+//! iterative benchmarks stay correct, metrics compose, and degenerate
+//! inputs are handled.
+
+use mimir_apps::bfs::{bfs_mrmpi, bfs_serial, pick_root, BfsOptions};
+use mimir_apps::octree::{octree_mrmpi, octree_serial, OcOptions};
+use mimir_apps::validate::validate_bfs_tree;
+use mimir_apps::RunMetrics;
+use mimir_core::{MimirConfig, MimirContext};
+use mimir_datagen::{Graph500, PointGen};
+use mimir_io::{IoModel, SpillStore};
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mrmpi::MrMpiConfig;
+
+#[test]
+fn spilled_octree_matches_serial() {
+    // 2 KiB MR-MPI pages force spills in every phase of every iteration.
+    let gen = PointGen::new(8);
+    let n_points = 6_000;
+    let opts = OcOptions::default();
+    let expected = octree_serial(
+        &(0..3).flat_map(|r| gen.generate(r, 3, n_points)).collect::<Vec<_>>(),
+        opts.density,
+        opts.max_depth,
+    );
+    let per_rank = run_world(3, move |comm| {
+        let pts = gen.generate(comm.rank(), 3, n_points);
+        let pool = MemPool::unlimited("node", 4096);
+        let store = SpillStore::new_temp("oc-spill", IoModel::free()).unwrap();
+        let (res, metrics) = octree_mrmpi(
+            comm,
+            pool,
+            &store,
+            MrMpiConfig::with_page_size(2 * 1024),
+            &pts,
+            &opts,
+        )
+        .unwrap();
+        (res, metrics.spilled)
+    });
+    assert!(
+        per_rank.iter().any(|(_, spilled)| *spilled),
+        "fixture must spill"
+    );
+    let got: std::collections::BTreeSet<Vec<u8>> = per_rank
+        .iter()
+        .flat_map(|(r, _)| r.local_dense.iter().map(|(k, _)| k.clone()))
+        .collect();
+    let want: std::collections::BTreeSet<Vec<u8>> = expected
+        .local_dense
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn spilled_bfs_tree_is_valid() {
+    let scale = 8;
+    let graph = Graph500::new(scale, 21);
+    let all_edges: Vec<(u64, u64)> = (0..3).flat_map(|r| graph.edges(r, 3)).collect();
+    let results = run_world(3, move |comm| {
+        let edges = graph.edges(comm.rank(), comm.size());
+        let root = pick_root(comm, &edges);
+        let pool = MemPool::unlimited("node", 4096);
+        let store = SpillStore::new_temp("bfs-spill", IoModel::free()).unwrap();
+        let (res, metrics) = bfs_mrmpi(
+            comm,
+            pool,
+            &store,
+            MrMpiConfig::with_page_size(4 * 1024),
+            &edges,
+            root,
+            &BfsOptions::default(),
+        )
+        .unwrap();
+        (root, res, metrics.spilled)
+    });
+    assert!(results.iter().any(|(_, _, s)| *s), "fixture must spill");
+    let root = results[0].0;
+    let reference = bfs_serial(&all_edges, root);
+    validate_bfs_tree(
+        results.into_iter().map(|(_, r, _)| r).collect(),
+        &all_edges,
+        root,
+        &reference,
+    );
+}
+
+#[test]
+fn metrics_absorb_composes() {
+    let mut a = RunMetrics {
+        wall: std::time::Duration::from_millis(10),
+        node_peak: 100,
+        kv_bytes: 5,
+        kvs_emitted: 2,
+        spilled: false,
+        exchange_rounds: 1,
+        iterations: 1,
+    };
+    let b = RunMetrics {
+        wall: std::time::Duration::from_millis(7),
+        node_peak: 300,
+        kv_bytes: 10,
+        kvs_emitted: 3,
+        spilled: true,
+        exchange_rounds: 2,
+        iterations: 4,
+    };
+    a.absorb(&b);
+    assert_eq!(a.wall, std::time::Duration::from_millis(17));
+    assert_eq!(a.node_peak, 300, "peak is max, not sum");
+    assert_eq!(a.kv_bytes, 15);
+    assert_eq!(a.kvs_emitted, 5);
+    assert!(a.spilled);
+    assert_eq!(a.exchange_rounds, 3);
+    assert_eq!(a.iterations, 5);
+}
+
+#[test]
+fn empty_points_and_edges_are_fine() {
+    run_world(2, |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        let mut ctx =
+            MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
+        // Octree with no points anywhere: no dense octants, level 0.
+        let (res, m) =
+            mimir_apps::octree::octree_mimir(&mut ctx, &[], &OcOptions::default()).unwrap();
+        assert_eq!(res.final_level, 0);
+        assert!(res.local_dense.is_empty());
+        assert!(m.iterations <= 1);
+        // BFS with no edges: only the root is visited.
+        let (res, _) =
+            mimir_apps::bfs::bfs_mimir(&mut ctx, &[], 0, &BfsOptions::default()).unwrap();
+        assert_eq!(res.visited_global, 1);
+    });
+}
+
+#[test]
+fn pick_root_with_empty_local_edges() {
+    let roots = run_world(3, |comm| {
+        let edges: Vec<(u64, u64)> = if comm.rank() == 1 {
+            vec![(42, 43)]
+        } else {
+            Vec::new()
+        };
+        pick_root(comm, &edges)
+    });
+    assert_eq!(roots, vec![42, 42, 42]);
+}

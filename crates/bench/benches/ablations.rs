@@ -1,0 +1,222 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Communication-buffer size** — smaller buffers mean more exchange
+//!    rounds (interleaving memory-bound vs round overhead).
+//! 2. **Mimir page size** — container granularity vs allocation churn.
+//! 3. **Copy path** — Mimir's direct-into-send-buffer emission vs
+//!    MR-MPI's staged copies (map page → temps → send buffer), measured
+//!    on the same in-memory workload.
+//! 4. **Grouping strategy** — the two-pass hash-bucket convert vs the
+//!    partial-reduction fold vs MR-MPI's sort-based grouping.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mimir_apps::wordcount::{wordcount_mimir, wordcount_mrmpi, WcOptions};
+use mimir_core::{MimirConfig, MimirContext};
+use mimir_datagen::UniformWords;
+use mimir_io::{IoModel, SpillStore};
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mrmpi::MrMpiConfig;
+
+const RANKS: usize = 4;
+const TEXT_BYTES: usize = 512 << 10;
+
+fn text(rank: usize) -> Vec<u8> {
+    UniformWords {
+        vocab: 4096,
+        word_len: 8,
+        seed: 99,
+    }
+    .generate(rank, RANKS, TEXT_BYTES)
+}
+
+fn run_mimir_wc(comm_buf: usize, page: usize, opts: WcOptions) -> u64 {
+    let out = run_world(RANKS, move |comm| {
+        let t = text(comm.rank());
+        let pool = MemPool::unlimited("ablate", page);
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            IoModel::free(),
+            MimirConfig {
+                comm_buf_size: comm_buf,
+            },
+        )
+        .unwrap();
+        let (counts, m) = wordcount_mimir(&mut ctx, &t, &opts).unwrap();
+        (counts.len() as u64, m.exchange_rounds)
+    });
+    out.iter().map(|(n, _)| n).sum()
+}
+
+fn ablate_comm_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_comm_buffer");
+    g.sample_size(10);
+    for comm_buf in [8 << 10, 64 << 10, 256 << 10] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(comm_buf >> 10),
+            &comm_buf,
+            |b, &cb| {
+                b.iter(|| black_box(run_mimir_wc(cb, 64 << 10, WcOptions::default())));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_page_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_page_size");
+    g.sample_size(10);
+    for page in [16 << 10, 64 << 10, 256 << 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(page >> 10), &page, |b, &p| {
+            b.iter(|| black_box(run_mimir_wc(64 << 10, p, WcOptions::default())));
+        });
+    }
+    g.finish();
+}
+
+fn ablate_copy_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_copy_path");
+    g.sample_size(10);
+    // Mimir: map emits straight into the partitioned send buffer.
+    g.bench_function("mimir_direct_emit", |b| {
+        b.iter(|| black_box(run_mimir_wc(64 << 10, 64 << 10, WcOptions::default())));
+    });
+    // MR-MPI: map page → temp scan → send buffer → double receive buffer
+    // → output page (kept in-memory by a generous page size).
+    g.bench_function("mrmpi_staged_copies", |b| {
+        b.iter(|| {
+            let out = run_world(RANKS, move |comm| {
+                let t = text(comm.rank());
+                let pool = MemPool::unlimited("ablate", 64 << 10);
+                let store = SpillStore::new_temp("ablate", IoModel::free()).unwrap();
+                let (counts, m) = wordcount_mrmpi(
+                    comm,
+                    pool,
+                    store,
+                    MrMpiConfig::with_page_size(1 << 20),
+                    &t,
+                    false,
+                )
+                .unwrap();
+                assert!(!m.spilled);
+                counts.len() as u64
+            });
+            black_box(out.iter().sum::<u64>())
+        });
+    });
+    g.finish();
+}
+
+fn ablate_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_grouping");
+    g.sample_size(10);
+    // Hash-bucket two-pass convert (baseline reduce path).
+    g.bench_function("two_pass_convert", |b| {
+        b.iter(|| black_box(run_mimir_wc(64 << 10, 64 << 10, WcOptions::default())));
+    });
+    // Partial-reduction fold (no KVC/KMVC materialization).
+    g.bench_function("partial_reduce_fold", |b| {
+        b.iter(|| {
+            black_box(run_mimir_wc(
+                64 << 10,
+                64 << 10,
+                WcOptions {
+                    partial_reduce: true,
+                    ..WcOptions::default()
+                },
+            ))
+        });
+    });
+    // MR-MPI's sort-based grouping on the same workload.
+    g.bench_function("sort_merge_group", |b| {
+        b.iter(|| {
+            let out = run_world(RANKS, move |comm| {
+                let t = text(comm.rank());
+                let pool = MemPool::unlimited("ablate", 64 << 10);
+                let store = SpillStore::new_temp("ablate", IoModel::free()).unwrap();
+                let (counts, _) = wordcount_mrmpi(
+                    comm,
+                    pool,
+                    store,
+                    MrMpiConfig::with_page_size(1 << 20),
+                    &t,
+                    false,
+                )
+                .unwrap();
+                counts.len() as u64
+            });
+            black_box(out.iter().sum::<u64>())
+        });
+    });
+    g.finish();
+}
+
+fn ablate_cps_flush_threshold(c: &mut Criterion) {
+    use mimir_core::typed;
+    let mut g = c.benchmark_group("ablation_cps_flush");
+    g.sample_size(10);
+    // Unique-heavy stream: compression cannot help, only cost — the
+    // regime where the streaming flush budget matters.
+    for flush_kib in [0usize, 16, 256] {
+        let label = if flush_kib == 0 {
+            "delayed".to_string()
+        } else {
+            format!("flush-{flush_kib}K")
+        };
+        g.bench_function(BenchmarkId::new("unique_keys", label), |b| {
+            b.iter(|| {
+                let out = run_world(2, move |comm| {
+                    let pool = MemPool::unlimited("ablate", 64 << 10);
+                    let mut ctx = MimirContext::new(
+                        comm,
+                        pool.clone(),
+                        IoModel::free(),
+                        MimirConfig::default(),
+                    )
+                    .unwrap();
+                    let mut job = ctx
+                        .job()
+                        .kv_meta(mimir_core::KvMeta::cstr_key_u64_val())
+                        .out_meta(mimir_core::KvMeta::cstr_key_u64_val());
+                    if flush_kib > 0 {
+                        job = job.compress_flush_bytes(flush_kib << 10);
+                    }
+                    let sum = |_k: &[u8], a: &[u8], bb: &[u8], o: &mut Vec<u8>| {
+                        o.extend_from_slice(&typed::enc_u64(
+                            typed::dec_u64(a) + typed::dec_u64(bb),
+                        ));
+                    };
+                    let res = job
+                        .map_partial_reduce_compress(
+                            &mut |em| {
+                                for i in 0..5_000u64 {
+                                    em.emit(
+                                        format!("uniq-{i}").as_bytes(),
+                                        &typed::enc_u64(1),
+                                    )?;
+                                }
+                                Ok(())
+                            },
+                            Box::new(sum),
+                            Box::new(sum),
+                        )
+                        .unwrap();
+                    (res.output.len(), pool.peak())
+                });
+                black_box(out[0].1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_comm_buffer,
+    ablate_page_size,
+    ablate_copy_path,
+    ablate_grouping,
+    ablate_cps_flush_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Small-scale end-to-end instances of every figure's workload, so
+//! `cargo bench` exercises each reproduction path. The full sweeps live
+//! in the `fig*` binaries (`cargo run --release -p mimir-bench --bin …`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mimir_apps::bfs::BfsOptions;
+use mimir_apps::octree::OcOptions;
+use mimir_apps::wordcount::WcOptions;
+use mimir_bench::runner::{
+    run_bfs_mimir, run_bfs_mrmpi, run_fig1_point, run_oc_mimir, run_oc_mrmpi, run_wc_mimir,
+    run_wc_mrmpi, WcDataset,
+};
+use mimir_bench::{Platform, Status};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_smoke");
+    g.sample_size(10);
+    let comet = Platform::comet_mini();
+    let mira = Platform::mira_mini();
+
+    g.bench_function("fig01_point_in_memory", |b| {
+        b.iter(|| black_box(run_fig1_point(&comet, 512 << 10)))
+    });
+    g.bench_function("fig07_wc_wiki_hint", |b| {
+        b.iter(|| {
+            let o = run_wc_mimir(
+                &comet,
+                1,
+                WcDataset::Wikipedia,
+                512 << 10,
+                WcOptions {
+                    hint: true,
+                    ..WcOptions::default()
+                },
+            );
+            assert_eq!(o.status, Status::InMemory);
+            black_box(o.kv_bytes)
+        })
+    });
+    g.bench_function("fig08_wc_mimir_baseline", |b| {
+        b.iter(|| black_box(run_wc_mimir(&comet, 1, WcDataset::Uniform, 512 << 10, WcOptions::default())))
+    });
+    g.bench_function("fig08_wc_mrmpi_large_page", |b| {
+        b.iter(|| {
+            black_box(run_wc_mrmpi(
+                &comet,
+                1,
+                WcDataset::Uniform,
+                512 << 10,
+                comet.mrmpi_page_large,
+                false,
+            ))
+        })
+    });
+    g.bench_function("fig08_oc_mimir", |b| {
+        b.iter(|| black_box(run_oc_mimir(&comet, 1, 1 << 14, OcOptions::default())))
+    });
+    g.bench_function("fig08_bfs_mimir", |b| {
+        b.iter(|| black_box(run_bfs_mimir(&comet, 1, 10, BfsOptions::default())))
+    });
+    g.bench_function("fig11_oc_mrmpi_cps", |b| {
+        b.iter(|| black_box(run_oc_mrmpi(&comet, 1, 1 << 14, comet.mrmpi_page_large, true)))
+    });
+    g.bench_function("fig12_bfs_mrmpi_mira", |b| {
+        b.iter(|| black_box(run_bfs_mrmpi(&mira, 1, 9, mira.mrmpi_page_small, false)))
+    });
+    g.bench_function("fig13_wc_full_stack_mira", |b| {
+        b.iter(|| black_box(run_wc_mimir(&mira, 1, WcDataset::Wikipedia, 256 << 10, WcOptions::all())))
+    });
+    g.bench_function("fig14_wc_scaling_2nodes", |b| {
+        let thin = mira.thin(2);
+        b.iter(|| {
+            black_box(run_wc_mimir(
+                &thin,
+                2,
+                WcDataset::Uniform,
+                64 << 10,
+                WcOptions {
+                    hint: true,
+                    ..WcOptions::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

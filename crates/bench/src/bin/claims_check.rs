@@ -1,0 +1,222 @@
+//! Verifies the paper's headline quantitative claims against the
+//! reproduction, printing PASS/FAIL per claim. Complements the per-figure
+//! harnesses: those regenerate the plots, this distills them to the
+//! sentences the paper's abstract and Section IV make.
+//!
+//! Run: `cargo run --release -p mimir-bench --bin claims_check`
+
+use mimir_apps::wordcount::WcOptions;
+use mimir_bench::runner::{run_fig1_point, run_wc_mimir, run_wc_mrmpi, WcDataset};
+use mimir_bench::{Platform, Status};
+
+struct Claims {
+    passed: u32,
+    failed: u32,
+}
+
+impl Claims {
+    fn check(&mut self, claim: &str, measured: String, ok: bool) {
+        let verdict = if ok { "PASS" } else { "FAIL" };
+        println!("[{verdict}] {claim}\n       measured: {measured}");
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+}
+
+fn main() {
+    let comet = Platform::comet_mini();
+    let mira = Platform::mira_mini();
+    let mut c = Claims {
+        passed: 0,
+        failed: 0,
+    };
+
+    // --- Figure 1: the out-of-core cliff. -----------------------------
+    println!("== Figure 1 claims ==");
+    let in_mem = run_fig1_point(&comet, 4 << 20);
+    let spilled = run_fig1_point(&comet, 32 << 20);
+    c.check(
+        "WC on one Comet node stays in memory at 4G (scaled 4M)",
+        format!("{:?}", in_mem.status),
+        in_mem.status == Status::InMemory,
+    );
+    c.check(
+        "… and leaves memory past that, with orders-of-magnitude slowdown",
+        format!(
+            "{:?}, {:.1}x slower per 8x data",
+            spilled.status,
+            spilled.time_s / in_mem.time_s
+        ),
+        spilled.status == Status::Spilled && spilled.time_s > 20.0 * in_mem.time_s,
+    );
+
+    // --- Figure 7: KV-hint saving. -------------------------------------
+    println!("== Figure 7 claims ==");
+    let plain = run_wc_mimir(
+        &comet,
+        1,
+        WcDataset::Wikipedia,
+        4 << 20,
+        WcOptions {
+            partial_reduce: true,
+            ..WcOptions::default()
+        },
+    );
+    let hinted = run_wc_mimir(
+        &comet,
+        1,
+        WcDataset::Wikipedia,
+        4 << 20,
+        WcOptions {
+            hint: true,
+            partial_reduce: true,
+            ..WcOptions::default()
+        },
+    );
+    let saving = 1.0 - hinted.kv_bytes as f64 / plain.kv_bytes as f64;
+    c.check(
+        "KV-hint saves ~26% of WC (Wikipedia) KV bytes",
+        format!("{:.1}%", saving * 100.0),
+        (0.20..0.33).contains(&saving),
+    );
+
+    // --- Figures 8/9: memory efficiency. --------------------------------
+    println!("== Figure 8/9 claims ==");
+    let mimir_small = run_wc_mimir(&comet, 1, WcDataset::Uniform, 256 << 10, WcOptions::default());
+    let mrmpi_small = run_wc_mrmpi(
+        &comet,
+        1,
+        WcDataset::Uniform,
+        256 << 10,
+        comet.mrmpi_page_small,
+        false,
+    );
+    c.check(
+        "Mimir uses at least 25% less memory than MR-MPI (64M)",
+        format!(
+            "{:.2} vs {:.2} MiB",
+            mimir_small.peak_node_bytes as f64 / (1 << 20) as f64,
+            mrmpi_small.peak_node_bytes as f64 / (1 << 20) as f64
+        ),
+        (mimir_small.peak_node_bytes as f64) < 0.75 * mrmpi_small.peak_node_bytes as f64,
+    );
+    let mimir_16m = run_wc_mimir(&comet, 1, WcDataset::Uniform, 16 << 20, WcOptions::default());
+    let mrmpi_8m = run_wc_mrmpi(
+        &comet,
+        1,
+        WcDataset::Uniform,
+        8 << 20,
+        comet.mrmpi_page_large,
+        false,
+    );
+    c.check(
+        "Mimir runs 4x larger datasets in memory than the best MR-MPI config",
+        format!(
+            "Mimir @16M: {:?}; MR-MPI(512K) @8M: {:?} (its last in-memory point is 4M)",
+            mimir_16m.status, mrmpi_8m.status
+        ),
+        mimir_16m.status == Status::InMemory && mrmpi_8m.status == Status::Spilled,
+    );
+    let mrmpi_tiny = run_wc_mrmpi(
+        &comet,
+        1,
+        WcDataset::Uniform,
+        128 << 10,
+        comet.mrmpi_page_small,
+        false,
+    );
+    c.check(
+        "MR-MPI's footprint is its static page sets, independent of data",
+        format!(
+            "{} vs {} bytes at 128K vs 256K",
+            mrmpi_tiny.peak_node_bytes, mrmpi_small.peak_node_bytes
+        ),
+        mrmpi_tiny.peak_node_bytes == mrmpi_small.peak_node_bytes,
+    );
+
+    // --- Figure 10: weak scaling under skew. ----------------------------
+    println!("== Figure 10 claims ==");
+    let thin = comet.thin(4);
+    let per_rank = (512 << 10) / comet.ranks_per_node;
+    let mr_skew = run_wc_mrmpi(
+        &thin,
+        2,
+        WcDataset::Wikipedia,
+        per_rank * thin.ranks(2),
+        thin.mrmpi_page_small,
+        false,
+    );
+    let mimir_skew = run_wc_mimir(
+        &thin,
+        2,
+        WcDataset::Wikipedia,
+        per_rank * thin.ranks(2),
+        WcOptions::default(),
+    );
+    c.check(
+        "skewed WC breaks MR-MPI (64M) already at 2 nodes; Mimir is unaffected",
+        format!("MR-MPI: {:?}, Mimir: {:?}", mr_skew.status, mimir_skew.status),
+        mr_skew.status == Status::Spilled && mimir_skew.status == Status::InMemory,
+    );
+
+    // --- Figure 13: the optimization staircase. -------------------------
+    println!("== Figure 13 claims ==");
+    let base = run_wc_mimir(&mira, 1, WcDataset::Uniform, 2 << 20, WcOptions::default());
+    let hint = run_wc_mimir(
+        &mira,
+        1,
+        WcDataset::Uniform,
+        2 << 20,
+        WcOptions {
+            hint: true,
+            ..WcOptions::default()
+        },
+    );
+    let hint_pr = run_wc_mimir(
+        &mira,
+        1,
+        WcDataset::Uniform,
+        2 << 20,
+        WcOptions {
+            hint: true,
+            partial_reduce: true,
+            ..WcOptions::default()
+        },
+    );
+    c.check(
+        "each optimization lowers the peak: base > hint > hint+pr",
+        format!(
+            "{:.2} > {:.2} > {:.2} MiB",
+            base.peak_node_bytes as f64 / (1 << 20) as f64,
+            hint.peak_node_bytes as f64 / (1 << 20) as f64,
+            hint_pr.peak_node_bytes as f64 / (1 << 20) as f64
+        ),
+        base.peak_node_bytes > hint.peak_node_bytes
+            && hint.peak_node_bytes > hint_pr.peak_node_bytes,
+    );
+    let base_8m = run_wc_mimir(&mira, 1, WcDataset::Uniform, 8 << 20, WcOptions::default());
+    let stack_8m = run_wc_mimir(
+        &mira,
+        1,
+        WcDataset::Uniform,
+        8 << 20,
+        WcOptions {
+            hint: true,
+            partial_reduce: true,
+            compress: false,
+        },
+    );
+    c.check(
+        "the stack processes 4x larger datasets than the baseline (Mira)",
+        format!("base @8M: {:?}, hint+pr @8M: {:?}", base_8m.status, stack_8m.status),
+        base_8m.status == Status::Oom && stack_8m.status == Status::InMemory,
+    );
+
+    println!("\n{} passed, {} failed", c.passed, c.failed);
+    if c.failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,76 @@
+//! **Figure 7** — "KV size of WordCount with Wikipedia dataset": total
+//! intermediate KV bytes with and without the KV-hint, at three dataset
+//! sizes. The paper measures a ~26 % saving (the 8-byte header becomes a
+//! 1-byte NUL terminator next to a word of mean length ~10).
+//!
+//! Scaled sweep: 8 MB / 16 MB / 32 MB on comet-mini.
+
+use mimir_apps::wordcount::WcOptions;
+use mimir_bench::report::{DataPoint, Figure, Series};
+use mimir_bench::runner::{run_wc_mimir, WcDataset};
+use mimir_bench::{fmt_size, print_figure, write_json, HarnessArgs, Platform};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let p = Platform::comet_mini();
+    let sizes: &[usize] = if args.quick {
+        &[1 << 20, 2 << 20]
+    } else {
+        &[8 << 20, 16 << 20, 32 << 20]
+    };
+
+    let mut series = Vec::new();
+    for (label, hint) in [("without KV-hint", false), ("with KV-hint", true)] {
+        let mut points = Vec::new();
+        for &size in sizes {
+            let opts = WcOptions {
+                hint,
+                // pr keeps the largest size in memory; it does not change
+                // the emitted-KV-bytes metric this figure plots.
+                partial_reduce: true,
+                compress: false,
+            };
+            let outcome = run_wc_mimir(&p, 1, WcDataset::Wikipedia, size, opts);
+            eprintln!(
+                "  fig07 {label} {}: {:?} kv={} MiB",
+                fmt_size(size),
+                outcome.status,
+                outcome.kv_bytes >> 20
+            );
+            points.push(DataPoint {
+                x: fmt_size(size),
+                outcome,
+            });
+        }
+        series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+    let fig = Figure {
+        id: "fig07".into(),
+        title: "KV bytes of WC (Wikipedia) with/without KV-hint (paper Fig. 7)".into(),
+        xlabel: "dataset".into(),
+        series,
+    };
+
+    println!("\n=== fig07 — KV size (MiB) ===");
+    println!("{:<10}{:>20}{:>20}{:>12}", "dataset", "without hint", "with hint", "saving");
+    for i in 0..fig.series[0].points.len() {
+        let plain = fig.series[0].points[i].outcome.kv_bytes;
+        let hinted = fig.series[1].points[i].outcome.kv_bytes;
+        let saving = 100.0 * (1.0 - hinted as f64 / plain as f64);
+        println!(
+            "{:<10}{:>20.2}{:>20.2}{:>11.1}%",
+            fig.series[0].points[i].x,
+            plain as f64 / (1 << 20) as f64,
+            hinted as f64 / (1 << 20) as f64,
+            saving
+        );
+    }
+    println!("(paper reports ~26% saving at 8G/16G/32G)");
+    print_figure(&fig);
+    if let Some(path) = &args.json {
+        write_json(path, &fig);
+    }
+}

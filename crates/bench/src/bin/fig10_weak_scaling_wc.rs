@@ -1,0 +1,73 @@
+//! **Figure 10** — "Weak scalability of MR-MPI and Mimir": WordCount on
+//! both platforms, fixed data per node, node counts 2–64. The paper's
+//! shape: Mimir scales flat to 64 nodes; MR-MPI (64 M) stops at 32 nodes
+//! on the uniform dataset and cannot run the skewed Wikipedia dataset at
+//! all (its hot keys overflow the static page of whichever rank owns
+//! them), and even the large-page configuration dies by 16 nodes.
+//!
+//! Thread-count note (EXPERIMENTS.md): the host cannot run 64 × 24 rank
+//! threads, so scaling figures run a *thinned* platform (4 ranks/node)
+//! with the paper's per-rank data share — the ratios that decide who
+//! spills are preserved exactly.
+
+use mimir_apps::wordcount::WcOptions;
+use mimir_bench::runner::WcDataset;
+use mimir_bench::sweeps::{wc_scaling_figure, WcSeries};
+use mimir_bench::{print_figure, write_json, HarnessArgs, Platform};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let max_nodes = args.max_nodes.unwrap_or(if args.quick { 8 } else { 64 });
+    let node_counts: Vec<usize> = [2usize, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&n| n <= max_nodes)
+        .collect();
+
+    let mut figs = Vec::new();
+    for (platform, per_node_paper) in [
+        (Platform::comet_mini(), 512 << 10), // paper: 512 MB/node on 24 ranks
+        (Platform::mira_mini(), 256 << 10),  // paper: 256 MB/node on 16 ranks
+    ] {
+        let thin = platform.thin(4);
+        let bytes_per_rank = per_node_paper / platform.ranks_per_node;
+        let series: &[(&str, WcSeries)] = &[
+            ("Mimir", WcSeries::Mimir(WcOptions::default())),
+            (
+                "MR-MPI (64K)",
+                WcSeries::MrMpi {
+                    page: platform.mrmpi_page_small,
+                    cps: false,
+                },
+            ),
+            (
+                "MR-MPI (large)",
+                WcSeries::MrMpi {
+                    page: platform.mrmpi_page_large,
+                    cps: false,
+                },
+            ),
+        ];
+        for (suffix, dataset) in [("uniform", WcDataset::Uniform), ("wikipedia", WcDataset::Wikipedia)] {
+            figs.push(wc_scaling_figure(
+                &format!("fig10-{}-{suffix}", platform.name),
+                &format!(
+                    "Weak scaling, WC ({suffix}), {} ({} B/rank)",
+                    platform.name, bytes_per_rank
+                ),
+                &thin,
+                dataset,
+                bytes_per_rank,
+                &node_counts,
+                series,
+            ));
+        }
+    }
+    for fig in &figs {
+        print_figure(fig);
+    }
+    if let Some(path) = &args.json {
+        for fig in &figs {
+            write_json(&format!("{path}.{}.json", fig.id), fig);
+        }
+    }
+}

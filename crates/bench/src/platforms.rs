@@ -1,0 +1,121 @@
+//! Scaled platform presets for the paper's two machines.
+//!
+//! | | paper Comet | `comet_mini` | paper Mira | `mira_mini` |
+//! |---|---|---|---|---|
+//! | ranks/node | 24 | 24 | 16 | 16 |
+//! | memory/node | 128 GB | 128 MiB | 16 GB | 16 MiB |
+//! | MR-MPI page | 64/512 MB | 64/512 KiB | 64/128 MB | 64/128 KiB |
+//! | Mimir page + comm buf | 64 MB | 64 KiB | 64 MB | 64 KiB |
+//! | file system | Lustre | `lustre_scaled` | GPFS + ION 1:128 | `gpfs_scaled` |
+//!
+//! Everything scales by 1/1024, so ratios — dataset:page, page:node —
+//! match the paper and the crossover points land in the same places.
+
+use mimir_io::IoModelConfig;
+use mimir_mem::NodeMap;
+
+/// A scaled supercomputer preset.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// MPI ranks per compute node.
+    pub ranks_per_node: usize,
+    /// Node memory budget in bytes.
+    pub node_mem: usize,
+    /// Mimir's container page size and communication buffer size.
+    pub page_size: usize,
+    /// MR-MPI's default page size (the paper's 64 MB).
+    pub mrmpi_page_small: usize,
+    /// MR-MPI's "maximum possible" page size on this platform.
+    pub mrmpi_page_large: usize,
+    /// Parallel-file-system cost model.
+    pub io: IoModelConfig,
+}
+
+impl Platform {
+    /// SDSC Comet, scaled.
+    pub fn comet_mini() -> Self {
+        Self {
+            name: "comet-mini",
+            ranks_per_node: 24,
+            node_mem: 128 << 20,
+            page_size: 64 << 10,
+            mrmpi_page_small: 64 << 10,
+            mrmpi_page_large: 512 << 10,
+            io: IoModelConfig::lustre_scaled(),
+        }
+    }
+
+    /// ANL Mira (BG/Q), scaled.
+    pub fn mira_mini() -> Self {
+        Self {
+            name: "mira-mini",
+            ranks_per_node: 16,
+            node_mem: 16 << 20,
+            page_size: 64 << 10,
+            mrmpi_page_small: 64 << 10,
+            mrmpi_page_large: 128 << 10,
+            io: IoModelConfig::gpfs_scaled(),
+        }
+    }
+
+    /// Total ranks for `n_nodes` nodes.
+    pub fn ranks(&self, n_nodes: usize) -> usize {
+        self.ranks_per_node * n_nodes
+    }
+
+    /// Builds the per-node memory pools for `n_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics on zero nodes.
+    pub fn node_map(&self, n_nodes: usize) -> NodeMap {
+        NodeMap::new(
+            self.ranks(n_nodes),
+            self.ranks_per_node,
+            self.page_size,
+            self.node_mem,
+        )
+        .expect("platform preset is valid")
+    }
+
+    /// A reduced-width variant for weak-scaling figures, where the full
+    /// rank count would exceed sane thread counts on the host: keeps the
+    /// per-node memory *per rank* identical but packs fewer ranks on a
+    /// node. Documented per figure in EXPERIMENTS.md.
+    pub fn thin(&self, ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "need at least one rank per node");
+        let mem_per_rank = self.node_mem / self.ranks_per_node;
+        Self {
+            ranks_per_node,
+            node_mem: mem_per_rank * ranks_per_node,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for p in [Platform::comet_mini(), Platform::mira_mini()] {
+            // The large MR-MPI page set must fit the node (the paper ran
+            // those configurations).
+            assert!(7 * p.mrmpi_page_large * p.ranks_per_node <= p.node_mem, "{}", p.name);
+            let map = p.node_map(2);
+            assert_eq!(map.n_nodes(), 2);
+        }
+    }
+
+    #[test]
+    fn thin_preserves_per_rank_memory() {
+        let p = Platform::comet_mini();
+        let t = p.thin(4);
+        assert_eq!(
+            p.node_mem / p.ranks_per_node,
+            t.node_mem / t.ranks_per_node
+        );
+    }
+}

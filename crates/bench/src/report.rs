@@ -1,0 +1,149 @@
+//! Figure output: aligned terminal tables (one row per x-value, one
+//! column pair per series — the closest text analogue of the paper's
+//! plots) and machine-readable JSON records for EXPERIMENTS.md.
+
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{RunOutcome, Status};
+
+/// One series of a figure (e.g. "Mimir", "MR-MPI (64M)").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One outcome per x-value, aligned with the figure's `xs`.
+    pub points: Vec<DataPoint>,
+}
+
+/// One measured cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// X-axis value (dataset size, node count…).
+    pub x: String,
+    /// The outcome.
+    pub outcome: RunOutcome,
+}
+
+/// A whole figure: goes to the terminal and to JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// E.g. "fig08-wc-uniform".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+/// Prints one figure as two aligned tables: execution time and peak
+/// memory (the paper's dual-axis plots).
+pub fn print_figure(fig: &Figure) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "\n=== {} — {} ===", fig.id, fig.title);
+
+    let xs: Vec<&str> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x.as_str()).collect())
+        .unwrap_or_default();
+
+    for (metric, header) in [(MetricKind::Time, "execution time (s)"), (MetricKind::Peak, "peak node memory (MiB)")] {
+        let _ = writeln!(out, "--- {header} ---");
+        let _ = write!(out, "{:<12}", fig.xlabel);
+        for s in &fig.series {
+            let _ = write!(out, "{:>18}", s.label);
+        }
+        let _ = writeln!(out);
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:<12}");
+            for s in &fig.series {
+                let cell = s
+                    .points
+                    .get(i)
+                    .map(|p| format_cell(&p.outcome, metric))
+                    .unwrap_or_else(|| "-".into());
+                let _ = write!(out, "{cell:>18}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MetricKind {
+    Time,
+    Peak,
+}
+
+fn format_cell(o: &RunOutcome, metric: MetricKind) -> String {
+    match o.status {
+        Status::Oom => "OOM".into(),
+        _ => {
+            let spill_mark = if o.status == Status::Spilled { "*" } else { "" };
+            match metric {
+                MetricKind::Time => format!("{:.3}{spill_mark}", o.time_s),
+                MetricKind::Peak => {
+                    format!("{:.2}{spill_mark}", o.peak_node_bytes as f64 / (1 << 20) as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Writes the figure's JSON record.
+///
+/// # Panics
+/// Panics on I/O or serialization failure — harness output is the whole
+/// point of the run.
+pub fn write_json(path: &str, fig: &Figure) {
+    let json = serde_json::to_string_pretty(fig).expect("figure serializes");
+    std::fs::write(path, json).expect("writing figure JSON");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(t: f64, status: Status) -> RunOutcome {
+        RunOutcome {
+            status,
+            time_s: t,
+            compute_s: t,
+            modeled_io_s: 0.0,
+            peak_node_bytes: 12 << 20,
+            kv_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn figure_serializes_and_prints() {
+        let fig = Figure {
+            id: "test".into(),
+            title: "demo".into(),
+            xlabel: "size".into(),
+            series: vec![Series {
+                label: "Mimir".into(),
+                points: vec![
+                    DataPoint {
+                        x: "1M".into(),
+                        outcome: outcome(0.5, Status::InMemory),
+                    },
+                    DataPoint {
+                        x: "2M".into(),
+                        outcome: outcome(f64::NAN, Status::Oom),
+                    },
+                ],
+            }],
+        };
+        print_figure(&fig);
+        let json = serde_json::to_string(&fig).unwrap();
+        assert!(json.contains("\"Oom\""));
+        assert!(json.contains("Mimir"));
+    }
+}

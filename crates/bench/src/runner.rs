@@ -1,0 +1,360 @@
+//! Benchmark runners: one function per (benchmark, framework) pair,
+//! returning the figure metrics for one configuration.
+
+use mimir_apps::bfs::{bfs_mimir, bfs_mrmpi, pick_root, BfsOptions};
+use mimir_apps::octree::{octree_mimir, octree_mrmpi, OcOptions};
+use mimir_apps::wordcount::{wordcount_mimir, wordcount_mrmpi, WcOptions};
+use mimir_apps::RunMetrics;
+use mimir_core::{MimirConfig, MimirContext};
+use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
+use mimir_io::{IoModel, SpillStore};
+use mimir_mpi::{run_world, run_world_result};
+use mrmpi::{MrMpiConfig, OocMode};
+use serde::{Deserialize, Serialize};
+
+use crate::Platform;
+
+/// How a configuration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Ran entirely in memory (the regime the paper's time plots show).
+    InMemory,
+    /// MR-MPI left memory and paid the parallel file system.
+    Spilled,
+    /// The node budget was exceeded (Mimir) or a page set was
+    /// unaffordable (MR-MPI) — a missing point in the paper's figures.
+    Oom,
+}
+
+/// serde adapter: `serde_json` writes non-finite floats as `null`; map
+/// `null` back to NaN on the way in so OOM cells round-trip.
+mod nanable {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_some(v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NAN))
+    }
+}
+
+/// Metrics for one (framework, dataset size, options) cell of a figure.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Terminal status.
+    pub status: Status,
+    /// Reported execution time: measured compute + modeled I/O, seconds.
+    #[serde(with = "nanable")]
+    pub time_s: f64,
+    /// Measured compute seconds (max across ranks).
+    #[serde(with = "nanable")]
+    pub compute_s: f64,
+    /// Modeled parallel-file-system seconds (input + spills).
+    #[serde(with = "nanable")]
+    pub modeled_io_s: f64,
+    /// Worst per-node peak memory, bytes.
+    pub peak_node_bytes: usize,
+    /// Intermediate KV bytes emitted across all ranks.
+    pub kv_bytes: u64,
+}
+
+impl RunOutcome {
+    fn oom() -> Self {
+        Self {
+            status: Status::Oom,
+            time_s: f64::NAN,
+            compute_s: f64::NAN,
+            modeled_io_s: f64::NAN,
+            peak_node_bytes: 0,
+            kv_bytes: 0,
+        }
+    }
+
+    fn from_metrics(
+        metrics: &[RunMetrics],
+        io: &IoModel,
+        peak_node_bytes: usize,
+        input_bytes: usize,
+    ) -> Self {
+        // Input arrives through the PFS too; charge it so in-memory runs
+        // have a non-zero, size-proportional baseline like the paper's.
+        io.charge_read(input_bytes);
+        let compute_s = metrics
+            .iter()
+            .map(|m| m.wall.as_secs_f64())
+            .fold(0.0, f64::max);
+        let modeled_io_s = io.modeled_time().as_secs_f64();
+        let spilled = metrics.iter().any(|m| m.spilled);
+        Self {
+            status: if spilled { Status::Spilled } else { Status::InMemory },
+            time_s: compute_s + modeled_io_s,
+            compute_s,
+            modeled_io_s,
+            peak_node_bytes,
+            kv_bytes: metrics.iter().map(|m| m.kv_bytes).sum(),
+        }
+    }
+}
+
+/// The WC input variants of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcDataset {
+    /// Synthetic uniform words.
+    Uniform,
+    /// The Wikipedia stand-in: Zipf frequencies, heterogeneous lengths.
+    Wikipedia,
+}
+
+impl WcDataset {
+    fn generate(self, rank: usize, n_ranks: usize, total: usize) -> Vec<u8> {
+        // Vocabulary sizes are scaled with everything else (÷1024-ish
+        // from realistic corpus vocabularies), so the KV-compression
+        // tables keep the same proportion to node memory as on the real
+        // machines.
+        match self {
+            WcDataset::Uniform => UniformWords {
+                vocab: 8 * 1024,
+                word_len: 8,
+                seed: 0xC0FFEE,
+            }
+            .generate(rank, n_ranks, total),
+            WcDataset::Wikipedia => WikipediaWords {
+                vocab: 20_000,
+                zipf_s: 1.0,
+                seed: 0xC0FFEE,
+            }
+            .generate(rank, n_ranks, total),
+        }
+    }
+}
+
+/// WordCount on Mimir.
+pub fn run_wc_mimir(
+    p: &Platform,
+    n_nodes: usize,
+    dataset: WcDataset,
+    total_bytes: usize,
+    opts: WcOptions,
+) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let page = p.page_size;
+    let res = run_world_result(ranks, move |comm| {
+        let text = dataset.generate(comm.rank(), ranks, total_bytes);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            io2.clone(),
+            MimirConfig {
+                comm_buf_size: page,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        wordcount_mimir(&mut ctx, &text, &opts)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_bytes),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// WordCount on MR-MPI.
+pub fn run_wc_mrmpi(
+    p: &Platform,
+    n_nodes: usize,
+    dataset: WcDataset,
+    total_bytes: usize,
+    page_size: usize,
+    compress: bool,
+) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let res = run_world_result(ranks, move |comm| {
+        let text = dataset.generate(comm.rank(), ranks, total_bytes);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let store = SpillStore::new_temp("bench-wc", io2.clone()).map_err(|e| e.to_string())?;
+        let cfg = MrMpiConfig {
+            page_size,
+            ooc: OocMode::WhenNeeded,
+        };
+        wordcount_mrmpi(comm, pool, store, cfg, &text, compress)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_bytes),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// Octree clustering on Mimir over `total_points` normal-distributed
+/// points.
+pub fn run_oc_mimir(
+    p: &Platform,
+    n_nodes: usize,
+    total_points: usize,
+    opts: OcOptions,
+) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let page = p.page_size;
+    let res = run_world_result(ranks, move |comm| {
+        let pts = PointGen::new(0xC0FFEE).generate(comm.rank(), ranks, total_points);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            io2.clone(),
+            MimirConfig {
+                comm_buf_size: page,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        octree_mimir(&mut ctx, &pts, &opts)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_points * 12),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// Octree clustering on MR-MPI.
+pub fn run_oc_mrmpi(
+    p: &Platform,
+    n_nodes: usize,
+    total_points: usize,
+    page_size: usize,
+    compress: bool,
+) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let opts = OcOptions {
+        compress,
+        ..OcOptions::default()
+    };
+    let res = run_world_result(ranks, move |comm| {
+        let pts = PointGen::new(0xC0FFEE).generate(comm.rank(), ranks, total_points);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let store =
+            SpillStore::new_temp("bench-oc", io2.clone()).map_err(|e| e.to_string())?;
+        let cfg = MrMpiConfig {
+            page_size,
+            ooc: OocMode::WhenNeeded,
+        };
+        octree_mrmpi(comm, pool, &store, cfg, &pts, &opts)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_points * 12),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// BFS on Mimir over a Graph500 graph with `2^scale` vertices.
+pub fn run_bfs_mimir(p: &Platform, n_nodes: usize, scale: u32, opts: BfsOptions) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let page = p.page_size;
+    let graph = Graph500::new(scale, 0xC0FFEE);
+    let input_bytes = graph.n_edges() as usize * 16;
+    let res = run_world_result(ranks, move |comm| {
+        let edges = graph.edges(comm.rank(), ranks);
+        let root = pick_root(comm, &edges);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            io2.clone(),
+            MimirConfig {
+                comm_buf_size: page,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        bfs_mimir(&mut ctx, &edges, root, &opts)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), input_bytes),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// BFS on MR-MPI.
+pub fn run_bfs_mrmpi(
+    p: &Platform,
+    n_nodes: usize,
+    scale: u32,
+    page_size: usize,
+    compress: bool,
+) -> RunOutcome {
+    let nodes = p.node_map(n_nodes);
+    let nodes2 = nodes.clone();
+    let io = IoModel::new(p.io).expect("io model");
+    let io2 = io.clone();
+    let ranks = p.ranks(n_nodes);
+    let graph = Graph500::new(scale, 0xC0FFEE);
+    let input_bytes = graph.n_edges() as usize * 16;
+    let opts = BfsOptions {
+        hint: false,
+        compress,
+    };
+    let res = run_world_result(ranks, move |comm| {
+        let edges = graph.edges(comm.rank(), ranks);
+        let root = pick_root(comm, &edges);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let store =
+            SpillStore::new_temp("bench-bfs", io2.clone()).map_err(|e| e.to_string())?;
+        let cfg = MrMpiConfig {
+            page_size,
+            ooc: OocMode::WhenNeeded,
+        };
+        bfs_mrmpi(comm, pool, &store, cfg, &edges, root, &opts)
+            .map(|(_, m)| m)
+            .map_err(|e| e.to_string())
+    });
+    match res {
+        Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), input_bytes),
+        Err(_) => RunOutcome::oom(),
+    }
+}
+
+/// Helper for Figure 1: MR-MPI WordCount where we *want* the spill regime
+/// (the out-of-core cliff), single node, uniform data. Uses the platform's
+/// *large* page configuration — the paper's Figure 1 curve stays in memory
+/// until ~4 GB, which is the 512 MB-page regime.
+pub fn run_fig1_point(p: &Platform, total_bytes: usize) -> RunOutcome {
+    run_wc_mrmpi(p, 1, WcDataset::Uniform, total_bytes, p.mrmpi_page_large, false)
+}
+
+/// Sanity helper used by the smoke bench: a quick world round-trip.
+pub fn smoke_world(ranks: usize) -> u64 {
+    run_world(ranks, |c| c.allreduce_u64(mimir_mpi::ReduceOp::Sum, 1))[0]
+}

@@ -1,0 +1,228 @@
+//! Shared sweep drivers used by the per-figure binaries: run a list of
+//! series over a list of x-values and assemble a [`Figure`].
+
+use mimir_apps::bfs::BfsOptions;
+use mimir_apps::octree::OcOptions;
+use mimir_apps::wordcount::WcOptions;
+
+use crate::report::{DataPoint, Figure, Series};
+use crate::runner::{
+    run_bfs_mimir, run_bfs_mrmpi, run_oc_mimir, run_oc_mrmpi, run_wc_mimir, run_wc_mrmpi,
+    WcDataset,
+};
+use crate::{fmt_size, Platform};
+
+/// One line of a WordCount figure.
+#[derive(Debug, Clone, Copy)]
+pub enum WcSeries {
+    /// Mimir with an optimization combination.
+    Mimir(WcOptions),
+    /// MR-MPI with a page size, optionally with its KV compression.
+    MrMpi { page: usize, cps: bool },
+}
+
+/// One line of an octree figure.
+#[derive(Debug, Clone, Copy)]
+pub enum OcSeries {
+    /// Mimir with an optimization combination.
+    Mimir(OcOptions),
+    /// MR-MPI with a page size, optionally compressing.
+    MrMpi { page: usize, cps: bool },
+}
+
+/// One line of a BFS figure.
+#[derive(Debug, Clone, Copy)]
+pub enum BfsSeries {
+    /// Mimir with an optimization combination.
+    Mimir(BfsOptions),
+    /// MR-MPI with a page size, optionally compressing.
+    MrMpi { page: usize, cps: bool },
+}
+
+/// Sweeps dataset sizes for WordCount on a fixed node count.
+pub fn wc_figure(
+    id: &str,
+    title: &str,
+    p: &Platform,
+    n_nodes: usize,
+    dataset: WcDataset,
+    sizes: &[usize],
+    series: &[(&str, WcSeries)],
+) -> Figure {
+    let mut out = Vec::new();
+    for (label, spec) in series {
+        let mut points = Vec::new();
+        for &size in sizes {
+            let outcome = match spec {
+                WcSeries::Mimir(opts) => run_wc_mimir(p, n_nodes, dataset, size, *opts),
+                WcSeries::MrMpi { page, cps } => {
+                    run_wc_mrmpi(p, n_nodes, dataset, size, *page, *cps)
+                }
+            };
+            eprintln!("  {id} {label} {}: {:?}", fmt_size(size), outcome.status);
+            points.push(DataPoint {
+                x: fmt_size(size),
+                outcome,
+            });
+        }
+        out.push(Series {
+            label: (*label).into(),
+            points,
+        });
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "dataset".into(),
+        series: out,
+    }
+}
+
+/// Sweeps point counts for octree clustering on a fixed node count.
+pub fn oc_figure(
+    id: &str,
+    title: &str,
+    p: &Platform,
+    n_nodes: usize,
+    log2_points: &[u32],
+    series: &[(&str, OcSeries)],
+) -> Figure {
+    let mut out = Vec::new();
+    for (label, spec) in series {
+        let mut points = Vec::new();
+        for &lg in log2_points {
+            let n = 1usize << lg;
+            let outcome = match spec {
+                OcSeries::Mimir(opts) => run_oc_mimir(p, n_nodes, n, *opts),
+                OcSeries::MrMpi { page, cps } => run_oc_mrmpi(p, n_nodes, n, *page, *cps),
+            };
+            eprintln!("  {id} {label} 2^{lg}: {:?}", outcome.status);
+            points.push(DataPoint {
+                x: format!("2^{lg}"),
+                outcome,
+            });
+        }
+        out.push(Series {
+            label: (*label).into(),
+            points,
+        });
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "points".into(),
+        series: out,
+    }
+}
+
+/// Sweeps graph scales for BFS on a fixed node count.
+pub fn bfs_figure(
+    id: &str,
+    title: &str,
+    p: &Platform,
+    n_nodes: usize,
+    scales: &[u32],
+    series: &[(&str, BfsSeries)],
+) -> Figure {
+    let mut out = Vec::new();
+    for (label, spec) in series {
+        let mut points = Vec::new();
+        for &scale in scales {
+            let outcome = match spec {
+                BfsSeries::Mimir(opts) => run_bfs_mimir(p, n_nodes, scale, *opts),
+                BfsSeries::MrMpi { page, cps } => run_bfs_mrmpi(p, n_nodes, scale, *page, *cps),
+            };
+            eprintln!("  {id} {label} 2^{scale}: {:?}", outcome.status);
+            points.push(DataPoint {
+                x: format!("2^{scale}"),
+                outcome,
+            });
+        }
+        out.push(Series {
+            label: (*label).into(),
+            points,
+        });
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "vertices".into(),
+        series: out,
+    }
+}
+
+/// Weak-scaling WordCount: sweeps node counts with a fixed per-*rank*
+/// dataset share (preserving the paper's per-rank ratios when running a
+/// thinned platform; see `Platform::thin`).
+pub fn wc_scaling_figure(
+    id: &str,
+    title: &str,
+    p: &Platform,
+    dataset: WcDataset,
+    bytes_per_rank: usize,
+    node_counts: &[usize],
+    series: &[(&str, WcSeries)],
+) -> Figure {
+    let mut out = Vec::new();
+    for (label, spec) in series {
+        let mut points = Vec::new();
+        for &nodes in node_counts {
+            let total = bytes_per_rank * p.ranks(nodes);
+            let outcome = match spec {
+                WcSeries::Mimir(opts) => run_wc_mimir(p, nodes, dataset, total, *opts),
+                WcSeries::MrMpi { page, cps } => {
+                    run_wc_mrmpi(p, nodes, dataset, total, *page, *cps)
+                }
+            };
+            eprintln!("  {id} {label} {nodes} nodes: {:?}", outcome.status);
+            points.push(DataPoint {
+                x: nodes.to_string(),
+                outcome,
+            });
+        }
+        out.push(Series {
+            label: (*label).into(),
+            points,
+        });
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "nodes".into(),
+        series: out,
+    }
+}
+
+/// Weak-scaling octree/BFS analogue of [`wc_scaling_figure`], generic in
+/// how a per-node workload is run.
+pub fn scaling_figure(
+    id: &str,
+    title: &str,
+    xlabel: &str,
+    node_counts: &[usize],
+    series: &[&str],
+    mut run: impl FnMut(usize, usize) -> crate::RunOutcome,
+) -> Figure {
+    let mut out = Vec::new();
+    for (si, label) in series.iter().enumerate() {
+        let mut points = Vec::new();
+        for &nodes in node_counts {
+            let outcome = run(si, nodes);
+            eprintln!("  {id} {label} {nodes} nodes: {:?}", outcome.status);
+            points.push(DataPoint {
+                x: nodes.to_string(),
+                outcome,
+            });
+        }
+        out.push(Series {
+            label: (*label).into(),
+            points,
+        });
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: xlabel.into(),
+        series: out,
+    }
+}

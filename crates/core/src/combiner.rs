@@ -1,0 +1,319 @@
+//! KV compression — the map-side combiner (paper Section III-C2).
+//!
+//! When enabled, map emissions land in a hash bucket instead of the send
+//! buffer; a KV whose key is already present is merged with the resident
+//! KV by the user's compression callback. Only when the map completes is
+//! the bucket flushed into the shuffle ("the aggregate phase is delayed
+//! until all KVs are compressed to maximize the benefit").
+//!
+//! The paper is explicit about the cost side, and this implementation
+//! keeps it measurable: the bucket is charged to the node pool, so "it
+//! reduces memory usage only if the compression ratio reaches a certain
+//! threshold", and the per-KV probe shows up as compute time.
+
+use std::collections::HashMap;
+
+use mimir_mem::{MemPool, Reservation};
+
+use crate::hash::FxBuild;
+use crate::kv::validate;
+use crate::shuffle::Emitter;
+use crate::{KvMeta, Result};
+
+/// User callback merging two values of the same key:
+/// `combine(key, accumulated, incoming, out)` writes the merged value to
+/// `out`. Correctness requires the operation to be commutative and
+/// associative, which is why this is an explicit opt-in.
+pub type CombineFn<'f> = Box<dyn FnMut(&[u8], &[u8], &[u8], &mut Vec<u8>) + 'f>;
+
+/// A pool-tracked fold table shared by KV compression and partial
+/// reduction: key → current merged value.
+pub(crate) struct FoldTable<'f> {
+    map: HashMap<Vec<u8>, Vec<u8>, FxBuild>,
+    res: Reservation,
+    acc_bytes: usize,
+    reserved: usize,
+    scratch: Vec<u8>,
+    combine: CombineFn<'f>,
+    n_folded: u64,
+}
+
+/// Estimated heap cost of one table entry beyond key/value payloads.
+const TABLE_ENTRY_OVERHEAD: usize = 64;
+/// Accounting slack before the reservation is resized.
+const RESYNC_SLACK: usize = 8 * 1024;
+
+impl<'f> FoldTable<'f> {
+    pub fn new(pool: &MemPool, combine: CombineFn<'f>) -> Result<Self> {
+        Ok(Self {
+            map: HashMap::default(),
+            res: pool.try_reserve(0)?,
+            acc_bytes: 0,
+            reserved: 0,
+            scratch: Vec::new(),
+            combine,
+            n_folded: 0,
+        })
+    }
+
+    /// Inserts or merges one KV.
+    pub fn fold(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        match self.map.get_mut(key) {
+            Some(acc) => {
+                self.scratch.clear();
+                (self.combine)(key, acc, val, &mut self.scratch);
+                let delta_new = self.scratch.len();
+                let delta_old = acc.len();
+                acc.clear();
+                acc.extend_from_slice(&self.scratch);
+                self.acc_bytes = self.acc_bytes + delta_new - delta_old;
+                self.n_folded += 1;
+            }
+            None => {
+                self.acc_bytes += key.len() + val.len() + TABLE_ENTRY_OVERHEAD;
+                self.map.insert(key.to_vec(), val.to_vec());
+            }
+        }
+        if self.acc_bytes.abs_diff(self.reserved) > RESYNC_SLACK {
+            self.res.resize(self.acc_bytes)?;
+            self.reserved = self.acc_bytes;
+        }
+        Ok(())
+    }
+
+    /// Drains every entry into `out` and empties the table.
+    pub fn drain_into(&mut self, out: &mut dyn Emitter) -> Result<()> {
+        for (k, v) in self.map.drain() {
+            out.emit(&k, &v)?;
+        }
+        self.acc_bytes = 0;
+        self.res.resize(0)?;
+        self.reserved = 0;
+        Ok(())
+    }
+
+    /// Visits entries without draining.
+    #[cfg(test)]
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], &[u8]) -> Result<()>) -> Result<()> {
+        for (k, v) in &self.map {
+            f(k, v)?;
+        }
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Estimated heap bytes the table occupies.
+    pub fn bytes(&self) -> usize {
+        self.acc_bytes
+    }
+
+    #[cfg(test)]
+    pub fn n_folded(&self) -> u64 {
+        self.n_folded
+    }
+}
+
+/// The KV-compression emitter: wraps the fold table behind the
+/// [`Emitter`] interface handed to map callbacks.
+pub struct CombinerTable<'f> {
+    table: FoldTable<'f>,
+    meta: KvMeta,
+    kvs_in: u64,
+}
+
+impl<'f> CombinerTable<'f> {
+    /// Creates a compression table charging `pool`.
+    ///
+    /// # Errors
+    /// Memory exhaustion.
+    pub fn new(pool: &MemPool, meta: KvMeta, combine: CombineFn<'f>) -> Result<Self> {
+        Ok(Self {
+            table: FoldTable::new(pool, combine)?,
+            meta,
+            kvs_in: 0,
+        })
+    }
+
+    /// Flushes the compressed KVs into the shuffle emitter (the delayed
+    /// aggregate).
+    pub fn flush_into(&mut self, shuffler: &mut dyn Emitter) -> Result<()> {
+        self.table.drain_into(shuffler)
+    }
+
+    /// Unique keys currently held.
+    pub fn unique_keys(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Estimated table footprint in bytes (tracked against the pool).
+    pub fn bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// KVs accepted so far (pre-compression).
+    pub fn kvs_in(&self) -> u64 {
+        self.kvs_in
+    }
+
+    /// The compression ratio so far: input KVs per retained unique KV.
+    pub fn ratio(&self) -> f64 {
+        if self.table.len() == 0 {
+            return 1.0;
+        }
+        self.kvs_in as f64 / self.table.len() as f64
+    }
+}
+
+/// A [`CombinerTable`] that flushes into a downstream emitter whenever
+/// its footprint exceeds a byte budget — the bounded-memory KV
+/// compression described in [`crate::MapReduceJob::compress_flush_bytes`].
+pub struct StreamingCombiner<'f, 'o> {
+    table: CombinerTable<'f>,
+    out: &'o mut dyn Emitter,
+    limit: usize,
+    flushes: u64,
+}
+
+impl<'f, 'o> StreamingCombiner<'f, 'o> {
+    /// Wraps `table`, flushing into `out` when the table exceeds
+    /// `limit` bytes.
+    pub fn new(table: CombinerTable<'f>, out: &'o mut dyn Emitter, limit: usize) -> Self {
+        Self {
+            table,
+            out,
+            limit,
+            flushes: 0,
+        }
+    }
+
+    /// Flushes the remainder and returns how many early flushes ran.
+    ///
+    /// # Errors
+    /// Downstream emission failures.
+    pub fn finish(mut self) -> Result<u64> {
+        self.table.flush_into(self.out)?;
+        Ok(self.flushes)
+    }
+}
+
+impl Emitter for StreamingCombiner<'_, '_> {
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        self.table.emit(key, val)?;
+        if self.table.bytes() > self.limit {
+            self.table.flush_into(self.out)?;
+            self.flushes += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Emitter for CombinerTable<'_> {
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        validate(self.meta.key, key, "key")?;
+        validate(self.meta.val, val, "value")?;
+        self.kvs_in += 1;
+        self.table.fold(key, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimir_mem::MemPool;
+
+    fn sum_combine<'f>() -> CombineFn<'f> {
+        Box::new(|_k, a, b, out| {
+            let s = u64::from_le_bytes(a.try_into().unwrap())
+                + u64::from_le_bytes(b.try_into().unwrap());
+            out.extend_from_slice(&s.to_le_bytes());
+        })
+    }
+
+    struct VecEmitter(Vec<(Vec<u8>, u64)>);
+    impl Emitter for VecEmitter {
+        fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+            self.0
+                .push((key.to_vec(), u64::from_le_bytes(val.try_into().unwrap())));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_merged() {
+        let pool = MemPool::unlimited("t", 4096);
+        let mut c =
+            CombinerTable::new(&pool, KvMeta::cstr_key_u64_val(), sum_combine()).unwrap();
+        for _ in 0..100 {
+            c.emit(b"dog", &1u64.to_le_bytes()).unwrap();
+            c.emit(b"cat", &2u64.to_le_bytes()).unwrap();
+        }
+        assert_eq!(c.unique_keys(), 2);
+        assert_eq!(c.kvs_in(), 200);
+        assert!((c.ratio() - 100.0).abs() < f64::EPSILON);
+
+        let mut out = VecEmitter(Vec::new());
+        c.flush_into(&mut out).unwrap();
+        let mut got = out.0;
+        got.sort();
+        assert_eq!(got, vec![(b"cat".to_vec(), 200), (b"dog".to_vec(), 100)]);
+        assert_eq!(c.unique_keys(), 0, "flush drains the table");
+    }
+
+    #[test]
+    fn table_memory_is_tracked_and_released() {
+        let pool = MemPool::new("t", 4096, 1 << 20).unwrap();
+        let mut c = CombinerTable::new(&pool, KvMeta::var(), sum_combine()).unwrap();
+        for i in 0..2000u64 {
+            c.emit(format!("key-{i}").as_bytes(), &1u64.to_le_bytes())
+                .unwrap();
+        }
+        assert!(
+            pool.used() > 2000 * TABLE_ENTRY_OVERHEAD / 2,
+            "bucket charged: {}",
+            pool.used()
+        );
+        let mut out = VecEmitter(Vec::new());
+        c.flush_into(&mut out).unwrap();
+        assert!(pool.used() < RESYNC_SLACK * 2, "bucket released: {}", pool.used());
+    }
+
+    #[test]
+    fn table_oom_when_keys_do_not_compress() {
+        // The paper's caveat: with no duplicate keys the table only costs.
+        let pool = MemPool::new("t", 4096, 32 * 1024).unwrap();
+        let mut c = CombinerTable::new(&pool, KvMeta::var(), sum_combine()).unwrap();
+        let mut res = Ok(());
+        for i in 0..100_000u64 {
+            res = c.emit(format!("unique-{i}").as_bytes(), &1u64.to_le_bytes());
+            if res.is_err() {
+                break;
+            }
+        }
+        assert!(res.unwrap_err().is_oom());
+    }
+
+    #[test]
+    fn variable_size_merged_values() {
+        // Combine = concatenate: exercises the size-change accounting.
+        let pool = MemPool::new("t", 4096, 1 << 20).unwrap();
+        let concat: CombineFn = Box::new(|_k, a, b, out| {
+            out.extend_from_slice(a);
+            out.extend_from_slice(b);
+        });
+        let mut t = FoldTable::new(&pool, concat).unwrap();
+        for _ in 0..10 {
+            t.fold(b"k", b"xy").unwrap();
+        }
+        let mut seen = Vec::new();
+        t.for_each(|_k, v| {
+            seen = v.to_vec();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 20);
+        assert_eq!(t.n_folded(), 9);
+    }
+}

@@ -1,0 +1,338 @@
+//! The two-pass KV→KMV conversion (paper Section III-A):
+//!
+//! > "In the first pass, the size of the KVs for each unique key is
+//! > gathered in a hash bucket and used to calculate the position of each
+//! > KMV in the KMVC. In the second pass, the KVs are converted into KMVs
+//! > by inserting them into the corresponding position in the KMVC."
+//!
+//! The hash bucket is charged to the node pool through a reservation, so
+//! the convert phase's real footprint (KVC + KMVC + bucket coexisting) is
+//! what the peak-memory figures measure.
+
+use std::collections::HashMap;
+
+use mimir_mem::MemPool;
+
+use crate::buffer::TrackedBuf;
+use crate::hash::FxBuild;
+use crate::kmvc::{GroupLoc, Slot};
+use crate::kv::write_side;
+use crate::{KmvContainer, KvContainer, LenHint, Result};
+
+/// Per-unique-key info gathered in pass 1.
+struct GroupInfo {
+    count: u32,
+    val_bytes: usize,
+}
+
+/// Estimated heap cost of one hash-bucket entry beyond the key bytes
+/// (HashMap slot, `GroupInfo`, cursor).
+const BUCKET_ENTRY_OVERHEAD: usize = 64;
+
+/// Stored size of one value under `hint`.
+#[inline]
+fn val_stored_len(hint: LenHint, val: &[u8]) -> usize {
+    hint.overhead() + val.len()
+}
+
+/// Converts a KV container into a KMV container, grouping values by key.
+///
+/// Keys appear in the output in first-occurrence order, making reduce
+/// output deterministic for a given KVC content.
+///
+/// # Errors
+/// Out-of-memory if the bucket, the KMVC, or a jumbo entry exceeds the
+/// node budget.
+pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
+    let meta = kvc.meta();
+    let page_size = pool.page_size();
+
+    // --- Pass 1: size every group in a hash bucket. -------------------
+    let mut bucket_res = pool.try_reserve(0)?;
+    let mut bucket_bytes = 0usize;
+    let mut index: HashMap<Vec<u8>, u32, FxBuild> = HashMap::default();
+    let mut groups: Vec<GroupInfo> = Vec::new();
+    for (k, v) in kvc.iter() {
+        let idx = match index.get(k) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len() as u32;
+                index.insert(k.to_vec(), i);
+                groups.push(GroupInfo {
+                    count: 0,
+                    val_bytes: 0,
+                });
+                bucket_bytes += k.len() + BUCKET_ENTRY_OVERHEAD;
+                if groups.len().is_multiple_of(1024) {
+                    bucket_res.resize(bucket_bytes)?;
+                }
+                i
+            }
+        };
+        let g = &mut groups[idx as usize];
+        g.count += 1;
+        g.val_bytes += val_stored_len(meta.val, v);
+    }
+    bucket_res.resize(bucket_bytes)?;
+
+    // --- Layout: place every entry in pages or jumbo buffers. ---------
+    let mut keys_by_idx: Vec<&[u8]> = vec![&[]; groups.len()];
+    for (k, &i) in &index {
+        keys_by_idx[i as usize] = k;
+    }
+
+    let mut pages = Vec::new();
+    let mut jumbos: Vec<TrackedBuf> = Vec::new();
+    let mut locs: Vec<GroupLoc> = Vec::with_capacity(groups.len());
+    // Write cursor within each group's values section (absolute offset in
+    // the entry's slot buffer).
+    let mut cursors: Vec<usize> = Vec::with_capacity(groups.len());
+    let mut page_used = 0usize;
+    let mut total_bytes = 0u64;
+    let mut n_values = 0u64;
+
+    for (idx, g) in groups.iter().enumerate() {
+        let key = keys_by_idx[idx];
+        let key_len = meta.key.overhead() + key.len();
+        let entry_len = key_len + 4 + g.val_bytes;
+        total_bytes += entry_len as u64;
+        n_values += u64::from(g.count);
+
+        let (slot, offset) = if entry_len <= page_size {
+            let fits = pages
+                .last()
+                .map(|p: &mimir_mem::Page| p.capacity() - page_used >= entry_len)
+                .unwrap_or(false);
+            if !fits {
+                let mut p = pool.alloc_page()?;
+                let cap = p.capacity();
+                p.set_len(cap); // written random-access below
+                pages.push(p);
+                page_used = 0;
+            }
+            let off = page_used;
+            page_used += entry_len;
+            (Slot::Page(pages.len() as u32 - 1), off)
+        } else {
+            jumbos.push(TrackedBuf::new(pool, entry_len)?);
+            (Slot::Jumbo(jumbos.len() as u32 - 1), 0)
+        };
+
+        // Write the entry header (key + value count) now; values stream in
+        // during pass 2.
+        let buf = match slot {
+            Slot::Page(i) => pages[i as usize].as_mut_slice(),
+            Slot::Jumbo(i) => jumbos[i as usize].as_mut_slice(),
+        };
+        let koff = write_side(meta.key, key, buf, offset);
+        buf[koff..koff + 4].copy_from_slice(&g.count.to_le_bytes());
+
+        locs.push(GroupLoc {
+            slot,
+            offset,
+            entry_len,
+        });
+        cursors.push(koff + 4);
+    }
+    // Trim the final page's logical length to what is used.
+    if let Some(p) = pages.last_mut() {
+        p.set_len(page_used);
+    }
+
+    // --- Pass 2: stream values into position, freeing KVC pages as they
+    // are consumed. -----------------------------------------------------
+    kvc.drain(|k, v| {
+        let idx = *index.get(k).expect("key indexed in pass 1") as usize;
+        let loc = locs[idx];
+        let buf = match loc.slot {
+            Slot::Page(i) => {
+                let p = &mut pages[i as usize];
+                let cap = p.capacity();
+                if p.len() < cap {
+                    // Re-expose full capacity for random-access writes on
+                    // the trimmed last page.
+                    p.set_len(cap);
+                }
+                p.as_mut_slice()
+            }
+            Slot::Jumbo(i) => jumbos[i as usize].as_mut_slice(),
+        };
+        cursors[idx] = write_side(meta.val, v, buf, cursors[idx]);
+        Ok(())
+    })?;
+    if let Some(p) = pages.last_mut() {
+        p.set_len(page_used);
+    }
+
+    drop(index);
+    drop(bucket_res);
+
+    KmvContainer::from_parts(meta, pages, jumbos, locs, pool, n_values, total_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KvMeta, MimirError};
+    use mimir_mem::MemPool;
+    use std::collections::HashMap as StdMap;
+
+    fn groups_of(kmvc: &KmvContainer) -> StdMap<Vec<u8>, Vec<Vec<u8>>> {
+        let mut out = StdMap::new();
+        kmvc.for_each_group(|k, vals| {
+            out.insert(k.to_vec(), vals.map(<[u8]>::to_vec).collect());
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn groups_values_by_key_in_first_occurrence_order() {
+        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        for (k, v) in [
+            ("apple", "1"),
+            ("banana", "2"),
+            ("apple", "3"),
+            ("cherry", "4"),
+            ("banana", "5"),
+            ("apple", "6"),
+        ] {
+            kvc.push(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        let kmvc = convert(kvc, &pool).unwrap();
+        assert_eq!(kmvc.n_groups(), 3);
+        assert_eq!(kmvc.n_values(), 6);
+
+        let mut order = Vec::new();
+        kmvc.for_each_group(|k, _| {
+            order.push(k.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(order, vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]);
+
+        let g = groups_of(&kmvc);
+        assert_eq!(g[&b"apple"[..].to_vec()], vec![b"1".to_vec(), b"3".to_vec(), b"6".to_vec()]);
+        assert_eq!(g[&b"cherry"[..].to_vec()], vec![b"4".to_vec()]);
+    }
+
+    #[test]
+    fn convert_with_hints() {
+        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+        let meta = KvMeta::cstr_key_u64_val();
+        let mut kvc = KvContainer::new(&pool, meta);
+        for i in 0..50u64 {
+            let key = format!("w{}", i % 5);
+            kvc.push(key.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let kmvc = convert(kvc, &pool).unwrap();
+        assert_eq!(kmvc.n_groups(), 5);
+        let g = groups_of(&kmvc);
+        assert_eq!(g[&b"w0".to_vec()].len(), 10);
+        let vals: Vec<u64> = g[&b"w3".to_vec()]
+            .iter()
+            .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![3, 8, 13, 18, 23, 28, 33, 38, 43, 48]);
+    }
+
+    #[test]
+    fn hot_key_gets_a_jumbo_entry() {
+        let pool = MemPool::new("t", 128, 256 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
+        // 100 values × 8 B = 800 B ≫ 128 B page.
+        for i in 0..100u64 {
+            kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+        }
+        kvc.push(b"cold", &0u64.to_le_bytes()).unwrap();
+        let kmvc = convert(kvc, &pool).unwrap();
+        assert_eq!(kmvc.jumbos_held(), 1);
+        let g = groups_of(&kmvc);
+        assert_eq!(g[&b"hotk".to_vec()].len(), 100);
+        assert_eq!(g[&b"cold".to_vec()].len(), 1);
+    }
+
+    #[test]
+    fn empty_container_converts_to_empty() {
+        let pool = MemPool::new("t", 128, 4096).unwrap();
+        let kvc = KvContainer::new(&pool, KvMeta::var());
+        let kmvc = convert(kvc, &pool).unwrap();
+        assert_eq!(kmvc.n_groups(), 0);
+        assert_eq!(kmvc.n_values(), 0);
+    }
+
+    #[test]
+    fn kvc_pages_are_freed_during_pass_two() {
+        let page = 256;
+        let pool = MemPool::new("t", page, 1024 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
+        for i in 0..1000u64 {
+            kvc.push(&(i % 7).to_le_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let kvc_pages = kvc.pages_held();
+        let before = pool.used();
+        let kmvc = convert(kvc, &pool).unwrap();
+        // After convert the KVC is gone; only KMVC memory remains.
+        let after = pool.used();
+        assert!(after < before, "KVC freed: {before} -> {after}");
+        assert!(kvc_pages > 10);
+        assert_eq!(kmvc.n_values(), 1000);
+    }
+
+    #[test]
+    fn convert_oom_is_reported() {
+        // Budget fits the KVC but not KVC + bucket + KMVC.
+        let pool = MemPool::new("t", 256, 2048).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
+        for i in 0..120u64 {
+            kvc.push(&i.to_le_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let err = convert(kvc, &pool).unwrap_err();
+        assert!(matches!(err, MimirError::Mem(_)), "{err}");
+    }
+
+    #[test]
+    fn value_iter_is_exact_size() {
+        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        for i in 0..12u32 {
+            kvc.push(b"k", &i.to_le_bytes()).unwrap();
+        }
+        let kmvc = convert(kvc, &pool).unwrap();
+        kmvc.for_each_group(|_k, vals| {
+            assert_eq!(vals.len(), 12);
+            let mut vals = vals;
+            vals.next();
+            assert_eq!(vals.len(), 11);
+            assert_eq!(vals.count(), 11);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn jumbo_entry_exceeding_budget_is_oom_not_panic() {
+        // Budget fits the KVC but not KVC + the jumbo KMV entry.
+        let pool = MemPool::new("t", 128, 2 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
+        for i in 0..120u64 {
+            kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+        }
+        let err = convert(kvc, &pool).unwrap_err();
+        assert!(matches!(err, MimirError::Mem(_)), "{err}");
+        assert_eq!(pool.used(), 0, "partial convert fully unwinds");
+    }
+
+    #[test]
+    fn single_kv_single_group() {
+        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        kvc.push(b"only", b"value").unwrap();
+        let kmvc = convert(kvc, &pool).unwrap();
+        assert_eq!(kmvc.n_groups(), 1);
+        assert_eq!(kmvc.n_values(), 1);
+        assert_eq!(kmvc.jumbos_held(), 0);
+    }
+}

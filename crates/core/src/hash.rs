@@ -1,0 +1,109 @@
+//! Key hashing and partitioning.
+//!
+//! A hand-rolled Fx-style multiply-xor hash (the rustc hash): very fast on
+//! short keys, good enough distribution for partitioning, and dependency-
+//! free. HashDoS resistance is irrelevant here — keys come from the job's
+//! own dataset.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// Fx-style hash of a byte string.
+#[inline]
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        tail[7] = rem.len() as u8; // length-distinguish short tails
+        let w = u64::from_le_bytes(tail);
+        h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+    // Murmur3 finalizer: full avalanche so the low bits we partition by
+    // (modulo) depend on every input bit.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+/// The destination partition (rank) of `key` among `n_parts` — the
+/// default hash-partitioner of both frameworks.
+#[inline]
+pub fn partition_of(key: &[u8], n_parts: usize) -> usize {
+    (fxhash64(key) % n_parts as u64) as usize
+}
+
+/// A `std` hasher adapter so `HashMap`s in the combiner/convert paths use
+/// the same fast function.
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.state = self.state.rotate_left(5) ^ fxhash64(bytes);
+        self.state = self.state.wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let inputs: Vec<Vec<u8>> = (0..10_000u32)
+            .map(|i| format!("key-{i}").into_bytes())
+            .collect();
+        let hashes: std::collections::HashSet<u64> =
+            inputs.iter().map(|b| fxhash64(b)).collect();
+        assert_eq!(hashes.len(), inputs.len());
+    }
+
+    #[test]
+    fn short_keys_of_different_length_differ() {
+        assert_ne!(fxhash64(b"a"), fxhash64(b"a\0"));
+        assert_ne!(fxhash64(b""), fxhash64(b"\0"));
+    }
+
+    #[test]
+    fn partitioning_is_roughly_balanced() {
+        let n_parts = 16;
+        let mut counts = vec![0usize; n_parts];
+        for i in 0..16_000u32 {
+            counts[partition_of(format!("word{i}").as_bytes(), n_parts)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!(
+            max < min * 2,
+            "partition imbalance: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fxhash64(b"mimir"), fxhash64(b"mimir"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Job driver: wires map callbacks, the shuffle, the optional
+//! optimizations, and the convert/reduce phases into the four run shapes
+//! the paper's benchmarks need.
+//!
+//! | method | aggregate sink | grouping | used by |
+//! |---|---|---|---|
+//! | [`MapReduceJob::map_reduce`] | KVC | convert + reduce | WC/OC baseline |
+//! | [`MapReduceJob::map_partial_reduce`] | fold bucket | (none) | WC/OC `pr` |
+//! | [`MapReduceJob::map_shuffle`] | KVC | none (map-only) | BFS |
+//!
+//! Each shape has a `*_compress` variant that interposes the KV
+//! compression table between the map and the shuffle.
+//!
+//! Per the paper, the global synchronization between map and reduce is
+//! retained (a barrier after the shuffle completes); everything else is
+//! implicit and interleaved.
+
+use std::time::Instant;
+
+use crate::combiner::{CombineFn, CombinerTable, StreamingCombiner};
+use crate::context::MimirContext;
+use crate::convert::convert;
+use crate::kmvc::ValueIter;
+use crate::partial::PartialReducer;
+use crate::partitioner::Partitioner;
+use crate::shuffle::{Emitter, Shuffler};
+use crate::{JobStats, KvContainer, KvMeta, Result};
+
+/// A configured-but-not-yet-run MapReduce job.
+pub struct MapReduceJob<'c, 'w> {
+    ctx: &'c mut MimirContext<'w>,
+    kv_meta: KvMeta,
+    out_meta: KvMeta,
+    partitioner: Partitioner,
+    compress_flush_bytes: Option<usize>,
+}
+
+/// A finished job: the output KVs this rank owns, plus metrics.
+pub struct JobOutput {
+    /// Output KVs (hash-partitioned across ranks by key for shuffled
+    /// shapes; reduce output stays on the reducing rank).
+    pub output: KvContainer,
+    /// Per-rank metrics.
+    pub stats: JobStats,
+}
+
+/// Emitter wrapper for reduce callbacks writing job output.
+pub struct OutEmitter<'a> {
+    kvc: &'a mut KvContainer,
+    count: u64,
+}
+
+impl Emitter for OutEmitter<'_> {
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        self.count += 1;
+        self.kvc.push(key, val)
+    }
+}
+
+/// Map callback: drives this rank's share of the input, emitting
+/// intermediate KVs.
+pub type MapFn<'f> = &'f mut dyn FnMut(&mut dyn Emitter) -> Result<()>;
+
+/// Reduce callback: one key with all its values; emits output KVs.
+pub type ReduceFn<'f> = &'f mut dyn FnMut(&[u8], ValueIter<'_>, &mut dyn Emitter) -> Result<()>;
+
+impl<'c, 'w> MapReduceJob<'c, 'w> {
+    pub(crate) fn new(ctx: &'c mut MimirContext<'w>) -> Self {
+        Self {
+            ctx,
+            kv_meta: KvMeta::var(),
+            out_meta: KvMeta::var(),
+            partitioner: Partitioner::hash(),
+            compress_flush_bytes: None,
+        }
+    }
+
+    /// Sets the intermediate KV encoding (the KV-hint optimization).
+    #[must_use]
+    pub fn kv_meta(mut self, meta: KvMeta) -> Self {
+        self.kv_meta = meta;
+        self
+    }
+
+    /// Sets the output KV encoding (defaults to un-hinted).
+    #[must_use]
+    pub fn out_meta(mut self, meta: KvMeta) -> Self {
+        self.out_meta = meta;
+        self
+    }
+
+    /// Installs a user key partitioner (default: hash). Must be
+    /// deterministic and identical on every rank.
+    #[must_use]
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Bounds the KV-compression table: when its footprint exceeds
+    /// `bytes`, it flushes into the shuffle mid-map instead of delaying
+    /// the whole aggregate until the map completes.
+    ///
+    /// This implements the improvement the paper defers to "a future
+    /// version of Mimir" (Section III-C2 lists the delayed aggregate as
+    /// an implementation shortcoming of KV compression): the compression
+    /// memory becomes a tunable budget rather than scaling with the
+    /// number of unique keys. Flushing early trades some compression
+    /// ratio for bounded memory — duplicates arriving after a flush are
+    /// re-sent rather than merged.
+    #[must_use]
+    pub fn compress_flush_bytes(mut self, bytes: usize) -> Self {
+        self.compress_flush_bytes = Some(bytes);
+        self
+    }
+
+    /// The baseline workflow: map → (implicit aggregate) → convert →
+    /// reduce.
+    ///
+    /// # Errors
+    /// Memory exhaustion, hint violations, oversized KVs, or errors from
+    /// the callbacks.
+    pub fn map_reduce(self, map: MapFn<'_>, reduce: ReduceFn<'_>) -> Result<JobOutput> {
+        self.run_grouped(map, None, reduce)
+    }
+
+    /// [`Self::map_reduce`] with map-side KV compression.
+    pub fn map_reduce_compress(
+        self,
+        map: MapFn<'_>,
+        compress: CombineFn<'_>,
+        reduce: ReduceFn<'_>,
+    ) -> Result<JobOutput> {
+        self.run_grouped(map, Some(compress), reduce)
+    }
+
+    /// Partial reduction: map → (implicit aggregate) → fold. Replaces
+    /// convert+reduce; requires `combine` to be commutative and
+    /// associative.
+    pub fn map_partial_reduce(self, map: MapFn<'_>, combine: CombineFn<'_>) -> Result<JobOutput> {
+        self.run_partial(map, None, combine)
+    }
+
+    /// [`Self::map_partial_reduce`] with map-side KV compression too.
+    pub fn map_partial_reduce_compress(
+        self,
+        map: MapFn<'_>,
+        compress: CombineFn<'_>,
+        combine: CombineFn<'_>,
+    ) -> Result<JobOutput> {
+        self.run_partial(map, Some(compress), combine)
+    }
+
+    /// Map-only with shuffle: emitted KVs are hash-partitioned to their
+    /// owner ranks and returned ungrouped (the BFS traversal shape).
+    pub fn map_shuffle(self, map: MapFn<'_>) -> Result<JobOutput> {
+        let MimirContext {
+            comm, pool, cfg, ..
+        } = &mut *self.ctx;
+        let t0 = Instant::now();
+        let sink = KvContainer::new(pool, self.kv_meta);
+        let mut shuffler = Shuffler::with_partitioner(
+            comm,
+            pool,
+            self.kv_meta,
+            cfg.comm_buf_size,
+            sink,
+            self.partitioner.clone(),
+        )?;
+        map(&mut shuffler)?;
+        let (kvc, shuffle) = shuffler.finish()?;
+        comm.barrier();
+        let kvs_out = kvc.len();
+        Ok(JobOutput {
+            output: kvc,
+            stats: JobStats {
+                map_time: t0.elapsed(),
+                shuffle,
+                kvs_out,
+                node_peak_bytes: pool.peak(),
+                ..JobStats::default()
+            },
+        })
+    }
+
+    /// [`Self::map_shuffle`] with map-side KV compression.
+    pub fn map_shuffle_compress(
+        self,
+        map: MapFn<'_>,
+        compress: CombineFn<'_>,
+    ) -> Result<JobOutput> {
+        let MimirContext {
+            comm, pool, cfg, ..
+        } = &mut *self.ctx;
+        let t0 = Instant::now();
+        let sink = KvContainer::new(pool, self.kv_meta);
+        let mut shuffler = Shuffler::with_partitioner(
+            comm,
+            pool,
+            self.kv_meta,
+            cfg.comm_buf_size,
+            sink,
+            self.partitioner.clone(),
+        )?;
+        drive_compressed_map(
+            map,
+            compress,
+            pool,
+            self.kv_meta,
+            self.compress_flush_bytes,
+            &mut shuffler,
+        )?;
+        let (kvc, shuffle) = shuffler.finish()?;
+        comm.barrier();
+        let kvs_out = kvc.len();
+        Ok(JobOutput {
+            output: kvc,
+            stats: JobStats {
+                map_time: t0.elapsed(),
+                shuffle,
+                kvs_out,
+                node_peak_bytes: pool.peak(),
+                ..JobStats::default()
+            },
+        })
+    }
+
+    fn run_grouped(
+        self,
+        map: MapFn<'_>,
+        compress: Option<CombineFn<'_>>,
+        reduce: ReduceFn<'_>,
+    ) -> Result<JobOutput> {
+        let out_meta = self.out_meta;
+        let kv_meta = self.kv_meta;
+        let MimirContext {
+            comm, pool, cfg, ..
+        } = &mut *self.ctx;
+
+        // --- map + implicit aggregate --------------------------------
+        let t0 = Instant::now();
+        let sink = KvContainer::new(pool, kv_meta);
+        let mut shuffler = Shuffler::with_partitioner(
+            comm,
+            pool,
+            kv_meta,
+            cfg.comm_buf_size,
+            sink,
+            self.partitioner.clone(),
+        )?;
+        match compress {
+            None => map(&mut shuffler)?,
+            Some(cf) => {
+                drive_compressed_map(map, cf, pool, kv_meta, self.compress_flush_bytes, &mut shuffler)?;
+            }
+        }
+        let (kvc, shuffle) = shuffler.finish()?;
+        // The paper retains the global synchronization between the map
+        // and reduce phases.
+        comm.barrier();
+        let map_time = t0.elapsed();
+
+        // --- convert ---------------------------------------------------
+        let t1 = Instant::now();
+        let kmvc = convert(kvc, pool)?;
+        let convert_time = t1.elapsed();
+
+        // --- reduce ----------------------------------------------------
+        let t2 = Instant::now();
+        let mut out = KvContainer::new(pool, out_meta);
+        let unique_keys = kmvc.n_groups() as u64;
+        {
+            let mut emitter = OutEmitter {
+                kvc: &mut out,
+                count: 0,
+            };
+            kmvc.for_each_group(|k, vals| reduce(k, vals, &mut emitter))?;
+        }
+        drop(kmvc);
+        comm.barrier();
+        let reduce_time = t2.elapsed();
+
+        let kvs_out = out.len();
+        Ok(JobOutput {
+            output: out,
+            stats: JobStats {
+                map_time,
+                convert_time,
+                reduce_time,
+                shuffle,
+                unique_keys,
+                node_peak_bytes: pool.peak(),
+                kvs_out,
+            },
+        })
+    }
+
+    fn run_partial(
+        self,
+        map: MapFn<'_>,
+        compress: Option<CombineFn<'_>>,
+        combine: CombineFn<'_>,
+    ) -> Result<JobOutput> {
+        let out_meta = self.out_meta;
+        let kv_meta = self.kv_meta;
+        let MimirContext {
+            comm, pool, cfg, ..
+        } = &mut *self.ctx;
+
+        let t0 = Instant::now();
+        let sink = PartialReducer::new(pool, kv_meta, combine)?;
+        let mut shuffler = Shuffler::with_partitioner(
+            comm,
+            pool,
+            kv_meta,
+            cfg.comm_buf_size,
+            sink,
+            self.partitioner.clone(),
+        )?;
+        match compress {
+            None => map(&mut shuffler)?,
+            Some(cf) => {
+                drive_compressed_map(map, cf, pool, kv_meta, self.compress_flush_bytes, &mut shuffler)?;
+            }
+        }
+        let (reducer, shuffle) = shuffler.finish()?;
+        comm.barrier();
+        let map_time = t0.elapsed();
+
+        let t2 = Instant::now();
+        let unique_keys = reducer.unique_keys() as u64;
+        let out = reducer.into_output(pool, out_meta)?;
+        comm.barrier();
+        let reduce_time = t2.elapsed();
+
+        let kvs_out = out.len();
+        Ok(JobOutput {
+            output: out,
+            stats: JobStats {
+                map_time,
+                convert_time: std::time::Duration::ZERO,
+                reduce_time,
+                shuffle,
+                unique_keys,
+                node_peak_bytes: pool.peak(),
+                kvs_out,
+            },
+        })
+    }
+}
+
+/// Runs `map` through a compression table, flushing into `shuffler`
+/// either once at the end (the paper's delayed aggregate) or whenever the
+/// table exceeds `flush_bytes`.
+fn drive_compressed_map(
+    map: MapFn<'_>,
+    cf: CombineFn<'_>,
+    pool: &mimir_mem::MemPool,
+    meta: KvMeta,
+    flush_bytes: Option<usize>,
+    shuffler: &mut dyn Emitter,
+) -> Result<()> {
+    let mut table = CombinerTable::new(pool, meta, cf)?;
+    match flush_bytes {
+        None => {
+            map(&mut table)?;
+            table.flush_into(shuffler)
+        }
+        Some(limit) => {
+            let mut streaming = StreamingCombiner::new(table, shuffler, limit);
+            map(&mut streaming)?;
+            streaming.finish().map(|_| ())
+        }
+    }
+}

@@ -1,0 +1,167 @@
+use mimir_mem::{MemPool, Page, Reservation};
+
+use crate::buffer::TrackedBuf;
+use crate::kv::decode_side;
+use crate::{KvMeta, LenHint, Result};
+
+/// Where a KMV entry lives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// Index into the page list.
+    Page(u32),
+    /// Index into the jumbo list (entries larger than one page).
+    Jumbo(u32),
+}
+
+/// Location of one KMV entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupLoc {
+    pub slot: Slot,
+    pub offset: usize,
+    pub entry_len: usize,
+}
+
+/// KMV container (KMVC): page-granular storage for grouped
+/// `<key, [values]>` lists, built by the two-pass [`crate::convert`].
+///
+/// Entry layout: `[key (per key hint)] [n_values: u32] [values…]`, with
+/// each value encoded per the value hint. Entries that cannot fit in one
+/// page (a hot key's value list) get a dedicated pool-tracked "jumbo"
+/// buffer — the in-memory analogue of what would otherwise force a
+/// framework to spill.
+pub struct KmvContainer {
+    meta: KvMeta,
+    pages: Vec<Page>,
+    jumbos: Vec<TrackedBuf>,
+    groups: Vec<GroupLoc>,
+    /// Accounts the `groups` index itself against the node budget.
+    _groups_res: Reservation,
+    n_values: u64,
+    bytes: u64,
+}
+
+impl KmvContainer {
+    pub(crate) fn from_parts(
+        meta: KvMeta,
+        pages: Vec<Page>,
+        jumbos: Vec<TrackedBuf>,
+        groups: Vec<GroupLoc>,
+        pool: &MemPool,
+        n_values: u64,
+        bytes: u64,
+    ) -> Result<Self> {
+        let groups_res = pool.try_reserve(groups.len() * std::mem::size_of::<GroupLoc>())?;
+        Ok(Self {
+            meta,
+            pages,
+            jumbos,
+            groups,
+            _groups_res: groups_res,
+            n_values,
+            bytes,
+        })
+    }
+
+    /// Number of unique keys (groups).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of values across all groups.
+    pub fn n_values(&self) -> u64 {
+        self.n_values
+    }
+
+    /// Encoded bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Pages held (excluding jumbo buffers).
+    pub fn pages_held(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Jumbo (larger-than-a-page) entries held.
+    pub fn jumbos_held(&self) -> usize {
+        self.jumbos.len()
+    }
+
+    /// The container's encoding.
+    pub fn meta(&self) -> KvMeta {
+        self.meta
+    }
+
+    fn entry_bytes(&self, loc: &GroupLoc) -> &[u8] {
+        let base = match loc.slot {
+            Slot::Page(i) => self.pages[i as usize].as_slice(),
+            Slot::Jumbo(i) => self.jumbos[i as usize].as_slice(),
+        };
+        &base[loc.offset..loc.offset + loc.entry_len]
+    }
+
+    /// Visits every group in first-occurrence order with its key and an
+    /// iterator over its values — the reduce phase's access path.
+    ///
+    /// # Errors
+    /// Propagates the first error from `f`.
+    pub fn for_each_group(
+        &self,
+        mut f: impl FnMut(&[u8], ValueIter<'_>) -> Result<()>,
+    ) -> Result<()> {
+        for loc in &self.groups {
+            let entry = self.entry_bytes(loc);
+            let (krange, koff) = decode_side(self.meta.key, entry, 0);
+            let n = u32::from_le_bytes(
+                entry[koff..koff + 4].try_into().expect("n_values field"),
+            );
+            let vals = ValueIter {
+                hint: self.meta.val,
+                buf: &entry[koff + 4..],
+                remaining: n,
+                off: 0,
+            };
+            f(&entry[krange], vals)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for KmvContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KmvContainer")
+            .field("groups", &self.groups.len())
+            .field("n_values", &self.n_values)
+            .field("pages", &self.pages.len())
+            .field("jumbos", &self.jumbos.len())
+            .finish()
+    }
+}
+
+/// Iterator over the values of one KMV group.
+pub struct ValueIter<'a> {
+    hint: LenHint,
+    buf: &'a [u8],
+    remaining: u32,
+    off: usize,
+}
+
+impl<'a> Iterator for ValueIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (range, next) = decode_side(self.hint, self.buf, self.off);
+        self.off = next;
+        Some(&self.buf[range])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for ValueIter<'_> {}

@@ -1,0 +1,247 @@
+//! Byte-level KV encoding.
+//!
+//! The default layout is the paper's: an 8-byte header of two `u32`
+//! lengths followed by the key and value bytes. The KV-hint optimization
+//! drops header halves: a `Fixed(n)` side stores just the payload, a
+//! `CStr` side stores the payload plus one NUL terminator. Every buffer in
+//! the framework — container pages, send-buffer partitions, the wire —
+//! carries this encoding, so a hint shrinks storage *and* communication,
+//! as the paper observes.
+
+use crate::{KvMeta, LenHint, MimirError, Result};
+
+/// Checks `bytes` against a hint.
+///
+/// # Errors
+/// [`MimirError::HintViolation`] if a `Fixed` length mismatches or a
+/// `CStr` payload contains an interior NUL.
+#[inline]
+pub(crate) fn validate(hint: LenHint, bytes: &[u8], what: &str) -> Result<()> {
+    match hint {
+        LenHint::Var => Ok(()),
+        LenHint::Fixed(n) if bytes.len() == n => Ok(()),
+        LenHint::Fixed(n) => Err(MimirError::HintViolation(format!(
+            "{what} of {} B under Fixed({n}) hint",
+            bytes.len()
+        ))),
+        LenHint::CStr if !bytes.contains(&0) => Ok(()),
+        LenHint::CStr => Err(MimirError::HintViolation(format!(
+            "{what} contains an interior NUL under the CStr hint"
+        ))),
+    }
+}
+
+#[inline]
+fn side_len(hint: LenHint, bytes: &[u8]) -> usize {
+    hint.overhead() + bytes.len()
+}
+
+/// Encoded size of one KV under `meta` (assumes hints validated).
+#[inline]
+pub fn encoded_len(meta: KvMeta, key: &[u8], val: &[u8]) -> usize {
+    side_len(meta.key, key) + side_len(meta.val, val)
+}
+
+#[inline]
+fn push_side(hint: LenHint, bytes: &[u8], out: &mut Vec<u8>) {
+    match hint {
+        LenHint::Var => {
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        LenHint::Fixed(_) => out.extend_from_slice(bytes),
+        LenHint::CStr => {
+            out.extend_from_slice(bytes);
+            out.push(0);
+        }
+    }
+}
+
+/// Appends the encoding of `(key, val)` to `out` (assumes hints were
+/// already validated at the emit boundary).
+#[inline]
+pub fn encode_push(meta: KvMeta, key: &[u8], val: &[u8], out: &mut Vec<u8>) {
+    push_side(meta.key, key, out);
+    push_side(meta.val, val, out);
+}
+
+#[inline]
+pub(crate) fn write_side(hint: LenHint, bytes: &[u8], out: &mut [u8], off: usize) -> usize {
+    match hint {
+        LenHint::Var => {
+            out[off..off + 4].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out[off + 4..off + 4 + bytes.len()].copy_from_slice(bytes);
+            off + 4 + bytes.len()
+        }
+        LenHint::Fixed(_) => {
+            out[off..off + bytes.len()].copy_from_slice(bytes);
+            off + bytes.len()
+        }
+        LenHint::CStr => {
+            out[off..off + bytes.len()].copy_from_slice(bytes);
+            out[off + bytes.len()] = 0;
+            off + bytes.len() + 1
+        }
+    }
+}
+
+/// Encodes `(key, val)` into the front of `out` (which must be at least
+/// [`encoded_len`] bytes), returning the bytes written. Allocation-free
+/// counterpart of [`encode_push`] for writing straight into pages.
+#[inline]
+pub(crate) fn encode_into(meta: KvMeta, key: &[u8], val: &[u8], out: &mut [u8]) -> usize {
+    let off = write_side(meta.key, key, out, 0);
+    write_side(meta.val, val, out, off)
+}
+
+#[inline]
+pub(crate) fn decode_side(hint: LenHint, buf: &[u8], off: usize) -> (std::ops::Range<usize>, usize) {
+    match hint {
+        LenHint::Var => {
+            let len = u32::from_le_bytes(
+                buf[off..off + 4].try_into().expect("u32 length prefix"),
+            ) as usize;
+            (off + 4..off + 4 + len, off + 4 + len)
+        }
+        LenHint::Fixed(n) => (off..off + n, off + n),
+        LenHint::CStr => {
+            let nul = buf[off..]
+                .iter()
+                .position(|&b| b == 0)
+                .expect("NUL terminator in CStr-encoded buffer");
+            (off..off + nul, off + nul + 1)
+        }
+    }
+}
+
+/// A decoded `(key, value)` pair borrowed from an encoded buffer.
+pub type KvRef<'a> = (&'a [u8], &'a [u8]);
+
+/// Decodes the KV starting at the beginning of `buf`, returning
+/// `((key, val), bytes_consumed)`, or `None` if `buf` is empty.
+///
+/// # Panics
+/// Panics on a truncated or malformed buffer — encoded buffers are
+/// framework-internal, so that is a bug, not an input error.
+#[inline]
+pub fn decode_one(meta: KvMeta, buf: &[u8]) -> Option<(KvRef<'_>, usize)> {
+    if buf.is_empty() {
+        return None;
+    }
+    let (krange, koff) = decode_side(meta.key, buf, 0);
+    let (vrange, voff) = decode_side(meta.val, buf, koff);
+    Some(((&buf[krange], &buf[vrange]), voff))
+}
+
+/// Iterator over the KVs of an encoded buffer.
+pub struct KvDecoder<'a> {
+    meta: KvMeta,
+    buf: &'a [u8],
+}
+
+impl<'a> KvDecoder<'a> {
+    /// Decodes `buf`, which must hold zero or more whole KVs under `meta`.
+    pub fn new(meta: KvMeta, buf: &'a [u8]) -> Self {
+        Self { meta, buf }
+    }
+}
+
+impl<'a> Iterator for KvDecoder<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let ((k, v), used) = decode_one(self.meta, self.buf)?;
+        self.buf = &self.buf[used..];
+        Some((k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(meta: KvMeta, kvs: &[(&[u8], &[u8])]) {
+        let mut buf = Vec::new();
+        for (k, v) in kvs {
+            validate(meta.key, k, "key").unwrap();
+            validate(meta.val, v, "value").unwrap();
+            encode_push(meta, k, v, &mut buf);
+        }
+        let decoded: Vec<(Vec<u8>, Vec<u8>)> = KvDecoder::new(meta, &buf)
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            kvs.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        assert_eq!(decoded, expected, "meta {meta:?}");
+        assert_eq!(
+            buf.len(),
+            kvs.iter().map(|(k, v)| encoded_len(meta, k, v)).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn var_var_roundtrip() {
+        roundtrip(
+            KvMeta::var(),
+            &[(b"hello", b"world"), (b"", b""), (b"k", b"vvvvvvvvvv")],
+        );
+    }
+
+    #[test]
+    fn wordcount_hint_roundtrip() {
+        roundtrip(
+            KvMeta::cstr_key_u64_val(),
+            &[
+                (b"the", &7u64.to_le_bytes()),
+                (b"supercalifragilistic", &1u64.to_le_bytes()),
+            ],
+        );
+    }
+
+    #[test]
+    fn fixed_fixed_roundtrip() {
+        roundtrip(
+            KvMeta::fixed(8, 16),
+            &[(&[1u8; 8], &[2u8; 16]), (&[3u8; 8], &[4u8; 16])],
+        );
+    }
+
+    #[test]
+    fn mixed_hints_roundtrip() {
+        let meta = KvMeta {
+            key: LenHint::Var,
+            val: LenHint::CStr,
+        };
+        roundtrip(meta, &[(b"anything\0here", b"no nuls")]);
+    }
+
+    #[test]
+    fn hint_savings_match_paper_arithmetic() {
+        // The paper's Figure 7 case: variable word key, u64 value.
+        let word = b"wikipedia";
+        let val = 42u64.to_le_bytes();
+        let plain = encoded_len(KvMeta::var(), word, &val);
+        let hinted = encoded_len(KvMeta::cstr_key_u64_val(), word, &val);
+        assert_eq!(plain, 8 + 9 + 8);
+        assert_eq!(hinted, 9 + 1 + 8);
+        assert_eq!(plain - hinted, 7); // 8-byte header → 1-byte NUL
+    }
+
+    #[test]
+    fn fixed_hint_violations_are_rejected() {
+        assert!(validate(LenHint::Fixed(8), b"short", "key").is_err());
+        assert!(validate(LenHint::Fixed(5), b"exact", "key").is_ok());
+    }
+
+    #[test]
+    fn cstr_hint_rejects_interior_nul() {
+        assert!(validate(LenHint::CStr, b"a\0b", "key").is_err());
+        assert!(validate(LenHint::CStr, b"ab", "key").is_ok());
+        assert!(validate(LenHint::CStr, b"", "key").is_ok());
+    }
+
+    #[test]
+    fn decoder_on_empty_buffer_yields_nothing() {
+        assert_eq!(KvDecoder::new(KvMeta::var(), b"").count(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # mimir-core — Mimir: memory-efficient MapReduce over message passing
+//!
+//! This crate is the reproduction's primary contribution: the Mimir
+//! framework of *"Mimir: Memory-Efficient and Scalable MapReduce for Large
+//! Supercomputing Systems"* (Gao et al., IPDPS 2017), reimplemented in
+//! Rust over the in-process substrates of `mimir-mpi` (communication),
+//! `mimir-mem` (budgeted node memory), and `mimir-io` (parallel-file-system
+//! cost model).
+//!
+//! ## Execution model (paper Section III)
+//!
+//! A job runs the classic map → aggregate → convert → reduce workflow, but
+//! unlike MR-MPI the `aggregate` and `convert` phases are **implicit**:
+//!
+//! * The map callback emits KVs straight into a *partitioned send buffer*
+//!   (one partition per rank, selected by key hash). There is no separate
+//!   map output buffer and no staging copy — the two-buffer design of
+//!   paper Figure 4.
+//! * When a partition fills, the map is suspended and an *exchange round*
+//!   runs: `allreduce` of done-flags, `alltoallv` of the partitions, and a
+//!   drain of the received KVs into a [`KvContainer`] (KVC) — dynamically
+//!   grown, page-granular storage that frees pages as data is consumed.
+//!   Rounds interleave map and aggregate, so memory use does not grow with
+//!   the input.
+//! * After the map, `convert` groups the KVC into a [`KmvContainer`]
+//!   (KMVC) with the paper's two-pass algorithm (pass 1 sizes each group
+//!   in a hash bucket; pass 2 places values), and `reduce` runs the user
+//!   callback over each `<key, [values]>` group.
+//!
+//! ## Optional optimizations (paper Section III-C)
+//!
+//! * **KV-hint** ([`LenHint`]): fixed-length or NUL-terminated keys/values
+//!   drop the 8-byte per-KV length header.
+//! * **Partial reduction** ([`MapReduceJob::map_partial_reduce`]): for
+//!   commutative+associative reductions, incoming KVs fold into a hash
+//!   bucket as they arrive — no KVC, no KMVC.
+//! * **KV compression** (`compress` variants): a map-side combiner that
+//!   merges duplicate keys before the exchange, trading a tracked hash
+//!   table for less communication.
+
+mod buffer;
+mod combiner;
+mod config;
+mod context;
+mod convert;
+mod error;
+mod hash;
+mod job;
+mod kmvc;
+mod kv;
+mod kvc;
+mod partial;
+mod partitioner;
+mod recovery;
+mod shuffle;
+mod sink;
+mod staging;
+mod stats;
+pub mod typed;
+
+pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
+pub use config::{KvMeta, LenHint, MimirConfig};
+pub use context::MimirContext;
+pub use convert::convert;
+pub use error::MimirError;
+pub use job::{JobOutput, MapFn, MapReduceJob, OutEmitter, ReduceFn};
+pub use kmvc::{KmvContainer, ValueIter};
+pub use kv::{decode_one, encode_push, encoded_len, KvDecoder};
+pub use kvc::KvContainer;
+pub use partial::PartialReducer;
+pub use partitioner::Partitioner;
+pub use recovery::{run_iterative_with_recovery, CheckpointStore, RestartPoint};
+pub use shuffle::{Emitter, ShuffleStats, Shuffler};
+pub use sink::KvSink;
+pub use staging::StagedKvs;
+pub use stats::JobStats;
+
+pub use hash::{fxhash64, partition_of};
+
+/// Result alias for fallible Mimir operations.
+pub type Result<T> = std::result::Result<T, MimirError>;

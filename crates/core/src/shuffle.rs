@@ -1,0 +1,355 @@
+//! The interleaved map/aggregate engine (paper Section III-A, Figure 4).
+//!
+//! Each rank owns a *send buffer* divided into `p` equal partitions and a
+//! *receive buffer* of the same total size. The map callback emits KVs
+//! straight into the partition chosen by the key hash — there is no map
+//! output buffer and no staging copy. When a partition fills, the map is
+//! suspended and an **exchange round** runs; received KVs drain into the
+//! job's [`KvSink`] and the map resumes. Because every sender contributes
+//! at most one partition (`comm_buf/p` bytes) to each receiver, the
+//! received data can never exceed the receive buffer, "even when the KV
+//! partitioning is highly unbalanced" — the paper's Section III-B
+//! guarantee, which is why the receive buffer needs only one send-buffer's
+//! worth of space where MR-MPI needed two pages.
+//!
+//! ## Exchange-round protocol
+//!
+//! A round is `allreduce(done flags)` + `alltoallv(partitions)` + drain.
+//! A rank enters a round when a partition fills (`done = false`) or, once
+//! its input is exhausted, repeatedly from [`Shuffler::finish`]
+//! (`done = true`) until the allreduce reports everyone done. All ranks
+//! thus execute identical collective sequences — the MPI matching rule —
+//! and the final round still drains in-flight data, so the protocol is
+//! deadlock-free and loses nothing.
+
+use mimir_mem::MemPool;
+use mimir_mpi::{Comm, ReduceOp};
+
+use crate::buffer::TrackedBuf;
+use crate::kv::{encode_into, encoded_len, validate, KvDecoder};
+use crate::partitioner::Partitioner;
+use crate::sink::KvSink;
+use crate::{KvMeta, MimirError, Result};
+
+/// Destination for KVs produced by a map callback.
+///
+/// Implemented by [`Shuffler`] (direct emission into the send buffer), by
+/// [`crate::CombinerTable`] (KV compression), and by the reduce phase's
+/// output container wrapper.
+pub trait Emitter {
+    /// Emits one KV.
+    ///
+    /// # Errors
+    /// Hint violations, oversized KVs, or memory exhaustion.
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()>;
+}
+
+/// Counters describing one shuffle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// KVs emitted by this rank's map.
+    pub kvs_emitted: u64,
+    /// Encoded bytes emitted (the "KV size" of paper Figure 7).
+    pub kv_bytes_emitted: u64,
+    /// KVs received into this rank's sink.
+    pub kvs_received: u64,
+    /// Exchange rounds this rank participated in.
+    pub rounds: u64,
+}
+
+/// The partitioned-send-buffer shuffle engine.
+pub struct Shuffler<'a, S: KvSink> {
+    comm: &'a mut Comm,
+    meta: KvMeta,
+    send: TrackedBuf,
+    /// The static receive buffer of paper Section III-B. The transport
+    /// hands us owned byte buffers, so this reservation models the
+    /// buffer's existence for memory accounting; its capacity bound is
+    /// guaranteed by the partition arithmetic above.
+    _recv: TrackedBuf,
+    part_cap: usize,
+    part_len: Vec<usize>,
+    partitioner: Partitioner,
+    sink: S,
+    stats: ShuffleStats,
+}
+
+impl<'a, S: KvSink> Shuffler<'a, S> {
+    /// Creates a shuffler whose send and receive buffers (each
+    /// `comm_buf_size` bytes) are charged to `pool`.
+    ///
+    /// # Errors
+    /// Memory exhaustion allocating the two communication buffers, or a
+    /// configuration leaving partitions absurdly small.
+    pub fn new(
+        comm: &'a mut Comm,
+        pool: &MemPool,
+        meta: KvMeta,
+        comm_buf_size: usize,
+        sink: S,
+    ) -> Result<Self> {
+        Self::with_partitioner(comm, pool, meta, comm_buf_size, sink, Partitioner::hash())
+    }
+
+    /// [`Self::new`] with a user partitioner (paper Section III-A:
+    /// "Users can provide alternative hash functions").
+    ///
+    /// # Errors
+    /// As [`Self::new`].
+    pub fn with_partitioner(
+        comm: &'a mut Comm,
+        pool: &MemPool,
+        meta: KvMeta,
+        comm_buf_size: usize,
+        sink: S,
+        partitioner: Partitioner,
+    ) -> Result<Self> {
+        let p = comm.size();
+        let part_cap = comm_buf_size / p;
+        if part_cap < 16 {
+            return Err(MimirError::Config(format!(
+                "send buffer of {comm_buf_size} B leaves {part_cap} B partitions across {p} ranks"
+            )));
+        }
+        Ok(Self {
+            comm,
+            meta,
+            send: TrackedBuf::new(pool, part_cap * p)?,
+            _recv: TrackedBuf::new(pool, part_cap * p)?,
+            part_cap,
+            part_len: vec![0; p],
+            partitioner,
+            sink,
+            stats: ShuffleStats::default(),
+        })
+    }
+
+    /// Completes the shuffle: participates in exchange rounds until every
+    /// rank is done, then returns the sink and the shuffle counters.
+    ///
+    /// # Errors
+    /// Sink failures while draining the final rounds.
+    pub fn finish(mut self) -> Result<(S, ShuffleStats)> {
+        while !self.exchange(true)? {}
+        Ok((self.sink, self.stats))
+    }
+
+    /// Read access to the sink mid-shuffle (mainly for tests and
+    /// adaptive applications).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// One exchange round; returns whether every rank reported done.
+    fn exchange(&mut self, my_done: bool) -> Result<bool> {
+        let all_done = self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1;
+        let p = self.comm.size();
+        let send = self.send.as_slice();
+        let parts: Vec<Vec<u8>> = (0..p)
+            .map(|d| send[d * self.part_cap..d * self.part_cap + self.part_len[d]].to_vec())
+            .collect();
+        let received = self.comm.alltoallv(parts);
+        self.part_len.fill(0);
+        for buf in received {
+            for (k, v) in KvDecoder::new(self.meta, &buf) {
+                self.sink.accept(k, v)?;
+                self.stats.kvs_received += 1;
+            }
+        }
+        self.stats.rounds += 1;
+        Ok(all_done)
+    }
+}
+
+impl<S: KvSink> Emitter for Shuffler<'_, S> {
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        validate(self.meta.key, key, "key")?;
+        validate(self.meta.val, val, "value")?;
+        let len = encoded_len(self.meta, key, val);
+        if len > self.part_cap {
+            return Err(MimirError::KvTooLarge {
+                size: len,
+                limit: self.part_cap,
+                what: "send-buffer partition",
+            });
+        }
+        let dst = self.partitioner.of(key, self.comm.size());
+        if self.part_len[dst] + len > self.part_cap {
+            // Partition full: suspend the map, run an aggregate round.
+            self.exchange(false)?;
+        }
+        let off = dst * self.part_cap + self.part_len[dst];
+        encode_into(self.meta, key, val, &mut self.send.as_mut_slice()[off..off + len]);
+        self.part_len[dst] += len;
+        self.stats.kvs_emitted += 1;
+        self.stats.kv_bytes_emitted += len as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::partition_of;
+    use crate::KvContainer;
+    use mimir_mem::MemPool;
+    use mimir_mpi::run_world;
+    use std::collections::HashMap;
+
+    type WorldOutput = Vec<(HashMap<Vec<u8>, Vec<u64>>, ShuffleStats)>;
+
+    fn shuffle_world(
+        n_ranks: usize,
+        comm_buf: usize,
+        kvs_per_rank: usize,
+    ) -> WorldOutput {
+        run_world(n_ranks, move |comm| {
+            let pool = MemPool::unlimited("t", 4096);
+            let meta = KvMeta::cstr_key_u64_val();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::new(comm, &pool, meta, comm_buf, sink).unwrap();
+            let me = sh.rank() as u64;
+            for i in 0..kvs_per_rank as u64 {
+                let key = format!("key-{}", i % 13);
+                sh.emit(key.as_bytes(), &(me * 10_000 + i).to_le_bytes())
+                    .unwrap();
+            }
+            let (kvc, stats) = sh.finish().unwrap();
+            let mut got: HashMap<Vec<u8>, Vec<u64>> = HashMap::new();
+            kvc.drain(|k, v| {
+                got.entry(k.to_vec())
+                    .or_default()
+                    .push(u64::from_le_bytes(v.try_into().unwrap()));
+                Ok(())
+            })
+            .unwrap();
+            (got, stats)
+        })
+    }
+
+    #[test]
+    fn all_kvs_arrive_exactly_once_partitioned_by_key() {
+        let n = 4;
+        let per_rank = 500;
+        let results = shuffle_world(n, 4096, per_rank);
+        let total: usize = results
+            .iter()
+            .map(|(m, _)| m.values().map(Vec::len).sum::<usize>())
+            .sum();
+        assert_eq!(total, n * per_rank);
+
+        // Every key lives on exactly the rank its hash selects.
+        for (rank, (m, _)) in results.iter().enumerate() {
+            for k in m.keys() {
+                assert_eq!(partition_of(k, n), rank, "key {:?}", String::from_utf8_lossy(k));
+            }
+        }
+        // Each key's values came from all ranks.
+        let mut all: HashMap<Vec<u8>, usize> = HashMap::new();
+        for (m, _) in &results {
+            for (k, vs) in m {
+                *all.entry(k.clone()).or_default() += vs.len();
+            }
+        }
+        assert_eq!(all.len(), 13);
+    }
+
+    #[test]
+    fn small_buffer_forces_many_rounds_but_loses_nothing() {
+        let n = 3;
+        let per_rank = 400;
+        let small = shuffle_world(n, 256 * n, per_rank); // tiny partitions
+        let big = shuffle_world(n, 64 * 1024, per_rank);
+        let count = |rs: &WorldOutput| -> usize {
+            rs.iter()
+                .map(|(m, _)| m.values().map(Vec::len).sum::<usize>())
+                .sum()
+        };
+        assert_eq!(count(&small), count(&big));
+        assert!(
+            small[0].1.rounds > big[0].1.rounds,
+            "small {} vs big {}",
+            small[0].1.rounds,
+            big[0].1.rounds
+        );
+        // Rounds are collective: every rank saw the same number.
+        let r0 = small[0].1.rounds;
+        assert!(small.iter().all(|(_, s)| s.rounds == r0));
+    }
+
+    #[test]
+    fn kv_bytes_metric_reflects_hint() {
+        let out = run_world(2, |comm| {
+            let pool = MemPool::unlimited("t", 4096);
+            for (meta, expected_per_kv) in [
+                (KvMeta::var(), 8 + 4 + 8),
+                (KvMeta::cstr_key_u64_val(), 4 + 1 + 8),
+            ] {
+                let sink = KvContainer::new(&pool, meta);
+                let mut sh = Shuffler::new(comm, &pool, meta, 4096, sink).unwrap();
+                for i in 0..10u64 {
+                    sh.emit(b"word", &i.to_le_bytes()).unwrap();
+                }
+                let (_, stats) = sh.finish().unwrap();
+                assert_eq!(stats.kv_bytes_emitted, 10 * expected_per_kv as u64);
+            }
+        });
+        drop(out);
+    }
+
+    #[test]
+    fn kv_bigger_than_partition_is_rejected() {
+        run_world(4, |comm| {
+            let pool = MemPool::unlimited("t", 65536);
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::new(comm, &pool, meta, 1024, sink).unwrap();
+            // partition cap = 256; this KV is ~300 B.
+            let big = vec![1u8; 300];
+            let err = sh.emit(b"k", &big).unwrap_err();
+            assert!(matches!(err, MimirError::KvTooLarge { .. }));
+            let _ = sh.finish().unwrap();
+        });
+    }
+
+    #[test]
+    fn comm_buffers_are_charged_and_released() {
+        run_world(2, |comm| {
+            let pool = MemPool::new("t", 4096, 1 << 20).unwrap();
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let before = pool.used();
+            let sh = Shuffler::new(comm, &pool, meta, 8192, sink).unwrap();
+            assert_eq!(pool.used(), before + 2 * 8192, "send + recv buffers");
+            let (kvc, _) = sh.finish().unwrap();
+            drop(kvc);
+            assert_eq!(pool.used(), 0);
+        });
+    }
+
+    #[test]
+    fn single_rank_shuffle_is_local() {
+        run_world(1, |comm| {
+            let pool = MemPool::unlimited("t", 4096);
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::new(comm, &pool, meta, 1024, sink).unwrap();
+            for i in 0..100u32 {
+                sh.emit(format!("k{i}").as_bytes(), b"v").unwrap();
+            }
+            let (kvc, stats) = sh.finish().unwrap();
+            assert_eq!(kvc.len(), 100);
+            assert_eq!(stats.kvs_received, 100);
+        });
+    }
+}

@@ -1,0 +1,20 @@
+use crate::Result;
+
+/// A consumer of shuffled KVs.
+///
+/// The exchange machinery is generic over where received KVs land, which
+/// is exactly the paper's architectural split:
+///
+/// * baseline workflow — the receive buffer drains into a
+///   [`KvContainer`](crate::KvContainer) that feeds convert+reduce;
+/// * partial reduction — the receive buffer drains into a
+///   [`PartialReducer`](crate::PartialReducer) hash bucket, so the full KV
+///   set is never materialized.
+pub trait KvSink {
+    /// Accepts one KV.
+    ///
+    /// # Errors
+    /// Typically [`crate::MimirError::Mem`] when the node budget is
+    /// exhausted.
+    fn accept(&mut self, key: &[u8], val: &[u8]) -> Result<()>;
+}

@@ -1,0 +1,175 @@
+//! Out-of-core staging of KV containers — an extension beyond the paper.
+//!
+//! Mimir itself never spills (its whole point is staying in memory), but
+//! multi-stage pipelines sometimes need to *park* one stage's output on
+//! the parallel file system while another stage runs — the in-situ
+//! workflows of paper Section III-A keep several datasets alive at once.
+//! [`StagedKvs`] writes a container's pages to a spill file (freeing the
+//! memory immediately, page by page) and reloads them later into a fresh
+//! container; both directions are charged to the I/O cost model, so
+//! staging shows up in modeled time exactly like MR-MPI's spills.
+
+use mimir_io::{SpillFile, SpillStore};
+use mimir_mem::MemPool;
+
+use crate::{KvContainer, KvMeta, Result};
+
+/// A KV dataset parked on the I/O subsystem.
+pub struct StagedKvs {
+    file: SpillFile,
+    meta: KvMeta,
+    n_kvs: u64,
+    bytes: u64,
+}
+
+impl StagedKvs {
+    /// Writes `kvc` out through `store`, consuming it and releasing its
+    /// memory page by page as pages are written.
+    ///
+    /// # Errors
+    /// I/O failures writing the stage file.
+    pub fn park(kvc: KvContainer, store: &SpillStore) -> Result<Self> {
+        let meta = kvc.meta();
+        let n_kvs = kvc.len();
+        let bytes = kvc.bytes();
+        let mut file = store.create("staged-kv")?;
+        // Batch KVs back into page-sized chunks for the spill format.
+        let mut chunk: Vec<u8> = Vec::with_capacity(64 * 1024);
+        kvc.drain(|k, v| {
+            crate::kv::encode_push(meta, k, v, &mut chunk);
+            if chunk.len() >= 64 * 1024 {
+                file.write_chunk(&chunk)?;
+                chunk.clear();
+            }
+            Ok(())
+        })?;
+        if !chunk.is_empty() {
+            file.write_chunk(&chunk)?;
+        }
+        file.finish()?;
+        Ok(Self {
+            file,
+            meta,
+            n_kvs,
+            bytes,
+        })
+    }
+
+    /// Reloads the dataset into a fresh container drawing pages from
+    /// `pool`.
+    ///
+    /// # Errors
+    /// I/O failures reading the stage file, or memory exhaustion
+    /// rebuilding the container.
+    pub fn restore(&self, pool: &MemPool) -> Result<KvContainer> {
+        let mut kvc = KvContainer::new(pool, self.meta);
+        let mut reader = self.file.read_chunks()?;
+        while let Some(chunk) = reader.next_chunk()? {
+            for (k, v) in crate::kv::KvDecoder::new(self.meta, &chunk) {
+                kvc.push(k, v)?;
+            }
+        }
+        Ok(kvc)
+    }
+
+    /// KVs parked.
+    pub fn len(&self) -> u64 {
+        self.n_kvs
+    }
+
+    /// True if the staged dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_kvs == 0
+    }
+
+    /// Encoded payload bytes parked.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The staged dataset's encoding.
+    pub fn meta(&self) -> KvMeta {
+        self.meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimir_io::IoModel;
+    use mimir_mem::MemPool;
+
+    #[test]
+    fn park_and_restore_roundtrip() {
+        let pool = MemPool::new("t", 4096, 1 << 20).unwrap();
+        let store = SpillStore::new_temp("stage", IoModel::free()).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::cstr_key_u64_val());
+        for i in 0..500u64 {
+            kvc.push(format!("key-{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let n = kvc.len();
+        let staged = StagedKvs::park(kvc, &store).unwrap();
+        assert_eq!(pool.used(), 0, "memory fully released while parked");
+        assert_eq!(staged.len(), n);
+
+        let restored = staged.restore(&pool).unwrap();
+        assert_eq!(restored.len(), n);
+        let mut seen = 0u64;
+        restored
+            .drain(|k, v| {
+                let i = u64::from_le_bytes(v.try_into().unwrap());
+                assert_eq!(k, format!("key-{i}").as_bytes());
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, n);
+    }
+
+    #[test]
+    fn staging_is_charged_to_the_io_model() {
+        let io = IoModel::new(mimir_io::IoModelConfig {
+            read_bw: 1024.0 * 1024.0,
+            write_bw: 1024.0 * 1024.0,
+            op_latency: std::time::Duration::ZERO,
+        })
+        .unwrap();
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("stage", io.clone()).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        for i in 0..1000u64 {
+            kvc.push(&i.to_le_bytes(), &[7u8; 32]).unwrap();
+        }
+        let staged = StagedKvs::park(kvc, &store).unwrap();
+        let written = io.stats().bytes_written;
+        assert!(written >= staged.bytes(), "{written} vs {}", staged.bytes());
+        let _ = staged.restore(&pool).unwrap();
+        assert!(io.stats().bytes_read >= staged.bytes());
+        assert!(io.modeled_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn restore_can_run_multiple_times() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("stage", IoModel::free()).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        kvc.push(b"a", b"1").unwrap();
+        kvc.push(b"b", b"2").unwrap();
+        let staged = StagedKvs::park(kvc, &store).unwrap();
+        let r1 = staged.restore(&pool).unwrap();
+        let r2 = staged.restore(&pool).unwrap();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn empty_container_parks_cleanly() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("stage", IoModel::free()).unwrap();
+        let kvc = KvContainer::new(&pool, KvMeta::var());
+        let staged = StagedKvs::park(kvc, &store).unwrap();
+        assert!(staged.is_empty());
+        assert_eq!(staged.restore(&pool).unwrap().len(), 0);
+    }
+}

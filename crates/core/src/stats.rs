@@ -1,0 +1,32 @@
+use std::time::Duration;
+
+use crate::shuffle::ShuffleStats;
+
+/// Per-rank metrics for one completed job — everything the paper's
+/// figures plot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobStats {
+    /// Wall time of the interleaved map+aggregate phases.
+    pub map_time: Duration,
+    /// Wall time of the convert phase (zero under partial reduction).
+    pub convert_time: Duration,
+    /// Wall time of the reduce phase (or the fold finalization).
+    pub reduce_time: Duration,
+    /// Shuffle counters (emitted KVs/bytes, rounds).
+    pub shuffle: ShuffleStats,
+    /// Unique keys after grouping (KMV groups or fold-table entries).
+    pub unique_keys: u64,
+    /// Node-pool peak observed at job end, in bytes. This is the
+    /// "peak memory usage" metric of Figures 8/9/11/12/13 (max across the
+    /// ranks sharing the node).
+    pub node_peak_bytes: usize,
+    /// KVs produced into the job output.
+    pub kvs_out: u64,
+}
+
+impl JobStats {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.convert_time + self.reduce_time
+    }
+}

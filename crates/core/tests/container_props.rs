@@ -1,0 +1,103 @@
+//! Property tests over the container layer: KVC round-trips arbitrary
+//! KV multisets under every hint, convert groups them exactly, and the
+//! results are deterministic across runs.
+
+use std::collections::HashMap;
+
+use mimir_core::{convert, KvContainer, KvMeta, LenHint};
+use mimir_mem::MemPool;
+use proptest::prelude::*;
+
+fn var_kvs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(1u8..=255, 0..10), // no NUL → CStr-safe
+            prop::collection::vec(proptest::num::u8::ANY, 0..14),
+        ),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kvc_roundtrips_any_multiset(kvs in var_kvs(), page in prop_oneof![Just(64usize), Just(256), Just(4096)]) {
+        let pool = MemPool::unlimited("prop", page);
+        let mut kvc = KvContainer::new(&pool, KvMeta::var());
+        let mut expected = Vec::new();
+        for (k, v) in &kvs {
+            // Skip KVs that legitimately exceed a page (checked error).
+            match kvc.push(k, v) {
+                Ok(()) => expected.push((k.clone(), v.clone())),
+                Err(e) => prop_assert!(
+                    matches!(e, mimir_core::MimirError::KvTooLarge { .. }),
+                    "unexpected error {e}"
+                ),
+            }
+        }
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            kvc.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        prop_assert_eq!(&got, &expected, "iter preserves order and content");
+        let mut drained = Vec::new();
+        kvc.drain(|k, v| {
+            drained.push((k.to_vec(), v.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(&drained, &expected);
+        prop_assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn cstr_key_container_roundtrips(kvs in var_kvs()) {
+        let meta = KvMeta {
+            key: LenHint::CStr,
+            val: LenHint::Var,
+        };
+        let pool = MemPool::unlimited("prop", 4096);
+        let mut kvc = KvContainer::new(&pool, meta);
+        for (k, v) in &kvs {
+            kvc.push(k, v).unwrap();
+        }
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            kvc.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        prop_assert_eq!(got, kvs);
+    }
+
+    #[test]
+    fn convert_is_exact_and_deterministic(kvs in var_kvs()) {
+        let pool = MemPool::unlimited("prop", 512);
+        let build = || {
+            let mut kvc = KvContainer::new(&pool, KvMeta::var());
+            for (k, v) in &kvs {
+                kvc.push(k, v).unwrap();
+            }
+            kvc
+        };
+        // Reference grouping (order within groups = insertion order).
+        let mut expected: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+        for (k, v) in &kvs {
+            expected.entry(k.clone()).or_default().push(v.clone());
+        }
+
+        let snapshot = |kvc: KvContainer| {
+            let kmvc = convert(kvc, &pool).unwrap();
+            let mut order = Vec::new();
+            let mut groups: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+            kmvc.for_each_group(|k, vals| {
+                order.push(k.to_vec());
+                groups.insert(k.to_vec(), vals.map(<[u8]>::to_vec).collect());
+                Ok(())
+            })
+            .unwrap();
+            (order, groups)
+        };
+        let (order_a, groups_a) = snapshot(build());
+        let (order_b, groups_b) = snapshot(build());
+        prop_assert_eq!(&groups_a, &expected);
+        prop_assert_eq!(order_a, order_b, "group order is deterministic");
+        prop_assert_eq!(groups_a, groups_b);
+        prop_assert_eq!(pool.used(), 0, "everything released");
+    }
+}

@@ -1,0 +1,40 @@
+//! Error-message stability: the strings users see in logs.
+
+use mimir_core::{KvMeta, LenHint, MimirError};
+use mimir_mem::MemPool;
+
+#[test]
+fn error_messages_are_informative() {
+    let e = MimirError::KvTooLarge {
+        size: 9000,
+        limit: 4096,
+        what: "container page",
+    };
+    assert_eq!(e.to_string(), "KV of 9000 B exceeds container page capacity 4096 B");
+
+    let e = MimirError::HintViolation("key of 3 B under Fixed(8) hint".into());
+    assert!(e.to_string().contains("KV-hint violation"));
+
+    let e = MimirError::Config("bad".into());
+    assert_eq!(e.to_string(), "invalid configuration: bad");
+}
+
+#[test]
+fn oom_errors_chain_to_their_source() {
+    use std::error::Error;
+    let pool = MemPool::new("node7", 64, 128).unwrap();
+    let _a = pool.alloc_pages(2).unwrap();
+    let mut kvc = mimir_core::KvContainer::new(
+        &pool,
+        KvMeta {
+            key: LenHint::Fixed(8),
+            val: LenHint::Fixed(8),
+        },
+    );
+    let err = kvc.push(&[0u8; 8], &[0u8; 8]).unwrap_err();
+    assert!(err.is_oom());
+    let msg = err.to_string();
+    assert!(msg.contains("node7"), "{msg}");
+    assert!(msg.contains("128"), "{msg}");
+    assert!(err.source().is_some(), "source chain preserved");
+}

@@ -1,0 +1,171 @@
+use rand::Rng;
+
+use crate::{rank_rng, splitmix64};
+
+/// Graph500-style Kronecker (R-MAT) edge generator.
+///
+/// Parameters follow the Graph500 specification the paper's BFS benchmark
+/// uses: `2^scale` vertices, `edge_factor = 16` (so the ratio of directed
+/// edge endpoints to vertices — the average degree — is 32), and R-MAT
+/// probabilities `A = 0.57, B = 0.19, C = 0.19, D = 0.05`, producing a
+/// scale-free degree distribution. Vertex labels are scrambled with a
+/// bijective mixing permutation, as in the reference generator, so vertex
+/// id gives no locality hint.
+///
+/// Self-loops and duplicate edges are allowed, as in the specification.
+///
+/// ```
+/// use mimir_datagen::Graph500;
+///
+/// let g = Graph500::new(10, 42);
+/// assert_eq!(g.n_vertices(), 1024);
+/// assert_eq!(g.n_edges(), 1024 * 16);
+/// // Rank shares partition the edge list deterministically.
+/// let total: usize = (0..4).map(|r| g.edges(r, 4).len()).sum();
+/// assert_eq!(total as u64, g.n_edges());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Graph500 {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex (undirected); 16 is the Graph500 value.
+    pub edge_factor: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+impl Graph500 {
+    /// Standard Graph500 parameters at the given scale.
+    pub fn new(scale: u32, seed: u64) -> Self {
+        assert!((1..=40).contains(&scale), "scale out of supported range");
+        Self {
+            scale,
+            edge_factor: 16,
+            seed,
+        }
+    }
+
+    /// Number of vertices, `2^scale`.
+    pub fn n_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of (undirected) edges generated in total.
+    pub fn n_edges(&self) -> u64 {
+        self.n_vertices() * self.edge_factor
+    }
+
+    /// Generates this rank's share of the edge list.
+    pub fn edges(&self, rank: usize, n_ranks: usize) -> Vec<(u64, u64)> {
+        let total = self.n_edges();
+        let base = total / n_ranks as u64;
+        let extra = total % n_ranks as u64;
+        let n = base + u64::from((rank as u64) < extra);
+        let mut rng = rank_rng(self.seed ^ 0x06EA_9500, rank);
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (u, v) = self.rmat_edge(&mut rng);
+            out.push((self.scramble(u), self.scramble(v)));
+        }
+        out
+    }
+
+    /// One R-MAT edge: descend `scale` levels of the recursive adjacency
+    /// quadrants, with per-level probability noise as in the reference
+    /// implementation.
+    fn rmat_edge(&self, rng: &mut rand::rngs::StdRng) -> (u64, u64) {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for level in 0..self.scale {
+            // ±10 % multiplicative noise keeps the graph from being an
+            // exact Kronecker power (per the reference generator).
+            let mut noise = |p: f64| p * (0.9 + 0.2 * rng.gen::<f64>());
+            let (a, b, c) = (noise(A), noise(B), noise(C));
+            let total = a + b + c + noise(1.0 - A - B - C);
+            let r: f64 = rng.gen::<f64>() * total;
+            let bit = 1u64 << (self.scale - 1 - level);
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                v |= bit;
+            } else if r < a + b + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        (u, v)
+    }
+
+    /// Bijective label scrambling on `[0, 2^scale)`: alternating rounds of
+    /// odd multiplication and xor-fold, both invertible modulo a power of
+    /// two.
+    fn scramble(&self, v: u64) -> u64 {
+        let mask = self.n_vertices() - 1;
+        let k1 = splitmix64(self.seed) | 1; // odd → bijective multiply
+        let k2 = splitmix64(self.seed ^ 0xABCD);
+        let mut x = v;
+        x = x.wrapping_mul(k1) & mask;
+        x ^= (k2 & mask) & (x >> 1); // xor-fold: invertible T-function
+        x = x.wrapping_mul(k1 | 4 | 1) & mask;
+        x ^ (k2 >> 7) & mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn edge_count_matches_spec_across_ranks() {
+        let g = Graph500::new(10, 7);
+        let n: usize = (0..5).map(|r| g.edges(r, 5).len()).sum();
+        assert_eq!(n as u64, g.n_edges());
+        assert_eq!(g.n_vertices(), 1024);
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let g = Graph500::new(8, 1);
+        for (u, v) in g.edges(0, 1) {
+            assert!(u < g.n_vertices());
+            assert!(v < g.n_vertices());
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = Graph500::new(12, 3);
+        let mut deg: HashMap<u64, u64> = HashMap::new();
+        for (u, v) in g.edges(0, 1) {
+            *deg.entry(u).or_insert(0) += 1;
+            *deg.entry(v).or_insert(0) += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = deg.values().sum::<u64>() as f64 / g.n_vertices() as f64;
+        assert!((mean - 32.0).abs() < 1.0, "mean degree {mean}");
+        // Scale-free: the hub's degree dwarfs the mean.
+        assert!(max as f64 > 10.0 * mean, "max degree {max}, mean {mean}");
+    }
+
+    #[test]
+    fn scramble_is_a_bijection() {
+        let g = Graph500::new(10, 9);
+        let images: HashSet<u64> = (0..g.n_vertices()).map(|v| g.scramble(v)).collect();
+        assert_eq!(images.len() as u64, g.n_vertices());
+        assert!(images.iter().all(|&v| v < g.n_vertices()));
+    }
+
+    #[test]
+    fn deterministic_per_rank() {
+        let g = Graph500::new(8, 5);
+        assert_eq!(g.edges(1, 4), g.edges(1, 4));
+        assert_ne!(g.edges(0, 4), g.edges(1, 4));
+    }
+}

@@ -1,0 +1,121 @@
+use rand::Rng;
+
+use crate::rank_rng;
+
+/// A point in the unit cube used by the octree-clustering benchmark.
+pub type Point = [f32; 3];
+
+/// Generator for the octree-clustering dataset.
+///
+/// Matches the paper's description of the protein-ligand docking dataset
+/// (Zhang et al.): "the position of the points follows a normal
+/// distribution with a 0.5 standard deviation and a 1 % density, meaning
+/// that the MapReduce library searches for and finds regions that have
+/// more than 1 % of the total points". Coordinates are drawn from
+/// `Normal(0.5, 0.5)` and clamped to the unit cube, producing a dense core
+/// whose octants exceed the density threshold for several refinement
+/// levels.
+#[derive(Debug, Clone, Copy)]
+pub struct PointGen {
+    /// Per-coordinate standard deviation.
+    pub sigma: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl PointGen {
+    /// The paper's parameters: σ = 0.5 around the cube centre.
+    pub fn new(seed: u64) -> Self {
+        Self { sigma: 0.5, seed }
+    }
+
+    /// Generates this rank's share (≈ `total_points / n_ranks`) of the
+    /// dataset.
+    pub fn generate(&self, rank: usize, n_ranks: usize, total_points: usize) -> Vec<Point> {
+        let base = total_points / n_ranks;
+        let extra = total_points % n_ranks;
+        let n = base + usize::from(rank < extra);
+        let mut normals = NormalStream {
+            rng: rank_rng(self.seed ^ 0x000C_7EE0, rank),
+            spare: None,
+        };
+        (0..n)
+            .map(|_| {
+                [(); 3].map(|()| (0.5 + self.sigma * normals.next()).clamp(0.0, 1.0 - f32::EPSILON))
+            })
+            .collect()
+    }
+}
+
+/// Standard-normal stream via the Box-Muller transform (two variates per
+/// uniform pair, one cached).
+struct NormalStream {
+    rng: rand::rngs::StdRng,
+    spare: Option<f32>,
+}
+
+impl NormalStream {
+    fn next(&mut self) -> f32 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let g = PointGen::new(1);
+        let total = 1001;
+        let n: usize = (0..3).map(|r| g.generate(r, 3, total).len()).sum();
+        assert_eq!(n, total);
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube() {
+        let g = PointGen::new(2);
+        for p in g.generate(0, 1, 5000) {
+            for c in p {
+                assert!((0.0..1.0).contains(&c), "coordinate {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_centred_and_octants_are_skewed() {
+        let g = PointGen::new(3);
+        let pts = g.generate(0, 1, 20_000);
+        let mean: f32 = pts.iter().map(|p| p[0]).sum::<f32>() / pts.len() as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // What the octree benchmark needs is non-uniform density: at
+        // refinement level 3 (512 cells) the densest cell must clearly
+        // exceed the 1 % threshold a uniform distribution would sit near.
+        let mut cells = std::collections::HashMap::new();
+        for p in &pts {
+            let key: [u32; 3] = [p[0], p[1], p[2]].map(|c| (c * 8.0) as u32);
+            *cells.entry(key).or_insert(0usize) += 1;
+        }
+        let max = *cells.values().max().unwrap();
+        let uniform_expect = pts.len() / 512;
+        assert!(
+            max > 4 * uniform_expect,
+            "densest level-3 cell {max} vs uniform {uniform_expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_rank() {
+        let g = PointGen::new(4);
+        assert_eq!(g.generate(1, 2, 100), g.generate(1, 2, 100));
+        assert_ne!(g.generate(0, 2, 100), g.generate(1, 2, 100));
+    }
+}

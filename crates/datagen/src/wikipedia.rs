@@ -1,0 +1,167 @@
+use rand::Rng;
+
+use crate::words::{push_word, share_of};
+use crate::{rank_rng, splitmix64, WORDS_PER_LINE};
+
+/// The *WC (Wikipedia)* stand-in corpus (see DESIGN.md substitutions):
+/// word frequencies follow a Zipf distribution and word lengths vary,
+/// reproducing the two properties the paper relies on — heterogeneity
+/// ("in terms of type and length of words") and heavy key imbalance
+/// across reducers, which is what breaks MR-MPI's static paging in the
+/// weak-scaling experiments (Figures 10 and 14).
+#[derive(Debug, Clone, Copy)]
+pub struct WikipediaWords {
+    /// Number of distinct words.
+    pub vocab: usize,
+    /// Zipf exponent; 1.0 approximates natural-language skew.
+    pub zipf_s: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WikipediaWords {
+    /// Defaults: 50 Ki words, Zipf(1.0).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            vocab: 50_000,
+            zipf_s: 1.0,
+            seed,
+        }
+    }
+
+    /// Length of vocabulary word `i`, in 4..=16 bytes (frequency-weighted
+    /// mean ≈ 10, which puts the KV-hint saving of Figure 7 near the
+    /// paper's ~26 %).
+    pub fn word_len(i: usize) -> usize {
+        4 + (splitmix64(i as u64 ^ 0x057D_1EE7) % 13) as usize
+    }
+
+    /// Generates this rank's share (≈ `total_bytes / n_ranks`) of the
+    /// corpus as newline-separated text.
+    pub fn generate(&self, rank: usize, n_ranks: usize, total_bytes: usize) -> Vec<u8> {
+        let share = share_of(total_bytes, rank, n_ranks);
+        let cdf = self.cdf();
+        let mut rng = rank_rng(self.seed ^ 0x5EED_0F17, rank);
+        let mut out = Vec::with_capacity(share + 64);
+        let mut col = 0usize;
+        while out.len() < share {
+            let u: f64 = rng.gen();
+            let w = cdf.partition_point(|&c| c < u).min(self.vocab - 1);
+            push_word(&mut out, w, Self::word_len(w));
+            col += 1;
+            if col == WORDS_PER_LINE {
+                out.push(b'\n');
+                col = 0;
+            } else {
+                out.push(b' ');
+            }
+        }
+        if out.last() != Some(&b'\n') {
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Cumulative Zipf distribution over the vocabulary.
+    fn cdf(&self) -> Vec<f64> {
+        let mut weights: Vec<f64> = (0..self.vocab)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_counts(data: &[u8]) -> std::collections::HashMap<Vec<u8>, usize> {
+        let mut m = std::collections::HashMap::new();
+        for line in data.split(|&b| b == b'\n') {
+            for w in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                *m.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn frequencies_are_heavily_skewed() {
+        let g = WikipediaWords::new(11);
+        let data = g.generate(0, 1, 200_000);
+        let counts = word_counts(&data);
+        let total: usize = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        // Zipf(1.0) over 50k words: the top word carries ~9% of mass;
+        // uniform would give ~0.002%.
+        assert!(
+            max as f64 / total as f64 > 0.03,
+            "top word only {max}/{total}"
+        );
+    }
+
+    #[test]
+    fn word_lengths_are_heterogeneous() {
+        let g = WikipediaWords::new(11);
+        let data = g.generate(0, 1, 100_000);
+        let lens: std::collections::HashSet<usize> =
+            word_counts(&data).keys().map(Vec::len).collect();
+        assert!(lens.len() >= 8, "only {} distinct lengths", lens.len());
+        assert!(lens.iter().all(|&l| (4..=16).contains(&l)));
+    }
+
+    #[test]
+    fn weighted_mean_length_supports_fig7_target() {
+        let g = WikipediaWords::new(5);
+        let data = g.generate(0, 1, 500_000);
+        let counts = word_counts(&data);
+        let (mut num, mut den) = (0usize, 0usize);
+        for (w, c) in &counts {
+            num += w.len() * c;
+            den += c;
+        }
+        let mean = num as f64 / den as f64;
+        // KV-hint saving = 7 / (16 + mean); the paper reports ~26 %, which
+        // needs mean ≈ 10-12.
+        assert!((8.0..=13.0).contains(&mean), "mean word length {mean}");
+    }
+
+    #[test]
+    fn deterministic_and_rank_disjoint_streams() {
+        let g = WikipediaWords::new(3);
+        assert_eq!(g.generate(1, 4, 10_000), g.generate(1, 4, 10_000));
+        assert_ne!(g.generate(0, 4, 10_000), g.generate(1, 4, 10_000));
+    }
+
+    #[test]
+    fn frequency_rank_follows_a_power_law() {
+        // Fit log(freq) ~ a + b·log(rank) over the top 200 ranks; a
+        // Zipf(1.0) corpus should have slope b ≈ -1.
+        let g = WikipediaWords::new(17);
+        let data = g.generate(0, 1, 2_000_000);
+        let mut counts: Vec<usize> = word_counts(&data).into_values().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: Vec<(f64, f64)> = counts
+            .iter()
+            .take(200)
+            .enumerate()
+            .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+            .collect();
+        let n = top.len() as f64;
+        let sx: f64 = top.iter().map(|(x, _)| x).sum();
+        let sy: f64 = top.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = top.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = top.iter().map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (-1.25..=-0.75).contains(&slope),
+            "power-law slope {slope:.3}, expected ≈ -1"
+        );
+    }
+}

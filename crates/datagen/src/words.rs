@@ -1,0 +1,129 @@
+use rand::Rng;
+
+use crate::{rank_rng, WORDS_PER_LINE};
+
+/// The *WC (Uniform)* corpus: words drawn uniformly from a fixed-size
+/// vocabulary, fixed word length, newline-separated lines.
+///
+/// Because every word is equally likely, the intermediate KVs of a
+/// WordCount over this corpus partition evenly across ranks — the
+/// balanced case in the paper's evaluation, where even MR-MPI's static
+/// paging scales until the per-process page fills.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformWords {
+    /// Number of distinct words.
+    pub vocab: usize,
+    /// Length of every word in bytes.
+    pub word_len: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl UniformWords {
+    /// Sensible defaults: 64 Ki distinct 8-byte words.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            vocab: 64 * 1024,
+            word_len: 8,
+            seed,
+        }
+    }
+
+    /// Generates this rank's share (≈ `total_bytes / n_ranks`) of the
+    /// corpus as newline-separated text.
+    pub fn generate(&self, rank: usize, n_ranks: usize, total_bytes: usize) -> Vec<u8> {
+        let share = share_of(total_bytes, rank, n_ranks);
+        let mut rng = rank_rng(self.seed, rank);
+        let mut out = Vec::with_capacity(share + 64);
+        let mut col = 0usize;
+        while out.len() < share {
+            let w = rng.gen_range(0..self.vocab);
+            push_word(&mut out, w, self.word_len);
+            col += 1;
+            if col == WORDS_PER_LINE {
+                out.push(b'\n');
+                col = 0;
+            } else {
+                out.push(b' ');
+            }
+        }
+        if out.last() != Some(&b'\n') {
+            out.push(b'\n');
+        }
+        out
+    }
+}
+
+/// Writes word number `idx` as a fixed-length lowercase token.
+pub(crate) fn push_word(out: &mut Vec<u8>, idx: usize, len: usize) {
+    let start = out.len();
+    out.resize(start + len, b'a');
+    let mut v = idx;
+    for slot in out[start..].iter_mut().rev() {
+        *slot = b'a' + (v % 26) as u8;
+        v /= 26;
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// This rank's byte share of a `total`-byte dataset.
+pub(crate) fn share_of(total: usize, rank: usize, n_ranks: usize) -> usize {
+    let base = total / n_ranks;
+    let extra = total % n_ranks;
+    base + usize::from(rank < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_total_approximately() {
+        let g = UniformWords::new(1);
+        let total = 10_000;
+        let n = 4;
+        let bytes: usize = (0..n).map(|r| g.generate(r, n, total).len()).sum();
+        // Each rank rounds up to a whole line.
+        assert!(bytes >= total);
+        assert!(bytes < total + n * 128);
+    }
+
+    #[test]
+    fn words_have_fixed_length_and_vocab() {
+        let g = UniformWords {
+            vocab: 100,
+            word_len: 5,
+            seed: 7,
+        };
+        let data = g.generate(0, 1, 5_000);
+        let mut distinct = std::collections::HashSet::new();
+        for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            for w in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                assert_eq!(w.len(), 5, "word {:?}", String::from_utf8_lossy(w));
+                assert!(w.iter().all(u8::is_ascii_lowercase));
+                distinct.insert(w.to_vec());
+            }
+        }
+        assert!(distinct.len() <= 100);
+        assert!(distinct.len() > 50, "uniform draw should hit most of vocab");
+    }
+
+    #[test]
+    fn deterministic_per_rank() {
+        let g = UniformWords::new(3);
+        assert_eq!(g.generate(2, 4, 9999), g.generate(2, 4, 9999));
+        assert_ne!(g.generate(0, 4, 9999), g.generate(1, 4, 9999));
+    }
+
+    #[test]
+    fn push_word_is_injective_within_vocab() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let mut buf = Vec::new();
+            push_word(&mut buf, i, 8);
+            assert!(seen.insert(buf), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors from the I/O subsystem.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying filesystem operation failed.
+    Os {
+        /// What the subsystem was doing.
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A spill file's framing was corrupt (truncated chunk, bad length).
+    CorruptSpill(String),
+    /// Invalid configuration (zero bandwidth, no ranks, …).
+    InvalidConfig(String),
+}
+
+impl IoError {
+    pub(crate) fn os(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> IoError {
+        let context = context.into();
+        move |source| IoError::Os { context, source }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Os { context, source } => write!(f, "{context}: {source}"),
+            IoError::CorruptSpill(msg) => write!(f, "corrupt spill file: {msg}"),
+            IoError::InvalidConfig(msg) => write!(f, "invalid I/O configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Os { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

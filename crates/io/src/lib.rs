@@ -1,0 +1,38 @@
+//! # mimir-io — the I/O subsystem of the reproduction
+//!
+//! Supercomputer nodes in the paper have no local persistent storage: both
+//! input datasets and MR-MPI's page spills live on a *shared parallel file
+//! system* (Lustre on Comet, GPFS behind 1:128 I/O forwarding nodes on
+//! Mira). That shared, bandwidth-limited path is what turns MR-MPI's page
+//! spills into the three-orders-of-magnitude slowdown of the paper's
+//! Figure 1.
+//!
+//! This crate provides:
+//!
+//! * [`IoModel`] — a calibrated cost model for the parallel file system.
+//!   Spills really happen (bytes round-trip through files on local disk so
+//!   the code path is exercised end to end), but the *reported* cost of
+//!   each operation is computed from configurable bandwidth/latency
+//!   parameters and accumulated as *modeled time*. Harnesses report
+//!   `execution time = measured compute time + modeled I/O time`,
+//!   reproducing the paper's platform economics on a machine whose local
+//!   SSD is nothing like a loaded Lustre installation.
+//! * [`SpillStore`]/[`SpillFile`] — length-prefixed chunked spill files
+//!   with RAII cleanup, used by MR-MPI's out-of-core mode.
+//! * [`splitter`] — byte-range input splitting at record boundaries, the
+//!   way both frameworks shard an input file across ranks.
+
+pub mod splitter;
+
+mod error;
+mod model;
+mod spill;
+mod text;
+
+pub use error::IoError;
+pub use model::{IoModel, IoModelConfig, IoStats};
+pub use spill::{SpillFile, SpillReader, SpillStore};
+pub use text::{for_each_line, words, LineReader};
+
+/// Result alias for fallible I/O operations.
+pub type Result<T> = std::result::Result<T, IoError>;

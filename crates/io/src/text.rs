@@ -1,0 +1,87 @@
+//! Zero-copy record iteration over in-memory text buffers.
+//!
+//! Ranks hold their input split as one contiguous byte buffer (read once,
+//! per the I/O model); map phases then iterate records without further
+//! allocation, per the perf-book guidance on avoiding per-line `String`s.
+
+/// Iterator over `\n`-terminated lines of a byte buffer, yielding slices
+/// without the terminator. A final unterminated line is yielded too;
+/// empty lines are skipped.
+pub struct LineReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> LineReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { rest: data }
+    }
+}
+
+impl<'a> Iterator for LineReader<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        loop {
+            if self.rest.is_empty() {
+                return None;
+            }
+            let (line, rest) = match self.rest.iter().position(|&b| b == b'\n') {
+                Some(pos) => (&self.rest[..pos], &self.rest[pos + 1..]),
+                None => (self.rest, &[][..]),
+            };
+            self.rest = rest;
+            if !line.is_empty() {
+                return Some(line);
+            }
+        }
+    }
+}
+
+/// Calls `f` for every non-empty line of `data`.
+pub fn for_each_line(data: &[u8], mut f: impl FnMut(&[u8])) {
+    for line in LineReader::new(data) {
+        f(line);
+    }
+}
+
+/// Iterator over whitespace-separated words of a line.
+pub fn words(line: &[u8]) -> impl Iterator<Item = &[u8]> {
+    line.split(u8::is_ascii_whitespace)
+        .filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_with_and_without_trailing_newline() {
+        let got: Vec<_> = LineReader::new(b"a\nbb\nccc").collect();
+        assert_eq!(got, vec![&b"a"[..], b"bb", b"ccc"]);
+        let got: Vec<_> = LineReader::new(b"a\nbb\n").collect();
+        assert_eq!(got, vec![&b"a"[..], b"bb"]);
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let got: Vec<_> = LineReader::new(b"\n\na\n\n\nb\n").collect();
+        assert_eq!(got, vec![&b"a"[..], b"b"]);
+        assert_eq!(LineReader::new(b"").count(), 0);
+        assert_eq!(LineReader::new(b"\n\n").count(), 0);
+    }
+
+    #[test]
+    fn words_split_on_any_whitespace() {
+        let got: Vec<_> = words(b"  the quick\tbrown   fox ").collect();
+        assert_eq!(got, vec![&b"the"[..], b"quick", b"brown", b"fox"]);
+        assert_eq!(words(b"   \t ").count(), 0);
+    }
+
+    #[test]
+    fn for_each_line_visits_all() {
+        let mut n = 0;
+        for_each_line(b"x\ny\nz", |_| n += 1);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Spill-store stress and property tests: arbitrary chunk sequences
+//! round-trip, and per-rank stores operate concurrently without
+//! interference.
+
+use mimir_io::{IoModel, SpillStore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_chunk_sequences_roundtrip(
+        chunks in prop::collection::vec(
+            prop::collection::vec(proptest::num::u8::ANY, 0..2000),
+            0..30,
+        ),
+    ) {
+        let store = SpillStore::new_temp("prop", IoModel::free()).unwrap();
+        let mut f = store.create("chunks").unwrap();
+        for c in &chunks {
+            f.write_chunk(c).unwrap();
+        }
+        f.finish().unwrap();
+        let mut r = f.read_chunks().unwrap();
+        for expected in &chunks {
+            let got = r.next_chunk().unwrap().expect("chunk present");
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert!(r.next_chunk().unwrap().is_none());
+    }
+}
+
+#[test]
+fn concurrent_per_rank_stores_do_not_interfere() {
+    let model = IoModel::free();
+    std::thread::scope(|s| {
+        for rank in 0..8usize {
+            let model = model.clone();
+            s.spawn(move || {
+                let store = SpillStore::new_temp(&format!("rank{rank}"), model).unwrap();
+                let mut files = Vec::new();
+                for round in 0..5 {
+                    let mut f = store.create("data").unwrap();
+                    for i in 0..50u32 {
+                        let payload = vec![(rank * 10 + round) as u8; i as usize % 97];
+                        f.write_chunk(&payload).unwrap();
+                    }
+                    f.finish().unwrap();
+                    files.push(f);
+                }
+                for (round, f) in files.iter().enumerate() {
+                    let mut r = f.read_chunks().unwrap();
+                    let mut n = 0;
+                    while let Some(chunk) = r.next_chunk().unwrap() {
+                        assert!(chunk.iter().all(|&b| b == (rank * 10 + round) as u8));
+                        n += 1;
+                    }
+                    assert_eq!(n, 50);
+                }
+            });
+        }
+    });
+    // Shared model saw all the traffic.
+    assert_eq!(model.stats().write_ops, 8 * 5 * 50);
+}
+
+#[test]
+fn many_files_in_one_store() {
+    let store = SpillStore::new_temp("many", IoModel::free()).unwrap();
+    let mut files = Vec::new();
+    for i in 0..100u32 {
+        let mut f = store.create("f").unwrap();
+        f.write_chunk(&i.to_le_bytes()).unwrap();
+        f.finish().unwrap();
+        files.push(f);
+    }
+    for (i, f) in files.iter().enumerate() {
+        let mut r = f.read_chunks().unwrap();
+        let c = r.next_chunk().unwrap().unwrap();
+        assert_eq!(u32::from_le_bytes(c.try_into().unwrap()), i as u32);
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors produced by the memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An allocation would have pushed a pool past its hard budget.
+    ///
+    /// This is the signal the frameworks react to: Mimir fails the job (its
+    /// containers are in-memory only), MR-MPI spills pages to the I/O
+    /// subsystem.
+    OutOfMemory {
+        /// Name of the pool (usually `node<N>`).
+        pool: String,
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes charged to the pool at the time of the request.
+        used: usize,
+        /// The pool's hard budget in bytes.
+        budget: usize,
+    },
+    /// A pool or node map was configured with impossible parameters.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                pool,
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "out of memory in pool `{pool}`: requested {requested} B with {used}/{budget} B in use"
+            ),
+            MemError::InvalidConfig(msg) => write!(f, "invalid memory configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

@@ -1,0 +1,163 @@
+use std::sync::Arc;
+
+use crate::pool::PoolInner;
+
+/// A fixed-size memory buffer charged against a [`crate::MemPool`].
+///
+/// Pages are the paper's unit of allocation: MR-MPI statically allocates a
+/// handful of large pages per phase; Mimir's containers grow and shrink one
+/// page at a time. A page tracks a write cursor (`len`) within its fixed
+/// capacity, supports append-style writes, and returns its bytes to the pool
+/// on drop.
+pub struct Page {
+    buf: Box<[u8]>,
+    len: usize,
+    pool: Arc<PoolInner>,
+}
+
+impl Page {
+    pub(crate) fn new(buf: Box<[u8]>, pool: Arc<PoolInner>) -> Self {
+        Self { buf, len: 0, pool }
+    }
+
+    /// Total capacity in bytes (the pool's page size).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bytes have been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining writable bytes.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// The written prefix of the page.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+
+    /// Mutable view of the written prefix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.len]
+    }
+
+    /// The full backing buffer regardless of the cursor. Used by code that
+    /// fills a page wholesale (e.g. receiving an exchange) before calling
+    /// [`Self::set_len`].
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Sets the write cursor.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the capacity.
+    #[inline]
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= self.buf.len(), "page cursor beyond capacity");
+        self.len = len;
+    }
+
+    /// Appends `bytes` if they fit, returning `false` (without writing)
+    /// otherwise.
+    #[inline]
+    pub fn try_write(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() > self.remaining() {
+            return false;
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        true
+    }
+
+    /// Resets the cursor to zero; capacity and accounting are unchanged.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Drop for Page {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.pool.recycle_page(buf);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("len", &self.len)
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MemPool;
+
+    #[test]
+    fn write_and_read_back() {
+        let pool = MemPool::unlimited("t", 16);
+        let mut p = pool.alloc_page().unwrap();
+        assert!(p.try_write(b"hello"));
+        assert!(p.try_write(b" world"));
+        assert_eq!(p.as_slice(), b"hello world");
+        assert_eq!(p.remaining(), 5);
+    }
+
+    #[test]
+    fn write_past_capacity_is_refused_atomically() {
+        let pool = MemPool::unlimited("t", 8);
+        let mut p = pool.alloc_page().unwrap();
+        assert!(p.try_write(b"1234567"));
+        assert!(!p.try_write(b"89"));
+        assert_eq!(p.as_slice(), b"1234567", "failed write leaves page intact");
+        assert!(p.try_write(b"8"));
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_resets_cursor_only() {
+        let pool = MemPool::new("t", 8, 8).unwrap();
+        let mut p = pool.alloc_page().unwrap();
+        p.try_write(b"abc");
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(pool.used(), 8, "clear does not release memory");
+    }
+
+    #[test]
+    fn set_len_exposes_raw_fill() {
+        let pool = MemPool::unlimited("t", 8);
+        let mut p = pool.alloc_page().unwrap();
+        p.raw_mut()[..3].copy_from_slice(b"xyz");
+        p.set_len(3);
+        assert_eq!(p.as_slice(), b"xyz");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn set_len_past_capacity_panics() {
+        let pool = MemPool::unlimited("t", 8);
+        let mut p = pool.alloc_page().unwrap();
+        p.set_len(9);
+    }
+}

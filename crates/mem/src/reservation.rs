@@ -1,0 +1,92 @@
+use std::sync::Arc;
+
+use crate::pool::PoolInner;
+use crate::Result;
+
+/// A byte-granular charge against a [`crate::MemPool`], released on drop.
+///
+/// Reservations account for intermediate state that is not stored in pages
+/// but still occupies node memory: the hash buckets used by the convert
+/// phase, the KV-compression and partial-reduction tables, MR-MPI's
+/// partition scratch structures. Keeping them on the books is what makes
+/// the paper's observation reproducible that KV compression "reduces memory
+/// usage only if the compression ratio reaches a certain threshold"
+/// (Section III-C2): the table itself costs memory.
+pub struct Reservation {
+    bytes: usize,
+    pool: Arc<PoolInner>,
+}
+
+impl Reservation {
+    pub(crate) fn new(bytes: usize, pool: Arc<PoolInner>) -> Self {
+        Self { bytes, pool }
+    }
+
+    /// Currently reserved bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grows or shrinks the reservation to `new_bytes`.
+    ///
+    /// # Errors
+    /// Growing can hit the pool budget; the reservation is unchanged then.
+    pub fn resize(&mut self, new_bytes: usize) -> Result<()> {
+        if new_bytes > self.bytes {
+            self.pool.charge(new_bytes - self.bytes)?;
+        } else {
+            self.pool.credit(self.bytes - new_bytes);
+        }
+        self.bytes = new_bytes;
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.pool.credit(self.bytes);
+    }
+}
+
+impl std::fmt::Debug for Reservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reservation").field("bytes", &self.bytes).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MemError, MemPool};
+
+    #[test]
+    fn resize_up_and_down() {
+        let pool = MemPool::new("t", 16, 100).unwrap();
+        let mut r = pool.try_reserve(10).unwrap();
+        r.resize(60).unwrap();
+        assert_eq!(pool.used(), 60);
+        r.resize(20).unwrap();
+        assert_eq!(pool.used(), 20);
+        drop(r);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn resize_past_budget_fails_and_preserves_state() {
+        let pool = MemPool::new("t", 16, 100).unwrap();
+        let mut r = pool.try_reserve(50).unwrap();
+        let err = r.resize(150).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+        assert_eq!(r.bytes(), 50);
+        assert_eq!(pool.used(), 50);
+    }
+
+    #[test]
+    fn resize_to_zero_keeps_reservation_alive() {
+        let pool = MemPool::new("t", 16, 100).unwrap();
+        let mut r = pool.try_reserve(50).unwrap();
+        r.resize(0).unwrap();
+        assert_eq!(pool.used(), 0);
+        r.resize(100).unwrap();
+        assert_eq!(pool.used(), 100);
+    }
+}

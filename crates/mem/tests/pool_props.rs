@@ -1,0 +1,140 @@
+//! Property tests for the memory pool: accounting invariants under
+//! arbitrary allocation/free interleavings, single- and multi-threaded.
+
+use mimir_mem::{MemPool, NodeMap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AllocPage,
+    FreeOldestPage,
+    Reserve(usize),
+    FreeOldestReservation,
+    ResizeNewest(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::AllocPage),
+        Just(Op::FreeOldestPage),
+        (0usize..5000).prop_map(Op::Reserve),
+        Just(Op::FreeOldestReservation),
+        (0usize..5000).prop_map(Op::ResizeNewest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_invariants_hold(ops in prop::collection::vec(op_strategy(), 0..100)) {
+        let page = 256;
+        let budget = 16 * 1024;
+        let pool = MemPool::new("prop", page, budget).unwrap();
+        let mut pages = std::collections::VecDeque::new();
+        let mut reservations = std::collections::VecDeque::new();
+        let mut expected_used = 0usize;
+
+        for op in ops {
+            match op {
+                Op::AllocPage => {
+                    if let Ok(p) = pool.alloc_page() {
+                        pages.push_back(p);
+                        expected_used += page;
+                    } else {
+                        prop_assert!(expected_used + page > budget, "refused under budget");
+                    }
+                }
+                Op::FreeOldestPage => {
+                    if pages.pop_front().is_some() {
+                        expected_used -= page;
+                    }
+                }
+                Op::Reserve(bytes) => {
+                    if let Ok(r) = pool.try_reserve(bytes) {
+                        reservations.push_back(r);
+                        expected_used += bytes;
+                    } else {
+                        prop_assert!(expected_used + bytes > budget);
+                    }
+                }
+                Op::FreeOldestReservation => {
+                    if let Some(r) = reservations.pop_front() {
+                        expected_used -= r.bytes();
+                    }
+                }
+                Op::ResizeNewest(bytes) => {
+                    if let Some(r) = reservations.back_mut() {
+                        let before = r.bytes();
+                        if r.resize(bytes).is_ok() {
+                            expected_used = expected_used - before + bytes;
+                        } else {
+                            prop_assert_eq!(r.bytes(), before, "failed resize is a no-op");
+                        }
+                    }
+                }
+            }
+            // Invariants after every operation.
+            prop_assert_eq!(pool.used(), expected_used);
+            prop_assert!(pool.peak() >= pool.used());
+            prop_assert!(pool.used() <= budget);
+        }
+        drop(pages);
+        drop(reservations);
+        prop_assert_eq!(pool.used(), 0, "all RAII releases balance");
+    }
+
+    #[test]
+    fn node_map_partitions_ranks_completely(
+        n_ranks in 1usize..40,
+        rpn in 1usize..10,
+    ) {
+        let m = NodeMap::new(n_ranks, rpn, 64, 4096).unwrap();
+        // Every rank maps to a valid node; node indices are contiguous.
+        let mut max_node = 0;
+        for r in 0..n_ranks {
+            let node = m.node_of(r);
+            prop_assert!(node < m.n_nodes());
+            max_node = max_node.max(node);
+        }
+        prop_assert_eq!(max_node + 1, m.n_nodes());
+        // Ranks per node never exceeds rpn.
+        let mut counts = vec![0usize; m.n_nodes()];
+        for r in 0..n_ranks {
+            counts[m.node_of(r)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c <= rpn));
+    }
+}
+
+#[test]
+fn concurrent_stress_never_exceeds_budget() {
+    let page = 128;
+    let budget = 8 * 1024;
+    let pool = MemPool::new("stress", page, budget).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..500 {
+                    match (i + t) % 3 {
+                        0 => {
+                            if let Ok(p) = pool.alloc_page() {
+                                held.push(p);
+                            }
+                        }
+                        1 => {
+                            held.pop();
+                        }
+                        _ => {
+                            assert!(pool.used() <= budget, "budget violated");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(pool.peak() <= budget);
+    assert_eq!(pool.used(), 0);
+}

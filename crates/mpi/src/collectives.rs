@@ -1,0 +1,186 @@
+//! Collective operations over the rank world.
+//!
+//! All collectives follow MPI's matching rule: every rank must call the
+//! same sequence of collectives. Internally they use reserved tags and the
+//! binomial-tree communication patterns of MPICH's small-message paths,
+//! giving `O(log p)` depth for reductions and broadcasts. `alltoallv` is
+//! the direct (pairwise-send) algorithm, which is also what MPICH uses for
+//! the message sizes Mimir's 64 MB communication buffers produce.
+
+use crate::msg::tags;
+use crate::{Comm, ReduceOp};
+
+impl Comm {
+    /// Blocks until every rank has entered the barrier.
+    pub fn barrier(&mut self) {
+        self.count_collective();
+        // An allreduce of nothing is a barrier; reuse the binomial pattern
+        // with a zero-byte payload via reduce+bcast on a dummy value.
+        self.reduce_bcast_u64(ReduceOp::Sum, 0, tags::BARRIER);
+    }
+
+    /// Reduces `value` across all ranks with `op`; every rank receives the
+    /// result.
+    pub fn allreduce_u64(&mut self, op: ReduceOp, value: u64) -> u64 {
+        self.count_collective();
+        self.reduce_bcast_u64(op, value, tags::REDUCE)
+    }
+
+    /// Reduces `value` to rank 0; returns `Some(result)` on rank 0 and
+    /// `None` elsewhere.
+    pub fn reduce_u64(&mut self, op: ReduceOp, value: u64) -> Option<u64> {
+        self.count_collective();
+        let v = self.binomial_reduce(op, value, tags::REDUCE);
+        (self.rank() == 0).then_some(v)
+    }
+
+    /// Broadcasts `data` from `root` to every rank; returns the payload on
+    /// all ranks (the root gets its own buffer back).
+    pub fn bcast(&mut self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        self.count_collective();
+        self.binomial_bcast(root, data, tags::BCAST)
+    }
+
+    /// Gathers each rank's buffer at `root`, indexed by source rank.
+    /// Returns `Some(buffers)` at the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        self.count_collective();
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size());
+            for src in 0..self.size() {
+                if src == root {
+                    out.push(data.clone());
+                } else {
+                    out.push(self.recv_internal(src, tags::GATHER));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_internal(root, tags::GATHER, data);
+            None
+        }
+    }
+
+    /// Every rank receives every rank's buffer, indexed by source rank.
+    pub fn allgather(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.count_collective();
+        let me = self.rank();
+        for dst in 0..self.size() {
+            if dst != me {
+                self.send_internal(dst, tags::ALLGATHER, data.clone());
+            }
+        }
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == me {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv_internal(src, tags::ALLGATHER));
+            }
+        }
+        out
+    }
+
+    /// Convenience allgather of one `u64` per rank.
+    pub fn allgather_u64(&mut self, value: u64) -> Vec<u64> {
+        self.allgather(value.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte allgather payload")))
+            .collect()
+    }
+
+    /// The all-to-all personalized exchange at the heart of the MapReduce
+    /// aggregate phase. `parts[d]` is the byte buffer destined for rank
+    /// `d`; the return value holds one buffer per source rank.
+    ///
+    /// Ownership of `parts` moves in, so a caller that carved buffers out
+    /// of its send pages pays no extra copy on the send side — matching
+    /// Mimir's "map inserts directly into the send buffer" design.
+    ///
+    /// # Panics
+    /// Panics if `parts.len() != size()`.
+    pub fn alltoallv(&mut self, mut parts: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(
+            parts.len(),
+            self.size(),
+            "alltoallv needs exactly one buffer per rank"
+        );
+        self.count_collective();
+        let me = self.rank();
+        let mine = std::mem::take(&mut parts[me]);
+        for (dst, buf) in parts.into_iter().enumerate() {
+            if dst != me {
+                self.send_internal(dst, tags::ALLTOALLV, buf);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == me {
+                // Own partition moves straight across — no copy, no send.
+                out.push(Vec::new());
+            } else {
+                out.push(self.recv_internal(src, tags::ALLTOALLV));
+            }
+        }
+        out[me] = mine;
+        out
+    }
+
+    fn reduce_bcast_u64(&mut self, op: ReduceOp, value: u64, tag: u32) -> u64 {
+        let reduced = self.binomial_reduce(op, value, tag);
+        let bytes = self.binomial_bcast(0, reduced.to_le_bytes().to_vec(), tag);
+        u64::from_le_bytes(bytes.try_into().expect("8-byte reduce payload"))
+    }
+
+    /// Binomial-tree reduction to rank 0; only rank 0's return value is
+    /// meaningful.
+    fn binomial_reduce(&mut self, op: ReduceOp, value: u64, tag: u32) -> u64 {
+        let rank = self.rank();
+        let size = self.size();
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < size {
+            if rank & mask == 0 {
+                let src = rank | mask;
+                if src < size {
+                    let bytes = self.recv_internal(src, tag);
+                    let other = u64::from_le_bytes(bytes.try_into().expect("8-byte payload"));
+                    acc = op.apply(acc, other);
+                }
+            } else {
+                let dst = rank & !mask;
+                self.send_internal(dst, tag, acc.to_le_bytes().to_vec());
+                break;
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Binomial-tree broadcast from `root`.
+    fn binomial_bcast(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Vec<u8> {
+        let size = self.size();
+        let relative = (self.rank() + size - root) % size;
+        let mut mask = 1usize;
+        let mut payload = data;
+        while mask < size {
+            if relative & mask != 0 {
+                let parent = (relative - mask + root) % size;
+                payload = self.recv_internal(parent, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let child = (relative + mask + root) % size;
+                self.send_internal(child, tag, payload.clone());
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+}

@@ -1,0 +1,145 @@
+use std::collections::VecDeque;
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::error::DisconnectPanic;
+use crate::msg::{tags, Msg, Tag};
+use crate::{CommError, CommStats};
+
+/// A rank's endpoint into the world: point-to-point messaging plus the
+/// collective operations (barrier, allreduce, alltoallv, …).
+///
+/// A `Comm` is owned by exactly one rank thread (it is `Send` but not
+/// `Sync`, like an `MPI_Comm` used correctly). Receives are matched by
+/// `(source, tag)`; messages that arrive ahead of the matching receive are
+/// parked in a per-source pending queue, preserving FIFO order per pair.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// Sender endpoint towards each destination rank.
+    txs: Vec<Sender<Msg>>,
+    /// Receiver endpoint from each source rank.
+    rxs: Vec<Receiver<Msg>>,
+    /// Messages received from each source but not yet matched by tag.
+    pending: Vec<VecDeque<Msg>>,
+    stats: CommStats,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, txs: Vec<Sender<Msg>>, rxs: Vec<Receiver<Msg>>) -> Self {
+        debug_assert_eq!(txs.len(), size);
+        debug_assert_eq!(rxs.len(), size);
+        Self {
+            rank,
+            size,
+            txs,
+            rxs,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This rank's index in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Communication counters accumulated by this rank so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Sends `data` to `dst` with `tag`, taking ownership of the buffer
+    /// (no copy).
+    ///
+    /// Sends never block: the transport is unbounded, modeling an eager
+    /// protocol. Flow control in the reproduction comes from Mimir's own
+    /// fixed-size communication buffers, exactly as in the paper.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` is in the reserved
+    /// collective range, or (with a disconnect payload) if `dst` has
+    /// exited.
+    pub fn send_vec(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
+        assert!(tag <= tags::USER_MAX, "tag {tag:#x} is reserved for collectives");
+        self.send_internal(dst, tag, data);
+    }
+
+    /// Copying variant of [`Self::send_vec`].
+    pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        self.send_vec(dst, tag, data.to_vec());
+    }
+
+    /// Receives the next message from `src` carrying `tag`, blocking until
+    /// one arrives.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range or `tag` is reserved, or (with a
+    /// disconnect payload) if `src` exited before sending a matching
+    /// message.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        assert!(tag <= tags::USER_MAX, "tag {tag:#x} is reserved for collectives");
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn send_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
+        assert!(dst < self.size, "send to rank {dst} in a world of {}", self.size);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        if self.txs[dst].send(Msg { tag, data }).is_err() {
+            // resume_unwind skips the panic hook: the cascade teardown is
+            // expected noise; the root-cause rank's own panic already
+            // printed.
+            std::panic::resume_unwind(Box::new(DisconnectPanic(CommError::RankDisconnected {
+                observer: self.rank,
+                peer: dst,
+            })));
+        }
+    }
+
+    pub(crate) fn recv_internal(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        assert!(src < self.size, "recv from rank {src} in a world of {}", self.size);
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[src].remove(pos).expect("position just found");
+            self.stats.msgs_recvd += 1;
+            self.stats.bytes_recvd += msg.data.len() as u64;
+            return msg.data;
+        }
+        loop {
+            match self.rxs[src].recv() {
+                Ok(msg) if msg.tag == tag => {
+                    self.stats.msgs_recvd += 1;
+                    self.stats.bytes_recvd += msg.data.len() as u64;
+                    return msg.data;
+                }
+                Ok(msg) => self.pending[src].push_back(msg),
+                Err(_) => std::panic::resume_unwind(Box::new(DisconnectPanic(
+                    CommError::RankDisconnected {
+                        observer: self.rank,
+                        peer: src,
+                    },
+                ))),
+            }
+        }
+    }
+
+    pub(crate) fn count_collective(&mut self) {
+        self.stats.collectives += 1;
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}

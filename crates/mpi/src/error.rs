@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors surfaced by the communication runtime.
+///
+/// Most misuse (rank out of range, tag in the reserved collective space)
+/// panics instead, matching the fail-fast behaviour of an MPI
+/// implementation with error checking enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer rank's thread exited (normally or by panic) while this
+    /// rank was still expecting traffic from it.
+    RankDisconnected {
+        /// Rank that observed the disconnect.
+        observer: usize,
+        /// Rank whose channel went away.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankDisconnected { observer, peer } => {
+                write!(f, "rank {observer}: peer rank {peer} disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Panic payload used when a peer disconnects, so [`crate::run_world`] can
+/// distinguish cascade panics from the root cause.
+#[derive(Debug)]
+pub(crate) struct DisconnectPanic(#[allow(dead_code, reason = "kept so the panic payload prints which rank disconnected")] pub CommError);

@@ -1,0 +1,25 @@
+/// Message tag. User code may use any value below `0xFFFF_FF00`; the
+/// collective implementations reserve the values above it.
+pub type Tag = u32;
+
+/// Namespaced tags so user point-to-point traffic can never match a
+/// collective's internal messages.
+pub(crate) mod tags {
+    use super::Tag;
+
+    /// Highest tag available to user point-to-point traffic.
+    pub const USER_MAX: Tag = 0xFFFF_FEFF;
+    pub const BARRIER: Tag = 0xFFFF_FF00;
+    pub const REDUCE: Tag = 0xFFFF_FF01;
+    pub const BCAST: Tag = 0xFFFF_FF02;
+    pub const GATHER: Tag = 0xFFFF_FF03;
+    pub const ALLGATHER: Tag = 0xFFFF_FF04;
+    pub const ALLTOALLV: Tag = 0xFFFF_FF05;
+}
+
+/// An in-flight message: a tag plus an owned byte payload.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub tag: Tag,
+    pub data: Vec<u8>,
+}

@@ -1,0 +1,32 @@
+/// Per-rank communication counters.
+///
+/// The paper's KV-hint discussion (Section III-C3) notes that shrinking the
+/// KV encoding "also reduces the amount of data that needs to be
+/// communicated during the aggregate phase"; these counters let the bench
+/// harness report exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages this rank sent (point-to-point and collective-internal).
+    pub msgs_sent: u64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Messages this rank received.
+    pub msgs_recvd: u64,
+    /// Payload bytes this rank received.
+    pub bytes_recvd: u64,
+    /// Collective operations this rank participated in.
+    pub collectives: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum, for aggregating across ranks.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recvd: self.msgs_recvd + other.msgs_recvd,
+            bytes_recvd: self.bytes_recvd + other.bytes_recvd,
+            collectives: self.collectives + other.collectives,
+        }
+    }
+}

@@ -1,0 +1,365 @@
+use std::panic::AssertUnwindSafe;
+
+use crossbeam_channel::unbounded;
+
+use crate::comm::Comm;
+use crate::error::DisconnectPanic;
+use crate::msg::Msg;
+
+/// Runs `f` as an SPMD program across `n_ranks` rank threads and returns
+/// the per-rank results indexed by rank.
+///
+/// Equivalent to `mpiexec -n <n_ranks>` for the in-process world: every
+/// rank executes the same closure with its own [`Comm`]. The call blocks
+/// until all ranks finish.
+///
+/// ```
+/// use mimir_mpi::{run_world, ReduceOp};
+///
+/// let sums = run_world(4, |comm| {
+///     comm.allreduce_u64(ReduceOp::Sum, comm.rank() as u64)
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]); // 0+1+2+3 on every rank
+/// ```
+///
+/// # Panics
+/// If any rank panics, the whole world is torn down (peers blocked on the
+/// dead rank wake with disconnect panics, like an MPI job abort) and the
+/// *root-cause* panic is re-raised on the caller's thread.
+pub fn run_world<R, F>(n_ranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_world_named("world", n_ranks, f)
+}
+
+/// [`run_world`] with a name used for rank thread names (visible in
+/// profilers and panic messages).
+pub fn run_world_named<R, F>(name: &str, n_ranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    assert!(n_ranks > 0, "world needs at least one rank");
+
+    // Channel matrix: one FIFO channel per (src, dst) pair.
+    // txs[src][dst] sends to dst; rxs[dst][src] receives from src.
+    let mut txs: Vec<Vec<crossbeam_channel::Sender<Msg>>> =
+        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
+    let mut rxs: Vec<Vec<crossbeam_channel::Receiver<Msg>>> =
+        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
+    for tx_row in txs.iter_mut() {
+        for rx_row in rxs.iter_mut() {
+            let (t, r) = unbounded::<Msg>();
+            tx_row.push(t);
+            rx_row.push(r);
+        }
+    }
+
+    let comms: Vec<Comm> = txs
+        .into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(rank, (tx_row, rx_row))| Comm::new(rank, n_ranks, tx_row, rx_row))
+        .collect();
+
+    let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
+    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut comm)| {
+                std::thread::Builder::new()
+                    .name(format!("{name}-rank{rank}"))
+                    .spawn_scoped(scope, move || {
+                        // Catch the panic so the Comm (and its channel
+                        // endpoints) drops deterministically before the
+                        // thread exits, waking blocked peers.
+                        let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                        drop(comm);
+                        res
+                    })
+                    .expect("spawning rank thread")
+            })
+            .collect();
+
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join().expect("rank thread result") {
+                Ok(r) => results[rank] = Some(r),
+                Err(payload) => panics.push(payload),
+            }
+        }
+    });
+
+    if !panics.is_empty() {
+        // Prefer a root-cause panic over the disconnect cascade it caused.
+        let root = panics
+            .iter()
+            .position(|p| !p.is::<DisconnectPanic>())
+            .unwrap_or(0);
+        std::panic::resume_unwind(panics.swap_remove(root));
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("rank completed without panic"))
+        .collect()
+}
+
+/// [`run_world`] for fallible SPMD programs: a rank returning `Err`
+/// aborts the world (like `MPI_Abort` — peers blocked on collectives are
+/// torn down) and the error is returned to the caller. With multiple
+/// failing ranks, one error is returned (the others are dropped).
+///
+/// # Panics
+/// Re-raises any panic that was not a rank-error abort.
+pub fn run_world_result<R, E, F>(n_ranks: usize, f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send + 'static,
+    F: Fn(&mut Comm) -> Result<R, E> + Send + Sync,
+{
+    struct AbortPayload<E>(E);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_world(n_ranks, |comm| match f(comm) {
+            Ok(r) => r,
+            // resume_unwind skips the panic hook: a rank-error abort is a
+            // clean control-flow path, not a bug to report on stderr.
+            Err(e) => std::panic::resume_unwind(Box::new(AbortPayload(e))),
+        })
+    }));
+    match outcome {
+        Ok(results) => Ok(results),
+        Err(payload) => match payload.downcast::<AbortPayload<E>>() {
+            Ok(abort) => Err(abort.0),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_world(1, |c| {
+            c.barrier();
+            c.rank() + c.size()
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_are_rank_indexed() {
+        let out = run_world(7, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = run_world(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, &[c.rank() as u8]);
+            let got = c.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, b"first");
+                c.send(1, 2, b"second");
+                Vec::new()
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv(0, 2);
+                let a = c.recv(0, 1);
+                vec![a, b]
+            }
+        });
+        assert_eq!(out[1], vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = run_world(3, |c| {
+            let me = c.rank();
+            c.send(me, 9, &[me as u8; 4]);
+            c.recv(me, 9)
+        });
+        assert_eq!(out[2], vec![2u8; 4]);
+    }
+
+    #[test]
+    fn allreduce_all_ops() {
+        for (op, expect) in [
+            (ReduceOp::Sum, 15),
+            (ReduceOp::Max, 5),
+            (ReduceOp::Min, 0),
+        ] {
+            let out = run_world(6, move |c| c.allreduce_u64(op, c.rank() as u64));
+            assert!(out.iter().all(|&v| v == expect), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_land_votes() {
+        let out = run_world(4, |c| c.allreduce_u64(ReduceOp::LAnd, 1));
+        assert_eq!(out, vec![1; 4]);
+        let out = run_world(4, |c| {
+            c.allreduce_u64(ReduceOp::LAnd, u64::from(c.rank() != 2))
+        });
+        assert_eq!(out, vec![0; 4]);
+    }
+
+    #[test]
+    fn reduce_only_root_sees_result() {
+        let out = run_world(5, |c| c.reduce_u64(ReduceOp::Sum, 2));
+        assert_eq!(out[0], Some(10));
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..4 {
+            let out = run_world(4, move |c| {
+                let data = if c.rank() == root {
+                    vec![42, root as u8]
+                } else {
+                    Vec::new()
+                };
+                c.bcast(root, data)
+            });
+            assert!(out.iter().all(|v| v == &[42, root as u8]), "root {root}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world(4, |c| c.gather(2, vec![c.rank() as u8; c.rank() + 1]));
+        let gathered = out[2].as_ref().unwrap();
+        assert_eq!(gathered.len(), 4);
+        for (src, buf) in gathered.iter().enumerate() {
+            assert_eq!(buf, &vec![src as u8; src + 1]);
+        }
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        let out = run_world(3, |c| c.allgather(vec![c.rank() as u8]));
+        for per_rank in &out {
+            assert_eq!(per_rank, &vec![vec![0u8], vec![1u8], vec![2u8]]);
+        }
+    }
+
+    #[test]
+    fn allgather_u64() {
+        let out = run_world(5, |c| c.allgather_u64(c.rank() as u64 * 100));
+        assert_eq!(out[3], vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn alltoallv_transposes_the_matrix() {
+        let out = run_world(4, |c| {
+            let me = c.rank() as u8;
+            // parts[d] = [me, d] repeated (d+1) times
+            let parts: Vec<Vec<u8>> = (0..c.size())
+                .map(|d| [me, d as u8].repeat(d + 1))
+                .collect();
+            c.alltoallv(parts)
+        });
+        for (dst, received) in out.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                assert_eq!(buf, &[src as u8, dst as u8].repeat(dst + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_partitions() {
+        let out = run_world(3, |c| {
+            let parts = vec![Vec::new(), Vec::new(), Vec::new()];
+            c.alltoallv(parts)
+        });
+        assert!(out.iter().all(|r| r.iter().all(Vec::is_empty)));
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_match() {
+        let out = run_world(4, |c| {
+            let mut acc = Vec::new();
+            for round in 0..50u64 {
+                acc.push(c.allreduce_u64(ReduceOp::Sum, round + c.rank() as u64));
+                c.barrier();
+            }
+            acc
+        });
+        for per_rank in &out {
+            for (round, &v) in per_rank.iter().enumerate() {
+                assert_eq!(v, 4 * round as u64 + 6);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_world(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, &[0u8; 100]);
+            } else {
+                let _ = c.recv(0, 3);
+            }
+            c.barrier();
+            c.stats()
+        });
+        // rank 0: 100 B payload + 8 B barrier-bcast (it only receives in the
+        // barrier's reduce half).
+        assert_eq!(out[0].bytes_sent, 100 + 8);
+        assert_eq!(out[1].bytes_recvd, 100 + 8);
+        assert_eq!(out[0].collectives, 1);
+    }
+
+    #[test]
+    fn rank_panic_propagates_as_root_cause() {
+        let res = std::panic::catch_unwind(|| {
+            run_world(4, |c| {
+                if c.rank() == 2 {
+                    panic!("deliberate failure on rank 2");
+                }
+                // Other ranks block on the dead rank and must wake up.
+                let _ = c.recv(2, 1);
+            });
+        });
+        let payload = res.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("deliberate failure"), "got: {msg}");
+    }
+
+    #[test]
+    fn big_world_smoke() {
+        let out = run_world(64, |c| c.allreduce_u64(ReduceOp::Sum, 1));
+        assert_eq!(out, vec![64; 64]);
+    }
+}

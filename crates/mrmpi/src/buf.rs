@@ -1,0 +1,40 @@
+use mimir_mem::{MemPool, Reservation};
+
+use crate::Result;
+
+/// An MR-MPI "page": a fixed-size buffer charged to the node pool.
+///
+/// MR-MPI pages are sized by user configuration (64 KB–512 KB scaled),
+/// independent of the pool's own page granularity, so they are tracked as
+/// byte reservations rather than pool pages.
+pub(crate) struct MrPage {
+    _res: Reservation,
+    data: Vec<u8>,
+}
+
+impl MrPage {
+    /// Allocates a zeroed page of `size` bytes; fails if the node budget
+    /// cannot afford it (MR-MPI's hard OOM).
+    pub fn new(pool: &MemPool, size: usize) -> Result<Self> {
+        let res = pool.try_reserve(size)?;
+        Ok(Self {
+            _res: res,
+            data: vec![0u8; size],
+        })
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}

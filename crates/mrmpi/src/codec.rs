@@ -1,0 +1,66 @@
+//! MR-MPI's KV encoding: always the un-hinted `[klen u32][vlen u32][key]
+//! [val]` layout (MR-MPI has no KV-hint mechanism — that is one of
+//! Mimir's additions).
+
+/// Encoded size of one KV.
+#[inline]
+pub(crate) fn kv_len(key: &[u8], val: &[u8]) -> usize {
+    8 + key.len() + val.len()
+}
+
+/// Writes one KV at `out[off..]`, returning the new offset.
+#[inline]
+pub(crate) fn write_kv(key: &[u8], val: &[u8], out: &mut [u8], off: usize) -> usize {
+    out[off..off + 4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+    out[off + 4..off + 8].copy_from_slice(&(val.len() as u32).to_le_bytes());
+    out[off + 8..off + 8 + key.len()].copy_from_slice(key);
+    let voff = off + 8 + key.len();
+    out[voff..voff + val.len()].copy_from_slice(val);
+    voff + val.len()
+}
+
+/// Reads the KV at `buf[off..]`, returning `(key, val, next_offset)`.
+#[inline]
+pub(crate) fn read_kv(buf: &[u8], off: usize) -> (&[u8], &[u8], usize) {
+    let klen = u32::from_le_bytes(buf[off..off + 4].try_into().expect("klen")) as usize;
+    let vlen = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("vlen")) as usize;
+    let kstart = off + 8;
+    let vstart = kstart + klen;
+    (&buf[kstart..vstart], &buf[vstart..vstart + vlen], vstart + vlen)
+}
+
+/// Iterates all KVs in an encoded buffer.
+#[cfg(test)]
+pub(crate) fn for_each_kv(buf: &[u8], mut f: impl FnMut(&[u8], &[u8])) {
+    let mut off = 0;
+    while off < buf.len() {
+        let (k, v, next) = read_kv(buf, off);
+        f(k, v);
+        off = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = vec![0u8; 256];
+        let mut off = 0;
+        off = write_kv(b"alpha", b"1", &mut buf, off);
+        off = write_kv(b"", b"", &mut buf, off);
+        off = write_kv(b"k", b"value-bytes", &mut buf, off);
+        let mut got = Vec::new();
+        for_each_kv(&buf[..off], |k, v| got.push((k.to_vec(), v.to_vec())));
+        assert_eq!(
+            got,
+            vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (Vec::new(), Vec::new()),
+                (b"k".to_vec(), b"value-bytes".to_vec()),
+            ]
+        );
+        assert_eq!(off, (8 + 6) + 8 + (8 + 12));
+    }
+}

@@ -1,0 +1,44 @@
+/// MR-MPI's three out-of-core settings (paper Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OocMode {
+    /// "Always write intermediate data to disk."
+    Always,
+    /// "Write intermediate data to disk only when the data is larger than
+    /// a single page" — the default.
+    #[default]
+    WhenNeeded,
+    /// "Report an error and terminate execution if the intermediate data
+    /// is larger than a single page size."
+    Error,
+}
+
+/// MR-MPI configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MrMpiConfig {
+    /// The fixed page size. "By default, the size of a page is 64 MB,
+    /// although it is configurable by the user. Generally, a user needs
+    /// to set a larger page size in order to use the system memory more
+    /// effectively." Scaled defaults put this at 64 KiB.
+    pub page_size: usize,
+    /// Out-of-core behaviour when data exceeds a page.
+    pub ooc: OocMode,
+}
+
+impl Default for MrMpiConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 64 * 1024,
+            ooc: OocMode::default(),
+        }
+    }
+}
+
+impl MrMpiConfig {
+    /// Config with a given page size and the default spill behaviour.
+    pub fn with_page_size(page_size: usize) -> Self {
+        Self {
+            page_size,
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,226 @@
+use mimir_io::{SpillFile, SpillStore};
+use mimir_mem::MemPool;
+
+use crate::buf::MrPage;
+use crate::codec::{kv_len, write_kv};
+use crate::{MrError, OocMode, Result};
+
+/// An MR-MPI KV dataset: **one page in memory**, everything beyond it on
+/// the I/O subsystem as page-sized spill chunks. This is the structure
+/// whose economics the paper's Figure 1 exposes — the in-memory page is
+/// the entire fast path.
+pub(crate) struct KvSet {
+    page: MrPage,
+    used: usize,
+    spill: Option<SpillFile>,
+    sealed: bool,
+    ooc: OocMode,
+    n_kvs: u64,
+    bytes: u64,
+    spilled_pages: u64,
+}
+
+impl KvSet {
+    pub fn new(pool: &MemPool, page_size: usize, ooc: OocMode) -> Result<Self> {
+        Ok(Self {
+            page: MrPage::new(pool, page_size)?,
+            used: 0,
+            spill: None,
+            sealed: false,
+            ooc,
+            n_kvs: 0,
+            bytes: 0,
+            spilled_pages: 0,
+        })
+    }
+
+    /// Appends one KV, spilling the current page first if it is full.
+    pub fn add(&mut self, store: &SpillStore, key: &[u8], val: &[u8]) -> Result<()> {
+        debug_assert!(!self.sealed, "add after seal");
+        let len = kv_len(key, val);
+        if len > self.page.size() {
+            return Err(MrError::EntryTooLarge {
+                size: len,
+                page_size: self.page.size(),
+            });
+        }
+        if self.used + len > self.page.size() {
+            self.spill_page(store, "kv")?;
+        }
+        self.used = write_kv(key, val, self.page.as_mut_slice(), self.used);
+        self.n_kvs += 1;
+        self.bytes += len as u64;
+        Ok(())
+    }
+
+    /// Closes the write side. In [`OocMode::Always`] the final partial
+    /// page is spilled too.
+    pub fn seal(&mut self, store: &SpillStore) -> Result<()> {
+        if self.sealed {
+            return Ok(());
+        }
+        if self.ooc == OocMode::Always && self.used > 0 {
+            self.spill_page(store, "kv")?;
+        }
+        if let Some(f) = &mut self.spill {
+            f.finish()?;
+        }
+        self.sealed = true;
+        Ok(())
+    }
+
+    /// Visits every page of KV data in write order: spilled chunks first
+    /// (read back through the cost model), then the resident page.
+    pub fn for_each_page(&self, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        debug_assert!(self.sealed, "scan before seal");
+        if let Some(file) = &self.spill {
+            let mut reader = file.read_chunks()?;
+            while let Some(chunk) = reader.next_chunk()? {
+                f(&chunk)?;
+            }
+        }
+        if self.used > 0 {
+            f(&self.page.as_slice()[..self.used])?;
+        }
+        Ok(())
+    }
+
+    /// Visits every KV.
+    pub fn for_each_kv(&self, mut f: impl FnMut(&[u8], &[u8]) -> Result<()>) -> Result<()> {
+        self.for_each_page(&mut |page| {
+            let mut off = 0;
+            while off < page.len() {
+                let (k, v, next) = crate::codec::read_kv(page, off);
+                f(k, v)?;
+                off = next;
+            }
+            Ok(())
+        })
+    }
+
+    pub fn n_kvs(&self) -> u64 {
+        self.n_kvs
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether any data left memory.
+    pub fn spilled(&self) -> bool {
+        self.spilled_pages > 0
+    }
+
+    pub fn spilled_pages(&self) -> u64 {
+        self.spilled_pages
+    }
+
+    fn spill_page(&mut self, store: &SpillStore, label: &'static str) -> Result<()> {
+        if self.ooc == OocMode::Error {
+            return Err(MrError::PageOverflow {
+                what: "KV data",
+                page_size: self.page.size(),
+            });
+        }
+        if self.spill.is_none() {
+            self.spill = Some(store.create(label)?);
+        }
+        let file = self.spill.as_mut().expect("spill file just ensured");
+        file.write_chunk(&self.page.as_slice()[..self.used])?;
+        self.used = 0;
+        self.spilled_pages += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimir_io::IoModel;
+
+    fn fixture() -> (MemPool, SpillStore) {
+        (
+            MemPool::unlimited("t", 4096),
+            SpillStore::new_temp("kvset", IoModel::free()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn in_memory_roundtrip() {
+        let (pool, store) = fixture();
+        let mut kv = KvSet::new(&pool, 1024, OocMode::WhenNeeded).unwrap();
+        for i in 0..10u32 {
+            kv.add(&store, format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        kv.seal(&store).unwrap();
+        assert!(!kv.spilled());
+        let mut got = Vec::new();
+        kv.for_each_kv(|k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[3].0, b"k3");
+    }
+
+    #[test]
+    fn overflow_spills_and_reads_back_in_order() {
+        let (pool, store) = fixture();
+        let mut kv = KvSet::new(&pool, 128, OocMode::WhenNeeded).unwrap();
+        let n = 200u32;
+        for i in 0..n {
+            kv.add(&store, &i.to_le_bytes(), b"0123456789").unwrap();
+        }
+        kv.seal(&store).unwrap();
+        assert!(kv.spilled());
+        assert!(kv.spilled_pages() > 10);
+        let mut seen = 0u32;
+        kv.for_each_kv(|k, _| {
+            assert_eq!(u32::from_le_bytes(k.try_into().unwrap()), seen);
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, n);
+    }
+
+    #[test]
+    fn error_mode_rejects_overflow() {
+        let (pool, store) = fixture();
+        let mut kv = KvSet::new(&pool, 64, OocMode::Error).unwrap();
+        let mut res = Ok(());
+        for i in 0..100u32 {
+            res = kv.add(&store, &i.to_le_bytes(), &[0u8; 20]);
+            if res.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(res, Err(MrError::PageOverflow { .. })));
+    }
+
+    #[test]
+    fn always_mode_spills_everything() {
+        let (pool, store) = fixture();
+        let mut kv = KvSet::new(&pool, 1024, OocMode::Always).unwrap();
+        for i in 0..5u32 {
+            kv.add(&store, &i.to_le_bytes(), b"v").unwrap();
+        }
+        kv.seal(&store).unwrap();
+        assert!(kv.spilled(), "Always mode spills even fitting data");
+        let mut n = 0;
+        kv.for_each_kv(|_, _| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn page_charge_hits_pool_budget() {
+        let pool = MemPool::new("t", 64, 1000).unwrap();
+        assert!(KvSet::new(&pool, 2000, OocMode::WhenNeeded).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # mrmpi — the MR-MPI baseline (Plimpton & Devine)
+//!
+//! A faithful reimplementation of the MapReduce-MPI library's execution
+//! model, built as the comparison baseline the paper measures Mimir
+//! against. The design reproduces the properties the paper criticizes:
+//!
+//! * **Static fixed-size pages.** Every phase allocates its full page set
+//!   up front — 1 page for `map`, 7 for `aggregate`, 4 for `convert`, 3
+//!   for `reduce` — sized by [`MrMpiConfig::page_size`] regardless of how
+//!   much data actually flows. Peak memory is therefore flat in the
+//!   dataset size (the flat MR-MPI lines of paper Figures 8/9) and jobs
+//!   fail outright when a node cannot afford a phase's page set.
+//! * **One page in memory per dataset.** A KV or KMV dataset keeps one
+//!   page resident; when it fills, the page spills to the I/O subsystem
+//!   (the shared parallel file system — charged to the `mimir-io` cost
+//!   model). Datasets that exceed one page per process leave the
+//!   in-memory regime and performance collapses by orders of magnitude —
+//!   paper Figure 1.
+//! * **Copy-heavy aggregate.** The map writes to its own output page;
+//!   aggregate re-scans it through temp partition buffers into a send
+//!   buffer, receives into a double-size receive buffer ("to prevent
+//!   buffer overflow due to partitioning skew"), and copies received KVs
+//!   into the next phase's input page — the seven-page flow of paper
+//!   Figure 3 that Mimir's shared buffers eliminate.
+//! * **Explicit phases with global barriers.** The user calls
+//!   `map`/`aggregate`/`convert`/`reduce` in sequence; each ends with a
+//!   synchronization.
+//!
+//! Out-of-core grouping (`convert` on spilled data) uses sorted runs and
+//! a streaming k-way merge, so results remain correct at any scale while
+//! the I/O bill grows the way the paper's cliff demands.
+
+mod api;
+mod buf;
+mod codec;
+mod config;
+mod error;
+mod kmvset;
+mod kvset;
+mod sortmerge;
+mod stats;
+
+pub use api::{MapReduce, MrEmitter};
+pub use config::{MrMpiConfig, OocMode};
+pub use error::MrError;
+pub use kmvset::MrValueIter;
+pub use stats::MrStats;
+
+/// Result alias for MR-MPI operations.
+pub type Result<T> = std::result::Result<T, MrError>;

@@ -1,0 +1,388 @@
+//! Sort-based external grouping, backing MR-MPI's `convert` and
+//! `compress` phases.
+//!
+//! In-memory datasets (one page) sort and group directly. Spilled datasets
+//! use the classic external-grouping pipeline — sorted runs, bounded
+//! fan-in k-way merges, streaming group emission — so results stay correct
+//! at any scale while memory stays bounded and the I/O bill grows with the
+//! data, exactly the regime behind the paper's Figure 1 cliff.
+
+use mimir_io::{SpillFile, SpillReader, SpillStore};
+use mimir_mem::MemPool;
+
+use crate::codec::read_kv;
+use crate::kmvset::pack_value;
+use crate::kvset::KvSet;
+use crate::Result;
+
+/// Callback receiving `(key, value)` during a merge.
+type KvVisitor<'a> = dyn FnMut(&[u8], &[u8]) -> Result<()> + 'a;
+
+/// Maximum runs merged at once; beyond this, intermediate merge passes
+/// combine runs first.
+const MAX_FAN_IN: usize = 32;
+/// Target sub-chunk size for run files: small enough that a merge holds
+/// only `MAX_FAN_IN × RUN_CHUNK` bytes of windows.
+const RUN_CHUNK: usize = 8 * 1024;
+
+/// Groups a sealed KV dataset by key, invoking `emit(key, packed_vals,
+/// n_vals)` once per unique key in ascending key order.
+pub(crate) fn group_kvs(
+    kv: &KvSet,
+    store: &SpillStore,
+    pool: &MemPool,
+    mut emit: impl FnMut(&[u8], &[u8], u32) -> Result<()>,
+) -> Result<()> {
+    // Build one sorted run per page of KV data. A spilled dataset spills
+    // every run as it is produced — only one page of sorted data may be
+    // resident at a time, the same one-page discipline as the dataset
+    // itself.
+    let multi = kv.spilled();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut scratch_res = pool.try_reserve(0)?;
+    let mut max_chunk = 0usize;
+    kv.for_each_page(&mut |page| {
+        max_chunk = max_chunk.max(page.len());
+        scratch_res.resize(max_chunk)?;
+        let mut run = Run::Mem(sort_chunk(page));
+        if multi {
+            run.spill(store)?;
+        }
+        runs.push(run);
+        Ok(())
+    })?;
+    drop(scratch_res);
+
+    if runs.is_empty() {
+        return Ok(());
+    }
+
+    // Bounded fan-in intermediate merges.
+    while runs.len() > MAX_FAN_IN {
+        let mut next: Vec<Run> = Vec::new();
+        for batch in runs.chunks_mut(MAX_FAN_IN) {
+            let mut readers = batch
+                .iter_mut()
+                .map(Run::reader)
+                .collect::<Result<Vec<_>>>()?;
+            let mut writer = RunWriter::new(store)?;
+            merge_streams(&mut readers, &mut |k, v| writer.push_kv(k, v))?;
+            next.push(Run::File(writer.finish()?));
+        }
+        runs = next;
+    }
+
+    // Final merge with streaming group emission.
+    let mut readers = runs
+        .iter_mut()
+        .map(Run::reader)
+        .collect::<Result<Vec<_>>>()?;
+    let mut group_res = pool.try_reserve(0)?;
+    let mut cur_key: Vec<u8> = Vec::new();
+    let mut cur_vals: Vec<u8> = Vec::new();
+    let mut cur_n: u32 = 0;
+    let mut have_group = false;
+    merge_streams(&mut readers, &mut |k, v| {
+        if !have_group || k != cur_key.as_slice() {
+            if have_group {
+                emit(&cur_key, &cur_vals, cur_n)?;
+            }
+            cur_key.clear();
+            cur_key.extend_from_slice(k);
+            cur_vals.clear();
+            cur_n = 0;
+            have_group = true;
+        }
+        pack_value(&mut cur_vals, v);
+        cur_n += 1;
+        if cur_vals.capacity() > group_res.bytes() {
+            group_res.resize(cur_vals.capacity())?;
+        }
+        Ok(())
+    })?;
+    if have_group {
+        emit(&cur_key, &cur_vals, cur_n)?;
+    }
+    Ok(())
+}
+
+/// Sorts the KVs of one encoded page by key, returning the re-encoded
+/// sorted buffer.
+fn sort_chunk(page: &[u8]) -> Vec<u8> {
+    let mut offsets: Vec<(usize, usize)> = Vec::new();
+    let mut off = 0;
+    while off < page.len() {
+        let (_, _, next) = read_kv(page, off);
+        offsets.push((off, next));
+        off = next;
+    }
+    offsets.sort_by(|&(a, _), &(b, _)| {
+        let (ka, _, _) = read_kv(page, a);
+        let (kb, _, _) = read_kv(page, b);
+        ka.cmp(kb)
+    });
+    let mut out = Vec::with_capacity(page.len());
+    for (start, end) in offsets {
+        out.extend_from_slice(&page[start..end]);
+    }
+    out
+}
+
+/// One sorted run, resident or spilled.
+enum Run {
+    Mem(Vec<u8>),
+    File(SpillFile),
+}
+
+impl Run {
+    fn spill(&mut self, store: &SpillStore) -> Result<()> {
+        if let Run::Mem(data) = self {
+            let mut w = RunWriter::new(store)?;
+            let mut off = 0;
+            while off < data.len() {
+                let (k, v, next) = read_kv(data, off);
+                w.push_kv(k, v)?;
+                off = next;
+            }
+            *self = Run::File(w.finish()?);
+        }
+        Ok(())
+    }
+
+    fn reader(&mut self) -> Result<RunReader> {
+        match self {
+            Run::Mem(data) => Ok(RunReader {
+                source: None,
+                buf: std::mem::take(data),
+                off: 0,
+            }),
+            Run::File(f) => {
+                let mut r = RunReader {
+                    source: Some(f.read_chunks()?),
+                    buf: Vec::new(),
+                    off: 0,
+                };
+                r.refill()?;
+                Ok(r)
+            }
+        }
+    }
+}
+
+/// Streaming reader over one sorted run.
+struct RunReader {
+    source: Option<SpillReader>,
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl RunReader {
+    /// Ensures `off` points at a KV, pulling the next chunk when the
+    /// window is exhausted. Returns false at end of run.
+    fn refill(&mut self) -> Result<bool> {
+        while self.off >= self.buf.len() {
+            match &mut self.source {
+                Some(reader) => match reader.next_chunk()? {
+                    Some(chunk) => {
+                        self.buf = chunk;
+                        self.off = 0;
+                    }
+                    None => return Ok(false),
+                },
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.off >= self.buf.len()
+    }
+
+    fn current(&self) -> (&[u8], &[u8], usize) {
+        read_kv(&self.buf, self.off)
+    }
+}
+
+/// Merges sorted runs, invoking `f` with every KV in ascending key order.
+/// Linear scan per step — fan-in is bounded by `MAX_FAN_IN`.
+fn merge_streams(readers: &mut [RunReader], f: &mut KvVisitor<'_>) -> Result<()> {
+    for r in readers.iter_mut() {
+        r.refill()?;
+    }
+    loop {
+        let mut min_idx: Option<usize> = None;
+        for (i, r) in readers.iter().enumerate() {
+            if r.exhausted() {
+                continue;
+            }
+            let (k, _, _) = r.current();
+            min_idx = match min_idx {
+                None => Some(i),
+                Some(m) => {
+                    let (km, _, _) = readers[m].current();
+                    if k < km {
+                        Some(i)
+                    } else {
+                        Some(m)
+                    }
+                }
+            };
+        }
+        let Some(i) = min_idx else { break };
+        let (k, v, next) = readers[i].current();
+        f(k, v)?;
+        readers[i].off = next;
+        readers[i].refill()?;
+    }
+    Ok(())
+}
+
+/// Writes a sorted run as KV sub-chunks of roughly [`RUN_CHUNK`] bytes.
+struct RunWriter {
+    file: SpillFile,
+    buf: Vec<u8>,
+}
+
+impl RunWriter {
+    fn new(store: &SpillStore) -> Result<Self> {
+        Ok(Self {
+            file: store.create("run")?,
+            buf: Vec::with_capacity(RUN_CHUNK + 256),
+        })
+    }
+
+    fn push_kv(&mut self, k: &[u8], v: &[u8]) -> Result<()> {
+        self.buf
+            .extend_from_slice(&(k.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(k);
+        self.buf.extend_from_slice(v);
+        if self.buf.len() >= RUN_CHUNK {
+            self.file.write_chunk(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<SpillFile> {
+        if !self.buf.is_empty() {
+            self.file.write_chunk(&self.buf)?;
+        }
+        self.file.finish()?;
+        Ok(self.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OocMode;
+    use mimir_io::IoModel;
+    use std::collections::HashMap;
+
+    fn grouped(kv: &KvSet, store: &SpillStore, pool: &MemPool) -> HashMap<Vec<u8>, Vec<Vec<u8>>> {
+        let mut out: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        group_kvs(kv, store, pool, |k, vals, n| {
+            order.push(k.to_vec());
+            let mut list = Vec::new();
+            let mut off = 0;
+            for _ in 0..n {
+                let len = u32::from_le_bytes(vals[off..off + 4].try_into().unwrap()) as usize;
+                list.push(vals[off + 4..off + 4 + len].to_vec());
+                off += 4 + len;
+            }
+            out.insert(k.to_vec(), list);
+            Ok(())
+        })
+        .unwrap();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "groups must arrive in key order");
+        out
+    }
+
+    #[test]
+    fn in_memory_grouping() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("sm", IoModel::free()).unwrap();
+        let mut kv = KvSet::new(&pool, 4096, OocMode::WhenNeeded).unwrap();
+        for i in 0..100u32 {
+            kv.add(&store, format!("k{}", i % 7).as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        kv.seal(&store).unwrap();
+        let g = grouped(&kv, &store, &pool);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g[&b"k0".to_vec()].len(), 15); // 0,7,…,98
+        assert_eq!(g[&b"k1".to_vec()].len(), 15);
+        assert_eq!(g[&b"k6".to_vec()].len(), 14);
+    }
+
+    #[test]
+    fn spilled_grouping_matches_in_memory() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("sm", IoModel::free()).unwrap();
+        // Tiny page forces dozens of spilled runs.
+        let mut small = KvSet::new(&pool, 256, OocMode::WhenNeeded).unwrap();
+        let mut big = KvSet::new(&pool, 1 << 20, OocMode::WhenNeeded).unwrap();
+        for i in 0..3000u32 {
+            let k = format!("key{:03}", i % 97);
+            small.add(&store, k.as_bytes(), &i.to_le_bytes()).unwrap();
+            big.add(&store, k.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        small.seal(&store).unwrap();
+        big.seal(&store).unwrap();
+        assert!(small.spilled());
+        assert!(!big.spilled());
+
+        let mut a = grouped(&small, &store, &pool);
+        let b = grouped(&big, &store, &pool);
+        // Value multisets must match (order within a group may differ
+        // between merge orders).
+        for (k, vals) in a.iter_mut() {
+            vals.sort();
+            assert_eq!(
+                *vals,
+                {
+                    let mut bv = b[k].clone();
+                    bv.sort();
+                    bv
+                },
+                "key {:?}",
+                String::from_utf8_lossy(k)
+            );
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn many_runs_trigger_multipass_merge() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("sm", IoModel::free()).unwrap();
+        let mut kv = KvSet::new(&pool, 64, OocMode::WhenNeeded).unwrap();
+        // 64-byte pages and ~20-byte KVs → ~700 pages ≫ MAX_FAN_IN runs.
+        let n = 2000u32;
+        for i in 0..n {
+            kv.add(&store, format!("k{:04}", i % 50).as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        kv.seal(&store).unwrap();
+        assert!(kv.spilled_pages() as usize > MAX_FAN_IN);
+        let g = grouped(&kv, &store, &pool);
+        assert_eq!(g.len(), 50);
+        assert_eq!(g.values().map(Vec::len).sum::<usize>(), n as usize);
+    }
+
+    #[test]
+    fn empty_dataset_emits_nothing() {
+        let pool = MemPool::unlimited("t", 4096);
+        let store = SpillStore::new_temp("sm", IoModel::free()).unwrap();
+        let mut kv = KvSet::new(&pool, 256, OocMode::WhenNeeded).unwrap();
+        kv.seal(&store).unwrap();
+        let g = grouped(&kv, &store, &pool);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+use std::time::Duration;
+
+/// Per-rank metrics across an MR-MPI job's phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MrStats {
+    /// Wall time in `map` / `map_from_kv`.
+    pub map_time: Duration,
+    /// Wall time in `aggregate`.
+    pub aggregate_time: Duration,
+    /// Wall time in `convert`.
+    pub convert_time: Duration,
+    /// Wall time in `reduce`.
+    pub reduce_time: Duration,
+    /// Wall time in `compress`.
+    pub compress_time: Duration,
+    /// KVs emitted by map callbacks.
+    pub kvs_mapped: u64,
+    /// Exchange rounds in aggregate.
+    pub exchange_rounds: u64,
+    /// Whether any dataset spilled to the I/O subsystem.
+    pub spilled: bool,
+    /// Pages written to the I/O subsystem.
+    pub spill_pages: u64,
+    /// Unique keys after the last convert.
+    pub unique_keys: u64,
+    /// Node-pool peak at job end.
+    pub node_peak_bytes: usize,
+}
+
+impl MrStats {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.map_time
+            + self.aggregate_time
+            + self.convert_time
+            + self.reduce_time
+            + self.compress_time
+    }
+}

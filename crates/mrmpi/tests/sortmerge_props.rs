@@ -1,0 +1,143 @@
+//! Property tests for MR-MPI's grouping pipeline: for arbitrary KV
+//! multisets and page sizes (in-memory through heavily-spilled), the
+//! convert phase must produce exactly the reference grouping.
+
+use std::collections::HashMap;
+
+use mimir_io::{IoModel, SpillStore};
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mrmpi::{MapReduce, MrMpiConfig, OocMode};
+use proptest::prelude::*;
+
+fn reference(kvs: &[(Vec<u8>, Vec<u8>)]) -> HashMap<Vec<u8>, Vec<Vec<u8>>> {
+    let mut out: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+    for (k, v) in kvs {
+        out.entry(k.clone()).or_default().push(v.clone());
+    }
+    // Value order within a group is not specified by the merge; compare
+    // sorted.
+    for vals in out.values_mut() {
+        vals.sort();
+    }
+    out
+}
+
+fn kv_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(proptest::num::u8::ANY, 0..10),
+            prop::collection::vec(proptest::num::u8::ANY, 0..12),
+        ),
+        0..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn convert_groups_exactly(
+        kvs in kv_strategy(),
+        page_size in prop_oneof![Just(128usize), Just(512), Just(64 * 1024)],
+    ) {
+        let expected = reference(&kvs);
+        let kvs2 = kvs.clone();
+        let got = run_world(1, move |comm| {
+            let pool = MemPool::unlimited("prop", 4096);
+            let store = SpillStore::new_temp("sm-prop", IoModel::free()).unwrap();
+            let cfg = MrMpiConfig { page_size, ooc: OocMode::WhenNeeded };
+            let mut mr = MapReduce::new(comm, pool, store, cfg);
+            mr.map(|em| {
+                for (k, v) in &kvs2 {
+                    em.emit(k, v)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            mr.convert().unwrap();
+            let mut groups: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+            mr.reduce(|k, vals, em| {
+                let mut list: Vec<Vec<u8>> = vals.map(<[u8]>::to_vec).collect();
+                list.sort();
+                groups.insert(k.to_vec(), list);
+                em.emit(k, b"")
+            })
+            .unwrap();
+            groups
+        });
+        prop_assert_eq!(&got[0], &expected, "page_size={}", page_size);
+    }
+
+    #[test]
+    fn compress_equals_reduce_for_commutative_ops(
+        keys in prop::collection::vec(0u8..8, 0..200),
+        page_size in prop_oneof![Just(256usize), Just(32 * 1024)],
+    ) {
+        // Sum of 1s per key via compress must equal the group sizes.
+        let mut expected: HashMap<u8, u64> = HashMap::new();
+        for &k in &keys {
+            *expected.entry(k).or_default() += 1;
+        }
+        let keys2 = keys.clone();
+        let got = run_world(1, move |comm| {
+            let pool = MemPool::unlimited("prop", 4096);
+            let store = SpillStore::new_temp("cps-prop", IoModel::free()).unwrap();
+            let cfg = MrMpiConfig { page_size, ooc: OocMode::WhenNeeded };
+            let mut mr = MapReduce::new(comm, pool, store, cfg);
+            mr.map(|em| {
+                for &k in &keys2 {
+                    em.emit(&[k], &1u64.to_le_bytes())?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            mr.compress(|_k, a, b, out| {
+                let s = u64::from_le_bytes(a.try_into().unwrap())
+                    + u64::from_le_bytes(b.try_into().unwrap());
+                out.extend_from_slice(&s.to_le_bytes());
+            })
+            .unwrap();
+            let mut counts: HashMap<u8, u64> = HashMap::new();
+            mr.scan(|k, v| {
+                counts.insert(k[0], u64::from_le_bytes(v.try_into().unwrap()));
+                Ok(())
+            })
+            .unwrap();
+            counts
+        });
+        prop_assert_eq!(&got[0], &expected);
+    }
+
+    #[test]
+    fn aggregate_delivers_every_kv_exactly_once(
+        kvs in kv_strategy(),
+        n_ranks in 1usize..5,
+    ) {
+        let total = kvs.len();
+        let kvs2 = kvs.clone();
+        let counts = run_world(n_ranks, move |comm| {
+            let rank = comm.rank();
+            let pool = MemPool::unlimited("prop", 4096);
+            let store = SpillStore::new_temp("agg-prop", IoModel::free()).unwrap();
+            let mut mr = MapReduce::new(
+                comm,
+                pool,
+                store,
+                MrMpiConfig::with_page_size(32 * 1024),
+            );
+            mr.map(|em| {
+                for (i, (k, v)) in kvs2.iter().enumerate() {
+                    if i % n_ranks == rank {
+                        em.emit(k, v)?;
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+            mr.aggregate().unwrap();
+            mr.kv_count()
+        });
+        prop_assert_eq!(counts.iter().sum::<u64>() as usize, total);
+    }
+}

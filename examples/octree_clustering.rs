@@ -1,0 +1,76 @@
+//! Octree clustering of 3-D point data — the paper's OC benchmark, used
+//! for classifying ligand geometries from protein-ligand docking
+//! simulations (Estrada et al.). The MapReduce job iteratively refines an
+//! octree, keeping octants that hold at least 1 % of all points.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mimir --example octree_clustering -- \
+//!     [--points 200000] [--ranks 8] [--density 0.01] [--all-opts]
+//! ```
+
+use mimir::apps::octree::{octree_mimir, OcOptions};
+use mimir::prelude::*;
+
+fn main() {
+    let mut n_points = 200_000usize;
+    let mut ranks = 8usize;
+    let mut opts = OcOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--points" => n_points = it.next().expect("value").parse().expect("number"),
+            "--ranks" => ranks = it.next().expect("value").parse().expect("number"),
+            "--density" => opts.density = it.next().expect("value").parse().expect("number"),
+            "--all-opts" => {
+                opts.hint = true;
+                opts.partial_reduce = true;
+                opts.compress = true;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let nodes = NodeMap::new(ranks, ranks, 64 * 1024, 128 << 20).expect("node map");
+    let gen = PointGen::new(2024);
+
+    let nodes2 = nodes.clone();
+    let per_rank = run_world(ranks, move |comm| {
+        let rank = comm.rank();
+        let points = gen.generate(rank, comm.size(), n_points);
+        let pool = nodes2.pool_for_rank(rank);
+        let mut ctx = MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default())
+            .expect("context");
+        octree_mimir(&mut ctx, &points, &opts).expect("octree job")
+    });
+
+    let mut dense: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut level = 0;
+    for (res, _) in &per_rank {
+        dense.extend(res.local_dense.iter().cloned());
+        level = level.max(res.final_level);
+    }
+    dense.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    println!(
+        "clustered {} points at density {:.2}% -> {} dense octants at level {level}",
+        n_points,
+        opts.density * 100.0,
+        dense.len()
+    );
+    for (path, count) in dense.iter().take(8) {
+        let path_str: Vec<String> = path.iter().map(u8::to_string).collect();
+        println!(
+            "  octant /{:<15} {:>8} points ({:.1}%)",
+            path_str.join("/"),
+            count,
+            *count as f64 / n_points as f64 * 100.0
+        );
+    }
+    let iters = per_rank[0].1.iterations;
+    println!(
+        "{} MapReduce iterations, peak node memory {} KiB",
+        iters,
+        nodes.max_node_peak() / 1024
+    );
+}

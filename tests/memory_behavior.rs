@@ -1,0 +1,198 @@
+//! The paper's memory claims at test scale: Mimir's footprint follows the
+//! data while MR-MPI's follows its static page sets; Mimir fails cleanly
+//! at the budget where MR-MPI spills; each optional optimization lowers
+//! the relevant cost.
+
+use mimir::apps::wordcount::{wordcount_mimir, wordcount_mrmpi, WcOptions};
+use mimir::prelude::*;
+
+const RANKS: usize = 4;
+
+/// A WC corpus whose vocabulary is far smaller than the corpus — the
+/// natural-text regime of the paper's datasets, where grouping structures
+/// stay small relative to the KV stream.
+fn corpus(rank: usize, total_bytes: usize) -> Vec<u8> {
+    UniformWords {
+        vocab: 1000,
+        word_len: 8,
+        seed: 4,
+    }
+    .generate(rank, RANKS, total_bytes)
+}
+
+fn mimir_peak(total_bytes: usize, opts: WcOptions, budget: usize) -> Result<usize, bool> {
+    let nodes = NodeMap::new(RANKS, RANKS, 16 * 1024, budget).unwrap();
+    let nodes2 = nodes.clone();
+    run_world_result(RANKS, move |comm| {
+        let text = corpus(comm.rank(), total_bytes);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            IoModel::free(),
+            MimirConfig {
+                comm_buf_size: 16 * 1024,
+            },
+        )
+        .unwrap();
+        wordcount_mimir(&mut ctx, &text, &opts)
+            .map(|_| ())
+            .map_err(|e| e.is_oom())
+    })?;
+    Ok(nodes.max_node_peak())
+}
+
+fn mrmpi_peak(total_bytes: usize, page_size: usize, budget: usize) -> (usize, bool) {
+    let nodes = NodeMap::new(RANKS, RANKS, 16 * 1024, budget).unwrap();
+    let nodes2 = nodes.clone();
+    let results = run_world(RANKS, move |comm| {
+        let text = corpus(comm.rank(), total_bytes);
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let store = SpillStore::new_temp("mem-wc", IoModel::free()).unwrap();
+        let (_, m) = wordcount_mrmpi(
+            comm,
+            pool,
+            store,
+            MrMpiConfig::with_page_size(page_size),
+            &text,
+            false,
+        )
+        .unwrap();
+        m.spilled
+    });
+    (nodes.max_node_peak(), results.into_iter().any(|s| s))
+}
+
+#[test]
+fn mimir_footprint_tracks_data_mrmpi_footprint_is_static() {
+    let budget = 256 << 20;
+    let m_small = mimir_peak(64 * 1024, WcOptions::default(), budget).unwrap();
+    let m_large = mimir_peak(512 * 1024, WcOptions::default(), budget).unwrap();
+    assert!(
+        m_large > m_small * 2,
+        "Mimir peak should grow with data: {m_small} -> {m_large}"
+    );
+
+    let (r_small, s1) = mrmpi_peak(64 * 1024, 64 * 1024, budget);
+    let (r_large, s2) = mrmpi_peak(512 * 1024, 64 * 1024, budget);
+    assert_eq!(r_small, r_large, "MR-MPI page sets are static");
+    assert!(!s1, "small dataset must fit MR-MPI's pages");
+    assert!(s2, "large dataset must overflow MR-MPI's pages");
+}
+
+#[test]
+fn mimir_beats_mrmpi_on_small_inputs() {
+    // Figures 8/9: "Mimir always uses less memory than MR-MPI does …
+    // at least 25% less".
+    let budget = 256 << 20;
+    let mimir = mimir_peak(128 * 1024, WcOptions::default(), budget).unwrap();
+    let (mrmpi, _) = mrmpi_peak(128 * 1024, 64 * 1024, budget);
+    assert!(
+        (mimir as f64) < 0.75 * mrmpi as f64,
+        "Mimir {mimir} vs MR-MPI {mrmpi}"
+    );
+}
+
+#[test]
+fn mimir_fails_cleanly_at_the_node_budget() {
+    // A dataset whose intermediate KVs exceed the node budget: Mimir
+    // reports OOM (it does not spill), per the paper's missing points.
+    let tight_budget = 1024 * 1024; // comm buffers alone are 128 KiB
+    let res = mimir_peak(1 << 20, WcOptions::default(), tight_budget);
+    assert_eq!(res, Err(true), "expected a clean OOM");
+    // The same dataset succeeds with the optimization stack (pr avoids
+    // the KVC+KMVC peak).
+    let res = mimir_peak(1 << 20, WcOptions::all(), tight_budget);
+    assert!(res.is_ok(), "optimizations should fit the budget: {res:?}");
+}
+
+#[test]
+fn optimization_stack_lowers_peak_in_order() {
+    // Figure 13's staircase: base ≥ hint ≥ hint+pr (each strictly lower
+    // for WordCount).
+    let budget = 256 << 20;
+    let base = mimir_peak(256 * 1024, WcOptions::default(), budget).unwrap();
+    let hint = mimir_peak(
+        256 * 1024,
+        WcOptions {
+            hint: true,
+            ..WcOptions::default()
+        },
+        budget,
+    )
+    .unwrap();
+    let hint_pr = mimir_peak(
+        256 * 1024,
+        WcOptions {
+            hint: true,
+            partial_reduce: true,
+            ..WcOptions::default()
+        },
+        budget,
+    )
+    .unwrap();
+    assert!(hint < base, "hint {hint} vs base {base}");
+    assert!(hint_pr < hint, "hint+pr {hint_pr} vs hint {hint}");
+}
+
+#[test]
+fn spilling_charges_the_io_model_heavily() {
+    // Figure 1's mechanism: once MR-MPI leaves memory, the modeled PFS
+    // time dwarfs compute time.
+    let io = IoModel::new(IoModelConfig::lustre_scaled()).unwrap();
+    let io2 = io.clone();
+    run_world(RANKS, move |comm| {
+        let text = corpus(comm.rank(), 512 * 1024);
+        let pool = MemPool::unlimited("node", 16 * 1024);
+        let store = SpillStore::new_temp("spill-io", io2.clone()).unwrap();
+        let (_, m) = wordcount_mrmpi(
+            comm,
+            pool,
+            store,
+            MrMpiConfig::with_page_size(16 * 1024),
+            &text,
+            false,
+        )
+        .unwrap();
+        assert!(m.spilled);
+    });
+    let modeled = io.modeled_time();
+    assert!(
+        modeled > std::time::Duration::from_millis(200),
+        "spills should cost dearly on the modeled PFS: {modeled:?}"
+    );
+}
+
+#[test]
+fn communication_buffers_bound_mimir_recv_memory() {
+    // Paper Section III-B: the receive buffer never needs to be larger
+    // than the send buffer, even under total key skew.
+    let nodes = NodeMap::new(RANKS, RANKS, 16 * 1024, 64 << 20).unwrap();
+    let nodes2 = nodes.clone();
+    run_world(RANKS, move |comm| {
+        let pool = nodes2.pool_for_rank(comm.rank());
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            IoModel::free(),
+            MimirConfig {
+                comm_buf_size: 8 * 1024,
+            },
+        )
+        .unwrap();
+        // Every rank sends everything to ONE key's owner.
+        let out = ctx
+            .job()
+            .kv_meta(KvMeta::cstr_key_u64_val())
+            .map_shuffle(&mut |em| {
+                for i in 0..5000u64 {
+                    em.emit(b"only-key", &i.to_le_bytes())?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let n = out.output.len();
+        // The owner holds all 4×5000 KVs; others none.
+        assert!(n == 0 || n == 4 * 5000);
+    });
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over the full pipeline: for arbitrary KV
+//! multisets and configurations, the frameworks must agree with a
+//! reference grouping, and the optimizations must be semantics-preserving.
+
+use std::collections::HashMap;
+
+use mimir::prelude::*;
+use mimir_core::typed;
+use proptest::prelude::*;
+
+/// Reference: group-by-key and sum, single-threaded.
+fn reference_sums(kvs: &[(Vec<u8>, u64)]) -> HashMap<Vec<u8>, u64> {
+    let mut out: HashMap<Vec<u8>, u64> = HashMap::new();
+    for (k, v) in kvs {
+        let e = out.entry(k.clone()).or_insert(0);
+        *e = e.wrapping_add(*v);
+    }
+    out
+}
+
+fn sum_combine(_k: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a).wrapping_add(typed::dec_u64(b))));
+}
+
+/// Runs a sum-by-key job over `kvs` split across `ranks`, with the given
+/// optimization combination, and returns the merged output.
+fn run_sum_job(
+    kvs: Vec<(Vec<u8>, u64)>,
+    ranks: usize,
+    pr: bool,
+    cps: bool,
+    comm_buf: usize,
+) -> HashMap<Vec<u8>, u64> {
+    let shared = std::sync::Arc::new(kvs);
+    let results = run_world(ranks, move |comm| {
+        let rank = comm.rank();
+        let pool = MemPool::unlimited("node", 16 * 1024);
+        let mut ctx = MimirContext::new(
+            comm,
+            pool,
+            IoModel::free(),
+            MimirConfig {
+                comm_buf_size: comm_buf,
+            },
+        )
+        .unwrap();
+        let meta = KvMeta {
+            key: mimir_core::LenHint::Var,
+            val: mimir_core::LenHint::Fixed(8),
+        };
+        let my_kvs = shared.clone();
+        let mut map = move |em: &mut dyn mimir_core::Emitter| {
+            for (i, (k, v)) in my_kvs.iter().enumerate() {
+                if i % ranks == rank {
+                    em.emit(k, &typed::enc_u64(*v))?;
+                }
+            }
+            Ok(())
+        };
+        let job = ctx.job().kv_meta(meta).out_meta(meta);
+        let out = match (pr, cps) {
+            (true, true) => job
+                .map_partial_reduce_compress(&mut map, Box::new(sum_combine), Box::new(sum_combine))
+                .unwrap(),
+            (true, false) => job
+                .map_partial_reduce(&mut map, Box::new(sum_combine))
+                .unwrap(),
+            (false, true) => job
+                .map_reduce_compress(&mut map, Box::new(sum_combine), &mut |k, vals, em| {
+                    let total = vals.map(typed::dec_u64).fold(0u64, u64::wrapping_add);
+                    em.emit(k, &typed::enc_u64(total))
+                })
+                .unwrap(),
+            (false, false) => job
+                .map_reduce(&mut map, &mut |k, vals, em| {
+                    let total = vals.map(typed::dec_u64).fold(0u64, u64::wrapping_add);
+                    em.emit(k, &typed::enc_u64(total))
+                })
+                .unwrap(),
+        };
+        let mut local = Vec::new();
+        out.output
+            .drain(|k, v| {
+                local.push((k.to_vec(), typed::dec_u64(v)));
+                Ok(())
+            })
+            .unwrap();
+        local
+    });
+    let mut merged = HashMap::new();
+    for rank_out in results {
+        for (k, v) in rank_out {
+            assert!(merged.insert(k, v).is_none(), "key on two ranks");
+        }
+    }
+    merged
+}
+
+/// Strategy: small sets of short byte keys (collision-heavy) with values.
+fn kv_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, u64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(proptest::num::u8::ANY, 0..12),
+            proptest::num::u64::ANY,
+        ),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sum_by_key_matches_reference(kvs in kv_strategy(), ranks in 1usize..5) {
+        let expected = reference_sums(&kvs);
+        let got = run_sum_job(kvs, ranks, false, false, 64 * 1024);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn optimizations_preserve_semantics(
+        kvs in kv_strategy(),
+        ranks in 1usize..4,
+        pr in proptest::bool::ANY,
+        cps in proptest::bool::ANY,
+    ) {
+        let expected = reference_sums(&kvs);
+        let got = run_sum_job(kvs, ranks, pr, cps, 64 * 1024);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tiny_comm_buffers_preserve_semantics(kvs in kv_strategy(), ranks in 1usize..4) {
+        let expected = reference_sums(&kvs);
+        // 96-byte partitions force an exchange round every couple of KVs.
+        let got = run_sum_job(kvs, ranks, false, false, 96 * ranks);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn splitter_partitions_every_record_once(
+        records in prop::collection::vec(
+            prop::collection::vec((1u8..=255).prop_filter("no newline", |&b| b != b'\n'), 0..20),
+            0..50,
+        ),
+        parts in 1usize..8,
+    ) {
+        let mut data = Vec::new();
+        for r in &records {
+            data.extend_from_slice(r);
+            data.push(b'\n');
+        }
+        let ranges = mimir::io::splitter::split_records(&data, parts, b'\n');
+        let mut collected: Vec<Vec<u8>> = Vec::new();
+        for r in ranges {
+            for line in data[r].split(|&b| b == b'\n') {
+                if !line.is_empty() {
+                    collected.push(line.to_vec());
+                }
+            }
+        }
+        let expected: Vec<Vec<u8>> =
+            records.into_iter().filter(|r| !r.is_empty()).collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn kv_codec_roundtrips_any_hint(
+        kvs in prop::collection::vec(
+            (prop::collection::vec(1u8..=255, 0..16), prop::collection::vec(proptest::num::u8::ANY, 0..16)),
+            0..40,
+        ),
+    ) {
+        use mimir_core::{encode_push, KvDecoder, LenHint};
+        // CStr keys: generated keys exclude NUL by construction.
+        for meta in [
+            KvMeta::var(),
+            KvMeta { key: LenHint::CStr, val: mimir_core::LenHint::Var },
+        ] {
+            let mut buf = Vec::new();
+            for (k, v) in &kvs {
+                encode_push(meta, k, v, &mut buf);
+            }
+            let decoded: Vec<(Vec<u8>, Vec<u8>)> = KvDecoder::new(meta, &buf)
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> = kvs.clone();
+            prop_assert_eq!(decoded, expected);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end WordCount through the full stack: corpus materialized on
+//! the simulated parallel file system, record-aligned splits read per
+//! rank, counts validated against the serial reference, across node
+//! layouts and buffer sizes.
+
+use mimir::apps::validate::merge_counts;
+use mimir::apps::wordcount::{wordcount_mimir, wordcount_serial, WcOptions};
+use mimir::prelude::*;
+
+fn corpus_file(total_bytes: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mimir-wc-e2e-{}-{total_bytes}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.txt");
+    let g = WikipediaWords::new(3);
+    mimir::datagen::write_corpus(&path, 4, |r, n| g.generate(r, n, total_bytes)).unwrap();
+    path
+}
+
+#[test]
+fn file_based_wordcount_matches_serial_across_layouts() {
+    let path = corpus_file(200_000);
+    let content = std::fs::read(&path).unwrap();
+    let expected = wordcount_serial(&[&content]);
+
+    for (ranks, ranks_per_node) in [(1, 1), (4, 4), (6, 2), (8, 3)] {
+        let nodes = NodeMap::new(ranks, ranks_per_node, 64 * 1024, 64 << 20).unwrap();
+        let path2 = path.clone();
+        let per_rank = run_world(ranks, move |comm| {
+            let pool = nodes.pool_for_rank(comm.rank());
+            let mut ctx =
+                MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
+            let text = ctx.read_text_split(&path2).unwrap();
+            wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+        });
+        let got = merge_counts(per_rank);
+        assert_eq!(got, expected, "ranks={ranks} rpn={ranks_per_node}");
+    }
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn tiny_comm_buffers_force_many_rounds_same_answer() {
+    let path = corpus_file(100_000);
+    let content = std::fs::read(&path).unwrap();
+    let expected = wordcount_serial(&[&content]);
+
+    let path2 = path.clone();
+    let per_rank = run_world(4, move |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        // 1 KiB comm buffer → 256 B partitions → dozens of rounds.
+        let cfg = MimirConfig {
+            comm_buf_size: 1024,
+        };
+        let mut ctx = MimirContext::new(comm, pool, IoModel::free(), cfg).unwrap();
+        let text = ctx.read_text_split(&path2).unwrap();
+        let (counts, metrics) = wordcount_mimir(&mut ctx, &text, &WcOptions::default()).unwrap();
+        (counts, metrics.exchange_rounds)
+    });
+    let rounds = per_rank[0].1;
+    assert!(rounds > 10, "expected many rounds, got {rounds}");
+    let got = merge_counts(per_rank.into_iter().map(|(c, _)| c).collect());
+    assert_eq!(got, expected);
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn input_reads_are_charged_to_the_io_model() {
+    let path = corpus_file(50_000);
+    let io = IoModel::new(IoModelConfig::lustre_scaled()).unwrap();
+    let io2 = io.clone();
+    let path2 = path.clone();
+    run_world(2, move |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        let ctx = MimirContext::new(comm, pool, io2.clone(), MimirConfig::default()).unwrap();
+        let _ = ctx.read_text_split(&path2).unwrap();
+    });
+    let stats = io.stats();
+    assert!(stats.bytes_read >= 50_000, "read {} B", stats.bytes_read);
+    assert!(io.modeled_time() > std::time::Duration::ZERO);
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn empty_input_produces_empty_output() {
+    let per_rank = run_world(3, |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        let mut ctx =
+            MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
+        wordcount_mimir(&mut ctx, b"", &WcOptions::default()).unwrap().0
+    });
+    assert!(per_rank.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn single_word_corpus() {
+    let per_rank = run_world(4, |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        let mut ctx =
+            MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
+        let text = b"same same same\nsame\n".repeat(100);
+        wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+    });
+    let got = merge_counts(per_rank);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[&b"same".to_vec()], 4 * 400);
+}
+
+#[test]
+fn output_written_to_part_files() {
+    let dir = std::env::temp_dir().join(format!("mimir-wc-out-{}", std::process::id()));
+    let dir2 = dir.clone();
+    let io = IoModel::new(IoModelConfig::lustre_scaled()).unwrap();
+    let io2 = io.clone();
+    run_world(3, move |comm| {
+        let pool = MemPool::unlimited("node", 64 * 1024);
+        let mut ctx = MimirContext::new(comm, pool, io2.clone(), MimirConfig::default()).unwrap();
+        let text = b"red green blue red\nblue red\n".repeat(10);
+        let (_, _) = {
+            // Use the raw job API so the output container is available.
+            let meta = KvMeta::cstr_key_u64_val();
+            let out = ctx
+                .job()
+                .kv_meta(meta)
+                .out_meta(meta)
+                .map_partial_reduce(
+                    &mut |em| {
+                        for line in mimir::io::LineReader::new(&text) {
+                            for w in mimir::io::words(line) {
+                                em.emit(w, &1u64.to_le_bytes())?;
+                            }
+                        }
+                        Ok(())
+                    },
+                    Box::new(|_k, a, b, o| {
+                        let s = u64::from_le_bytes(a.try_into().unwrap())
+                            + u64::from_le_bytes(b.try_into().unwrap());
+                        o.extend_from_slice(&s.to_le_bytes());
+                    }),
+                )
+                .unwrap();
+            let path = ctx
+                .write_text_output(out.output, &dir2, |k, v, line| {
+                    line.push_str(&String::from_utf8_lossy(k));
+                    line.push('\t');
+                    line.push_str(&u64::from_le_bytes(v.try_into().unwrap()).to_string());
+                })
+                .unwrap();
+            assert!(path.exists());
+            ((), ())
+        };
+    });
+    // Merge all part files and verify totals.
+    let mut counts = std::collections::HashMap::new();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let content = std::fs::read_to_string(entry.unwrap().path()).unwrap();
+        for line in content.lines() {
+            let (word, count) = line.split_once('\t').unwrap();
+            counts.insert(word.to_string(), count.parse::<u64>().unwrap());
+        }
+    }
+    assert_eq!(counts["red"], 3 * 30);
+    assert_eq!(counts["green"], 3 * 10);
+    assert_eq!(counts["blue"], 3 * 20);
+    assert!(io.stats().bytes_written > 0, "output charged to the PFS model");
+    std::fs::remove_dir_all(&dir).ok();
+}
