@@ -144,11 +144,11 @@ pub fn bfs_mimir(
     metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
     metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
     metrics.exchange_rounds += out.stats.shuffle.rounds;
+    metrics.job.merge(&out.stats);
 
     let mut adj = Adjacency::new(ctx.pool())?;
-    out.output.drain(|k, v| {
-        adj.add(typed::dec_u64(k), typed::dec_u64(v))
-    })?;
+    out.output
+        .drain(|k, v| adj.add(typed::dec_u64(k), typed::dec_u64(v)))?;
 
     // --- Stage 2: level-synchronous traversal (iterative map-only). ----
     let mut parents: HashMap<u64, u64> = HashMap::new();
@@ -178,6 +178,7 @@ pub fn bfs_mimir(
         metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
         metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
         metrics.exchange_rounds += out.stats.shuffle.rounds;
+        metrics.job.merge(&out.stats);
 
         let mut next: Vec<u64> = Vec::new();
         out.output.drain(|k, v| {
@@ -254,6 +255,7 @@ pub fn bfs_mrmpi(
         let s = mr.stats();
         metrics.spilled |= s.spilled;
         metrics.exchange_rounds += s.exchange_rounds;
+        metrics.job.merge(&crate::job_stats_from_mr(&s));
     }
 
     let mut parents: HashMap<u64, u64> = HashMap::new();
@@ -300,6 +302,7 @@ pub fn bfs_mrmpi(
             let s = mr.stats();
             metrics.spilled |= s.spilled;
             metrics.exchange_rounds += s.exchange_rounds;
+            metrics.job.merge(&crate::job_stats_from_mr(&s));
         }
 
         let mut next: Vec<u64> = Vec::new();

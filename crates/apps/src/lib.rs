@@ -22,4 +22,4 @@ pub mod wordcount;
 
 mod metrics;
 
-pub use metrics::RunMetrics;
+pub use metrics::{job_stats_from_mr, RunMetrics};

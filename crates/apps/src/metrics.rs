@@ -1,5 +1,7 @@
 use std::time::Duration;
 
+use mimir_core::JobStats;
+
 /// Framework-neutral per-rank metrics collected by every benchmark run —
 /// the quantities the paper's figures plot.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,6 +22,11 @@ pub struct RunMetrics {
     pub exchange_rounds: u64,
     /// Iterations executed (octree levels, BFS depth; 1 for WordCount).
     pub iterations: u32,
+    /// Unified per-job statistics, folded across the run's stages via
+    /// [`JobStats::merge`] (phase times and peaks are per-stage maxima;
+    /// traffic counters sum). MR-MPI runs report through the same shape
+    /// via [`job_stats_from_mr`].
+    pub job: JobStats,
 }
 
 impl RunMetrics {
@@ -32,5 +39,26 @@ impl RunMetrics {
         self.spilled |= other.spilled;
         self.exchange_rounds += other.exchange_rounds;
         self.iterations += other.iterations;
+        self.job.merge(&other.job);
+    }
+}
+
+/// Maps the MR-MPI baseline's stats onto the unified [`JobStats`] shape
+/// so both frameworks report through the same registry. MR-MPI's
+/// explicit aggregate and compress phases are folded into map time,
+/// where Mimir interleaves them.
+pub fn job_stats_from_mr(s: &mrmpi::MrStats) -> JobStats {
+    JobStats {
+        map_time: s.map_time + s.aggregate_time + s.compress_time,
+        convert_time: s.convert_time,
+        reduce_time: s.reduce_time,
+        shuffle: mimir_core::ShuffleStats {
+            kvs_emitted: s.kvs_mapped,
+            rounds: s.exchange_rounds,
+            ..mimir_core::ShuffleStats::default()
+        },
+        unique_keys: s.unique_keys,
+        node_peak_bytes: s.node_peak_bytes,
+        ..JobStats::default()
     }
 }

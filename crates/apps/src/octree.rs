@@ -184,6 +184,7 @@ pub fn octree_mimir(
         metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
         metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
         metrics.exchange_rounds += out.stats.shuffle.rounds;
+        metrics.job.merge(&out.stats);
         metrics.iterations += 1;
 
         let mut local_dense = Vec::new();
@@ -271,6 +272,7 @@ pub fn octree_mrmpi(
             let s = mr.stats();
             metrics.spilled |= s.spilled;
             metrics.exchange_rounds += s.exchange_rounds;
+            metrics.job.merge(&crate::job_stats_from_mr(&s));
         }
         metrics.iterations += 1;
 

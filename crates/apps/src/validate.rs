@@ -74,7 +74,10 @@ pub fn validate_bfs_tree(
         "visited set size mismatch"
     );
     for v in parents.keys() {
-        assert!(reference_dist.contains_key(v), "unreachable vertex {v} visited");
+        assert!(
+            reference_dist.contains_key(v),
+            "unreachable vertex {v} visited"
+        );
     }
 
     // 4. Levels are consistent: dist(v) == dist(parent(v)) + 1, and both

@@ -83,14 +83,12 @@ pub fn wordcount_mimir(
             job.map_partial_reduce_compress(&mut map, Box::new(sum_u64), Box::new(sum_u64))?
         }
         (true, false) => job.map_partial_reduce(&mut map, Box::new(sum_u64))?,
-        (false, true) => job.map_reduce_compress(
-            &mut map,
-            Box::new(sum_u64),
-            &mut |k, vals, em| {
+        (false, true) => {
+            job.map_reduce_compress(&mut map, Box::new(sum_u64), &mut |k, vals, em| {
                 let total: u64 = vals.map(typed::dec_u64).sum();
                 em.emit(k, &typed::enc_u64(total))
-            },
-        )?,
+            })?
+        }
         (false, false) => job.map_reduce(&mut map, &mut |k, vals, em| {
             let total: u64 = vals.map(typed::dec_u64).sum();
             em.emit(k, &typed::enc_u64(total))
@@ -110,6 +108,7 @@ pub fn wordcount_mimir(
         spilled: false,
         exchange_rounds: out.stats.shuffle.rounds,
         iterations: 1,
+        job: out.stats,
     };
     Ok((counts, metrics))
 }
@@ -164,6 +163,7 @@ pub fn wordcount_mrmpi(
         spilled: stats.spilled,
         exchange_rounds: stats.exchange_rounds,
         iterations: 1,
+        job: crate::job_stats_from_mr(&stats),
     };
     Ok((counts, metrics))
 }

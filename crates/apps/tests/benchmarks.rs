@@ -49,13 +49,9 @@ fn wordcount_mimir_all_option_combinations_match_serial() {
                     compress: cps,
                 };
                 let per_rank = run_world(N_RANKS, move |comm| {
-                    let mut ctx = MimirContext::new(
-                        comm,
-                        pool(),
-                        IoModel::free(),
-                        MimirConfig::default(),
-                    )
-                    .unwrap();
+                    let mut ctx =
+                        MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
+                            .unwrap();
                     let text = wc_corpus(ctx.rank());
                     wordcount_mimir(&mut ctx, &text, &opts).unwrap().0
                 });
@@ -95,8 +91,7 @@ fn wordcount_hint_reduces_kv_bytes() {
     let bytes_of = |hint: bool| {
         let runs = run_world(N_RANKS, move |comm| {
             let mut ctx =
-                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
-                    .unwrap();
+                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default()).unwrap();
             let text = wc_corpus(ctx.rank());
             let opts = WcOptions {
                 hint,
@@ -148,13 +143,9 @@ fn octree_mimir_all_option_combinations_match_serial() {
                     ..base
                 };
                 let per_rank = run_world(N_RANKS, move |comm| {
-                    let mut ctx = MimirContext::new(
-                        comm,
-                        pool(),
-                        IoModel::free(),
-                        MimirConfig::default(),
-                    )
-                    .unwrap();
+                    let mut ctx =
+                        MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
+                            .unwrap();
                     let pts = oc_points(ctx.rank());
                     octree_mimir(&mut ctx, &pts, &opts).unwrap().0
                 });
@@ -276,10 +267,11 @@ fn frameworks_agree_on_wordcount() {
     let mimir = {
         let per_rank = run_world(N_RANKS, |comm| {
             let mut ctx =
-                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default())
-                    .unwrap();
+                MimirContext::new(comm, pool(), IoModel::free(), MimirConfig::default()).unwrap();
             let text = wc_corpus(ctx.rank());
-            wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+            wordcount_mimir(&mut ctx, &text, &WcOptions::all())
+                .unwrap()
+                .0
         });
         merge_counts(per_rank)
     };

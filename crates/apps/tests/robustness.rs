@@ -20,7 +20,9 @@ fn spilled_octree_matches_serial() {
     let n_points = 6_000;
     let opts = OcOptions::default();
     let expected = octree_serial(
-        &(0..3).flat_map(|r| gen.generate(r, 3, n_points)).collect::<Vec<_>>(),
+        &(0..3)
+            .flat_map(|r| gen.generate(r, 3, n_points))
+            .collect::<Vec<_>>(),
         opts.density,
         opts.max_depth,
     );
@@ -98,6 +100,7 @@ fn metrics_absorb_composes() {
         spilled: false,
         exchange_rounds: 1,
         iterations: 1,
+        ..RunMetrics::default()
     };
     let b = RunMetrics {
         wall: std::time::Duration::from_millis(7),
@@ -107,6 +110,7 @@ fn metrics_absorb_composes() {
         spilled: true,
         exchange_rounds: 2,
         iterations: 4,
+        ..RunMetrics::default()
     };
     a.absorb(&b);
     assert_eq!(a.wall, std::time::Duration::from_millis(17));

@@ -1,8 +1,12 @@
 //! Small-scale end-to-end instances of every figure's workload, so
 //! `cargo bench` exercises each reproduction path. The full sweeps live
 //! in the `fig*` binaries (`cargo run --release -p mimir-bench --bin …`).
+//! Plain harness: each case is timed over a few iterations and reported
+//! as ms/iter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use mimir_apps::bfs::BfsOptions;
 use mimir_apps::octree::OcOptions;
 use mimir_apps::wordcount::WcOptions;
@@ -12,78 +16,84 @@ use mimir_bench::runner::{
 };
 use mimir_bench::{Platform, Status};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_smoke");
-    g.sample_size(10);
+const ITERS: u32 = 3;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERS);
+    println!("{name:<34}{per_ms:>12.3} ms/iter");
+}
+
+fn main() {
     let comet = Platform::comet_mini();
     let mira = Platform::mira_mini();
 
-    g.bench_function("fig01_point_in_memory", |b| {
-        b.iter(|| black_box(run_fig1_point(&comet, 512 << 10)))
+    bench("fig01_point_in_memory", || {
+        run_fig1_point(&comet, 512 << 10)
     });
-    g.bench_function("fig07_wc_wiki_hint", |b| {
-        b.iter(|| {
-            let o = run_wc_mimir(
-                &comet,
-                1,
-                WcDataset::Wikipedia,
-                512 << 10,
-                WcOptions {
-                    hint: true,
-                    ..WcOptions::default()
-                },
-            );
-            assert_eq!(o.status, Status::InMemory);
-            black_box(o.kv_bytes)
-        })
+    bench("fig07_wc_wiki_hint", || {
+        let o = run_wc_mimir(
+            &comet,
+            1,
+            WcDataset::Wikipedia,
+            512 << 10,
+            WcOptions {
+                hint: true,
+                ..WcOptions::default()
+            },
+        );
+        assert_eq!(o.status, Status::InMemory);
+        o.kv_bytes
     });
-    g.bench_function("fig08_wc_mimir_baseline", |b| {
-        b.iter(|| black_box(run_wc_mimir(&comet, 1, WcDataset::Uniform, 512 << 10, WcOptions::default())))
+    bench("fig08_wc_mimir_baseline", || {
+        run_wc_mimir(
+            &comet,
+            1,
+            WcDataset::Uniform,
+            512 << 10,
+            WcOptions::default(),
+        )
     });
-    g.bench_function("fig08_wc_mrmpi_large_page", |b| {
-        b.iter(|| {
-            black_box(run_wc_mrmpi(
-                &comet,
-                1,
-                WcDataset::Uniform,
-                512 << 10,
-                comet.mrmpi_page_large,
-                false,
-            ))
-        })
+    bench("fig08_wc_mrmpi_large_page", || {
+        run_wc_mrmpi(
+            &comet,
+            1,
+            WcDataset::Uniform,
+            512 << 10,
+            comet.mrmpi_page_large,
+            false,
+        )
     });
-    g.bench_function("fig08_oc_mimir", |b| {
-        b.iter(|| black_box(run_oc_mimir(&comet, 1, 1 << 14, OcOptions::default())))
+    bench("fig08_oc_mimir", || {
+        run_oc_mimir(&comet, 1, 1 << 14, OcOptions::default())
     });
-    g.bench_function("fig08_bfs_mimir", |b| {
-        b.iter(|| black_box(run_bfs_mimir(&comet, 1, 10, BfsOptions::default())))
+    bench("fig08_bfs_mimir", || {
+        run_bfs_mimir(&comet, 1, 10, BfsOptions::default())
     });
-    g.bench_function("fig11_oc_mrmpi_cps", |b| {
-        b.iter(|| black_box(run_oc_mrmpi(&comet, 1, 1 << 14, comet.mrmpi_page_large, true)))
+    bench("fig11_oc_mrmpi_cps", || {
+        run_oc_mrmpi(&comet, 1, 1 << 14, comet.mrmpi_page_large, true)
     });
-    g.bench_function("fig12_bfs_mrmpi_mira", |b| {
-        b.iter(|| black_box(run_bfs_mrmpi(&mira, 1, 9, mira.mrmpi_page_small, false)))
+    bench("fig12_bfs_mrmpi_mira", || {
+        run_bfs_mrmpi(&mira, 1, 9, mira.mrmpi_page_small, false)
     });
-    g.bench_function("fig13_wc_full_stack_mira", |b| {
-        b.iter(|| black_box(run_wc_mimir(&mira, 1, WcDataset::Wikipedia, 256 << 10, WcOptions::all())))
+    bench("fig13_wc_full_stack_mira", || {
+        run_wc_mimir(&mira, 1, WcDataset::Wikipedia, 256 << 10, WcOptions::all())
     });
-    g.bench_function("fig14_wc_scaling_2nodes", |b| {
-        let thin = mira.thin(2);
-        b.iter(|| {
-            black_box(run_wc_mimir(
-                &thin,
-                2,
-                WcDataset::Uniform,
-                64 << 10,
-                WcOptions {
-                    hint: true,
-                    ..WcOptions::default()
-                },
-            ))
-        })
+    let thin = mira.thin(2);
+    bench("fig14_wc_scaling_2nodes", || {
+        run_wc_mimir(
+            &thin,
+            2,
+            WcDataset::Uniform,
+            64 << 10,
+            WcOptions {
+                hint: true,
+                ..WcOptions::default()
+            },
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -85,7 +85,13 @@ fn main() {
 
     // --- Figures 8/9: memory efficiency. --------------------------------
     println!("== Figure 8/9 claims ==");
-    let mimir_small = run_wc_mimir(&comet, 1, WcDataset::Uniform, 256 << 10, WcOptions::default());
+    let mimir_small = run_wc_mimir(
+        &comet,
+        1,
+        WcDataset::Uniform,
+        256 << 10,
+        WcOptions::default(),
+    );
     let mrmpi_small = run_wc_mrmpi(
         &comet,
         1,
@@ -103,7 +109,13 @@ fn main() {
         ),
         (mimir_small.peak_node_bytes as f64) < 0.75 * mrmpi_small.peak_node_bytes as f64,
     );
-    let mimir_16m = run_wc_mimir(&comet, 1, WcDataset::Uniform, 16 << 20, WcOptions::default());
+    let mimir_16m = run_wc_mimir(
+        &comet,
+        1,
+        WcDataset::Uniform,
+        16 << 20,
+        WcOptions::default(),
+    );
     let mrmpi_8m = run_wc_mrmpi(
         &comet,
         1,
@@ -158,7 +170,10 @@ fn main() {
     );
     c.check(
         "skewed WC breaks MR-MPI (64M) already at 2 nodes; Mimir is unaffected",
-        format!("MR-MPI: {:?}, Mimir: {:?}", mr_skew.status, mimir_skew.status),
+        format!(
+            "MR-MPI: {:?}, Mimir: {:?}",
+            mr_skew.status, mimir_skew.status
+        ),
         mr_skew.status == Status::Spilled && mimir_skew.status == Status::InMemory,
     );
 
@@ -211,7 +226,10 @@ fn main() {
     );
     c.check(
         "the stack processes 4x larger datasets than the baseline (Mira)",
-        format!("base @8M: {:?}, hint+pr @8M: {:?}", base_8m.status, stack_8m.status),
+        format!(
+            "base @8M: {:?}, hint+pr @8M: {:?}",
+            base_8m.status, stack_8m.status
+        ),
         base_8m.status == Status::Oom && stack_8m.status == Status::InMemory,
     );
 

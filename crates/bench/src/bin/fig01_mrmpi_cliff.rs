@@ -16,13 +16,26 @@ fn main() {
     let sizes: &[usize] = if args.quick {
         &[1 << 20, 2 << 20, 4 << 20, 8 << 20]
     } else {
-        &[1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20]
+        &[
+            1 << 20,
+            2 << 20,
+            4 << 20,
+            8 << 20,
+            16 << 20,
+            32 << 20,
+            64 << 20,
+        ]
     };
 
     let mut points = Vec::new();
     for &size in sizes {
         let outcome = run_fig1_point(&p, size);
-        eprintln!("  fig01 {}: {:?} {:.3}s", fmt_size(size), outcome.status, outcome.time_s);
+        eprintln!(
+            "  fig01 {}: {:?} {:.3}s",
+            fmt_size(size),
+            outcome.status,
+            outcome.time_s
+        );
         points.push(DataPoint {
             x: fmt_size(size),
             outcome,

@@ -55,7 +55,10 @@ fn main() {
     };
 
     println!("\n=== fig07 — KV size (MiB) ===");
-    println!("{:<10}{:>20}{:>20}{:>12}", "dataset", "without hint", "with hint", "saving");
+    println!(
+        "{:<10}{:>20}{:>20}{:>12}",
+        "dataset", "without hint", "with hint", "saving"
+    );
     for i in 0..fig.series[0].points.len() {
         let plain = fig.series[0].points[i].outcome.kv_bytes;
         let hinted = fig.series[1].points[i].outcome.kv_bytes;

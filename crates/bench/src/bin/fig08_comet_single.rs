@@ -21,33 +21,108 @@ fn main() {
 
     let wc_series: &[(&str, WcSeries)] = &[
         ("Mimir", WcSeries::Mimir(WcOptions::default())),
-        ("MR-MPI (64K)", WcSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (512K)", WcSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            WcSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (512K)",
+            WcSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
     let oc_series: &[(&str, OcSeries)] = &[
         ("Mimir", OcSeries::Mimir(OcOptions::default())),
-        ("MR-MPI (64K)", OcSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (512K)", OcSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            OcSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (512K)",
+            OcSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
     let bfs_series: &[(&str, BfsSeries)] = &[
         ("Mimir", BfsSeries::Mimir(BfsOptions::default())),
-        ("MR-MPI (64K)", BfsSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (512K)", BfsSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            BfsSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (512K)",
+            BfsSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
 
     let wc_sizes: &[usize] = if args.quick {
         &[256 << 10, 1 << 20, 4 << 20]
     } else {
-        &[256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20]
+        &[
+            256 << 10,
+            512 << 10,
+            1 << 20,
+            2 << 20,
+            4 << 20,
+            8 << 20,
+            16 << 20,
+        ]
     };
-    let oc_points: &[u32] = if args.quick { &[14, 16, 18] } else { &[14, 15, 16, 17, 18, 19, 20] };
-    let bfs_scales: &[u32] = if args.quick { &[9, 11, 13] } else { &[9, 10, 11, 12, 13, 14, 15, 16] };
+    let oc_points: &[u32] = if args.quick {
+        &[14, 16, 18]
+    } else {
+        &[14, 15, 16, 17, 18, 19, 20]
+    };
+    let bfs_scales: &[u32] = if args.quick {
+        &[9, 11, 13]
+    } else {
+        &[9, 10, 11, 12, 13, 14, 15, 16]
+    };
 
     let figs = [
-        wc_figure("fig08a", "WC (Uniform), one Comet node", &p, 1, WcDataset::Uniform, wc_sizes, wc_series),
-        wc_figure("fig08b", "WC (Wikipedia), one Comet node", &p, 1, WcDataset::Wikipedia, wc_sizes, wc_series),
+        wc_figure(
+            "fig08a",
+            "WC (Uniform), one Comet node",
+            &p,
+            1,
+            WcDataset::Uniform,
+            wc_sizes,
+            wc_series,
+        ),
+        wc_figure(
+            "fig08b",
+            "WC (Wikipedia), one Comet node",
+            &p,
+            1,
+            WcDataset::Wikipedia,
+            wc_sizes,
+            wc_series,
+        ),
         oc_figure("fig08c", "OC, one Comet node", &p, 1, oc_points, oc_series),
-        bfs_figure("fig08d", "BFS, one Comet node", &p, 1, bfs_scales, bfs_series),
+        bfs_figure(
+            "fig08d",
+            "BFS, one Comet node",
+            &p,
+            1,
+            bfs_scales,
+            bfs_series,
+        ),
     ];
     for fig in &figs {
         print_figure(fig);

@@ -19,18 +19,54 @@ fn main() {
 
     let wc_series: &[(&str, WcSeries)] = &[
         ("Mimir", WcSeries::Mimir(WcOptions::default())),
-        ("MR-MPI (64K)", WcSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (128K)", WcSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            WcSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (128K)",
+            WcSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
     let oc_series: &[(&str, OcSeries)] = &[
         ("Mimir", OcSeries::Mimir(OcOptions::default())),
-        ("MR-MPI (64K)", OcSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (128K)", OcSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            OcSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (128K)",
+            OcSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
     let bfs_series: &[(&str, BfsSeries)] = &[
         ("Mimir", BfsSeries::Mimir(BfsOptions::default())),
-        ("MR-MPI (64K)", BfsSeries::MrMpi { page: small, cps: false }),
-        ("MR-MPI (128K)", BfsSeries::MrMpi { page: large, cps: false }),
+        (
+            "MR-MPI (64K)",
+            BfsSeries::MrMpi {
+                page: small,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (128K)",
+            BfsSeries::MrMpi {
+                page: large,
+                cps: false,
+            },
+        ),
     ];
 
     let wc_sizes: &[usize] = if args.quick {
@@ -38,14 +74,45 @@ fn main() {
     } else {
         &[64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20]
     };
-    let oc_points: &[u32] = if args.quick { &[12, 14, 16] } else { &[12, 13, 14, 15, 16, 17] };
-    let bfs_scales: &[u32] = if args.quick { &[8, 10] } else { &[8, 9, 10, 11, 12] };
+    let oc_points: &[u32] = if args.quick {
+        &[12, 14, 16]
+    } else {
+        &[12, 13, 14, 15, 16, 17]
+    };
+    let bfs_scales: &[u32] = if args.quick {
+        &[8, 10]
+    } else {
+        &[8, 9, 10, 11, 12]
+    };
 
     let figs = [
-        wc_figure("fig09a", "WC (Uniform), one Mira node", &p, 1, WcDataset::Uniform, wc_sizes, wc_series),
-        wc_figure("fig09b", "WC (Wikipedia), one Mira node", &p, 1, WcDataset::Wikipedia, wc_sizes, wc_series),
+        wc_figure(
+            "fig09a",
+            "WC (Uniform), one Mira node",
+            &p,
+            1,
+            WcDataset::Uniform,
+            wc_sizes,
+            wc_series,
+        ),
+        wc_figure(
+            "fig09b",
+            "WC (Wikipedia), one Mira node",
+            &p,
+            1,
+            WcDataset::Wikipedia,
+            wc_sizes,
+            wc_series,
+        ),
         oc_figure("fig09c", "OC, one Mira node", &p, 1, oc_points, oc_series),
-        bfs_figure("fig09d", "BFS, one Mira node", &p, 1, bfs_scales, bfs_series),
+        bfs_figure(
+            "fig09d",
+            "BFS, one Mira node",
+            &p,
+            1,
+            bfs_scales,
+            bfs_series,
+        ),
     ];
     for fig in &figs {
         print_figure(fig);

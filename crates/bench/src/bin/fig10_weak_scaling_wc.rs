@@ -47,7 +47,10 @@ fn main() {
                 },
             ),
         ];
-        for (suffix, dataset) in [("uniform", WcDataset::Uniform), ("wikipedia", WcDataset::Wikipedia)] {
+        for (suffix, dataset) in [
+            ("uniform", WcDataset::Uniform),
+            ("wikipedia", WcDataset::Wikipedia),
+        ] {
             figs.push(wc_scaling_figure(
                 &format!("fig10-{}-{suffix}", platform.name),
                 &format!(

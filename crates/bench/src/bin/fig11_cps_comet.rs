@@ -55,16 +55,63 @@ fn main() {
     let wc_sizes: &[usize] = if args.quick {
         &[512 << 10, 4 << 20]
     } else {
-        &[512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20]
+        &[
+            512 << 10,
+            1 << 20,
+            2 << 20,
+            4 << 20,
+            8 << 20,
+            16 << 20,
+            32 << 20,
+            64 << 20,
+        ]
     };
-    let oc_points: &[u32] = if args.quick { &[15, 18] } else { &[15, 16, 17, 18, 19, 20, 21, 22] };
-    let bfs_scales: &[u32] = if args.quick { &[10, 13] } else { &[10, 11, 12, 13, 14, 15, 16] };
+    let oc_points: &[u32] = if args.quick {
+        &[15, 18]
+    } else {
+        &[15, 16, 17, 18, 19, 20, 21, 22]
+    };
+    let bfs_scales: &[u32] = if args.quick {
+        &[10, 13]
+    } else {
+        &[10, 11, 12, 13, 14, 15, 16]
+    };
 
     let figs = [
-        wc_figure("fig11a", "KV compression, WC (Uniform), Comet", &p, 1, WcDataset::Uniform, wc_sizes, wc_series),
-        wc_figure("fig11b", "KV compression, WC (Wikipedia), Comet", &p, 1, WcDataset::Wikipedia, wc_sizes, wc_series),
-        oc_figure("fig11c", "KV compression, OC, Comet", &p, 1, oc_points, oc_series),
-        bfs_figure("fig11d", "KV compression, BFS, Comet", &p, 1, bfs_scales, bfs_series),
+        wc_figure(
+            "fig11a",
+            "KV compression, WC (Uniform), Comet",
+            &p,
+            1,
+            WcDataset::Uniform,
+            wc_sizes,
+            wc_series,
+        ),
+        wc_figure(
+            "fig11b",
+            "KV compression, WC (Wikipedia), Comet",
+            &p,
+            1,
+            WcDataset::Wikipedia,
+            wc_sizes,
+            wc_series,
+        ),
+        oc_figure(
+            "fig11c",
+            "KV compression, OC, Comet",
+            &p,
+            1,
+            oc_points,
+            oc_series,
+        ),
+        bfs_figure(
+            "fig11d",
+            "KV compression, BFS, Comet",
+            &p,
+            1,
+            bfs_scales,
+            bfs_series,
+        ),
     ];
     for fig in &figs {
         print_figure(fig);

@@ -34,20 +34,56 @@ fn main() {
     let wc_series: &[(&str, WcSeries)] = &[
         ("Mimir", WcSeries::Mimir(WcOptions::default())),
         ("Mimir (cps)", WcSeries::Mimir(cps_wc)),
-        ("MR-MPI", WcSeries::MrMpi { page: wc_page, cps: false }),
-        ("MR-MPI (cps)", WcSeries::MrMpi { page: wc_page, cps: true }),
+        (
+            "MR-MPI",
+            WcSeries::MrMpi {
+                page: wc_page,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (cps)",
+            WcSeries::MrMpi {
+                page: wc_page,
+                cps: true,
+            },
+        ),
     ];
     let oc_series: &[(&str, OcSeries)] = &[
         ("Mimir", OcSeries::Mimir(OcOptions::default())),
         ("Mimir (cps)", OcSeries::Mimir(cps_oc)),
-        ("MR-MPI", OcSeries::MrMpi { page: other_page, cps: false }),
-        ("MR-MPI (cps)", OcSeries::MrMpi { page: other_page, cps: true }),
+        (
+            "MR-MPI",
+            OcSeries::MrMpi {
+                page: other_page,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (cps)",
+            OcSeries::MrMpi {
+                page: other_page,
+                cps: true,
+            },
+        ),
     ];
     let bfs_series: &[(&str, BfsSeries)] = &[
         ("Mimir", BfsSeries::Mimir(BfsOptions::default())),
         ("Mimir (cps)", BfsSeries::Mimir(cps_bfs)),
-        ("MR-MPI", BfsSeries::MrMpi { page: other_page, cps: false }),
-        ("MR-MPI (cps)", BfsSeries::MrMpi { page: other_page, cps: true }),
+        (
+            "MR-MPI",
+            BfsSeries::MrMpi {
+                page: other_page,
+                cps: false,
+            },
+        ),
+        (
+            "MR-MPI (cps)",
+            BfsSeries::MrMpi {
+                page: other_page,
+                cps: true,
+            },
+        ),
     ];
 
     let wc_sizes: &[usize] = if args.quick {
@@ -55,14 +91,52 @@ fn main() {
     } else {
         &[256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20]
     };
-    let oc_points: &[u32] = if args.quick { &[14, 16] } else { &[14, 15, 16, 17, 18, 19] };
-    let bfs_scales: &[u32] = if args.quick { &[8, 10] } else { &[8, 9, 10, 11, 12, 13] };
+    let oc_points: &[u32] = if args.quick {
+        &[14, 16]
+    } else {
+        &[14, 15, 16, 17, 18, 19]
+    };
+    let bfs_scales: &[u32] = if args.quick {
+        &[8, 10]
+    } else {
+        &[8, 9, 10, 11, 12, 13]
+    };
 
     let figs = [
-        wc_figure("fig12a", "KV compression, WC (Uniform), Mira", &p, 1, WcDataset::Uniform, wc_sizes, wc_series),
-        wc_figure("fig12b", "KV compression, WC (Wikipedia), Mira", &p, 1, WcDataset::Wikipedia, wc_sizes, wc_series),
-        oc_figure("fig12c", "KV compression, OC, Mira", &p, 1, oc_points, oc_series),
-        bfs_figure("fig12d", "KV compression, BFS, Mira", &p, 1, bfs_scales, bfs_series),
+        wc_figure(
+            "fig12a",
+            "KV compression, WC (Uniform), Mira",
+            &p,
+            1,
+            WcDataset::Uniform,
+            wc_sizes,
+            wc_series,
+        ),
+        wc_figure(
+            "fig12b",
+            "KV compression, WC (Wikipedia), Mira",
+            &p,
+            1,
+            WcDataset::Wikipedia,
+            wc_sizes,
+            wc_series,
+        ),
+        oc_figure(
+            "fig12c",
+            "KV compression, OC, Mira",
+            &p,
+            1,
+            oc_points,
+            oc_series,
+        ),
+        bfs_figure(
+            "fig12d",
+            "KV compression, BFS, Mira",
+            &p,
+            1,
+            bfs_scales,
+            bfs_series,
+        ),
     ];
     for fig in &figs {
         print_figure(fig);

@@ -62,14 +62,52 @@ fn main() {
     } else {
         &[256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20]
     };
-    let oc_points: &[u32] = if args.quick { &[14, 16] } else { &[14, 15, 16, 17, 18, 19] };
-    let bfs_scales: &[u32] = if args.quick { &[8, 10] } else { &[8, 9, 10, 11, 12, 13] };
+    let oc_points: &[u32] = if args.quick {
+        &[14, 16]
+    } else {
+        &[14, 15, 16, 17, 18, 19]
+    };
+    let bfs_scales: &[u32] = if args.quick {
+        &[8, 10]
+    } else {
+        &[8, 9, 10, 11, 12, 13]
+    };
 
     let figs = [
-        wc_figure("fig13a", "Optimization stack, WC (Uniform), Mira", &p, 1, WcDataset::Uniform, wc_sizes, wc_series),
-        wc_figure("fig13b", "Optimization stack, WC (Wikipedia), Mira", &p, 1, WcDataset::Wikipedia, wc_sizes, wc_series),
-        oc_figure("fig13c", "Optimization stack, OC, Mira", &p, 1, oc_points, oc_series),
-        bfs_figure("fig13d", "Optimization stack, BFS, Mira", &p, 1, bfs_scales, bfs_series),
+        wc_figure(
+            "fig13a",
+            "Optimization stack, WC (Uniform), Mira",
+            &p,
+            1,
+            WcDataset::Uniform,
+            wc_sizes,
+            wc_series,
+        ),
+        wc_figure(
+            "fig13b",
+            "Optimization stack, WC (Wikipedia), Mira",
+            &p,
+            1,
+            WcDataset::Wikipedia,
+            wc_sizes,
+            wc_series,
+        ),
+        oc_figure(
+            "fig13c",
+            "Optimization stack, OC, Mira",
+            &p,
+            1,
+            oc_points,
+            oc_series,
+        ),
+        bfs_figure(
+            "fig13d",
+            "Optimization stack, BFS, Mira",
+            &p,
+            1,
+            bfs_scales,
+            bfs_series,
+        ),
     ];
     for fig in &figs {
         print_figure(fig);

@@ -41,24 +41,59 @@ fn main() {
 
     let wc_stack = [
         ("Mimir", WcOptions::default()),
-        ("Mimir (hint)", WcOptions { hint: true, ..WcOptions::default() }),
-        ("Mimir (hint;pr)", WcOptions { hint: true, partial_reduce: true, ..WcOptions::default() }),
+        (
+            "Mimir (hint)",
+            WcOptions {
+                hint: true,
+                ..WcOptions::default()
+            },
+        ),
+        (
+            "Mimir (hint;pr)",
+            WcOptions {
+                hint: true,
+                partial_reduce: true,
+                ..WcOptions::default()
+            },
+        ),
         ("Mimir (hint;pr;cps)", WcOptions::all()),
     ];
     let oc_stack = [
         ("Mimir", OcOptions::default()),
-        ("Mimir (hint)", OcOptions { hint: true, ..OcOptions::default() }),
-        ("Mimir (hint;pr)", OcOptions { hint: true, partial_reduce: true, ..OcOptions::default() }),
+        (
+            "Mimir (hint)",
+            OcOptions {
+                hint: true,
+                ..OcOptions::default()
+            },
+        ),
+        (
+            "Mimir (hint;pr)",
+            OcOptions {
+                hint: true,
+                partial_reduce: true,
+                ..OcOptions::default()
+            },
+        ),
         ("Mimir (hint;pr;cps)", OcOptions::all()),
     ];
     let bfs_stack = [
         ("Mimir", BfsOptions::default()),
-        ("Mimir (hint)", BfsOptions { hint: true, compress: false }),
+        (
+            "Mimir (hint)",
+            BfsOptions {
+                hint: true,
+                compress: false,
+            },
+        ),
         ("Mimir (hint;cps)", BfsOptions::all()),
     ];
 
     let mut figs = Vec::new();
-    for (suffix, dataset) in [("uniform", WcDataset::Uniform), ("wikipedia", WcDataset::Wikipedia)] {
+    for (suffix, dataset) in [
+        ("uniform", WcDataset::Uniform),
+        ("wikipedia", WcDataset::Wikipedia),
+    ] {
         let labels: Vec<&str> = wc_stack.iter().map(|(l, _)| *l).collect();
         figs.push(scaling_figure(
             &format!("fig14-wc-{suffix}"),
@@ -85,7 +120,14 @@ fn main() {
             "nodes",
             &node_counts,
             &labels,
-            |si, nodes| run_oc_mimir(&p, nodes, oc_points_per_rank * p.ranks(nodes), oc_stack[si].1),
+            |si, nodes| {
+                run_oc_mimir(
+                    &p,
+                    nodes,
+                    oc_points_per_rank * p.ranks(nodes),
+                    oc_stack[si].1,
+                )
+            },
         ));
     }
     {

@@ -21,7 +21,10 @@ fn main() {
                 continue;
             }
         };
-        let fig: Figure = match serde_json::from_str(&data) {
+        let fig = match mimir_obs::Json::parse(&data)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Figure::from_json(&v))
+        {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("skipping {path}: not a figure record ({e})");
@@ -54,7 +57,12 @@ fn summarize(fig: &Figure) {
             .points
             .first()
             .filter(|p| p.outcome.status != Status::Oom)
-            .map(|p| format!("{:.2} MiB", p.outcome.peak_node_bytes as f64 / (1 << 20) as f64))
+            .map(|p| {
+                format!(
+                    "{:.2} MiB",
+                    p.outcome.peak_node_bytes as f64 / (1 << 20) as f64
+                )
+            })
             .unwrap_or_else(|| "-".into());
         println!(
             "{:<22}{:>16}{:>14}{:>16}{:>14}",
@@ -76,7 +84,10 @@ fn summarize(fig: &Figure) {
             .map(|p| p.outcome.time_s)
             .fold(f64::NAN, f64::max);
         if best_in_mem.is_finite() && worst.is_finite() {
-            println!("degradation: {:.0}x ({best_in_mem:.3}s -> {worst:.1}s)", worst / best_in_mem);
+            println!(
+                "degradation: {:.0}x ({best_in_mem:.3}s -> {worst:.1}s)",
+                worst / best_in_mem
+            );
         }
     }
 }

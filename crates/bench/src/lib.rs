@@ -1,7 +1,7 @@
 //! # mimir-bench — figure-reproduction harnesses
 //!
 //! One binary per table/figure of the paper's evaluation (Section IV),
-//! plus Criterion micro and ablation benches. Each binary prints the
+//! plus plain-harness micro and ablation benches. Each binary prints the
 //! series the figure plots and writes a JSON record next to it; see
 //! EXPERIMENTS.md for paper-vs-measured notes.
 //!
@@ -13,10 +13,12 @@ pub mod platforms;
 pub mod report;
 pub mod runner;
 pub mod sweeps;
+pub mod trace;
 
 pub use platforms::Platform;
 pub use report::{print_figure, write_json, DataPoint, Figure, Series};
 pub use runner::{RunOutcome, Status};
+pub use trace::TraceSession;
 
 /// Parses the common harness CLI: `--quick` (shrink sweeps), `--json
 /// <path>` (write results), `--nodes <n>` (override max node count).
@@ -44,8 +46,12 @@ impl HarnessArgs {
                 "--quick" => out.quick = true,
                 "--json" => out.json = Some(it.next().expect("path after --json")),
                 "--nodes" => {
-                    out.max_nodes =
-                        Some(it.next().expect("count after --nodes").parse().expect("number"));
+                    out.max_nodes = Some(
+                        it.next()
+                            .expect("count after --nodes")
+                            .parse()
+                            .expect("number"),
+                    );
                 }
                 other => panic!("unknown argument {other} (expected --quick/--json/--nodes)"),
             }

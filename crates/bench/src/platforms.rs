@@ -103,7 +103,11 @@ mod tests {
         for p in [Platform::comet_mini(), Platform::mira_mini()] {
             // The large MR-MPI page set must fit the node (the paper ran
             // those configurations).
-            assert!(7 * p.mrmpi_page_large * p.ranks_per_node <= p.node_mem, "{}", p.name);
+            assert!(
+                7 * p.mrmpi_page_large * p.ranks_per_node <= p.node_mem,
+                "{}",
+                p.name
+            );
             let map = p.node_map(2);
             assert_eq!(map.n_nodes(), 2);
         }
@@ -113,9 +117,6 @@ mod tests {
     fn thin_preserves_per_rank_memory() {
         let p = Platform::comet_mini();
         let t = p.thin(4);
-        assert_eq!(
-            p.node_mem / p.ranks_per_node,
-            t.node_mem / t.ranks_per_node
-        );
+        assert_eq!(p.node_mem / p.ranks_per_node, t.node_mem / t.ranks_per_node);
     }
 }

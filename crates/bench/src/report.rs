@@ -4,12 +4,12 @@
 
 use std::io::Write;
 
-use serde::{Deserialize, Serialize};
+use mimir_obs::Json;
 
 use crate::runner::{RunOutcome, Status};
 
 /// One series of a figure (e.g. "Mimir", "MR-MPI (64M)").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -18,7 +18,7 @@ pub struct Series {
 }
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DataPoint {
     /// X-axis value (dataset size, node count…).
     pub x: String,
@@ -27,7 +27,7 @@ pub struct DataPoint {
 }
 
 /// A whole figure: goes to the terminal and to JSON.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// E.g. "fig08-wc-uniform".
     pub id: String,
@@ -37,6 +37,90 @@ pub struct Figure {
     pub xlabel: String,
     /// All series.
     pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Serializes the whole figure to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("xlabel", Json::Str(self.xlabel.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("label", Json::Str(s.label.clone())),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Json::obj(vec![
+                                                    ("x", Json::Str(p.x.clone())),
+                                                    ("outcome", p.outcome.to_json()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses [`Self::to_json`]'s output.
+    ///
+    /// # Errors
+    /// Missing or mistyped fields (as a message).
+    pub fn from_json(v: &Json) -> Result<Figure, String> {
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("bad or missing `{key}`"))
+        };
+        let mut series = Vec::new();
+        for s in v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or("bad or missing `series`")?
+        {
+            let label = s
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("bad series label")?
+                .to_string();
+            let mut points = Vec::new();
+            for p in s
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("bad series points")?
+            {
+                points.push(DataPoint {
+                    x: p.get("x")
+                        .and_then(Json::as_str)
+                        .ok_or("bad point x")?
+                        .to_string(),
+                    outcome: RunOutcome::from_json(p.get("outcome").ok_or("missing outcome")?)?,
+                });
+            }
+            series.push(Series { label, points });
+        }
+        Ok(Figure {
+            id: text("id")?,
+            title: text("title")?,
+            xlabel: text("xlabel")?,
+            series,
+        })
+    }
 }
 
 /// Prints one figure as two aligned tables: execution time and peak
@@ -52,7 +136,10 @@ pub fn print_figure(fig: &Figure) {
         .map(|s| s.points.iter().map(|p| p.x.as_str()).collect())
         .unwrap_or_default();
 
-    for (metric, header) in [(MetricKind::Time, "execution time (s)"), (MetricKind::Peak, "peak node memory (MiB)")] {
+    for (metric, header) in [
+        (MetricKind::Time, "execution time (s)"),
+        (MetricKind::Peak, "peak node memory (MiB)"),
+    ] {
         let _ = writeln!(out, "--- {header} ---");
         let _ = write!(out, "{:<12}", fig.xlabel);
         for s in &fig.series {
@@ -88,7 +175,10 @@ fn format_cell(o: &RunOutcome, metric: MetricKind) -> String {
             match metric {
                 MetricKind::Time => format!("{:.3}{spill_mark}", o.time_s),
                 MetricKind::Peak => {
-                    format!("{:.2}{spill_mark}", o.peak_node_bytes as f64 / (1 << 20) as f64)
+                    format!(
+                        "{:.2}{spill_mark}",
+                        o.peak_node_bytes as f64 / (1 << 20) as f64
+                    )
                 }
             }
         }
@@ -98,11 +188,9 @@ fn format_cell(o: &RunOutcome, metric: MetricKind) -> String {
 /// Writes the figure's JSON record.
 ///
 /// # Panics
-/// Panics on I/O or serialization failure — harness output is the whole
-/// point of the run.
+/// Panics on I/O failure — harness output is the whole point of the run.
 pub fn write_json(path: &str, fig: &Figure) {
-    let json = serde_json::to_string_pretty(fig).expect("figure serializes");
-    std::fs::write(path, json).expect("writing figure JSON");
+    std::fs::write(path, fig.to_json().to_pretty()).expect("writing figure JSON");
     println!("wrote {path}");
 }
 
@@ -118,12 +206,13 @@ mod tests {
             modeled_io_s: 0.0,
             peak_node_bytes: 12 << 20,
             kv_bytes: 1,
+            unique_keys: 3,
+            exchange_rounds: 2,
         }
     }
 
-    #[test]
-    fn figure_serializes_and_prints() {
-        let fig = Figure {
+    fn sample() -> Figure {
+        Figure {
             id: "test".into(),
             title: "demo".into(),
             xlabel: "size".into(),
@@ -140,10 +229,29 @@ mod tests {
                     },
                 ],
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn figure_serializes_and_prints() {
+        let fig = sample();
         print_figure(&fig);
-        let json = serde_json::to_string(&fig).unwrap();
+        let json = fig.to_json().to_string();
         assert!(json.contains("\"Oom\""));
         assert!(json.contains("Mimir"));
+    }
+
+    #[test]
+    fn figure_roundtrips_including_nan_cells() {
+        let fig = sample();
+        let back = Figure::from_json(&Json::parse(&fig.to_json().to_pretty()).unwrap()).unwrap();
+        assert_eq!(back.id, fig.id);
+        assert_eq!(back.series.len(), 1);
+        let pts = &back.series[0].points;
+        assert_eq!(pts[0].outcome.status, Status::InMemory);
+        assert!((pts[0].outcome.time_s - 0.5).abs() < 1e-12);
+        assert_eq!(pts[1].outcome.status, Status::Oom);
+        assert!(pts[1].outcome.time_s.is_nan(), "null reads back as NaN");
+        assert_eq!(pts[0].outcome.unique_keys, 3);
     }
 }

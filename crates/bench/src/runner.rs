@@ -1,21 +1,26 @@
 //! Benchmark runners: one function per (benchmark, framework) pair,
 //! returning the figure metrics for one configuration.
+//!
+//! Every runner honors `MIMIR_TRACE=1`: each rank records trace events
+//! into a preallocated ring and the run exports a chrome-trace JSON plus
+//! a JSON-lines report (see [`crate::trace`]).
 
 use mimir_apps::bfs::{bfs_mimir, bfs_mrmpi, pick_root, BfsOptions};
 use mimir_apps::octree::{octree_mimir, octree_mrmpi, OcOptions};
 use mimir_apps::wordcount::{wordcount_mimir, wordcount_mrmpi, WcOptions};
 use mimir_apps::RunMetrics;
-use mimir_core::{MimirConfig, MimirContext};
+use mimir_core::{JobStats, MimirConfig, MimirContext};
 use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
 use mimir_io::{IoModel, SpillStore};
 use mimir_mpi::{run_world, run_world_result};
+use mimir_obs::Json;
 use mrmpi::{MrMpiConfig, OocMode};
-use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceSession;
 use crate::Platform;
 
 /// How a configuration ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Ran entirely in memory (the regime the paper's time plots show).
     InMemory,
@@ -26,42 +31,48 @@ pub enum Status {
     Oom,
 }
 
-/// serde adapter: `serde_json` writes non-finite floats as `null`; map
-/// `null` back to NaN on the way in so OOM cells round-trip.
-mod nanable {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_finite() {
-            s.serialize_some(v)
-        } else {
-            s.serialize_none()
+impl Status {
+    /// The JSON name (`"InMemory"` / `"Spilled"` / `"Oom"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::InMemory => "InMemory",
+            Status::Spilled => "Spilled",
+            Status::Oom => "Oom",
         }
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NAN))
+    /// Parses [`Self::name`]'s output.
+    pub fn from_name(s: &str) -> Option<Status> {
+        match s {
+            "InMemory" => Some(Status::InMemory),
+            "Spilled" => Some(Status::Spilled),
+            "Oom" => Some(Status::Oom),
+            _ => None,
+        }
     }
 }
 
 /// Metrics for one (framework, dataset size, options) cell of a figure.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunOutcome {
     /// Terminal status.
     pub status: Status,
     /// Reported execution time: measured compute + modeled I/O, seconds.
-    #[serde(with = "nanable")]
+    /// NaN for OOM cells (serialized as `null`).
     pub time_s: f64,
     /// Measured compute seconds (max across ranks).
-    #[serde(with = "nanable")]
     pub compute_s: f64,
     /// Modeled parallel-file-system seconds (input + spills).
-    #[serde(with = "nanable")]
     pub modeled_io_s: f64,
     /// Worst per-node peak memory, bytes.
     pub peak_node_bytes: usize,
     /// Intermediate KV bytes emitted across all ranks.
     pub kv_bytes: u64,
+    /// Unique keys across the cluster (summed from the merged
+    /// [`JobStats`]).
+    pub unique_keys: u64,
+    /// Exchange rounds (max across ranks — rounds are collective).
+    pub exchange_rounds: u64,
 }
 
 impl RunOutcome {
@@ -73,6 +84,8 @@ impl RunOutcome {
             modeled_io_s: f64::NAN,
             peak_node_bytes: 0,
             kv_bytes: 0,
+            unique_keys: 0,
+            exchange_rounds: 0,
         }
     }
 
@@ -91,14 +104,72 @@ impl RunOutcome {
             .fold(0.0, f64::max);
         let modeled_io_s = io.modeled_time().as_secs_f64();
         let spilled = metrics.iter().any(|m| m.spilled);
+        // Cluster totals come from folding every rank's unified job
+        // stats: traffic sums, rounds/times/peaks take the max.
+        let mut cluster = JobStats::default();
+        for m in metrics {
+            cluster.merge(&m.job);
+        }
         Self {
-            status: if spilled { Status::Spilled } else { Status::InMemory },
+            status: if spilled {
+                Status::Spilled
+            } else {
+                Status::InMemory
+            },
             time_s: compute_s + modeled_io_s,
             compute_s,
             modeled_io_s,
             peak_node_bytes,
             kv_bytes: metrics.iter().map(|m| m.kv_bytes).sum(),
+            unique_keys: cluster.unique_keys,
+            exchange_rounds: cluster.shuffle.rounds,
         }
+    }
+
+    /// Serializes to a JSON object. Non-finite floats become `null`
+    /// (JSON has no NaN), so OOM cells round-trip as missing values.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("status", Json::Str(self.status.name().into())),
+            ("time_s", Json::Num(self.time_s)),
+            ("compute_s", Json::Num(self.compute_s)),
+            ("modeled_io_s", Json::Num(self.modeled_io_s)),
+            ("peak_node_bytes", Json::Num(self.peak_node_bytes as f64)),
+            ("kv_bytes", Json::Num(self.kv_bytes as f64)),
+            ("unique_keys", Json::Num(self.unique_keys as f64)),
+            ("exchange_rounds", Json::Num(self.exchange_rounds as f64)),
+        ])
+    }
+
+    /// Parses [`Self::to_json`]'s output; `null` times read back as NaN.
+    ///
+    /// # Errors
+    /// Missing or mistyped fields (as a message).
+    pub fn from_json(v: &Json) -> Result<RunOutcome, String> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(Status::from_name)
+            .ok_or("bad or missing `status`")?;
+        let num = |key: &str| -> Result<f64, String> {
+            match v.get(key) {
+                Some(Json::Null) => Ok(f64::NAN),
+                Some(n) => n.as_f64().ok_or(format!("field `{key}` is not a number")),
+                None => Err(format!("missing field `{key}`")),
+            }
+        };
+        Ok(RunOutcome {
+            status,
+            time_s: num("time_s")?,
+            compute_s: num("compute_s")?,
+            modeled_io_s: num("modeled_io_s")?,
+            peak_node_bytes: num("peak_node_bytes")? as usize,
+            kv_bytes: num("kv_bytes")? as u64,
+            // Added after the first records were written; default to 0
+            // when reading older files.
+            unique_keys: num("unique_keys").unwrap_or(0.0) as u64,
+            exchange_rounds: num("exchange_rounds").unwrap_or(0.0) as u64,
+        })
     }
 }
 
@@ -132,6 +203,13 @@ impl WcDataset {
             .generate(rank, n_ranks, total),
         }
     }
+
+    fn tag(self) -> &'static str {
+        match self {
+            WcDataset::Uniform => "uniform",
+            WcDataset::Wikipedia => "wikipedia",
+        }
+    }
 }
 
 /// WordCount on Mimir.
@@ -148,21 +226,34 @@ pub fn run_wc_mimir(
     let io2 = io.clone();
     let ranks = p.ranks(n_nodes);
     let page = p.page_size;
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!(
+        "wc-mimir-{}-{n_nodes}n-{total_bytes}",
+        dataset.tag()
+    ));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let text = dataset.generate(comm.rank(), ranks, total_bytes);
         let pool = nodes2.pool_for_rank(comm.rank());
-        let mut ctx = MimirContext::new(
-            comm,
-            pool,
-            io2.clone(),
-            MimirConfig {
-                comm_buf_size: page,
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        wordcount_mimir(&mut ctx, &text, &opts)
-            .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
+        let m = {
+            let mut ctx = MimirContext::new(
+                comm,
+                pool.clone(),
+                io2.clone(),
+                MimirConfig {
+                    comm_buf_size: page,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            wordcount_mimir(&mut ctx, &text, &opts)
+                .map(|(_, m)| m)
+                .map_err(|e| e.to_string())?
+        };
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_bytes),
@@ -184,17 +275,28 @@ pub fn run_wc_mrmpi(
     let io = IoModel::new(p.io).expect("io model");
     let io2 = io.clone();
     let ranks = p.ranks(n_nodes);
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!(
+        "wc-mrmpi-{}-{n_nodes}n-{total_bytes}",
+        dataset.tag()
+    ));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let text = dataset.generate(comm.rank(), ranks, total_bytes);
         let pool = nodes2.pool_for_rank(comm.rank());
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
         let store = SpillStore::new_temp("bench-wc", io2.clone()).map_err(|e| e.to_string())?;
         let cfg = MrMpiConfig {
             page_size,
             ooc: OocMode::WhenNeeded,
         };
-        wordcount_mrmpi(comm, pool, store, cfg, &text, compress)
+        let m = wordcount_mrmpi(comm, pool.clone(), store, cfg, &text, compress)
             .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_bytes),
@@ -216,21 +318,31 @@ pub fn run_oc_mimir(
     let io2 = io.clone();
     let ranks = p.ranks(n_nodes);
     let page = p.page_size;
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!("oc-mimir-{n_nodes}n-{total_points}"));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let pts = PointGen::new(0xC0FFEE).generate(comm.rank(), ranks, total_points);
         let pool = nodes2.pool_for_rank(comm.rank());
-        let mut ctx = MimirContext::new(
-            comm,
-            pool,
-            io2.clone(),
-            MimirConfig {
-                comm_buf_size: page,
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        octree_mimir(&mut ctx, &pts, &opts)
-            .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
+        let m = {
+            let mut ctx = MimirContext::new(
+                comm,
+                pool.clone(),
+                io2.clone(),
+                MimirConfig {
+                    comm_buf_size: page,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            octree_mimir(&mut ctx, &pts, &opts)
+                .map(|(_, m)| m)
+                .map_err(|e| e.to_string())?
+        };
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_points * 12),
@@ -255,18 +367,25 @@ pub fn run_oc_mrmpi(
         compress,
         ..OcOptions::default()
     };
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!("oc-mrmpi-{n_nodes}n-{total_points}"));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let pts = PointGen::new(0xC0FFEE).generate(comm.rank(), ranks, total_points);
         let pool = nodes2.pool_for_rank(comm.rank());
-        let store =
-            SpillStore::new_temp("bench-oc", io2.clone()).map_err(|e| e.to_string())?;
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
+        let store = SpillStore::new_temp("bench-oc", io2.clone()).map_err(|e| e.to_string())?;
         let cfg = MrMpiConfig {
             page_size,
             ooc: OocMode::WhenNeeded,
         };
-        octree_mrmpi(comm, pool, &store, cfg, &pts, &opts)
+        let m = octree_mrmpi(comm, pool.clone(), &store, cfg, &pts, &opts)
             .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), total_points * 12),
@@ -284,22 +403,32 @@ pub fn run_bfs_mimir(p: &Platform, n_nodes: usize, scale: u32, opts: BfsOptions)
     let page = p.page_size;
     let graph = Graph500::new(scale, 0xC0FFEE);
     let input_bytes = graph.n_edges() as usize * 16;
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!("bfs-mimir-{n_nodes}n-s{scale}"));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let edges = graph.edges(comm.rank(), ranks);
         let root = pick_root(comm, &edges);
         let pool = nodes2.pool_for_rank(comm.rank());
-        let mut ctx = MimirContext::new(
-            comm,
-            pool,
-            io2.clone(),
-            MimirConfig {
-                comm_buf_size: page,
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        bfs_mimir(&mut ctx, &edges, root, &opts)
-            .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
+        let m = {
+            let mut ctx = MimirContext::new(
+                comm,
+                pool.clone(),
+                io2.clone(),
+                MimirConfig {
+                    comm_buf_size: page,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            bfs_mimir(&mut ctx, &edges, root, &opts)
+                .map(|(_, m)| m)
+                .map_err(|e| e.to_string())?
+        };
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), input_bytes),
@@ -326,19 +455,26 @@ pub fn run_bfs_mrmpi(
         hint: false,
         compress,
     };
-    let res = run_world_result(ranks, move |comm| {
+    let trace = TraceSession::from_env(format!("bfs-mrmpi-{n_nodes}n-s{scale}"));
+    let res = run_world_result(ranks, move |comm| -> Result<RunMetrics, String> {
         let edges = graph.edges(comm.rank(), ranks);
         let root = pick_root(comm, &edges);
         let pool = nodes2.pool_for_rank(comm.rank());
-        let store =
-            SpillStore::new_temp("bench-bfs", io2.clone()).map_err(|e| e.to_string())?;
+        if let Some(t) = &trace {
+            t.install(comm.rank());
+        }
+        let store = SpillStore::new_temp("bench-bfs", io2.clone()).map_err(|e| e.to_string())?;
         let cfg = MrMpiConfig {
             page_size,
             ooc: OocMode::WhenNeeded,
         };
-        bfs_mrmpi(comm, pool, &store, cfg, &edges, root, &opts)
+        let m = bfs_mrmpi(comm, pool.clone(), &store, cfg, &edges, root, &opts)
             .map(|(_, m)| m)
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string())?;
+        if let Some(t) = &trace {
+            t.finish(comm, &pool, &m)?;
+        }
+        Ok(m)
     });
     match res {
         Ok(ms) => RunOutcome::from_metrics(&ms, &io, nodes.max_node_peak(), input_bytes),
@@ -351,7 +487,14 @@ pub fn run_bfs_mrmpi(
 /// *large* page configuration — the paper's Figure 1 curve stays in memory
 /// until ~4 GB, which is the 512 MB-page regime.
 pub fn run_fig1_point(p: &Platform, total_bytes: usize) -> RunOutcome {
-    run_wc_mrmpi(p, 1, WcDataset::Uniform, total_bytes, p.mrmpi_page_large, false)
+    run_wc_mrmpi(
+        p,
+        1,
+        WcDataset::Uniform,
+        total_bytes,
+        p.mrmpi_page_large,
+        false,
+    )
 }
 
 /// Sanity helper used by the smoke bench: a quick world round-trip.

@@ -7,8 +7,7 @@ use mimir_apps::wordcount::WcOptions;
 
 use crate::report::{DataPoint, Figure, Series};
 use crate::runner::{
-    run_bfs_mimir, run_bfs_mrmpi, run_oc_mimir, run_oc_mrmpi, run_wc_mimir, run_wc_mrmpi,
-    WcDataset,
+    run_bfs_mimir, run_bfs_mrmpi, run_oc_mimir, run_oc_mrmpi, run_wc_mimir, run_wc_mrmpi, WcDataset,
 };
 use crate::{fmt_size, Platform};
 

@@ -6,8 +6,7 @@ use mimir_apps::bfs::BfsOptions;
 use mimir_apps::octree::OcOptions;
 use mimir_apps::wordcount::WcOptions;
 use mimir_bench::runner::{
-    run_bfs_mimir, run_bfs_mrmpi, run_oc_mimir, run_oc_mrmpi, run_wc_mimir, run_wc_mrmpi,
-    WcDataset,
+    run_bfs_mimir, run_bfs_mrmpi, run_oc_mimir, run_oc_mrmpi, run_wc_mimir, run_wc_mrmpi, WcDataset,
 };
 use mimir_bench::{Platform, Status};
 
@@ -36,7 +35,14 @@ fn wc_runners_in_memory_regime() {
 fn wc_runner_detects_spill_and_oom() {
     let p = micro();
     // Tiny pages on a big dataset → spill.
-    let spilled = run_wc_mrmpi(&p, 1, WcDataset::Uniform, 1 << 20, p.mrmpi_page_small, false);
+    let spilled = run_wc_mrmpi(
+        &p,
+        1,
+        WcDataset::Uniform,
+        1 << 20,
+        p.mrmpi_page_small,
+        false,
+    );
     assert_eq!(spilled.status, Status::Spilled);
     assert!(spilled.modeled_io_s > 0.0);
 
@@ -71,8 +77,9 @@ fn multi_node_runner() {
 fn outcome_json_roundtrips_including_oom() {
     let p = micro();
     let oom = run_wc_mimir(&p, 1, WcDataset::Uniform, 16 << 20, WcOptions::default());
-    let json = serde_json::to_string(&oom).unwrap();
-    let back: mimir_bench::RunOutcome = serde_json::from_str(&json).unwrap();
+    let json = oom.to_json().to_string();
+    let parsed = mimir_obs::Json::parse(&json).unwrap();
+    let back = mimir_bench::RunOutcome::from_json(&parsed).unwrap();
     assert_eq!(back.status, Status::Oom);
     assert!(back.time_s.is_nan(), "NaN survives the JSON round trip");
 }

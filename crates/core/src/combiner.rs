@@ -83,6 +83,13 @@ impl<'f> FoldTable<'f> {
 
     /// Drains every entry into `out` and empties the table.
     pub fn drain_into(&mut self, out: &mut dyn Emitter) -> Result<()> {
+        if !self.map.is_empty() {
+            mimir_obs::emit(
+                mimir_obs::EventKind::CombinerFlush,
+                self.map.len() as u64,
+                self.acc_bytes as u64,
+            );
+        }
         for (k, v) in self.map.drain() {
             out.emit(&k, &v)?;
         }
@@ -244,8 +251,7 @@ mod tests {
     #[test]
     fn duplicate_keys_are_merged() {
         let pool = MemPool::unlimited("t", 4096);
-        let mut c =
-            CombinerTable::new(&pool, KvMeta::cstr_key_u64_val(), sum_combine()).unwrap();
+        let mut c = CombinerTable::new(&pool, KvMeta::cstr_key_u64_val(), sum_combine()).unwrap();
         for _ in 0..100 {
             c.emit(b"dog", &1u64.to_le_bytes()).unwrap();
             c.emit(b"cat", &2u64.to_le_bytes()).unwrap();
@@ -277,7 +283,11 @@ mod tests {
         );
         let mut out = VecEmitter(Vec::new());
         c.flush_into(&mut out).unwrap();
-        assert!(pool.used() < RESYNC_SLACK * 2, "bucket released: {}", pool.used());
+        assert!(
+            pool.used() < RESYNC_SLACK * 2,
+            "bucket released: {}",
+            pool.used()
+        );
     }
 
     #[test]

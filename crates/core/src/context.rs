@@ -23,12 +23,7 @@ impl<'w> MimirContext<'w> {
     ///
     /// # Errors
     /// Invalid configuration for the world size.
-    pub fn new(
-        comm: &'w mut Comm,
-        pool: MemPool,
-        io: IoModel,
-        cfg: MimirConfig,
-    ) -> Result<Self> {
+    pub fn new(comm: &'w mut Comm, pool: MemPool, io: IoModel, cfg: MimirConfig) -> Result<Self> {
         cfg.validate(comm.size())?;
         Ok(Self {
             comm,

@@ -211,10 +211,16 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(order, vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]);
+        assert_eq!(
+            order,
+            vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]
+        );
 
         let g = groups_of(&kmvc);
-        assert_eq!(g[&b"apple"[..].to_vec()], vec![b"1".to_vec(), b"3".to_vec(), b"6".to_vec()]);
+        assert_eq!(
+            g[&b"apple"[..].to_vec()],
+            vec![b"1".to_vec(), b"3".to_vec(), b"6".to_vec()]
+        );
         assert_eq!(g[&b"cherry"[..].to_vec()], vec![b"4".to_vec()]);
     }
 

@@ -74,8 +74,7 @@ mod tests {
         let inputs: Vec<Vec<u8>> = (0..10_000u32)
             .map(|i| format!("key-{i}").into_bytes())
             .collect();
-        let hashes: std::collections::HashSet<u64> =
-            inputs.iter().map(|b| fxhash64(b)).collect();
+        let hashes: std::collections::HashSet<u64> = inputs.iter().map(|b| fxhash64(b)).collect();
         assert_eq!(hashes.len(), inputs.len());
     }
 
@@ -92,14 +91,8 @@ mod tests {
         for i in 0..16_000u32 {
             counts[partition_of(format!("word{i}").as_bytes(), n_parts)] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
-        assert!(
-            max < min * 2,
-            "partition imbalance: min {min}, max {max}"
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(max < min * 2, "partition imbalance: min {min}, max {max}");
     }
 
     #[test]

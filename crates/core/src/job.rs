@@ -17,6 +17,8 @@
 
 use std::time::Instant;
 
+use mimir_obs::Phase;
+
 use crate::combiner::{CombineFn, CombinerTable, StreamingCombiner};
 use crate::context::MimirContext;
 use crate::convert::convert;
@@ -158,6 +160,8 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             comm, pool, cfg, ..
         } = &mut *self.ctx;
         let t0 = Instant::now();
+        pool.reset_phase_peak();
+        let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
         let mut shuffler = Shuffler::with_partitioner(
             comm,
@@ -168,8 +172,11 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             self.partitioner.clone(),
         )?;
         map(&mut shuffler)?;
+        drop(map_span);
+        let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (kvc, shuffle) = shuffler.finish()?;
         comm.barrier();
+        drop(agg_span);
         let kvs_out = kvc.len();
         Ok(JobOutput {
             output: kvc,
@@ -178,6 +185,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 shuffle,
                 kvs_out,
                 node_peak_bytes: pool.peak(),
+                map_peak_bytes: pool.phase_peak(),
                 ..JobStats::default()
             },
         })
@@ -193,6 +201,8 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             comm, pool, cfg, ..
         } = &mut *self.ctx;
         let t0 = Instant::now();
+        pool.reset_phase_peak();
+        let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
         let mut shuffler = Shuffler::with_partitioner(
             comm,
@@ -210,8 +220,11 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             self.compress_flush_bytes,
             &mut shuffler,
         )?;
+        drop(map_span);
+        let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (kvc, shuffle) = shuffler.finish()?;
         comm.barrier();
+        drop(agg_span);
         let kvs_out = kvc.len();
         Ok(JobOutput {
             output: kvc,
@@ -220,6 +233,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 shuffle,
                 kvs_out,
                 node_peak_bytes: pool.peak(),
+                map_peak_bytes: pool.phase_peak(),
                 ..JobStats::default()
             },
         })
@@ -239,6 +253,8 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
         // --- map + implicit aggregate --------------------------------
         let t0 = Instant::now();
+        pool.reset_phase_peak();
+        let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, kv_meta);
         let mut shuffler = Shuffler::with_partitioner(
             comm,
@@ -251,22 +267,39 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         match compress {
             None => map(&mut shuffler)?,
             Some(cf) => {
-                drive_compressed_map(map, cf, pool, kv_meta, self.compress_flush_bytes, &mut shuffler)?;
+                drive_compressed_map(
+                    map,
+                    cf,
+                    pool,
+                    kv_meta,
+                    self.compress_flush_bytes,
+                    &mut shuffler,
+                )?;
             }
         }
+        drop(map_span);
+        let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (kvc, shuffle) = shuffler.finish()?;
         // The paper retains the global synchronization between the map
         // and reduce phases.
         comm.barrier();
+        drop(agg_span);
         let map_time = t0.elapsed();
+        let map_peak_bytes = pool.phase_peak();
 
         // --- convert ---------------------------------------------------
         let t1 = Instant::now();
+        pool.reset_phase_peak();
+        let convert_span = mimir_obs::phase_span(Phase::Convert);
         let kmvc = convert(kvc, pool)?;
+        drop(convert_span);
         let convert_time = t1.elapsed();
+        let convert_peak_bytes = pool.phase_peak();
 
         // --- reduce ----------------------------------------------------
         let t2 = Instant::now();
+        pool.reset_phase_peak();
+        let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let mut out = KvContainer::new(pool, out_meta);
         let unique_keys = kmvc.n_groups() as u64;
         {
@@ -278,7 +311,9 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         }
         drop(kmvc);
         comm.barrier();
+        drop(reduce_span);
         let reduce_time = t2.elapsed();
+        let reduce_peak_bytes = pool.phase_peak();
 
         let kvs_out = out.len();
         Ok(JobOutput {
@@ -290,6 +325,9 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 shuffle,
                 unique_keys,
                 node_peak_bytes: pool.peak(),
+                map_peak_bytes,
+                convert_peak_bytes,
+                reduce_peak_bytes,
                 kvs_out,
             },
         })
@@ -308,6 +346,8 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         } = &mut *self.ctx;
 
         let t0 = Instant::now();
+        pool.reset_phase_peak();
+        let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = PartialReducer::new(pool, kv_meta, combine)?;
         let mut shuffler = Shuffler::with_partitioner(
             comm,
@@ -320,18 +360,33 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         match compress {
             None => map(&mut shuffler)?,
             Some(cf) => {
-                drive_compressed_map(map, cf, pool, kv_meta, self.compress_flush_bytes, &mut shuffler)?;
+                drive_compressed_map(
+                    map,
+                    cf,
+                    pool,
+                    kv_meta,
+                    self.compress_flush_bytes,
+                    &mut shuffler,
+                )?;
             }
         }
+        drop(map_span);
+        let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (reducer, shuffle) = shuffler.finish()?;
         comm.barrier();
+        drop(agg_span);
         let map_time = t0.elapsed();
+        let map_peak_bytes = pool.phase_peak();
 
         let t2 = Instant::now();
+        pool.reset_phase_peak();
+        let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let unique_keys = reducer.unique_keys() as u64;
         let out = reducer.into_output(pool, out_meta)?;
         comm.barrier();
+        drop(reduce_span);
         let reduce_time = t2.elapsed();
+        let reduce_peak_bytes = pool.phase_peak();
 
         let kvs_out = out.len();
         Ok(JobOutput {
@@ -342,8 +397,11 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 reduce_time,
                 shuffle,
                 unique_keys,
-                node_peak_bytes: pool.peak(),
                 kvs_out,
+                node_peak_bytes: pool.peak(),
+                map_peak_bytes,
+                reduce_peak_bytes,
+                ..JobStats::default()
             },
         })
     }

@@ -112,9 +112,7 @@ impl KmvContainer {
         for loc in &self.groups {
             let entry = self.entry_bytes(loc);
             let (krange, koff) = decode_side(self.meta.key, entry, 0);
-            let n = u32::from_le_bytes(
-                entry[koff..koff + 4].try_into().expect("n_values field"),
-            );
+            let n = u32::from_le_bytes(entry[koff..koff + 4].try_into().expect("n_values field"));
             let vals = ValueIter {
                 hint: self.meta.val,
                 buf: &entry[koff + 4..],

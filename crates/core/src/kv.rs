@@ -95,12 +95,15 @@ pub(crate) fn encode_into(meta: KvMeta, key: &[u8], val: &[u8], out: &mut [u8]) 
 }
 
 #[inline]
-pub(crate) fn decode_side(hint: LenHint, buf: &[u8], off: usize) -> (std::ops::Range<usize>, usize) {
+pub(crate) fn decode_side(
+    hint: LenHint,
+    buf: &[u8],
+    off: usize,
+) -> (std::ops::Range<usize>, usize) {
     match hint {
         LenHint::Var => {
-            let len = u32::from_le_bytes(
-                buf[off..off + 4].try_into().expect("u32 length prefix"),
-            ) as usize;
+            let len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("u32 length prefix"))
+                as usize;
             (off + 4..off + 4 + len, off + 4 + len)
         }
         LenHint::Fixed(n) => (off..off + n, off + n),
@@ -175,7 +178,9 @@ mod tests {
         assert_eq!(decoded, expected, "meta {meta:?}");
         assert_eq!(
             buf.len(),
-            kvs.iter().map(|(k, v)| encoded_len(meta, k, v)).sum::<usize>()
+            kvs.iter()
+                .map(|(k, v)| encoded_len(meta, k, v))
+                .sum::<usize>()
         );
     }
 

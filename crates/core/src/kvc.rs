@@ -75,10 +75,7 @@ impl KvContainer {
                 what: "container page",
             });
         }
-        let need_new = self
-            .pages
-            .back()
-            .is_none_or(|p| p.remaining() < len);
+        let need_new = self.pages.back().is_none_or(|p| p.remaining() < len);
         if need_new {
             self.pages.push_back(self.pool.alloc_page()?);
         }
@@ -189,10 +186,8 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(kvc.len(), 20);
-        let got: Vec<(Vec<u8>, Vec<u8>)> = kvc
-            .iter()
-            .map(|(k, v)| (k.to_vec(), v.to_vec()))
-            .collect();
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            kvc.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         assert_eq!(got.len(), 20);
         assert_eq!(got[7].0, b"key7");
         assert_eq!(got[7].1, 7u32.to_le_bytes());

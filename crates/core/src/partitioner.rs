@@ -42,7 +42,10 @@ impl Partitioner {
     /// `0..n_ranks` by a debug assertion in debug builds and by a modulo
     /// in release builds, so an out-of-range partitioner cannot write
     /// outside the send buffer.
-    pub fn custom(name: &'static str, f: impl Fn(&[u8], usize) -> usize + Send + Sync + 'static) -> Self {
+    pub fn custom(
+        name: &'static str,
+        f: impl Fn(&[u8], usize) -> usize + Send + Sync + 'static,
+    ) -> Self {
         Self {
             f: Arc::new(f),
             name,
@@ -69,7 +72,11 @@ impl Partitioner {
     #[inline]
     pub fn of(&self, key: &[u8], n_ranks: usize) -> usize {
         let d = (self.f)(key, n_ranks);
-        debug_assert!(d < n_ranks, "partitioner `{}` returned {d} of {n_ranks}", self.name);
+        debug_assert!(
+            d < n_ranks,
+            "partitioner `{}` returned {d} of {n_ranks}",
+            self.name
+        );
         if d < n_ranks {
             d
         } else {
@@ -91,7 +98,9 @@ impl Default for Partitioner {
 
 impl std::fmt::Debug for Partitioner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Partitioner").field("name", &self.name).finish()
+        f.debug_struct("Partitioner")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

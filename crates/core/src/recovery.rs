@@ -55,7 +55,8 @@ impl CheckpointStore {
     }
 
     fn path_for(&self, iteration: u32) -> PathBuf {
-        self.dir.join(format!("ckpt-{:05}-{iteration:010}", self.rank))
+        self.dir
+            .join(format!("ckpt-{:05}-{iteration:010}", self.rank))
     }
 
     /// Atomically persists this rank's state for `iteration`.
@@ -63,13 +64,16 @@ impl CheckpointStore {
     /// # Errors
     /// Filesystem failures; the previous checkpoint survives them.
     pub fn save(&self, iteration: u32, state: &[u8]) -> Result<()> {
-        let tmp = self.dir.join(format!(".tmp-{:05}-{iteration:010}", self.rank));
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{:05}-{iteration:010}", self.rank));
         let os = |context: String| {
             move |e: std::io::Error| MimirError::Io(IoError::Os { context, source: e })
         };
         std::fs::write(&tmp, state).map_err(os(format!("writing checkpoint {tmp:?}")))?;
-        std::fs::rename(&tmp, self.path_for(iteration))
-            .map_err(os(format!("publishing checkpoint for iteration {iteration}")))?;
+        std::fs::rename(&tmp, self.path_for(iteration)).map_err(os(format!(
+            "publishing checkpoint for iteration {iteration}"
+        )))?;
         self.io.charge_write(state.len());
         Ok(())
     }

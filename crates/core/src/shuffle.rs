@@ -24,6 +24,7 @@
 
 use mimir_mem::MemPool;
 use mimir_mpi::{Comm, ReduceOp};
+use mimir_obs::{EventKind, Step};
 
 use crate::buffer::TrackedBuf;
 use crate::kv::{encode_into, encoded_len, validate, KvDecoder};
@@ -55,6 +56,19 @@ pub struct ShuffleStats {
     pub kvs_received: u64,
     /// Exchange rounds this rank participated in.
     pub rounds: u64,
+}
+
+impl ShuffleStats {
+    /// Folds another rank's counters into this one (cluster totals, the
+    /// same shape as `CommStats::merge`). Traffic counters sum; `rounds`
+    /// takes the max because exchange rounds are collective — every rank
+    /// participates in the same ones, so summing would overcount.
+    pub fn merge(&mut self, other: &ShuffleStats) {
+        self.kvs_emitted += other.kvs_emitted;
+        self.kv_bytes_emitted += other.kv_bytes_emitted;
+        self.kvs_received += other.kvs_received;
+        self.rounds = self.rounds.max(other.rounds);
+    }
 }
 
 /// The partitioned-send-buffer shuffle engine.
@@ -152,21 +166,38 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
 
     /// One exchange round; returns whether every rank reported done.
     fn exchange(&mut self, my_done: bool) -> Result<bool> {
-        let all_done = self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1;
+        let mut round = mimir_obs::span(
+            EventKind::RoundBegin,
+            EventKind::RoundEnd,
+            self.stats.rounds,
+            0,
+        );
+        let all_done = {
+            let _sync = mimir_obs::step_span(Step::Sync);
+            self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+        };
         let p = self.comm.size();
         let send = self.send.as_slice();
         let parts: Vec<Vec<u8>> = (0..p)
             .map(|d| send[d * self.part_cap..d * self.part_cap + self.part_len[d]].to_vec())
             .collect();
-        let received = self.comm.alltoallv(parts);
+        let received = {
+            let mut step = mimir_obs::step_span(Step::Alltoallv);
+            step.set_b(self.part_len.iter().map(|&l| l as u64).sum());
+            self.comm.alltoallv(parts)
+        };
         self.part_len.fill(0);
-        for buf in received {
-            for (k, v) in KvDecoder::new(self.meta, &buf) {
-                self.sink.accept(k, v)?;
-                self.stats.kvs_received += 1;
+        {
+            let _drain = mimir_obs::step_span(Step::Drain);
+            for buf in received {
+                for (k, v) in KvDecoder::new(self.meta, &buf) {
+                    self.sink.accept(k, v)?;
+                    self.stats.kvs_received += 1;
+                }
             }
         }
         self.stats.rounds += 1;
+        round.set_b(u64::from(all_done));
         Ok(all_done)
     }
 }
@@ -189,7 +220,12 @@ impl<S: KvSink> Emitter for Shuffler<'_, S> {
             self.exchange(false)?;
         }
         let off = dst * self.part_cap + self.part_len[dst];
-        encode_into(self.meta, key, val, &mut self.send.as_mut_slice()[off..off + len]);
+        encode_into(
+            self.meta,
+            key,
+            val,
+            &mut self.send.as_mut_slice()[off..off + len],
+        );
         self.part_len[dst] += len;
         self.stats.kvs_emitted += 1;
         self.stats.kv_bytes_emitted += len as u64;
@@ -208,11 +244,7 @@ mod tests {
 
     type WorldOutput = Vec<(HashMap<Vec<u8>, Vec<u64>>, ShuffleStats)>;
 
-    fn shuffle_world(
-        n_ranks: usize,
-        comm_buf: usize,
-        kvs_per_rank: usize,
-    ) -> WorldOutput {
+    fn shuffle_world(n_ranks: usize, comm_buf: usize, kvs_per_rank: usize) -> WorldOutput {
         run_world(n_ranks, move |comm| {
             let pool = MemPool::unlimited("t", 4096);
             let meta = KvMeta::cstr_key_u64_val();
@@ -251,7 +283,12 @@ mod tests {
         // Every key lives on exactly the rank its hash selects.
         for (rank, (m, _)) in results.iter().enumerate() {
             for k in m.keys() {
-                assert_eq!(partition_of(k, n), rank, "key {:?}", String::from_utf8_lossy(k));
+                assert_eq!(
+                    partition_of(k, n),
+                    rank,
+                    "key {:?}",
+                    String::from_utf8_lossy(k)
+                );
             }
         }
         // Each key's values came from all ranks.
@@ -335,6 +372,36 @@ mod tests {
             drop(kvc);
             assert_eq!(pool.used(), 0);
         });
+    }
+
+    #[test]
+    fn exchange_rounds_emit_trace_events() {
+        let out = run_world(2, |comm| {
+            mimir_obs::install(mimir_obs::Recorder::new(comm.rank(), 1024));
+            let pool = MemPool::unlimited("t", 4096);
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::new(comm, &pool, meta, 4096, sink).unwrap();
+            for i in 0..50u32 {
+                sh.emit(format!("k{i}").as_bytes(), b"v").unwrap();
+            }
+            let (_, stats) = sh.finish().unwrap();
+            let r = mimir_obs::take().unwrap();
+            (stats, r.events())
+        });
+        for (stats, evs) in out {
+            let count = |k: EventKind| evs.iter().filter(|e| e.kind == k).count() as u64;
+            assert_eq!(count(EventKind::RoundBegin), stats.rounds);
+            assert_eq!(count(EventKind::RoundEnd), stats.rounds);
+            // Three sub-steps (sync, alltoallv, drain) per round.
+            assert_eq!(count(EventKind::StepBegin), 3 * stats.rounds);
+            let last_end = evs
+                .iter()
+                .rev()
+                .find(|e| e.kind == EventKind::RoundEnd)
+                .unwrap();
+            assert_eq!(last_end.b, 1, "final round reports all-done");
+        }
     }
 
     #[test]

@@ -1,28 +1,35 @@
-//! Property tests over the container layer: KVC round-trips arbitrary
+//! Randomized tests over the container layer: KVC round-trips arbitrary
 //! KV multisets under every hint, convert groups them exactly, and the
-//! results are deterministic across runs.
+//! results are deterministic across runs. Driven by a seeded PRNG so
+//! failures replay deterministically.
 
 use std::collections::HashMap;
 
 use mimir_core::{convert, KvContainer, KvMeta, LenHint};
+use mimir_datagen::rank_rng;
 use mimir_mem::MemPool;
-use proptest::prelude::*;
 
-fn var_kvs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(1u8..=255, 0..10), // no NUL → CStr-safe
-            prop::collection::vec(proptest::num::u8::ANY, 0..14),
-        ),
-        0..120,
-    )
+/// Random multiset of KVs: keys without NUL (CStr-safe), short values.
+fn gen_kvs(seed: u64, case: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = rank_rng(seed, case);
+    (0..rng.gen_range(0..120))
+        .map(|_| {
+            let k: Vec<u8> = (0..rng.gen_range(0..10))
+                .map(|_| 1 + rng.gen_range(0..255) as u8)
+                .collect();
+            let v: Vec<u8> = (0..rng.gen_range(0..14))
+                .map(|_| rng.gen_range(0..256) as u8)
+                .collect();
+            (k, v)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn kvc_roundtrips_any_multiset(kvs in var_kvs(), page in prop_oneof![Just(64usize), Just(256), Just(4096)]) {
+#[test]
+fn kvc_roundtrips_any_multiset() {
+    for case in 0..48usize {
+        let kvs = gen_kvs(0xC0_47A1, case);
+        let page = [64usize, 256, 4096][case % 3];
         let pool = MemPool::unlimited("prop", page);
         let mut kvc = KvContainer::new(&pool, KvMeta::var());
         let mut expected = Vec::new();
@@ -30,27 +37,30 @@ proptest! {
             // Skip KVs that legitimately exceed a page (checked error).
             match kvc.push(k, v) {
                 Ok(()) => expected.push((k.clone(), v.clone())),
-                Err(e) => prop_assert!(
+                Err(e) => assert!(
                     matches!(e, mimir_core::MimirError::KvTooLarge { .. }),
-                    "unexpected error {e}"
+                    "case {case}: unexpected error {e}"
                 ),
             }
         }
         let got: Vec<(Vec<u8>, Vec<u8>)> =
             kvc.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
-        prop_assert_eq!(&got, &expected, "iter preserves order and content");
+        assert_eq!(&got, &expected, "case {case}: iter preserves order/content");
         let mut drained = Vec::new();
         kvc.drain(|k, v| {
             drained.push((k.to_vec(), v.to_vec()));
             Ok(())
         })
         .unwrap();
-        prop_assert_eq!(&drained, &expected);
-        prop_assert_eq!(pool.used(), 0);
+        assert_eq!(&drained, &expected, "case {case}");
+        assert_eq!(pool.used(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn cstr_key_container_roundtrips(kvs in var_kvs()) {
+#[test]
+fn cstr_key_container_roundtrips() {
+    for case in 0..48usize {
+        let kvs = gen_kvs(0xC5_7218, case);
         let meta = KvMeta {
             key: LenHint::CStr,
             val: LenHint::Var,
@@ -62,11 +72,14 @@ proptest! {
         }
         let got: Vec<(Vec<u8>, Vec<u8>)> =
             kvc.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
-        prop_assert_eq!(got, kvs);
+        assert_eq!(got, kvs, "case {case}");
     }
+}
 
-    #[test]
-    fn convert_is_exact_and_deterministic(kvs in var_kvs()) {
+#[test]
+fn convert_is_exact_and_deterministic() {
+    for case in 0..48usize {
+        let kvs = gen_kvs(0xC0_4BE2, case);
         let pool = MemPool::unlimited("prop", 512);
         let build = || {
             let mut kvc = KvContainer::new(&pool, KvMeta::var());
@@ -95,9 +108,9 @@ proptest! {
         };
         let (order_a, groups_a) = snapshot(build());
         let (order_b, groups_b) = snapshot(build());
-        prop_assert_eq!(&groups_a, &expected);
-        prop_assert_eq!(order_a, order_b, "group order is deterministic");
-        prop_assert_eq!(groups_a, groups_b);
-        prop_assert_eq!(pool.used(), 0, "everything released");
+        assert_eq!(&groups_a, &expected, "case {case}");
+        assert_eq!(order_a, order_b, "case {case}: group order deterministic");
+        assert_eq!(groups_a, groups_b, "case {case}");
+        assert_eq!(pool.used(), 0, "case {case}: everything released");
     }
 }

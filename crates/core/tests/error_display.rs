@@ -10,7 +10,10 @@ fn error_messages_are_informative() {
         limit: 4096,
         what: "container page",
     };
-    assert_eq!(e.to_string(), "KV of 9000 B exceeds container page capacity 4096 B");
+    assert_eq!(
+        e.to_string(),
+        "KV of 9000 B exceeds container page capacity 4096 B"
+    );
 
     let e = MimirError::HintViolation("key of 3 B under Fixed(8) hint".into());
     assert!(e.to_string().contains("KV-hint violation"));

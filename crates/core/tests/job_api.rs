@@ -85,9 +85,9 @@ fn reduce_may_emit_many_kvs_per_group() {
 #[test]
 fn map_error_propagates_without_hanging_single_rank() {
     let out = ctx_world(1, |ctx| {
-        let res = ctx.job().map_shuffle(&mut |_em| {
-            Err(MimirError::Config("synthetic map failure".into()))
-        });
+        let res = ctx
+            .job()
+            .map_shuffle(&mut |_em| Err(MimirError::Config("synthetic map failure".into())));
         matches!(res, Err(MimirError::Config(_)))
     });
     assert!(out[0]);
@@ -96,10 +96,11 @@ fn map_error_propagates_without_hanging_single_rank() {
 #[test]
 fn reduce_error_propagates_single_rank() {
     let out = ctx_world(1, |ctx| {
-        let res = ctx.job().map_reduce(
-            &mut |em| em.emit(b"k", b"v"),
-            &mut |_k, _vals, _em| Err(MimirError::Config("synthetic reduce failure".into())),
-        );
+        let res = ctx
+            .job()
+            .map_reduce(&mut |em| em.emit(b"k", b"v"), &mut |_k, _vals, _em| {
+                Err(MimirError::Config("synthetic reduce failure".into()))
+            });
         matches!(res, Err(MimirError::Config(_)))
     });
     assert!(out[0]);

@@ -1,5 +1,4 @@
-use rand::Rng;
-
+use crate::rng::RankRng;
 use crate::{rank_rng, splitmix64};
 
 /// Graph500-style Kronecker (R-MAT) edge generator.
@@ -77,16 +76,16 @@ impl Graph500 {
     /// One R-MAT edge: descend `scale` levels of the recursive adjacency
     /// quadrants, with per-level probability noise as in the reference
     /// implementation.
-    fn rmat_edge(&self, rng: &mut rand::rngs::StdRng) -> (u64, u64) {
+    fn rmat_edge(&self, rng: &mut RankRng) -> (u64, u64) {
         let mut u = 0u64;
         let mut v = 0u64;
         for level in 0..self.scale {
             // ±10 % multiplicative noise keeps the graph from being an
             // exact Kronecker power (per the reference generator).
-            let mut noise = |p: f64| p * (0.9 + 0.2 * rng.gen::<f64>());
+            let mut noise = |p: f64| p * (0.9 + 0.2 * rng.gen_f64());
             let (a, b, c) = (noise(A), noise(B), noise(C));
             let total = a + b + c + noise(1.0 - A - B - C);
-            let r: f64 = rng.gen::<f64>() * total;
+            let r: f64 = rng.gen_f64() * total;
             let bit = 1u64 << (self.scale - 1 - level);
             if r < a {
                 // top-left: no bits set

@@ -29,7 +29,7 @@ mod writer;
 
 pub use graph500::Graph500;
 pub use points::{Point, PointGen};
-pub use rng::{rank_rng, splitmix64};
+pub use rng::{rank_rng, splitmix64, RankRng, Xoshiro256pp};
 pub use wikipedia::WikipediaWords;
 pub use words::UniformWords;
 pub use writer::{parse_edges, parse_points, write_corpus, write_edges, write_points};

@@ -1,6 +1,5 @@
-use rand::Rng;
-
 use crate::rank_rng;
+use crate::rng::RankRng;
 
 /// A point in the unit cube used by the octree-clustering benchmark.
 pub type Point = [f32; 3];
@@ -50,7 +49,7 @@ impl PointGen {
 /// Standard-normal stream via the Box-Muller transform (two variates per
 /// uniform pair, one cached).
 struct NormalStream {
-    rng: rand::rngs::StdRng,
+    rng: RankRng,
     spare: Option<f32>,
 }
 
@@ -59,8 +58,8 @@ impl NormalStream {
         if let Some(v) = self.spare.take() {
             return v;
         }
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1: f32 = self.rng.gen_f32().max(f32::EPSILON); // keep ln() finite
+        let u2: f32 = self.rng.gen_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         self.spare = Some(r * theta.sin());

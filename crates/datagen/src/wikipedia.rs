@@ -1,5 +1,3 @@
-use rand::Rng;
-
 use crate::words::{push_word, share_of};
 use crate::{rank_rng, splitmix64, WORDS_PER_LINE};
 
@@ -45,7 +43,7 @@ impl WikipediaWords {
         let mut out = Vec::with_capacity(share + 64);
         let mut col = 0usize;
         while out.len() < share {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             let w = cdf.partition_point(|&c| c < u).min(self.vocab - 1);
             push_word(&mut out, w, Self::word_len(w));
             col += 1;

@@ -1,5 +1,3 @@
-use rand::Rng;
-
 use crate::{rank_rng, WORDS_PER_LINE};
 
 /// The *WC (Uniform)* corpus: words drawn uniformly from a fixed-size

@@ -55,10 +55,12 @@ impl IoModelConfig {
     }
 
     fn validate(&self) -> Result<()> {
-        if self.read_bw <= 0.0 || self.write_bw <= 0.0 || self.read_bw.is_nan() || self.write_bw.is_nan() {
-            return Err(IoError::InvalidConfig(
-                "bandwidths must be positive".into(),
-            ));
+        if self.read_bw <= 0.0
+            || self.write_bw <= 0.0
+            || self.read_bw.is_nan()
+            || self.write_bw.is_nan()
+        {
+            return Err(IoError::InvalidConfig("bandwidths must be positive".into()));
         }
         Ok(())
     }
@@ -139,7 +141,9 @@ impl IoModel {
     /// Charges a write of `bytes` and returns the modeled duration of this
     /// single operation.
     pub fn charge_write(&self, bytes: usize) -> Duration {
-        self.inner.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner.write_ops.fetch_add(1, Ordering::Relaxed);
         self.charge(bytes, self.inner.cfg.write_bw)
     }
@@ -147,7 +151,9 @@ impl IoModel {
     /// Charges a read of `bytes` and returns the modeled duration of this
     /// single operation.
     pub fn charge_read(&self, bytes: usize) -> Duration {
-        self.inner.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner.read_ops.fetch_add(1, Ordering::Relaxed);
         self.charge(bytes, self.inner.cfg.read_bw)
     }

@@ -53,8 +53,10 @@ impl SpillStore {
         let path = self.dir.join(format!("{label}-{n}.spill"));
         let file =
             File::create(&path).map_err(IoError::os(format!("creating spill file {path:?}")))?;
+        mimir_obs::emit(mimir_obs::EventKind::SpillBegin, n, 0);
         Ok(SpillFile {
             path,
+            id: n,
             writer: Some(BufWriter::new(file)),
             model: self.model.clone(),
             bytes: 0,
@@ -82,6 +84,8 @@ impl Drop for SpillStore {
 /// frames back in order. Both directions are charged to the I/O model.
 pub struct SpillFile {
     path: PathBuf,
+    /// Store-wide sequence number, used as the trace-event spill id.
+    id: u64,
     writer: Option<BufWriter<File>>,
     model: IoModel,
     bytes: u64,
@@ -94,12 +98,16 @@ impl SpillFile {
     /// # Errors
     /// OS write failures, or use after [`Self::finish`].
     pub fn write_chunk(&mut self, data: &[u8]) -> Result<()> {
-        let w = self.writer.as_mut().ok_or_else(|| {
-            IoError::CorruptSpill("write after finish".into())
-        })?;
+        let w = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| IoError::CorruptSpill("write after finish".into()))?;
         w.write_all(&(data.len() as u64).to_le_bytes())
             .and_then(|()| w.write_all(data))
-            .map_err(IoError::os(format!("writing spill chunk to {:?}", self.path)))?;
+            .map_err(IoError::os(format!(
+                "writing spill chunk to {:?}",
+                self.path
+            )))?;
         self.model.charge_write(data.len() + 8);
         self.bytes += data.len() as u64;
         self.chunks += 1;
@@ -112,6 +120,7 @@ impl SpillFile {
         if let Some(mut w) = self.writer.take() {
             w.flush()
                 .map_err(IoError::os(format!("flushing spill file {:?}", self.path)))?;
+            mimir_obs::emit(mimir_obs::EventKind::SpillEnd, self.id, self.bytes);
         }
         Ok(())
     }
@@ -122,9 +131,7 @@ impl SpillFile {
     /// Fails if the file is still open for writing or cannot be opened.
     pub fn read_chunks(&self) -> Result<SpillReader> {
         if self.writer.is_some() {
-            return Err(IoError::CorruptSpill(
-                "read_chunks before finish".into(),
-            ));
+            return Err(IoError::CorruptSpill("read_chunks before finish".into()));
         }
         let file = File::open(&self.path)
             .map_err(IoError::os(format!("opening spill file {:?}", self.path)))?;

@@ -1,7 +1,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::{MemError, MemStats, Page, Reservation, Result};
 
@@ -40,6 +40,10 @@ pub(crate) struct PoolInner {
     budget: usize,
     used: AtomicUsize,
     peak: AtomicUsize,
+    /// Separate high-water mark for phase-scoped measurement
+    /// ([`MemPool::phase_peak`]); resettable without disturbing the
+    /// cumulative peak.
+    phase_peak: AtomicUsize,
     page_allocs: AtomicU64,
     page_frees: AtomicU64,
     oom_events: AtomicU64,
@@ -71,6 +75,7 @@ impl MemPool {
                 budget,
                 used: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                phase_peak: AtomicUsize::new(0),
                 page_allocs: AtomicU64::new(0),
                 page_frees: AtomicU64::new(0),
                 oom_events: AtomicU64::new(0),
@@ -92,10 +97,12 @@ impl MemPool {
     pub fn alloc_page(&self) -> Result<Page> {
         self.charge(self.inner.page_size)?;
         self.inner.page_allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.sample();
         let buf = self
             .inner
             .free_pages
             .lock()
+            .unwrap()
             .pop()
             .unwrap_or_else(|| vec![0u8; self.inner.page_size].into_boxed_slice());
         Ok(Page::new(buf, Arc::clone(&self.inner)))
@@ -166,6 +173,19 @@ impl MemPool {
         self.inner.peak.store(self.used(), Ordering::Release);
     }
 
+    /// High-water mark since the last [`Self::reset_phase_peak`]. Tracked
+    /// separately from [`Self::peak`] so phase-scoped measurement (the
+    /// paper's per-phase memory curves) can reset between phases without
+    /// losing the job-wide peak.
+    pub fn phase_peak(&self) -> usize {
+        self.inner.phase_peak.load(Ordering::Acquire)
+    }
+
+    /// Resets the phase-scoped peak tracker to the current usage.
+    pub fn reset_phase_peak(&self) {
+        self.inner.phase_peak.store(self.used(), Ordering::Release);
+    }
+
     /// Snapshot of the pool counters.
     pub fn stats(&self) -> MemStats {
         MemStats {
@@ -182,7 +202,7 @@ impl MemPool {
     /// Drops cached free-page buffers, returning their memory to the host
     /// allocator. Accounting is unaffected (cached buffers are not charged).
     pub fn trim_cache(&self) {
-        self.inner.free_pages.lock().clear();
+        self.inner.free_pages.lock().unwrap().clear();
     }
 
     fn charge(&self, bytes: usize) -> Result<()> {
@@ -208,7 +228,9 @@ impl PoolInner {
     pub(crate) fn charge(&self, bytes: usize) -> Result<()> {
         let mut current = self.used.load(Ordering::Relaxed);
         loop {
-            let next = current.checked_add(bytes).ok_or_else(|| self.oom(bytes, current))?;
+            let next = current
+                .checked_add(bytes)
+                .ok_or_else(|| self.oom(bytes, current))?;
             if next > self.budget {
                 return Err(self.oom(bytes, current));
             }
@@ -220,6 +242,7 @@ impl PoolInner {
             ) {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::AcqRel);
+                    self.phase_peak.fetch_max(next, Ordering::AcqRel);
                     return Ok(());
                 }
                 Err(actual) => current = actual,
@@ -235,12 +258,25 @@ impl PoolInner {
     pub(crate) fn recycle_page(&self, buf: Box<[u8]>) {
         self.page_frees.fetch_add(1, Ordering::Relaxed);
         self.credit(self.page_size);
-        let mut cache = self.free_pages.lock();
+        self.sample();
+        let mut cache = self.free_pages.lock().unwrap();
         // Bound the cache so long-lived unlimited pools don't hoard host
         // memory: keep at most budget/page_size or 1024 buffers.
         let cap = (self.budget / self.page_size).min(1024);
         if cache.len() < cap {
             cache.push(buf);
+        }
+    }
+
+    /// Emits a pool high-water sample on the calling rank's trace (no-op
+    /// when tracing is off).
+    fn sample(&self) {
+        if mimir_obs::active() {
+            mimir_obs::emit(
+                mimir_obs::EventKind::MemSample,
+                self.used.load(Ordering::Relaxed) as u64,
+                self.peak.load(Ordering::Relaxed) as u64,
+            );
         }
     }
 
@@ -347,18 +383,17 @@ mod tests {
     #[test]
     fn concurrent_charging_is_consistent() {
         let pool = MemPool::new("t", 8, 8 * 1000).unwrap();
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..8 {
                 let pool = pool.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..100 {
                         let p = pool.alloc_page().unwrap();
                         drop(p);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(pool.used(), 0);
         assert!(pool.peak() <= 8 * 8 * 8 * 1000); // sanity: bounded
         assert_eq!(pool.stats().page_allocs, 800);

@@ -50,7 +50,9 @@ impl Drop for Reservation {
 
 impl std::fmt::Debug for Reservation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reservation").field("bytes", &self.bytes).finish()
+        f.debug_struct("Reservation")
+            .field("bytes", &self.bytes)
+            .finish()
     }
 }
 

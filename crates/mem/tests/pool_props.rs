@@ -1,8 +1,9 @@
-//! Property tests for the memory pool: accounting invariants under
+//! Randomized tests for the memory pool: accounting invariants under
 //! arbitrary allocation/free interleavings, single- and multi-threaded.
+//! Driven by a seeded PRNG so failures replay deterministically.
 
+use mimir_datagen::rank_rng;
 use mimir_mem::{MemPool, NodeMap};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,97 +14,108 @@ enum Op {
     ResizeNewest(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::AllocPage),
-        Just(Op::FreeOldestPage),
-        (0usize..5000).prop_map(Op::Reserve),
-        Just(Op::FreeOldestReservation),
-        (0usize..5000).prop_map(Op::ResizeNewest),
-    ]
+fn random_op(rng: &mut mimir_datagen::RankRng) -> Op {
+    match rng.gen_range(0..5) {
+        0 => Op::AllocPage,
+        1 => Op::FreeOldestPage,
+        2 => Op::Reserve(rng.gen_range(0..5000)),
+        3 => Op::FreeOldestReservation,
+        _ => Op::ResizeNewest(rng.gen_range(0..5000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn accounting_invariants_hold() {
+    for case in 0..64u64 {
+        let mut rng = rank_rng(0x0070_0150 ^ case, case as usize);
+        let ops: Vec<Op> = (0..rng.gen_range(0..100))
+            .map(|_| random_op(&mut rng))
+            .collect();
+        check_accounting(&ops, case);
+    }
+}
 
-    #[test]
-    fn accounting_invariants_hold(ops in prop::collection::vec(op_strategy(), 0..100)) {
-        let page = 256;
-        let budget = 16 * 1024;
-        let pool = MemPool::new("prop", page, budget).unwrap();
-        let mut pages = std::collections::VecDeque::new();
-        let mut reservations = std::collections::VecDeque::new();
-        let mut expected_used = 0usize;
+fn check_accounting(ops: &[Op], case: u64) {
+    let page = 256;
+    let budget = 16 * 1024;
+    let pool = MemPool::new("prop", page, budget).unwrap();
+    let mut pages = std::collections::VecDeque::new();
+    let mut reservations = std::collections::VecDeque::new();
+    let mut expected_used = 0usize;
 
-        for op in ops {
-            match op {
-                Op::AllocPage => {
-                    if let Ok(p) = pool.alloc_page() {
-                        pages.push_back(p);
-                        expected_used += page;
+    for op in ops {
+        match op {
+            Op::AllocPage => {
+                if let Ok(p) = pool.alloc_page() {
+                    pages.push_back(p);
+                    expected_used += page;
+                } else {
+                    assert!(
+                        expected_used + page > budget,
+                        "case {case}: refused under budget"
+                    );
+                }
+            }
+            Op::FreeOldestPage => {
+                if pages.pop_front().is_some() {
+                    expected_used -= page;
+                }
+            }
+            Op::Reserve(bytes) => {
+                if let Ok(r) = pool.try_reserve(*bytes) {
+                    reservations.push_back(r);
+                    expected_used += bytes;
+                } else {
+                    assert!(expected_used + bytes > budget, "case {case}");
+                }
+            }
+            Op::FreeOldestReservation => {
+                if let Some(r) = reservations.pop_front() {
+                    expected_used -= r.bytes();
+                }
+            }
+            Op::ResizeNewest(bytes) => {
+                if let Some(r) = reservations.back_mut() {
+                    let before = r.bytes();
+                    if r.resize(*bytes).is_ok() {
+                        expected_used = expected_used - before + bytes;
                     } else {
-                        prop_assert!(expected_used + page > budget, "refused under budget");
-                    }
-                }
-                Op::FreeOldestPage => {
-                    if pages.pop_front().is_some() {
-                        expected_used -= page;
-                    }
-                }
-                Op::Reserve(bytes) => {
-                    if let Ok(r) = pool.try_reserve(bytes) {
-                        reservations.push_back(r);
-                        expected_used += bytes;
-                    } else {
-                        prop_assert!(expected_used + bytes > budget);
-                    }
-                }
-                Op::FreeOldestReservation => {
-                    if let Some(r) = reservations.pop_front() {
-                        expected_used -= r.bytes();
-                    }
-                }
-                Op::ResizeNewest(bytes) => {
-                    if let Some(r) = reservations.back_mut() {
-                        let before = r.bytes();
-                        if r.resize(bytes).is_ok() {
-                            expected_used = expected_used - before + bytes;
-                        } else {
-                            prop_assert_eq!(r.bytes(), before, "failed resize is a no-op");
-                        }
+                        assert_eq!(r.bytes(), before, "case {case}: failed resize is a no-op");
                     }
                 }
             }
-            // Invariants after every operation.
-            prop_assert_eq!(pool.used(), expected_used);
-            prop_assert!(pool.peak() >= pool.used());
-            prop_assert!(pool.used() <= budget);
         }
-        drop(pages);
-        drop(reservations);
-        prop_assert_eq!(pool.used(), 0, "all RAII releases balance");
+        // Invariants after every operation.
+        assert_eq!(pool.used(), expected_used, "case {case}");
+        assert!(pool.peak() >= pool.used(), "case {case}");
+        assert!(pool.used() <= budget, "case {case}");
     }
+    drop(pages);
+    drop(reservations);
+    assert_eq!(pool.used(), 0, "case {case}: all RAII releases balance");
+}
 
-    #[test]
-    fn node_map_partitions_ranks_completely(
-        n_ranks in 1usize..40,
-        rpn in 1usize..10,
-    ) {
+#[test]
+fn node_map_partitions_ranks_completely() {
+    let mut rng = rank_rng(0x0000_DEA7, 0);
+    for case in 0..64 {
+        let n_ranks = rng.gen_range(1..40);
+        let rpn = rng.gen_range(1..10);
         let m = NodeMap::new(n_ranks, rpn, 64, 4096).unwrap();
         // Every rank maps to a valid node; node indices are contiguous.
         let mut max_node = 0;
         for r in 0..n_ranks {
             let node = m.node_of(r);
-            prop_assert!(node < m.n_nodes());
+            assert!(node < m.n_nodes(), "case {case}");
             max_node = max_node.max(node);
         }
-        prop_assert_eq!(max_node + 1, m.n_nodes());
+        assert_eq!(max_node + 1, m.n_nodes(), "case {case}");
         // Ranks per node never exceeds rpn.
         let mut counts = vec![0usize; m.n_nodes()];
         for r in 0..n_ranks {
             counts[m.node_of(r)] += 1;
         }
-        prop_assert!(counts.iter().all(|&c| c <= rpn));
+        assert!(counts.iter().all(|&c| c <= rpn), "case {case}");
     }
 }
 
@@ -137,4 +149,19 @@ fn concurrent_stress_never_exceeds_budget() {
     });
     assert!(pool.peak() <= budget);
     assert_eq!(pool.used(), 0);
+}
+
+#[test]
+fn phase_peak_resets_independently_of_cumulative_peak() {
+    let pool = MemPool::new("phased", 64, 4096).unwrap();
+    let burst = pool.alloc_pages(8).unwrap();
+    drop(burst);
+    assert_eq!(pool.peak(), 512);
+    assert_eq!(pool.phase_peak(), 512);
+    pool.reset_phase_peak();
+    assert_eq!(pool.phase_peak(), 0, "phase peak resets");
+    assert_eq!(pool.peak(), 512, "cumulative peak survives the reset");
+    let _p = pool.alloc_page().unwrap();
+    assert_eq!(pool.phase_peak(), 64);
+    assert_eq!(pool.peak(), 512);
 }

@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use crossbeam_channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::error::DisconnectPanic;
 use crate::msg::{tags, Msg, Tag};
@@ -26,7 +26,12 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, size: usize, txs: Vec<Sender<Msg>>, rxs: Vec<Receiver<Msg>>) -> Self {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        txs: Vec<Sender<Msg>>,
+        rxs: Vec<Receiver<Msg>>,
+    ) -> Self {
         debug_assert_eq!(txs.len(), size);
         debug_assert_eq!(rxs.len(), size);
         Self {
@@ -68,7 +73,10 @@ impl Comm {
     /// collective range, or (with a disconnect payload) if `dst` has
     /// exited.
     pub fn send_vec(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
-        assert!(tag <= tags::USER_MAX, "tag {tag:#x} is reserved for collectives");
+        assert!(
+            tag <= tags::USER_MAX,
+            "tag {tag:#x} is reserved for collectives"
+        );
         self.send_internal(dst, tag, data);
     }
 
@@ -85,12 +93,19 @@ impl Comm {
     /// disconnect payload) if `src` exited before sending a matching
     /// message.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        assert!(tag <= tags::USER_MAX, "tag {tag:#x} is reserved for collectives");
+        assert!(
+            tag <= tags::USER_MAX,
+            "tag {tag:#x} is reserved for collectives"
+        );
         self.recv_internal(src, tag)
     }
 
     pub(crate) fn send_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
-        assert!(dst < self.size, "send to rank {dst} in a world of {}", self.size);
+        assert!(
+            dst < self.size,
+            "send to rank {dst} in a world of {}",
+            self.size
+        );
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         if self.txs[dst].send(Msg { tag, data }).is_err() {
@@ -105,7 +120,11 @@ impl Comm {
     }
 
     pub(crate) fn recv_internal(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        assert!(src < self.size, "recv from rank {src} in a world of {}", self.size);
+        assert!(
+            src < self.size,
+            "recv from rank {src} in a world of {}",
+            self.size
+        );
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
             let msg = self.pending[src].remove(pos).expect("position just found");
             self.stats.msgs_recvd += 1;

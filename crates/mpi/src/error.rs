@@ -32,4 +32,10 @@ impl std::error::Error for CommError {}
 /// Panic payload used when a peer disconnects, so [`crate::run_world`] can
 /// distinguish cascade panics from the root cause.
 #[derive(Debug)]
-pub(crate) struct DisconnectPanic(#[allow(dead_code, reason = "kept so the panic payload prints which rank disconnected")] pub CommError);
+pub(crate) struct DisconnectPanic(
+    #[allow(
+        dead_code,
+        reason = "kept so the panic payload prints which rank disconnected"
+    )]
+    pub CommError,
+);

@@ -1,6 +1,5 @@
 use std::panic::AssertUnwindSafe;
-
-use crossbeam_channel::unbounded;
+use std::sync::mpsc;
 
 use crate::comm::Comm;
 use crate::error::DisconnectPanic;
@@ -45,13 +44,13 @@ where
 
     // Channel matrix: one FIFO channel per (src, dst) pair.
     // txs[src][dst] sends to dst; rxs[dst][src] receives from src.
-    let mut txs: Vec<Vec<crossbeam_channel::Sender<Msg>>> =
+    let mut txs: Vec<Vec<mpsc::Sender<Msg>>> =
         (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
-    let mut rxs: Vec<Vec<crossbeam_channel::Receiver<Msg>>> =
+    let mut rxs: Vec<Vec<mpsc::Receiver<Msg>>> =
         (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
     for tx_row in txs.iter_mut() {
         for rx_row in rxs.iter_mut() {
-            let (t, r) = unbounded::<Msg>();
+            let (t, r) = mpsc::channel::<Msg>();
             tx_row.push(t);
             rx_row.push(r);
         }
@@ -202,11 +201,7 @@ mod tests {
 
     #[test]
     fn allreduce_all_ops() {
-        for (op, expect) in [
-            (ReduceOp::Sum, 15),
-            (ReduceOp::Max, 5),
-            (ReduceOp::Min, 0),
-        ] {
+        for (op, expect) in [(ReduceOp::Sum, 15), (ReduceOp::Max, 5), (ReduceOp::Min, 0)] {
             let out = run_world(6, move |c| c.allreduce_u64(op, c.rank() as u64));
             assert!(out.iter().all(|&v| v == expect), "{op:?}");
         }
@@ -274,9 +269,7 @@ mod tests {
         let out = run_world(4, |c| {
             let me = c.rank() as u8;
             // parts[d] = [me, d] repeated (d+1) times
-            let parts: Vec<Vec<u8>> = (0..c.size())
-                .map(|d| [me, d as u8].repeat(d + 1))
-                .collect();
+            let parts: Vec<Vec<u8>> = (0..c.size()).map(|d| [me, d as u8].repeat(d + 1)).collect();
             c.alltoallv(parts)
         });
         for (dst, received) in out.iter().enumerate() {

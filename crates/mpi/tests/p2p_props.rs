@@ -1,16 +1,17 @@
 //! Point-to-point messaging properties: FIFO per (source, tag) stream,
-//! correct tag matching under interleaving, and stress traffic.
+//! correct tag matching under interleaving, and stress traffic. Driven
+//! by a seeded PRNG so failures replay deterministically.
 
+use mimir_datagen::rank_rng;
 use mimir_mpi::run_world;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn fifo_per_source_and_tag(
-        msgs in prop::collection::vec((0u32..4, proptest::num::u8::ANY), 1..60),
-    ) {
+#[test]
+fn fifo_per_source_and_tag() {
+    for case in 0..16u64 {
+        let mut rng = rank_rng(0xF1F0 ^ case, case as usize);
+        let msgs: Vec<(u32, u8)> = (0..1 + rng.gen_range(0..59))
+            .map(|_| (rng.gen_range(0..4) as u32, rng.gen_range(0..256) as u8))
+            .collect();
         // Rank 0 sends a tagged stream to rank 1; rank 1 receives each
         // tag's messages in order (receiving tags in a different global
         // order than they were sent).
@@ -47,12 +48,17 @@ proptest! {
                 .filter(|&&(t, _, _)| t == tag)
                 .map(|&(_, b, _)| b)
                 .collect();
-            prop_assert_eq!(received, sent, "tag {}", tag);
+            assert_eq!(received, sent, "case {case}, tag {tag}");
         }
     }
+}
 
-    #[test]
-    fn all_pairs_stress(n in 2usize..5, rounds in 1usize..10) {
+#[test]
+fn all_pairs_stress() {
+    for case in 0..16u64 {
+        let mut rng = rank_rng(0xA11, case as usize);
+        let n = rng.gen_range(2..5);
+        let rounds = rng.gen_range(1..10);
         // Every rank sends `rounds` messages to every other rank and
         // receives them all back-to-back; nothing is lost or duplicated.
         let out = run_world(n, move |c| {
@@ -73,7 +79,7 @@ proptest! {
             }
             count
         });
-        prop_assert!(out.iter().all(|&c| c == n * rounds));
+        assert!(out.iter().all(|&c| c == n * rounds), "case {case}");
     }
 }
 

@@ -7,6 +7,7 @@ use std::time::Instant;
 use mimir_io::SpillStore;
 use mimir_mem::MemPool;
 use mimir_mpi::{Comm, ReduceOp};
+use mimir_obs::{EventKind, Phase, Step};
 
 use crate::buf::MrPage;
 use crate::codec::{kv_len, read_kv, write_kv};
@@ -84,6 +85,7 @@ impl<'w> MapReduce<'w> {
     /// [`crate::OocMode::Error`], or callback errors.
     pub fn map(&mut self, f: impl FnOnce(&mut MrEmitter<'_>) -> Result<()>) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Map);
         self.kmv = None;
         let mut kv = KvSet::new(&self.pool, self.cfg.page_size, self.cfg.ooc)?;
         {
@@ -112,6 +114,7 @@ impl<'w> MapReduce<'w> {
         mut f: impl FnMut(&[u8], &[u8], &mut MrEmitter<'_>) -> Result<()>,
     ) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Map);
         let input = self
             .kv
             .take()
@@ -148,6 +151,7 @@ impl<'w> MapReduce<'w> {
     /// under [`crate::OocMode::Error`], or I/O failures.
     pub fn aggregate(&mut self) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Aggregate);
         let input = self
             .kv
             .take()
@@ -184,14 +188,23 @@ impl<'w> MapReduce<'w> {
                             store: &SpillStore,
                             done: bool|
          -> Result<bool> {
-            let all_done = comm.allreduce_u64(ReduceOp::LAnd, u64::from(done)) == 1;
+            let mut round = mimir_obs::span(EventKind::RoundBegin, EventKind::RoundEnd, rounds, 0);
+            let all_done = {
+                let _sync = mimir_obs::step_span(Step::Sync);
+                comm.allreduce_u64(ReduceOp::LAnd, u64::from(done)) == 1
+            };
             let parts: Vec<Vec<u8>> = (0..p)
                 .map(|d| send.as_slice()[d * part_cap..d * part_cap + part_len[d]].to_vec())
                 .collect();
-            let received = comm.alltoallv(parts);
+            let received = {
+                let mut step = mimir_obs::step_span(Step::Alltoallv);
+                step.set_b(part_len.iter().map(|&l| l as u64).sum());
+                comm.alltoallv(parts)
+            };
             part_len.iter_mut().for_each(|l| *l = 0);
             // Stage through the receive buffer, draining to the output
             // dataset whenever it fills.
+            let _drain = mimir_obs::step_span(Step::Drain);
             let mut used = 0usize;
             for block in received {
                 if used + block.len() > recv.size() {
@@ -203,6 +216,7 @@ impl<'w> MapReduce<'w> {
             }
             drain_recv(&recv.as_slice()[..used], out, store)?;
             rounds += 1;
+            round.set_b(u64::from(all_done));
             Ok(all_done)
         };
 
@@ -246,7 +260,15 @@ impl<'w> MapReduce<'w> {
                 }
                 let dest = partition(k, p);
                 if part_len[dest] + len > part_cap {
-                    exchange(comm, &send, &mut recv, &mut part_len, &mut out, store, false)?;
+                    exchange(
+                        comm,
+                        &send,
+                        &mut recv,
+                        &mut part_len,
+                        &mut out,
+                        store,
+                        false,
+                    )?;
                 }
                 let doff = dest * part_cap + part_len[dest];
                 write_kv(k, v, &mut send.as_mut_slice()[doff..doff + len], 0);
@@ -276,6 +298,7 @@ impl<'w> MapReduce<'w> {
     /// failures.
     pub fn convert(&mut self) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Convert);
         let input = self
             .kv
             .take()
@@ -318,6 +341,7 @@ impl<'w> MapReduce<'w> {
         mut f: impl FnMut(&[u8], MrValueIter<'_>, &mut MrEmitter<'_>) -> Result<()>,
     ) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Reduce);
         let kmv = self
             .kmv
             .take()
@@ -353,6 +377,7 @@ impl<'w> MapReduce<'w> {
         mut combine: impl FnMut(&[u8], &[u8], &[u8], &mut Vec<u8>),
     ) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Compress);
         let input = self
             .kv
             .take()
@@ -367,8 +392,7 @@ impl<'w> MapReduce<'w> {
             acc.clear();
             let mut off = 0;
             for i in 0..n {
-                let len =
-                    u32::from_le_bytes(vals[off..off + 4].try_into().expect("vlen")) as usize;
+                let len = u32::from_le_bytes(vals[off..off + 4].try_into().expect("vlen")) as usize;
                 let v = &vals[off + 4..off + 4 + len];
                 if i == 0 {
                     acc.extend_from_slice(v);
@@ -399,6 +423,7 @@ impl<'w> MapReduce<'w> {
     /// Page/memory/I/O failures.
     pub fn sort_keys(&mut self) -> Result<()> {
         let t0 = Instant::now();
+        let _span = mimir_obs::phase_span(Phase::Sort);
         let input = self
             .kv
             .take()
@@ -411,8 +436,7 @@ impl<'w> MapReduce<'w> {
             // Re-emit each value under its (now globally ordered) key.
             let mut off = 0;
             for _ in 0..n {
-                let len =
-                    u32::from_le_bytes(vals[off..off + 4].try_into().expect("vlen")) as usize;
+                let len = u32::from_le_bytes(vals[off..off + 4].try_into().expect("vlen")) as usize;
                 out.add(&self.store, k, &vals[off + 4..off + 4 + len])?;
                 off += 4 + len;
             }

@@ -26,7 +26,11 @@ pub(crate) fn read_kv(buf: &[u8], off: usize) -> (&[u8], &[u8], usize) {
     let vlen = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("vlen")) as usize;
     let kstart = off + 8;
     let vstart = kstart + klen;
-    (&buf[kstart..vstart], &buf[vstart..vstart + vlen], vstart + vlen)
+    (
+        &buf[kstart..vstart],
+        &buf[vstart..vstart + vlen],
+        vstart + vlen,
+    )
 }
 
 /// Iterates all KVs in an encoded buffer.

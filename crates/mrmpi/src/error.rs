@@ -38,7 +38,10 @@ impl fmt::Display for MrError {
             MrError::Mem(e) => write!(f, "memory: {e}"),
             MrError::Io(e) => write!(f, "io: {e}"),
             MrError::PageOverflow { what, page_size } => {
-                write!(f, "{what} exceeded one {page_size} B page with out-of-core disabled")
+                write!(
+                    f,
+                    "{what} exceeded one {page_size} B page with out-of-core disabled"
+                )
             }
             MrError::EntryTooLarge { size, page_size } => {
                 write!(f, "entry of {size} B cannot fit a {page_size} B page")

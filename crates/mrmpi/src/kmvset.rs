@@ -212,9 +212,8 @@ impl<'a> Iterator for MrValueIter<'a> {
             return None;
         }
         self.remaining -= 1;
-        let len = u32::from_le_bytes(
-            self.buf[self.off..self.off + 4].try_into().expect("vlen"),
-        ) as usize;
+        let len =
+            u32::from_le_bytes(self.buf[self.off..self.off + 4].try_into().expect("vlen")) as usize;
         let start = self.off + 4;
         self.off = start + len;
         Some(&self.buf[start..self.off])

@@ -253,10 +253,8 @@ impl RunWriter {
     }
 
     fn push_kv(&mut self, k: &[u8], v: &[u8]) -> Result<()> {
-        self.buf
-            .extend_from_slice(&(k.len() as u32).to_le_bytes());
-        self.buf
-            .extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(k);
         self.buf.extend_from_slice(v);
         if self.buf.len() >= RUN_CHUNK {
@@ -366,8 +364,12 @@ mod tests {
         // 64-byte pages and ~20-byte KVs → ~700 pages ≫ MAX_FAN_IN runs.
         let n = 2000u32;
         for i in 0..n {
-            kv.add(&store, format!("k{:04}", i % 50).as_bytes(), &i.to_le_bytes())
-                .unwrap();
+            kv.add(
+                &store,
+                format!("k{:04}", i % 50).as_bytes(),
+                &i.to_le_bytes(),
+            )
+            .unwrap();
         }
         kv.seal(&store).unwrap();
         assert!(kv.spilled_pages() as usize > MAX_FAN_IN);

@@ -36,4 +36,59 @@ impl MrStats {
             + self.reduce_time
             + self.compress_time
     }
+
+    /// Folds another rank's stats into this one for cluster totals.
+    /// Phase times take the max (phases end at barriers), traffic and
+    /// spill counters sum, exchange rounds take the max (they are
+    /// collective), and pool peaks take the max (ranks share the node
+    /// pool).
+    pub fn merge(&mut self, other: &MrStats) {
+        self.map_time = self.map_time.max(other.map_time);
+        self.aggregate_time = self.aggregate_time.max(other.aggregate_time);
+        self.convert_time = self.convert_time.max(other.convert_time);
+        self.reduce_time = self.reduce_time.max(other.reduce_time);
+        self.compress_time = self.compress_time.max(other.compress_time);
+        self.kvs_mapped += other.kvs_mapped;
+        self.exchange_rounds = self.exchange_rounds.max(other.exchange_rounds);
+        self.spilled |= other.spilled;
+        self.spill_pages += other.spill_pages;
+        self.unique_keys += other.unique_keys;
+        self.node_peak_bytes = self.node_peak_bytes.max(other.node_peak_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = MrStats {
+            map_time: Duration::from_millis(4),
+            kvs_mapped: 10,
+            exchange_rounds: 3,
+            spill_pages: 2,
+            unique_keys: 5,
+            node_peak_bytes: 100,
+            ..MrStats::default()
+        };
+        let b = MrStats {
+            map_time: Duration::from_millis(6),
+            kvs_mapped: 20,
+            exchange_rounds: 3,
+            spilled: true,
+            spill_pages: 1,
+            unique_keys: 4,
+            node_peak_bytes: 300,
+            ..MrStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.map_time, Duration::from_millis(6));
+        assert_eq!(a.kvs_mapped, 30);
+        assert_eq!(a.exchange_rounds, 3, "rounds are collective");
+        assert!(a.spilled);
+        assert_eq!(a.spill_pages, 3);
+        assert_eq!(a.unique_keys, 9);
+        assert_eq!(a.node_peak_bytes, 300);
+    }
 }

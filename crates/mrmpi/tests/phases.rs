@@ -292,8 +292,7 @@ fn collate_equals_aggregate_plus_convert() {
         .unwrap();
         local
     });
-    let merged: std::collections::HashMap<Vec<u8>, u64> =
-        counts.into_iter().flatten().collect();
+    let merged: std::collections::HashMap<Vec<u8>, u64> = counts.into_iter().flatten().collect();
     assert_eq!(merged.len(), 6);
     assert!(merged.values().all(|&v| v == 30));
 }
@@ -328,7 +327,9 @@ fn always_mode_full_pipeline() {
         assert!(mr.spilled(), "Always mode spills by definition");
         mr.collate().unwrap();
         mr.reduce(|k, vals, em| {
-            let n: u64 = vals.map(|v| u64::from_le_bytes(v.try_into().unwrap())).sum();
+            let n: u64 = vals
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .sum();
             em.emit(k, &n.to_le_bytes())
         })
         .unwrap();

@@ -1,14 +1,15 @@
-//! Property tests for MR-MPI's grouping pipeline: for arbitrary KV
+//! Randomized tests for MR-MPI's grouping pipeline: for arbitrary KV
 //! multisets and page sizes (in-memory through heavily-spilled), the
-//! convert phase must produce exactly the reference grouping.
+//! convert phase must produce exactly the reference grouping. Driven by
+//! a seeded PRNG so failures replay deterministically.
 
 use std::collections::HashMap;
 
+use mimir_datagen::rank_rng;
 use mimir_io::{IoModel, SpillStore};
 use mimir_mem::MemPool;
 use mimir_mpi::run_world;
 use mrmpi::{MapReduce, MrMpiConfig, OocMode};
-use proptest::prelude::*;
 
 fn reference(kvs: &[(Vec<u8>, Vec<u8>)]) -> HashMap<Vec<u8>, Vec<Vec<u8>>> {
     let mut out: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
@@ -23,30 +24,35 @@ fn reference(kvs: &[(Vec<u8>, Vec<u8>)]) -> HashMap<Vec<u8>, Vec<Vec<u8>>> {
     out
 }
 
-fn kv_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(proptest::num::u8::ANY, 0..10),
-            prop::collection::vec(proptest::num::u8::ANY, 0..12),
-        ),
-        0..150,
-    )
+fn gen_kvs(seed: u64, case: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = rank_rng(seed, case);
+    (0..rng.gen_range(0..150))
+        .map(|_| {
+            let k: Vec<u8> = (0..rng.gen_range(0..10))
+                .map(|_| rng.gen_range(0..256) as u8)
+                .collect();
+            let v: Vec<u8> = (0..rng.gen_range(0..12))
+                .map(|_| rng.gen_range(0..256) as u8)
+                .collect();
+            (k, v)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn convert_groups_exactly(
-        kvs in kv_strategy(),
-        page_size in prop_oneof![Just(128usize), Just(512), Just(64 * 1024)],
-    ) {
+#[test]
+fn convert_groups_exactly() {
+    for case in 0..24usize {
+        let kvs = gen_kvs(0x5027_3106, case);
+        let page_size = [128usize, 512, 64 * 1024][case % 3];
         let expected = reference(&kvs);
         let kvs2 = kvs.clone();
         let got = run_world(1, move |comm| {
             let pool = MemPool::unlimited("prop", 4096);
             let store = SpillStore::new_temp("sm-prop", IoModel::free()).unwrap();
-            let cfg = MrMpiConfig { page_size, ooc: OocMode::WhenNeeded };
+            let cfg = MrMpiConfig {
+                page_size,
+                ooc: OocMode::WhenNeeded,
+            };
             let mut mr = MapReduce::new(comm, pool, store, cfg);
             mr.map(|em| {
                 for (k, v) in &kvs2 {
@@ -66,14 +72,18 @@ proptest! {
             .unwrap();
             groups
         });
-        prop_assert_eq!(&got[0], &expected, "page_size={}", page_size);
+        assert_eq!(&got[0], &expected, "case {case}, page_size={page_size}");
     }
+}
 
-    #[test]
-    fn compress_equals_reduce_for_commutative_ops(
-        keys in prop::collection::vec(0u8..8, 0..200),
-        page_size in prop_oneof![Just(256usize), Just(32 * 1024)],
-    ) {
+#[test]
+fn compress_equals_reduce_for_commutative_ops() {
+    for case in 0..24usize {
+        let mut rng = rank_rng(0xC025_0355, case);
+        let keys: Vec<u8> = (0..rng.gen_range(0..200))
+            .map(|_| rng.gen_range(0..8) as u8)
+            .collect();
+        let page_size = [256usize, 32 * 1024][case % 2];
         // Sum of 1s per key via compress must equal the group sizes.
         let mut expected: HashMap<u8, u64> = HashMap::new();
         for &k in &keys {
@@ -83,7 +93,10 @@ proptest! {
         let got = run_world(1, move |comm| {
             let pool = MemPool::unlimited("prop", 4096);
             let store = SpillStore::new_temp("cps-prop", IoModel::free()).unwrap();
-            let cfg = MrMpiConfig { page_size, ooc: OocMode::WhenNeeded };
+            let cfg = MrMpiConfig {
+                page_size,
+                ooc: OocMode::WhenNeeded,
+            };
             let mut mr = MapReduce::new(comm, pool, store, cfg);
             mr.map(|em| {
                 for &k in &keys2 {
@@ -106,26 +119,23 @@ proptest! {
             .unwrap();
             counts
         });
-        prop_assert_eq!(&got[0], &expected);
+        assert_eq!(&got[0], &expected, "case {case}");
     }
+}
 
-    #[test]
-    fn aggregate_delivers_every_kv_exactly_once(
-        kvs in kv_strategy(),
-        n_ranks in 1usize..5,
-    ) {
+#[test]
+fn aggregate_delivers_every_kv_exactly_once() {
+    for case in 0..24usize {
+        let mut rng = rank_rng(0xA660_0001, case);
+        let kvs = gen_kvs(0xA660_0002, case);
+        let n_ranks = 1 + rng.gen_range(0..4);
         let total = kvs.len();
         let kvs2 = kvs.clone();
         let counts = run_world(n_ranks, move |comm| {
             let rank = comm.rank();
             let pool = MemPool::unlimited("prop", 4096);
             let store = SpillStore::new_temp("agg-prop", IoModel::free()).unwrap();
-            let mut mr = MapReduce::new(
-                comm,
-                pool,
-                store,
-                MrMpiConfig::with_page_size(32 * 1024),
-            );
+            let mut mr = MapReduce::new(comm, pool, store, MrMpiConfig::with_page_size(32 * 1024));
             mr.map(|em| {
                 for (i, (k, v)) in kvs2.iter().enumerate() {
                     if i % n_ranks == rank {
@@ -138,6 +148,6 @@ proptest! {
             mr.aggregate().unwrap();
             mr.kv_count()
         });
-        prop_assert_eq!(counts.iter().sum::<u64>() as usize, total);
+        assert_eq!(counts.iter().sum::<u64>() as usize, total, "case {case}");
     }
 }

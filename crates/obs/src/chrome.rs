@@ -1,0 +1,277 @@
+//! Chrome trace_event exporter.
+//!
+//! Produces the JSON object format consumed by Perfetto
+//! (<https://ui.perfetto.dev>) and `about://tracing`: a `traceEvents`
+//! array of `ph:"B"`/`ph:"E"` duration events, `ph:"C"` counters, and
+//! `ph:"i"` instants. Each rank becomes one `tid` under a single `pid`,
+//! so a multi-rank run renders as stacked per-rank timelines — the view
+//! behind the paper's phase-interleaving discussion (Figures 4–6).
+
+use crate::event::{Event, EventKind};
+use crate::json::Json;
+use crate::report::RankReport;
+
+/// Process id used for all ranks (one logical job = one process row).
+const PID: f64 = 1.0;
+
+/// Converts one rank's events into trace_event records.
+fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
+    let tid = Json::Num(rank as f64);
+    for e in events {
+        // trace_event timestamps are microseconds; keep sub-µs precision
+        // as a fraction.
+        let ts = Json::Num(e.t_ns as f64 / 1000.0);
+        match e.kind {
+            EventKind::PhaseBegin | EventKind::RoundBegin | EventKind::StepBegin => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(e.label().to_string())),
+                    ("ph", Json::Str("B".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    ("args", Json::obj(vec![("a", Json::Num(e.a as f64))])),
+                ]));
+            }
+            EventKind::PhaseEnd | EventKind::RoundEnd | EventKind::StepEnd => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(e.label().to_string())),
+                    ("ph", Json::Str("E".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("a", Json::Num(e.a as f64)),
+                            ("b", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::MemSample => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(format!("pool-bytes r{rank}"))),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("used", Json::Num(e.a as f64)),
+                            ("peak", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::SpillBegin => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("spill".into())),
+                    ("ph", Json::Str("B".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    ("args", Json::obj(vec![("file", Json::Num(e.a as f64))])),
+                ]));
+            }
+            EventKind::SpillEnd => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("spill".into())),
+                    ("ph", Json::Str("E".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("file", Json::Num(e.a as f64)),
+                            ("bytes", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::CombinerFlush => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("combiner-flush".into())),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("entries", Json::Num(e.a as f64)),
+                            ("table_bytes", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+        }
+    }
+}
+
+/// Builds the chrome-trace document for a set of per-rank reports.
+///
+/// Ranks appear as thread rows named `rank N`; span, counter, and
+/// instant events come from each report's retained trace events.
+pub fn chrome_trace(reports: &[RankReport]) -> Json {
+    let mut events = Vec::new();
+    for r in reports {
+        // Thread-name metadata gives Perfetto readable row labels.
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(PID)),
+            ("tid", Json::Num(r.rank as f64)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(format!("rank {}", r.rank)))]),
+            ),
+        ]));
+        rank_events(r.rank, &r.events, &mut events);
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+/// Serializes [`chrome_trace`] to a writable JSON string.
+pub fn chrome_trace_string(reports: &[RankReport]) -> String {
+    chrome_trace(reports).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, Step};
+    use crate::report::RankReport;
+
+    fn report_with_events(rank: u64, events: Vec<Event>) -> RankReport {
+        RankReport {
+            rank,
+            ranks: 1,
+            events,
+            ..RankReport::default()
+        }
+    }
+
+    #[test]
+    fn spans_counters_and_instants_export() {
+        let evs = vec![
+            Event {
+                t_ns: 1_000,
+                kind: EventKind::PhaseBegin,
+                a: Phase::Map as u64,
+                b: 0,
+            },
+            Event {
+                t_ns: 2_000,
+                kind: EventKind::MemSample,
+                a: 4096,
+                b: 8192,
+            },
+            Event {
+                t_ns: 2_500,
+                kind: EventKind::CombinerFlush,
+                a: 10,
+                b: 640,
+            },
+            Event {
+                t_ns: 3_000,
+                kind: EventKind::StepBegin,
+                a: Step::Alltoallv as u64,
+                b: 0,
+            },
+            Event {
+                t_ns: 4_000,
+                kind: EventKind::StepEnd,
+                a: Step::Alltoallv as u64,
+                b: 123,
+            },
+            Event {
+                t_ns: 5_000,
+                kind: EventKind::PhaseEnd,
+                a: Phase::Map as u64,
+                b: 0,
+            },
+        ];
+        let doc = chrome_trace(&[report_with_events(2, evs)]);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let trace = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata + 6 events.
+        assert_eq!(trace.len(), 7);
+        assert_eq!(trace[0].get("ph").unwrap().as_str(), Some("M"));
+        let map_begin = &trace[1];
+        assert_eq!(map_begin.get("name").unwrap().as_str(), Some("map"));
+        assert_eq!(map_begin.get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(map_begin.get("tid").unwrap().as_u64(), Some(2));
+        assert!((map_begin.get("ts").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-9);
+        let counter = &trace[2];
+        assert_eq!(counter.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            counter.get("args").unwrap().get("used").unwrap().as_u64(),
+            Some(4096)
+        );
+        let instant = &trace[3];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        let step_end = &trace[5];
+        assert_eq!(step_end.get("name").unwrap().as_str(), Some("alltoallv"));
+        assert_eq!(
+            step_end.get("args").unwrap().get("b").unwrap().as_u64(),
+            Some(123)
+        );
+    }
+
+    #[test]
+    fn begin_end_pairs_balance_per_rank() {
+        let evs = vec![
+            Event {
+                t_ns: 0,
+                kind: EventKind::PhaseBegin,
+                a: Phase::Job as u64,
+                b: 0,
+            },
+            Event {
+                t_ns: 1,
+                kind: EventKind::RoundBegin,
+                a: 0,
+                b: 0,
+            },
+            Event {
+                t_ns: 2,
+                kind: EventKind::RoundEnd,
+                a: 0,
+                b: 1,
+            },
+            Event {
+                t_ns: 3,
+                kind: EventKind::PhaseEnd,
+                a: Phase::Job as u64,
+                b: 0,
+            },
+        ];
+        let doc = chrome_trace(&[
+            report_with_events(0, evs.clone()),
+            report_with_events(1, evs),
+        ]);
+        let trace = doc.get("traceEvents").unwrap().as_arr().unwrap().to_vec();
+        for rank in 0..2u64 {
+            let (mut begins, mut ends) = (0, 0);
+            for ev in trace
+                .iter()
+                .filter(|e| e.get("tid").and_then(Json::as_u64) == Some(rank))
+            {
+                match ev.get("ph").and_then(Json::as_str) {
+                    Some("B") => begins += 1,
+                    Some("E") => ends += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(begins, 2);
+            assert_eq!(begins, ends, "balanced B/E pairs for rank {rank}");
+        }
+    }
+}

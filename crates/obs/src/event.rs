@@ -1,0 +1,239 @@
+//! The event model: fixed-size, `Copy`, heap-free records.
+//!
+//! Every event is 32 bytes: a timestamp (nanoseconds since the
+//! recorder's epoch), a kind tag, and two `u64` arguments whose meaning
+//! depends on the kind. Events never own heap data, so recording one is
+//! a handful of stores into a preallocated ring buffer — cheap enough to
+//! leave enabled around exchange rounds and page allocations.
+
+/// A MapReduce phase, used as the argument of [`EventKind::PhaseBegin`] /
+/// [`EventKind::PhaseEnd`] span events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Mimir's interleaved map+aggregate (or MR-MPI's map).
+    Map = 0,
+    /// MR-MPI's explicit aggregate (all-to-all of the KV dataset).
+    Aggregate = 1,
+    /// Grouping KVs into KMVs.
+    Convert = 2,
+    /// The reduce callback sweep (or partial-reduction finalization).
+    Reduce = 3,
+    /// MR-MPI's local compress.
+    Compress = 4,
+    /// MR-MPI's sort_keys.
+    Sort = 5,
+    /// A whole job (outermost span).
+    Job = 6,
+}
+
+impl Phase {
+    /// All phases, index-aligned with their discriminants.
+    pub const ALL: [Phase; 7] = [
+        Phase::Map,
+        Phase::Aggregate,
+        Phase::Convert,
+        Phase::Reduce,
+        Phase::Compress,
+        Phase::Sort,
+        Phase::Job,
+    ];
+
+    /// Stable lowercase name (used in exported traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Map => "map",
+            Phase::Aggregate => "aggregate",
+            Phase::Convert => "convert",
+            Phase::Reduce => "reduce",
+            Phase::Compress => "compress",
+            Phase::Sort => "sort",
+            Phase::Job => "job",
+        }
+    }
+
+    /// Inverse of the discriminant encoding used in [`Event::a`].
+    pub fn from_code(code: u64) -> Option<Phase> {
+        Phase::ALL.get(code as usize).copied()
+    }
+}
+
+/// A sub-step of one shuffle exchange round, used as the argument of
+/// [`EventKind::StepBegin`] / [`EventKind::StepEnd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Step {
+    /// Entering the round: the done-flag allreduce.
+    Sync = 0,
+    /// The alltoallv moving the send-buffer partitions.
+    Alltoallv = 1,
+    /// Draining received KVs into the sink.
+    Drain = 2,
+}
+
+impl Step {
+    /// All steps, index-aligned with their discriminants.
+    pub const ALL: [Step; 3] = [Step::Sync, Step::Alltoallv, Step::Drain];
+
+    /// Stable lowercase name (used in exported traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::Sync => "sync",
+            Step::Alltoallv => "alltoallv",
+            Step::Drain => "drain",
+        }
+    }
+
+    /// Inverse of the discriminant encoding used in [`Event::a`].
+    pub fn from_code(code: u64) -> Option<Step> {
+        Step::ALL.get(code as usize).copied()
+    }
+}
+
+/// What one [`Event`] records. The `a`/`b` columns document how the two
+/// argument slots are interpreted per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Span open for a phase. `a` = [`Phase`] code.
+    PhaseBegin = 0,
+    /// Span close for a phase. `a` = [`Phase`] code.
+    PhaseEnd = 1,
+    /// Span open for one shuffle exchange round. `a` = round index.
+    RoundBegin = 2,
+    /// Span close for one exchange round. `a` = round index,
+    /// `b` = 1 when the round reported all ranks done.
+    RoundEnd = 3,
+    /// Span open for a round sub-step. `a` = [`Step`] code.
+    StepBegin = 4,
+    /// Span close for a round sub-step. `a` = [`Step`] code,
+    /// `b` = bytes moved (alltoallv / drain) where known.
+    StepEnd = 5,
+    /// Memory-pool sample at a page alloc/free. `a` = bytes in use,
+    /// `b` = high-water mark.
+    MemSample = 6,
+    /// A spill file was opened. `a` = spill file id.
+    SpillBegin = 7,
+    /// A spill file was sealed. `a` = spill file id, `b` = payload bytes.
+    SpillEnd = 8,
+    /// The combiner table flushed into the shuffle. `a` = entries,
+    /// `b` = estimated table bytes before the flush.
+    CombinerFlush = 9,
+}
+
+impl EventKind {
+    /// All kinds, index-aligned with their discriminants.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::PhaseBegin,
+        EventKind::PhaseEnd,
+        EventKind::RoundBegin,
+        EventKind::RoundEnd,
+        EventKind::StepBegin,
+        EventKind::StepEnd,
+        EventKind::MemSample,
+        EventKind::SpillBegin,
+        EventKind::SpillEnd,
+        EventKind::CombinerFlush,
+    ];
+
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PhaseBegin => "phase_begin",
+            EventKind::PhaseEnd => "phase_end",
+            EventKind::RoundBegin => "round_begin",
+            EventKind::RoundEnd => "round_end",
+            EventKind::StepBegin => "step_begin",
+            EventKind::StepEnd => "step_end",
+            EventKind::MemSample => "mem_sample",
+            EventKind::SpillBegin => "spill_begin",
+            EventKind::SpillEnd => "spill_end",
+            EventKind::CombinerFlush => "combiner_flush",
+        }
+    }
+
+    /// Numeric code used in compact serializations.
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(code: u64) -> Option<EventKind> {
+        EventKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// One recorded event. See [`EventKind`] for the meaning of `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the recorder's epoch.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First argument (kind-dependent).
+    pub a: u64,
+    /// Second argument (kind-dependent).
+    pub b: u64,
+}
+
+impl Event {
+    /// The human-readable span name an exporter should use: the phase or
+    /// step name for typed spans, the kind name otherwise.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            EventKind::PhaseBegin | EventKind::PhaseEnd => {
+                Phase::from_code(self.a).map_or("phase?", Phase::name)
+            }
+            EventKind::StepBegin | EventKind::StepEnd => {
+                Step::from_code(self.a).map_or("step?", Step::name)
+            }
+            EventKind::RoundBegin | EventKind::RoundEnd => "exchange-round",
+            other => other.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_code(k.code()), Some(k));
+        }
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_code(p as u64), Some(p));
+        }
+        for s in Step::ALL {
+            assert_eq!(Step::from_code(s as u64), Some(s));
+        }
+        assert_eq!(EventKind::from_code(255), None);
+        assert_eq!(Phase::from_code(255), None);
+    }
+
+    #[test]
+    fn labels_follow_span_arguments() {
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::PhaseBegin,
+            a: Phase::Convert as u64,
+            b: 0,
+        };
+        assert_eq!(e.label(), "convert");
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::StepEnd,
+            a: Step::Alltoallv as u64,
+            b: 42,
+        };
+        assert_eq!(e.label(), "alltoallv");
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::MemSample,
+            a: 1,
+            b: 2,
+        };
+        assert_eq!(e.label(), "mem_sample");
+    }
+}

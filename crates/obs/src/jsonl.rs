@@ -1,0 +1,77 @@
+//! JSON-lines exporter: one self-describing record per line.
+//!
+//! The format is `grep`/`jq`-friendly raw material: a `report` line per
+//! rank (counters only) followed by an `event` line per retained trace
+//! event. Chrome-trace answers "show me the timeline"; this answers
+//! "let me script over the numbers".
+
+use crate::json::Json;
+use crate::report::RankReport;
+
+/// Renders `reports` as JSON-lines text.
+pub fn jsonl_string(reports: &[RankReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        let mut counters_only = r.clone();
+        let events = std::mem::take(&mut counters_only.events);
+        let mut line = Json::obj(vec![("record", Json::Str("report".into()))]);
+        if let (Json::Obj(dst), Json::Obj(src)) = (&mut line, counters_only.to_json()) {
+            dst.extend(src);
+        }
+        out.push_str(&line.to_string());
+        out.push('\n');
+        for e in &events {
+            let line = Json::obj(vec![
+                ("record", Json::Str("event".into())),
+                ("rank", Json::Num(r.rank as f64)),
+                ("t_ns", Json::Num(e.t_ns as f64)),
+                ("kind", Json::Str(e.kind.name().into())),
+                ("label", Json::Str(e.label().into())),
+                ("a", Json::Num(e.a as f64)),
+                ("b", Json::Num(e.b as f64)),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, Phase};
+
+    #[test]
+    fn emits_report_then_event_lines() {
+        let mut r = RankReport::new(1);
+        r.shuffle.kvs_emitted = 7;
+        r.events.push(Event {
+            t_ns: 99,
+            kind: EventKind::PhaseBegin,
+            a: Phase::Reduce as u64,
+            b: 0,
+        });
+        let text = jsonl_string(&[r]);
+        let docs = Json::parse_lines(&text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("record").unwrap().as_str(), Some("report"));
+        assert_eq!(
+            docs[0]
+                .get("shuffle")
+                .unwrap()
+                .get("kvs_emitted")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            docs[0].get("events").unwrap().as_arr().unwrap().len(),
+            0,
+            "report line carries counters, not the event dump"
+        );
+        assert_eq!(docs[1].get("record").unwrap().as_str(), Some("event"));
+        assert_eq!(docs[1].get("label").unwrap().as_str(), Some("reduce"));
+        assert_eq!(docs[1].get("t_ns").unwrap().as_u64(), Some(99));
+    }
+}

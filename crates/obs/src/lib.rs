@@ -1,0 +1,38 @@
+//! Observability substrate for the Mimir reproduction.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - **Event tracing** ([`recorder`]): a per-rank [`Recorder`] holding a
+//!   preallocated ring of fixed-size [`Event`]s. Rank threads install a
+//!   recorder; instrumentation throughout the stack calls [`emit`] /
+//!   [`phase_span`] / [`step_span`], which cost nothing when tracing is
+//!   off and never allocate when it is on. Enabled with `MIMIR_TRACE=1`.
+//! - **Metrics registry** ([`report`]): [`RankReport`] unifies the
+//!   communication, memory-pool, shuffle, and job statistics scattered
+//!   across the stack into one serializable record with cross-rank
+//!   [`RankReport::merge`].
+//! - **Exporters** ([`chrome`], [`jsonl`]): chrome trace_event JSON for
+//!   Perfetto / `about://tracing`, and JSON-lines for scripting. Both sit
+//!   on the crate's own minimal [`json`] module, so nothing external is
+//!   needed to write *or* parse them.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod recorder;
+pub mod report;
+
+pub use chrome::{chrome_trace, chrome_trace_string};
+pub use event::{Event, EventKind, Phase, Step};
+pub use json::{Json, JsonError};
+pub use jsonl::jsonl_string;
+pub use recorder::{
+    active, emit, env_capacity, env_enabled, install, phase_span, span, step_span, take, Recorder,
+    SpanGuard, DEFAULT_CAPACITY,
+};
+pub use report::{
+    CommCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, ShuffleCounters,
+};

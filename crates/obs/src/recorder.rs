@@ -1,0 +1,279 @@
+//! The per-rank event recorder and its thread-local installation point.
+//!
+//! A [`Recorder`] owns one preallocated ring buffer of [`Event`]s. Each
+//! rank thread installs its own recorder ([`install`]); instrumentation
+//! anywhere in the stack calls the free functions ([`emit`],
+//! [`span`], …), which resolve the current thread's recorder and append
+//! — or do nothing at all when tracing is off. The emit path never
+//! allocates: the buffer is sized up front and overflow overwrites the
+//! oldest events (keeping the most recent window, which is what a
+//! post-mortem wants).
+//!
+//! The Mimir world runs ranks as threads, so "thread-local" here *is*
+//! "per-rank", exactly like a rank-private trace buffer in an MPI
+//! profiler.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, Phase, Step};
+
+/// Default ring capacity (events per rank) when none is configured.
+pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// A fixed-capacity event ring for one rank.
+#[derive(Debug)]
+pub struct Recorder {
+    rank: usize,
+    epoch: Instant,
+    buf: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder for `rank` with its own epoch (timestamps are
+    /// relative to "now").
+    pub fn new(rank: usize, capacity: usize) -> Self {
+        Self::with_epoch(rank, capacity, Instant::now())
+    }
+
+    /// Creates a recorder whose timestamps are relative to a caller-
+    /// provided epoch, so the timelines of many ranks align in one trace.
+    pub fn with_epoch(rank: usize, capacity: usize, epoch: Instant) -> Self {
+        Self {
+            rank,
+            epoch,
+            buf: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The rank this recorder belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The shared epoch timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Records one event. Never allocates; overwrites the oldest event
+    /// when the ring is full.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, a: u64, b: u64) {
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        let ev = Event { t_ns, kind, a, b };
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(ev);
+        } else {
+            // Ring is full: overwrite the oldest slot.
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.buf.capacity();
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events in chronological order (oldest first).
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as this thread's (= this rank's) recorder,
+/// returning any recorder that was previously installed.
+pub fn install(recorder: Recorder) -> Option<Recorder> {
+    CURRENT.with(|c| c.borrow_mut().replace(recorder))
+}
+
+/// Removes and returns this thread's recorder, disabling tracing on the
+/// thread.
+pub fn take() -> Option<Recorder> {
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Whether a recorder is installed on this thread.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Records one event on this thread's recorder; a no-op (and
+/// allocation-free) when tracing is off.
+#[inline]
+pub fn emit(kind: EventKind, a: u64, b: u64) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.record(kind, a, b);
+        }
+    });
+}
+
+/// Whether `MIMIR_TRACE` asks for tracing (values `1`, `true`, `on`,
+/// case-insensitive).
+pub fn env_enabled() -> bool {
+    match std::env::var("MIMIR_TRACE") {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on"),
+        Err(_) => false,
+    }
+}
+
+/// Ring capacity from `MIMIR_TRACE_EVENTS`, or [`DEFAULT_CAPACITY`].
+pub fn env_capacity() -> usize {
+    std::env::var("MIMIR_TRACE_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CAPACITY)
+}
+
+/// RAII guard closing a span event pair; created by [`span`],
+/// [`phase_span`], or [`step_span`].
+pub struct SpanGuard {
+    end_kind: EventKind,
+    a: u64,
+    b: u64,
+}
+
+impl SpanGuard {
+    /// Overrides the `b` argument the closing event will carry (e.g.
+    /// bytes moved, discovered mid-span).
+    pub fn set_b(&mut self, b: u64) {
+        self.b = b;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        emit(self.end_kind, self.a, self.b);
+    }
+}
+
+/// Opens a `begin`/`end` span; the end event is emitted when the guard
+/// drops. Emits nothing (and allocates nothing) when tracing is off.
+#[inline]
+pub fn span(begin: EventKind, end: EventKind, a: u64, b: u64) -> SpanGuard {
+    emit(begin, a, b);
+    SpanGuard {
+        end_kind: end,
+        a,
+        b,
+    }
+}
+
+/// Span covering one MapReduce phase.
+#[inline]
+pub fn phase_span(phase: Phase) -> SpanGuard {
+    span(EventKind::PhaseBegin, EventKind::PhaseEnd, phase as u64, 0)
+}
+
+/// Span covering one exchange-round sub-step.
+#[inline]
+pub fn step_span(step: Step) -> SpanGuard {
+    span(EventKind::StepBegin, EventKind::StepEnd, step as u64, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_preserves_order_and_drops_oldest() {
+        let mut r = Recorder::new(0, 4);
+        for i in 0..6u64 {
+            r.record(EventKind::MemSample, i, 0);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let got: Vec<u64> = r.events().iter().map(|e| e.a).collect();
+        assert_eq!(got, vec![2, 3, 4, 5], "oldest two were overwritten");
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "chronological order");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut r = Recorder::new(3, 16);
+        for i in 0..5u64 {
+            r.record(EventKind::SpillBegin, i, 0);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let got: Vec<u64> = r.events().iter().map(|e| e.a).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn emit_without_recorder_is_a_noop() {
+        assert!(!active());
+        emit(EventKind::MemSample, 1, 2); // must not panic
+        let _g = phase_span(Phase::Map); // begin+end both no-ops
+    }
+
+    #[test]
+    fn install_take_roundtrip_with_spans() {
+        install(Recorder::new(7, 64));
+        assert!(active());
+        {
+            let _p = phase_span(Phase::Map);
+            emit(EventKind::MemSample, 10, 20);
+            let mut s = step_span(Step::Alltoallv);
+            s.set_b(4096);
+        }
+        let r = take().expect("recorder installed");
+        assert!(!active());
+        assert_eq!(r.rank(), 7);
+        let evs = r.events();
+        let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PhaseBegin,
+                EventKind::MemSample,
+                EventKind::StepBegin,
+                EventKind::StepEnd,
+                EventKind::PhaseEnd,
+            ]
+        );
+        assert_eq!(evs[3].b, 4096, "set_b reaches the closing event");
+    }
+
+    #[test]
+    fn shared_epoch_aligns_timestamps() {
+        let epoch = Instant::now();
+        let mut a = Recorder::with_epoch(0, 8, epoch);
+        let mut b = Recorder::with_epoch(1, 8, epoch);
+        a.record(EventKind::MemSample, 0, 0);
+        b.record(EventKind::MemSample, 0, 0);
+        let (ta, tb) = (a.events()[0].t_ns, b.events()[0].t_ns);
+        // Both were recorded within a heartbeat of each other on the
+        // same clock.
+        assert!(ta.abs_diff(tb) < 1_000_000_000);
+    }
+}

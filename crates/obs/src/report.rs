@@ -1,0 +1,519 @@
+//! The unified per-rank metrics report.
+//!
+//! The stack accumulates statistics in four places — communication
+//! counters in `mimir-mpi`, pool counters in `mimir-mem`, shuffle/job
+//! counters in `mimir-core`, and the MR-MPI baseline's own struct. A
+//! [`RankReport`] gathers all of them (plus the rank's trace events)
+//! into one serializable record. Rank 0 collects every rank's report via
+//! the `gather` collective at job end and [`RankReport::merge`]s them
+//! into cluster-wide totals.
+//!
+//! `mimir-obs` sits below those crates in the dependency graph, so the
+//! report holds plain-old-data mirrors of their stats structs; each
+//! crate converts into its mirror at report-build time.
+
+use crate::event::Event;
+use crate::json::{Json, JsonError};
+
+/// Point-to-point and collective communication counters
+/// (mirrors `mimir-mpi`'s `CommStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommCounters {
+    /// Point-to-point sends issued.
+    pub sends: u64,
+    /// Point-to-point receives completed.
+    pub recvs: u64,
+    /// Payload bytes sent point-to-point.
+    pub bytes_sent: u64,
+    /// Payload bytes received point-to-point.
+    pub bytes_recvd: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+}
+
+impl CommCounters {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &CommCounters) {
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recvd += other.bytes_recvd;
+        self.collectives += other.collectives;
+    }
+}
+
+/// Memory-pool counters (mirrors `mimir-mem`'s `MemStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Pages handed out.
+    pub pages_allocated: u64,
+    /// Pages returned to the free list.
+    pub pages_recycled: u64,
+    /// Bytes in use when the report was built.
+    pub bytes_in_use: u64,
+    /// High-water mark over the whole run.
+    pub peak_bytes: u64,
+}
+
+impl MemCounters {
+    /// Sums the flow counters; peaks and in-use take the max (node pools
+    /// are shared, so summing them would double-count).
+    pub fn merge(&mut self, other: &MemCounters) {
+        self.pages_allocated += other.pages_allocated;
+        self.pages_recycled += other.pages_recycled;
+        self.bytes_in_use = self.bytes_in_use.max(other.bytes_in_use);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+}
+
+/// Shuffle counters (mirrors `mimir-core`'s `ShuffleStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleCounters {
+    /// KVs pushed into the shuffle on this rank.
+    pub kvs_emitted: u64,
+    /// Encoded bytes pushed into the shuffle.
+    pub kv_bytes_emitted: u64,
+    /// KVs drained out of the shuffle on this rank.
+    pub kvs_received: u64,
+    /// Exchange rounds this rank participated in.
+    pub rounds: u64,
+    /// KV payload bytes spilled to disk.
+    pub spilled_bytes: u64,
+}
+
+impl ShuffleCounters {
+    /// Sums the traffic counters; rounds take the max (every rank steps
+    /// through the same number of collective rounds).
+    pub fn merge(&mut self, other: &ShuffleCounters) {
+        self.kvs_emitted += other.kvs_emitted;
+        self.kv_bytes_emitted += other.kv_bytes_emitted;
+        self.kvs_received += other.kvs_received;
+        self.rounds = self.rounds.max(other.rounds);
+        self.spilled_bytes += other.spilled_bytes;
+    }
+}
+
+/// Wall-clock seconds spent in each phase on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Map (+ interleaved aggregate for Mimir).
+    pub map_s: f64,
+    /// MR-MPI's explicit aggregate.
+    pub aggregate_s: f64,
+    /// Convert (KV → KMV grouping).
+    pub convert_s: f64,
+    /// Reduce.
+    pub reduce_s: f64,
+}
+
+impl PhaseTimes {
+    /// Takes the per-phase max: merged times answer "how long did the
+    /// cluster spend in this phase", and phases are barrier-aligned.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.map_s = self.map_s.max(other.map_s);
+        self.aggregate_s = self.aggregate_s.max(other.aggregate_s);
+        self.convert_s = self.convert_s.max(other.convert_s);
+        self.reduce_s = self.reduce_s.max(other.reduce_s);
+    }
+}
+
+/// Per-phase memory high-water marks in bytes on one rank's node pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhasePeaks {
+    /// Peak during map (+ aggregate for Mimir).
+    pub map_bytes: u64,
+    /// Peak during convert.
+    pub convert_bytes: u64,
+    /// Peak during reduce.
+    pub reduce_bytes: u64,
+}
+
+impl PhasePeaks {
+    /// Element-wise max.
+    pub fn merge(&mut self, other: &PhasePeaks) {
+        self.map_bytes = self.map_bytes.max(other.map_bytes);
+        self.convert_bytes = self.convert_bytes.max(other.convert_bytes);
+        self.reduce_bytes = self.reduce_bytes.max(other.reduce_bytes);
+    }
+
+    /// The largest of the three phase peaks.
+    pub fn max_bytes(&self) -> u64 {
+        self.map_bytes
+            .max(self.convert_bytes)
+            .max(self.reduce_bytes)
+    }
+}
+
+/// Job-level counters (mirrors parts of `mimir-core`'s `JobStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounters {
+    /// Unique keys grouped on this rank.
+    pub unique_keys: u64,
+    /// KVs produced by the reduce callbacks on this rank.
+    pub kvs_out: u64,
+    /// Node-pool high-water mark at job end.
+    pub node_peak_bytes: u64,
+}
+
+impl JobCounters {
+    /// Sums the counters; the node peak takes the max.
+    pub fn merge(&mut self, other: &JobCounters) {
+        self.unique_keys += other.unique_keys;
+        self.kvs_out += other.kvs_out;
+        self.node_peak_bytes = self.node_peak_bytes.max(other.node_peak_bytes);
+    }
+}
+
+/// Everything one rank knows about a finished job: counters from every
+/// layer plus (optionally) the rank's trace events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankReport {
+    /// The rank this report describes; after [`merge`](Self::merge),
+    /// the number of ranks folded in is tracked by [`Self::ranks`].
+    pub rank: u64,
+    /// How many rank reports were merged into this one (1 for a fresh
+    /// single-rank report).
+    pub ranks: u64,
+    /// Communication counters.
+    pub comm: CommCounters,
+    /// Memory-pool counters.
+    pub mem: MemCounters,
+    /// Shuffle counters.
+    pub shuffle: ShuffleCounters,
+    /// Per-phase wall-clock times.
+    pub times: PhaseTimes,
+    /// Per-phase memory peaks.
+    pub peaks: PhasePeaks,
+    /// Job-level counters.
+    pub job: JobCounters,
+    /// Trace events retained by the rank's recorder (empty when tracing
+    /// was off, and dropped from merged reports).
+    pub events: Vec<Event>,
+    /// Events the recorder overwrote on ring overflow.
+    pub events_dropped: u64,
+}
+
+impl RankReport {
+    /// A fresh report for `rank` with all counters zero.
+    pub fn new(rank: usize) -> Self {
+        RankReport {
+            rank: rank as u64,
+            ranks: 1,
+            ..RankReport::default()
+        }
+    }
+
+    /// Folds `other` into `self`, producing cluster-wide aggregates:
+    /// counters sum, peaks and barrier-aligned times take the max.
+    /// Per-rank trace events do not survive merging (a merged report
+    /// describes the cluster, and traces stay per-rank in the exporters).
+    pub fn merge(&mut self, other: &RankReport) {
+        self.ranks += other.ranks;
+        self.comm.merge(&other.comm);
+        self.mem.merge(&other.mem);
+        self.shuffle.merge(&other.shuffle);
+        self.times.merge(&other.times);
+        self.peaks.merge(&other.peaks);
+        self.job.merge(&other.job);
+        self.events.clear();
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Serializes to a JSON object (see [`Self::from_json`] for the
+    /// inverse).
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::Arr(vec![
+                    Json::Num(e.t_ns as f64),
+                    Json::Num(e.kind.code() as f64),
+                    Json::Num(e.a as f64),
+                    Json::Num(e.b as f64),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("rank", Json::Num(self.rank as f64)),
+            ("ranks", Json::Num(self.ranks as f64)),
+            (
+                "comm",
+                Json::obj(vec![
+                    ("sends", Json::Num(self.comm.sends as f64)),
+                    ("recvs", Json::Num(self.comm.recvs as f64)),
+                    ("bytes_sent", Json::Num(self.comm.bytes_sent as f64)),
+                    ("bytes_recvd", Json::Num(self.comm.bytes_recvd as f64)),
+                    ("collectives", Json::Num(self.comm.collectives as f64)),
+                ]),
+            ),
+            (
+                "mem",
+                Json::obj(vec![
+                    (
+                        "pages_allocated",
+                        Json::Num(self.mem.pages_allocated as f64),
+                    ),
+                    ("pages_recycled", Json::Num(self.mem.pages_recycled as f64)),
+                    ("bytes_in_use", Json::Num(self.mem.bytes_in_use as f64)),
+                    ("peak_bytes", Json::Num(self.mem.peak_bytes as f64)),
+                ]),
+            ),
+            (
+                "shuffle",
+                Json::obj(vec![
+                    ("kvs_emitted", Json::Num(self.shuffle.kvs_emitted as f64)),
+                    (
+                        "kv_bytes_emitted",
+                        Json::Num(self.shuffle.kv_bytes_emitted as f64),
+                    ),
+                    ("kvs_received", Json::Num(self.shuffle.kvs_received as f64)),
+                    ("rounds", Json::Num(self.shuffle.rounds as f64)),
+                    (
+                        "spilled_bytes",
+                        Json::Num(self.shuffle.spilled_bytes as f64),
+                    ),
+                ]),
+            ),
+            (
+                "times",
+                Json::obj(vec![
+                    ("map_s", Json::Num(self.times.map_s)),
+                    ("aggregate_s", Json::Num(self.times.aggregate_s)),
+                    ("convert_s", Json::Num(self.times.convert_s)),
+                    ("reduce_s", Json::Num(self.times.reduce_s)),
+                ]),
+            ),
+            (
+                "peaks",
+                Json::obj(vec![
+                    ("map_bytes", Json::Num(self.peaks.map_bytes as f64)),
+                    ("convert_bytes", Json::Num(self.peaks.convert_bytes as f64)),
+                    ("reduce_bytes", Json::Num(self.peaks.reduce_bytes as f64)),
+                ]),
+            ),
+            (
+                "job",
+                Json::obj(vec![
+                    ("unique_keys", Json::Num(self.job.unique_keys as f64)),
+                    ("kvs_out", Json::Num(self.job.kvs_out as f64)),
+                    (
+                        "node_peak_bytes",
+                        Json::Num(self.job.node_peak_bytes as f64),
+                    ),
+                ]),
+            ),
+            ("events", Json::Arr(events)),
+            ("events_dropped", Json::Num(self.events_dropped as f64)),
+        ])
+    }
+
+    /// Deserializes a report produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<RankReport, JsonError> {
+        fn field(v: &Json, path: &[&str]) -> Result<f64, JsonError> {
+            let mut cur = v;
+            for key in path {
+                cur = cur.get(key).ok_or_else(|| JsonError {
+                    msg: format!("missing field `{}`", path.join(".")),
+                    at: 0,
+                })?;
+            }
+            cur.as_f64().ok_or_else(|| JsonError {
+                msg: format!("field `{}` is not a number", path.join(".")),
+                at: 0,
+            })
+        }
+        let u = |path: &[&str]| -> Result<u64, JsonError> { field(v, path).map(|n| n as u64) };
+        let mut events = Vec::new();
+        if let Some(Json::Arr(items)) = v.get("events") {
+            for item in items {
+                let cols = item.as_arr().ok_or_else(|| JsonError {
+                    msg: "event is not an array".into(),
+                    at: 0,
+                })?;
+                if cols.len() != 4 {
+                    return Err(JsonError {
+                        msg: "event needs 4 columns".into(),
+                        at: 0,
+                    });
+                }
+                let num = |i: usize| -> Result<u64, JsonError> {
+                    cols[i].as_u64().ok_or_else(|| JsonError {
+                        msg: "event column is not a number".into(),
+                        at: 0,
+                    })
+                };
+                let kind =
+                    crate::event::EventKind::from_code(num(1)?).ok_or_else(|| JsonError {
+                        msg: "unknown event kind".into(),
+                        at: 0,
+                    })?;
+                events.push(Event {
+                    t_ns: num(0)?,
+                    kind,
+                    a: num(2)?,
+                    b: num(3)?,
+                });
+            }
+        }
+        Ok(RankReport {
+            rank: u(&["rank"])?,
+            ranks: u(&["ranks"])?,
+            comm: CommCounters {
+                sends: u(&["comm", "sends"])?,
+                recvs: u(&["comm", "recvs"])?,
+                bytes_sent: u(&["comm", "bytes_sent"])?,
+                bytes_recvd: u(&["comm", "bytes_recvd"])?,
+                collectives: u(&["comm", "collectives"])?,
+            },
+            mem: MemCounters {
+                pages_allocated: u(&["mem", "pages_allocated"])?,
+                pages_recycled: u(&["mem", "pages_recycled"])?,
+                bytes_in_use: u(&["mem", "bytes_in_use"])?,
+                peak_bytes: u(&["mem", "peak_bytes"])?,
+            },
+            shuffle: ShuffleCounters {
+                kvs_emitted: u(&["shuffle", "kvs_emitted"])?,
+                kv_bytes_emitted: u(&["shuffle", "kv_bytes_emitted"])?,
+                kvs_received: u(&["shuffle", "kvs_received"])?,
+                rounds: u(&["shuffle", "rounds"])?,
+                spilled_bytes: u(&["shuffle", "spilled_bytes"])?,
+            },
+            times: PhaseTimes {
+                map_s: field(v, &["times", "map_s"])?,
+                aggregate_s: field(v, &["times", "aggregate_s"])?,
+                convert_s: field(v, &["times", "convert_s"])?,
+                reduce_s: field(v, &["times", "reduce_s"])?,
+            },
+            peaks: PhasePeaks {
+                map_bytes: u(&["peaks", "map_bytes"])?,
+                convert_bytes: u(&["peaks", "convert_bytes"])?,
+                reduce_bytes: u(&["peaks", "reduce_bytes"])?,
+            },
+            job: JobCounters {
+                unique_keys: u(&["job", "unique_keys"])?,
+                kvs_out: u(&["job", "kvs_out"])?,
+                node_peak_bytes: u(&["job", "node_peak_bytes"])?,
+            },
+            events,
+            events_dropped: u(&["events_dropped"])?,
+        })
+    }
+
+    /// Serializes to a compact single-line JSON string (the gather
+    /// payload and the JSON-lines record format).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a string produced by [`Self::to_json_string`].
+    ///
+    /// # Errors
+    /// Malformed JSON or missing fields.
+    pub fn from_json_string(s: &str) -> Result<RankReport, JsonError> {
+        RankReport::from_json(&Json::parse(s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample(rank: u64) -> RankReport {
+        RankReport {
+            rank,
+            ranks: 1,
+            comm: CommCounters {
+                sends: 10 + rank,
+                recvs: 9,
+                bytes_sent: 1000,
+                bytes_recvd: 900,
+                collectives: 4,
+            },
+            mem: MemCounters {
+                pages_allocated: 8,
+                pages_recycled: 8,
+                bytes_in_use: 0,
+                peak_bytes: 1 << 20,
+            },
+            shuffle: ShuffleCounters {
+                kvs_emitted: 100 * (rank + 1),
+                kv_bytes_emitted: 800,
+                kvs_received: 100,
+                rounds: 2 + rank,
+                spilled_bytes: 0,
+            },
+            times: PhaseTimes {
+                map_s: 0.5 + rank as f64,
+                aggregate_s: 0.0,
+                convert_s: 0.25,
+                reduce_s: 0.125,
+            },
+            peaks: PhasePeaks {
+                map_bytes: 1 << 19,
+                convert_bytes: 1 << 20,
+                reduce_bytes: 1 << 18,
+            },
+            job: JobCounters {
+                unique_keys: 50,
+                kvs_out: 50,
+                node_peak_bytes: 1 << 20,
+            },
+            events: vec![Event {
+                t_ns: 42,
+                kind: EventKind::MemSample,
+                a: 1,
+                b: 2,
+            }],
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample(3);
+        let back = RankReport::from_json_string(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = sample(0);
+        let b = sample(1);
+        a.merge(&b);
+        assert_eq!(a.ranks, 2);
+        assert_eq!(a.comm.sends, 10 + 11);
+        assert_eq!(a.shuffle.kvs_emitted, 100 + 200);
+        assert_eq!(a.shuffle.rounds, 3, "rounds take the max, not the sum");
+        assert_eq!(a.mem.peak_bytes, 1 << 20, "peaks take the max");
+        assert_eq!(a.job.unique_keys, 100);
+        assert!((a.times.map_s - 1.5).abs() < 1e-12, "times take the max");
+        assert!(a.events.is_empty(), "merged reports drop per-rank events");
+    }
+
+    #[test]
+    fn merge_is_associative_on_counters() {
+        let (r0, r1, r2) = (sample(0), sample(1), sample(2));
+        let mut left = r0.clone();
+        left.merge(&r1);
+        left.merge(&r2);
+        let mut pair = r1.clone();
+        pair.merge(&r2);
+        let mut right = r0.clone();
+        right.merge(&pair);
+        assert_eq!(left.comm, right.comm);
+        assert_eq!(left.shuffle, right.shuffle);
+        assert_eq!(left.peaks, right.peaks);
+        assert_eq!(left.ranks, right.ranks);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let v = Json::parse("{\"rank\": 0}").unwrap();
+        assert!(RankReport::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Proves the acceptance criterion that the emit path allocates nothing:
+//! neither the disabled path (no recorder installed) nor the enabled hot
+//! path (recording into the preallocated ring) may touch the allocator.
+//!
+//! Uses a counting global allocator; the assertions compare allocation
+//! counts before/after a burst of emits on the main test thread, so this
+//! file holds exactly these tests (other threads would add noise).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mimir_obs::{emit, install, phase_span, step_span, take, EventKind, Phase, Recorder, Step};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn emit_paths_never_allocate() {
+    // Disabled path: no recorder installed — every hook is a no-op.
+    let disabled = allocs_during(|| {
+        for i in 0..10_000u64 {
+            emit(EventKind::MemSample, i, i * 2);
+            let p = phase_span(Phase::Map);
+            let s = step_span(Step::Alltoallv);
+            drop(s);
+            drop(p);
+        }
+    });
+    assert_eq!(disabled, 0, "disabled emit path must not allocate");
+
+    // Enabled path: the ring is preallocated up front, so recording —
+    // including past capacity, where the ring wraps — stays allocation-
+    // free after install.
+    install(Recorder::new(0, 1024));
+    let enabled = allocs_during(|| {
+        for i in 0..10_000u64 {
+            emit(EventKind::MemSample, i, i * 2);
+            let p = phase_span(Phase::Reduce);
+            let s = step_span(Step::Drain);
+            drop(s);
+            drop(p);
+        }
+    });
+    let rec = take().expect("recorder still installed");
+    assert_eq!(enabled, 0, "enabled hot path must not allocate");
+    assert_eq!(rec.events().len(), 1024, "ring filled to capacity");
+    assert!(rec.dropped() > 0, "overflow exercised the wrap path");
+}

@@ -96,7 +96,8 @@ fn main() {
     let total = run_once(dir.clone(), None).expect("recovery succeeds");
 
     // Reference: what a never-crashed run computes.
-    let fresh_dir = std::env::temp_dir().join(format!("mimir-ckpt-demo-ref-{}", std::process::id()));
+    let fresh_dir =
+        std::env::temp_dir().join(format!("mimir-ckpt-demo-ref-{}", std::process::id()));
     let reference = run_once(fresh_dir.clone(), None).expect("reference run");
 
     println!("\nrecovered total  = {total}");

@@ -37,7 +37,11 @@ fn main() {
     }
     let graph = Graph500::new(scale, 7);
     let n = graph.n_vertices();
-    println!("PageRank: {} vertices, {} edges, {iters} iterations", n, graph.n_edges());
+    println!(
+        "PageRank: {} vertices, {} edges, {iters} iterations",
+        n,
+        graph.n_edges()
+    );
 
     let nodes = NodeMap::new(ranks, ranks, 64 * 1024, 512 << 20).expect("node map");
     let nodes2 = nodes.clone();
@@ -69,7 +73,9 @@ fn main() {
         let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
         out.output
             .drain(|k, v| {
-                adj.entry(typed::dec_u64(k)).or_default().push(typed::dec_u64(v));
+                adj.entry(typed::dec_u64(k))
+                    .or_default()
+                    .push(typed::dec_u64(v));
                 Ok(())
             })
             .expect("build adjacency");
@@ -77,8 +83,7 @@ fn main() {
         // My contiguous vertex range (courtesy of the block partitioner).
         let per = n.div_ceil(p as u64).max(1);
         let my_range = (rank as u64 * per).min(n)..(((rank as u64) + 1) * per).min(n);
-        let mut pr: HashMap<u64, f64> =
-            my_range.clone().map(|v| (v, 1.0 / n as f64)).collect();
+        let mut pr: HashMap<u64, f64> = my_range.clone().map(|v| (v, 1.0 / n as f64)).collect();
 
         // Power iterations: scatter rank/degree along edges, gather sums.
         for _ in 0..iters {

@@ -102,7 +102,10 @@ fn main() {
             totals[i].1 += n;
         }
     }
-    println!("revenue by region ({} purchases joined against {USERS} users):", RANKS as u64 * PURCHASES_PER_RANK);
+    println!(
+        "revenue by region ({} purchases joined against {USERS} users):",
+        RANKS as u64 * PURCHASES_PER_RANK
+    );
     for (i, name) in REGIONS.iter().enumerate() {
         println!(
             "  {name:<6} ${:>12.2}  ({} purchases)",

@@ -90,12 +90,10 @@ fn main() {
         let pool = nodes2.pool_for_rank(rank);
         match framework.as_str() {
             "mimir" => {
-                let mut ctx =
-                    MimirContext::new(comm, pool, io2.clone(), MimirConfig::default())
-                        .expect("context");
+                let mut ctx = MimirContext::new(comm, pool, io2.clone(), MimirConfig::default())
+                    .expect("context");
                 let text = ctx.read_text_split(&path2).expect("input split");
-                let (counts, metrics) =
-                    wordcount_mimir(&mut ctx, &text, &opts).expect("wordcount");
+                let (counts, metrics) = wordcount_mimir(&mut ctx, &text, &opts).expect("wordcount");
                 (counts, metrics)
             }
             "mrmpi" => {

@@ -75,9 +75,7 @@ fn custom_partitioner_reduces_on_chosen_rank() {
                     Ok(())
                 },
                 Box::new(|_k, a, b, out| {
-                    out.extend_from_slice(&typed::enc_u64(
-                        typed::dec_u64(a) + typed::dec_u64(b),
-                    ));
+                    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a) + typed::dec_u64(b)));
                 }),
             )
             .unwrap();
@@ -108,9 +106,7 @@ fn staged_output_survives_between_stages() {
                     Ok(())
                 },
                 Box::new(|_k, a, b, out| {
-                    out.extend_from_slice(&typed::enc_u64(
-                        typed::dec_u64(a) + typed::dec_u64(b),
-                    ));
+                    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a) + typed::dec_u64(b)));
                 }),
             )
             .unwrap();

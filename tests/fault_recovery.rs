@@ -26,8 +26,7 @@ fn incarnation(
             let pool = MemPool::unlimited("node", 64 * 1024);
             let io = IoModel::free();
             let ckpt = CheckpointStore::open(&ckpt_dir, rank, io.clone()).unwrap();
-            let mut ctx =
-                MimirContext::new(comm, pool, io, MimirConfig::default()).unwrap();
+            let mut ctx = MimirContext::new(comm, pool, io, MimirConfig::default()).unwrap();
 
             let (state, executed) = run_iterative_with_recovery(
                 &mut ctx,
@@ -44,12 +43,7 @@ fn incarnation(
                     }
                     out
                 },
-                |bytes| {
-                    bytes
-                        .chunks_exact(16)
-                        .map(typed::dec_u64_pair)
-                        .collect()
-                },
+                |bytes| bytes.chunks_exact(16).map(typed::dec_u64_pair).collect(),
                 move |ctx, state, iteration| {
                     if fault_at == Some(iteration) && ctx.rank() == 1 {
                         panic!("injected fault at iteration {iteration}");

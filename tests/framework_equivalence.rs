@@ -18,7 +18,9 @@ fn wordcount_equivalence() {
         let mut ctx =
             MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
         let text = text_of(ctx.rank());
-        wordcount_mimir(&mut ctx, &text, &WcOptions::default()).unwrap().0
+        wordcount_mimir(&mut ctx, &text, &WcOptions::default())
+            .unwrap()
+            .0
     }));
 
     let mr_counts = merge_counts(run_world(RANKS, move |comm| {
@@ -53,7 +55,9 @@ fn wordcount_equivalence_when_mrmpi_spills() {
         let mut ctx =
             MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
         let text = text_of(ctx.rank());
-        wordcount_mimir(&mut ctx, &text, &WcOptions::default()).unwrap().0
+        wordcount_mimir(&mut ctx, &text, &WcOptions::default())
+            .unwrap()
+            .0
     }));
 
     let (mr_counts, spilled) = {

@@ -1,12 +1,13 @@
-//! Property-based tests over the full pipeline: for arbitrary KV
-//! multisets and configurations, the frameworks must agree with a
-//! reference grouping, and the optimizations must be semantics-preserving.
+//! Randomized tests over the full pipeline: for arbitrary KV multisets
+//! and configurations, the frameworks must agree with a reference
+//! grouping, and the optimizations must be semantics-preserving. Driven
+//! by a seeded PRNG so failures replay deterministically.
 
 use std::collections::HashMap;
 
 use mimir::prelude::*;
 use mimir_core::typed;
-use proptest::prelude::*;
+use mimir_datagen::rank_rng;
 
 /// Reference: group-by-key and sum, single-threaded.
 fn reference_sums(kvs: &[(Vec<u8>, u64)]) -> HashMap<Vec<u8>, u64> {
@@ -19,7 +20,22 @@ fn reference_sums(kvs: &[(Vec<u8>, u64)]) -> HashMap<Vec<u8>, u64> {
 }
 
 fn sum_combine(_k: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>) {
-    out.extend_from_slice(&typed::enc_u64(typed::dec_u64(a).wrapping_add(typed::dec_u64(b))));
+    out.extend_from_slice(&typed::enc_u64(
+        typed::dec_u64(a).wrapping_add(typed::dec_u64(b)),
+    ));
+}
+
+/// Random multiset: short byte keys (collision-heavy) with u64 values.
+fn gen_kvs(seed: u64, case: usize) -> Vec<(Vec<u8>, u64)> {
+    let mut rng = rank_rng(seed, case);
+    (0..rng.gen_range(0..200))
+        .map(|_| {
+            let k: Vec<u8> = (0..rng.gen_range(0..12))
+                .map(|_| rng.gen_range(0..256) as u8)
+                .collect();
+            (k, rng.next_u64())
+        })
+        .collect()
 }
 
 /// Runs a sum-by-key job over `kvs` split across `ranks`, with the given
@@ -96,55 +112,61 @@ fn run_sum_job(
     merged
 }
 
-/// Strategy: small sets of short byte keys (collision-heavy) with values.
-fn kv_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, u64)>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(proptest::num::u8::ANY, 0..12),
-            proptest::num::u64::ANY,
-        ),
-        0..200,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn sum_by_key_matches_reference(kvs in kv_strategy(), ranks in 1usize..5) {
+#[test]
+fn sum_by_key_matches_reference() {
+    for case in 0..24usize {
+        let kvs = gen_kvs(0x5100_0001, case);
+        let ranks = 1 + case % 4;
         let expected = reference_sums(&kvs);
         let got = run_sum_job(kvs, ranks, false, false, 64 * 1024);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}, ranks {ranks}");
     }
+}
 
-    #[test]
-    fn optimizations_preserve_semantics(
-        kvs in kv_strategy(),
-        ranks in 1usize..4,
-        pr in proptest::bool::ANY,
-        cps in proptest::bool::ANY,
-    ) {
+#[test]
+fn optimizations_preserve_semantics() {
+    for case in 0..24usize {
+        let kvs = gen_kvs(0x5100_0002, case);
+        let ranks = 1 + case % 3;
+        let (pr, cps) = (case % 4 / 2 == 1, case % 2 == 1);
         let expected = reference_sums(&kvs);
         let got = run_sum_job(kvs, ranks, pr, cps, 64 * 1024);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}, pr={pr}, cps={cps}");
     }
+}
 
-    #[test]
-    fn tiny_comm_buffers_preserve_semantics(kvs in kv_strategy(), ranks in 1usize..4) {
+#[test]
+fn tiny_comm_buffers_preserve_semantics() {
+    for case in 0..24usize {
+        let kvs = gen_kvs(0x5100_0003, case);
+        let ranks = 1 + case % 3;
         let expected = reference_sums(&kvs);
         // 96-byte partitions force an exchange round every couple of KVs.
         let got = run_sum_job(kvs, ranks, false, false, 96 * ranks);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}, ranks {ranks}");
     }
+}
 
-    #[test]
-    fn splitter_partitions_every_record_once(
-        records in prop::collection::vec(
-            prop::collection::vec((1u8..=255).prop_filter("no newline", |&b| b != b'\n'), 0..20),
-            0..50,
-        ),
-        parts in 1usize..8,
-    ) {
+#[test]
+fn splitter_partitions_every_record_once() {
+    for case in 0..24usize {
+        let mut rng = rank_rng(0x5100_0004, case);
+        let records: Vec<Vec<u8>> = (0..rng.gen_range(0..50))
+            .map(|_| {
+                (0..rng.gen_range(0..20))
+                    .map(|_| {
+                        // Any byte except NUL and the record separator.
+                        loop {
+                            let b = 1 + rng.gen_range(0..255) as u8;
+                            if b != b'\n' {
+                                return b;
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let parts = 1 + rng.gen_range(0..7);
         let mut data = Vec::new();
         for r in &records {
             data.extend_from_slice(r);
@@ -159,23 +181,34 @@ proptest! {
                 }
             }
         }
-        let expected: Vec<Vec<u8>> =
-            records.into_iter().filter(|r| !r.is_empty()).collect();
-        prop_assert_eq!(collected, expected);
+        let expected: Vec<Vec<u8>> = records.into_iter().filter(|r| !r.is_empty()).collect();
+        assert_eq!(collected, expected, "case {case}, parts {parts}");
     }
+}
 
-    #[test]
-    fn kv_codec_roundtrips_any_hint(
-        kvs in prop::collection::vec(
-            (prop::collection::vec(1u8..=255, 0..16), prop::collection::vec(proptest::num::u8::ANY, 0..16)),
-            0..40,
-        ),
-    ) {
-        use mimir_core::{encode_push, KvDecoder, LenHint};
+#[test]
+fn kv_codec_roundtrips_any_hint() {
+    use mimir_core::{encode_push, KvDecoder, LenHint};
+    for case in 0..24usize {
+        let mut rng = rank_rng(0x5100_0005, case);
         // CStr keys: generated keys exclude NUL by construction.
+        let kvs: Vec<(Vec<u8>, Vec<u8>)> = (0..rng.gen_range(0..40))
+            .map(|_| {
+                let k: Vec<u8> = (0..rng.gen_range(0..16))
+                    .map(|_| 1 + rng.gen_range(0..255) as u8)
+                    .collect();
+                let v: Vec<u8> = (0..rng.gen_range(0..16))
+                    .map(|_| rng.gen_range(0..256) as u8)
+                    .collect();
+                (k, v)
+            })
+            .collect();
         for meta in [
             KvMeta::var(),
-            KvMeta { key: LenHint::CStr, val: mimir_core::LenHint::Var },
+            KvMeta {
+                key: LenHint::CStr,
+                val: mimir_core::LenHint::Var,
+            },
         ] {
             let mut buf = Vec::new();
             for (k, v) in &kvs {
@@ -184,8 +217,7 @@ proptest! {
             let decoded: Vec<(Vec<u8>, Vec<u8>)> = KvDecoder::new(meta, &buf)
                 .map(|(k, v)| (k.to_vec(), v.to_vec()))
                 .collect();
-            let expected: Vec<(Vec<u8>, Vec<u8>)> = kvs.clone();
-            prop_assert_eq!(decoded, expected);
+            assert_eq!(decoded, kvs, "case {case}");
         }
     }
 }

@@ -8,10 +8,8 @@ use mimir::apps::wordcount::{wordcount_mimir, wordcount_serial, WcOptions};
 use mimir::prelude::*;
 
 fn corpus_file(total_bytes: usize) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "mimir-wc-e2e-{}-{total_bytes}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("mimir-wc-e2e-{}-{total_bytes}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("corpus.txt");
     let g = WikipediaWords::new(3);
@@ -33,7 +31,9 @@ fn file_based_wordcount_matches_serial_across_layouts() {
             let mut ctx =
                 MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
             let text = ctx.read_text_split(&path2).unwrap();
-            wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+            wordcount_mimir(&mut ctx, &text, &WcOptions::all())
+                .unwrap()
+                .0
         });
         let got = merge_counts(per_rank);
         assert_eq!(got, expected, "ranks={ranks} rpn={ranks_per_node}");
@@ -89,7 +89,9 @@ fn empty_input_produces_empty_output() {
         let pool = MemPool::unlimited("node", 64 * 1024);
         let mut ctx =
             MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
-        wordcount_mimir(&mut ctx, b"", &WcOptions::default()).unwrap().0
+        wordcount_mimir(&mut ctx, b"", &WcOptions::default())
+            .unwrap()
+            .0
     });
     assert!(per_rank.iter().all(Vec::is_empty));
 }
@@ -101,7 +103,9 @@ fn single_word_corpus() {
         let mut ctx =
             MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default()).unwrap();
         let text = b"same same same\nsame\n".repeat(100);
-        wordcount_mimir(&mut ctx, &text, &WcOptions::all()).unwrap().0
+        wordcount_mimir(&mut ctx, &text, &WcOptions::all())
+            .unwrap()
+            .0
     });
     let got = merge_counts(per_rank);
     assert_eq!(got.len(), 1);
@@ -164,6 +168,9 @@ fn output_written_to_part_files() {
     assert_eq!(counts["red"], 3 * 30);
     assert_eq!(counts["green"], 3 * 10);
     assert_eq!(counts["blue"], 3 * 20);
-    assert!(io.stats().bytes_written > 0, "output charged to the PFS model");
+    assert!(
+        io.stats().bytes_written > 0,
+        "output charged to the PFS model"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
