@@ -8,6 +8,8 @@
 //!    on the same in-memory workload.
 //! 4. **Grouping strategy** — the two-pass hash-bucket convert vs the
 //!    partial-reduction fold vs MR-MPI's sort-based grouping.
+//! 5. **Shuffle mode** — the legacy allocate-per-round exchange vs the
+//!    zero-copy and overlapped data paths, end to end through WordCount.
 //!
 //! Plain harness: each case is timed over a few iterations and reported
 //! as ms/iter.
@@ -56,6 +58,7 @@ fn run_mimir_wc(comm_buf: usize, page: usize, opts: WcOptions) -> u64 {
             IoModel::free(),
             MimirConfig {
                 comm_buf_size: comm_buf,
+                ..MimirConfig::default()
             },
         )
         .unwrap();
@@ -131,6 +134,37 @@ fn ablate_grouping() {
     bench("grouping/sort_merge_group", run_mrmpi_wc);
 }
 
+fn ablate_shuffle_mode() {
+    use mimir_core::ShuffleMode;
+    // Full WordCount pipeline under each shuffle data path; the raw
+    // engine numbers live in `shuffle_bench` / BENCH_shuffle.json.
+    for (label, mode) in [
+        ("shuffle_mode/legacy", ShuffleMode::Legacy),
+        ("shuffle_mode/zero_copy", ShuffleMode::ZeroCopy),
+        ("shuffle_mode/overlapped", ShuffleMode::Overlapped),
+    ] {
+        bench(label, || {
+            let out = run_world(RANKS, move |comm| {
+                let t = text(comm.rank());
+                let pool = MemPool::unlimited("ablate", 64 << 10);
+                let mut ctx = MimirContext::new(
+                    comm,
+                    pool,
+                    IoModel::free(),
+                    MimirConfig {
+                        comm_buf_size: 64 << 10,
+                        shuffle_mode: mode,
+                    },
+                )
+                .unwrap();
+                let (counts, _) = wordcount_mimir(&mut ctx, &t, &WcOptions::default()).unwrap();
+                counts.len() as u64
+            });
+            out.iter().sum::<u64>()
+        });
+    }
+}
+
 fn ablate_cps_flush_threshold() {
     use mimir_core::typed;
     // Unique-heavy stream: compression cannot help, only cost — the
@@ -181,5 +215,6 @@ fn main() {
     ablate_page_size();
     ablate_copy_path();
     ablate_grouping();
+    ablate_shuffle_mode();
     ablate_cps_flush_threshold();
 }

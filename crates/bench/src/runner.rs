@@ -243,6 +243,7 @@ pub fn run_wc_mimir(
                 io2.clone(),
                 MimirConfig {
                     comm_buf_size: page,
+                    ..MimirConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -332,6 +333,7 @@ pub fn run_oc_mimir(
                 io2.clone(),
                 MimirConfig {
                     comm_buf_size: page,
+                    ..MimirConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -418,6 +420,7 @@ pub fn run_bfs_mimir(p: &Platform, n_nodes: usize, scale: u32, opts: BfsOptions)
                 io2.clone(),
                 MimirConfig {
                     comm_buf_size: page,
+                    ..MimirConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?;

@@ -108,6 +108,8 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         bytes_sent: cs.bytes_sent,
         bytes_recvd: cs.bytes_recvd,
         collectives: cs.collectives,
+        bytes_copied: cs.bytes_copied,
+        send_allocs: cs.send_allocs,
     };
     let ps = pool.stats();
     report.mem = MemCounters {
@@ -123,6 +125,8 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         kvs_received: j.shuffle.kvs_received,
         rounds: j.shuffle.rounds,
         spilled_bytes: 0,
+        bytes_received: j.shuffle.bytes_received,
+        max_round_recv_bytes: j.shuffle.max_round_recv_bytes,
     };
     report.times = PhaseTimes {
         map_s: j.map_time.as_secs_f64(),

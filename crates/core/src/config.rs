@@ -76,6 +76,25 @@ impl Default for KvMeta {
     }
 }
 
+/// How the shuffle moves partitions through the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleMode {
+    /// The original data path: each partition is copied into a fresh
+    /// `Vec` per round and received KVs are re-inserted one at a time.
+    /// Kept as the ablation baseline.
+    Legacy,
+    /// Sends straight from send-buffer partition slices through pooled
+    /// transport buffers, receives into the static receive buffer, and
+    /// drains received runs with page-wise memcpy. Steady-state rounds
+    /// are allocation-free.
+    #[default]
+    ZeroCopy,
+    /// [`ShuffleMode::ZeroCopy`] plus communication/compute overlap: the
+    /// round's sends are posted nonblocking *before* the done-allreduce,
+    /// hiding the synchronization latency behind the copy-out.
+    Overlapped,
+}
+
 /// Framework configuration shared by every job on a context.
 #[derive(Debug, Clone, Copy)]
 pub struct MimirConfig {
@@ -83,6 +102,8 @@ pub struct MimirConfig {
     /// is the same size, per paper Section III-B). The send buffer is
     /// split into `size()` equal partitions.
     pub comm_buf_size: usize,
+    /// Shuffle data-path variant (default [`ShuffleMode::ZeroCopy`]).
+    pub shuffle_mode: ShuffleMode,
 }
 
 impl Default for MimirConfig {
@@ -90,6 +111,7 @@ impl Default for MimirConfig {
     fn default() -> Self {
         Self {
             comm_buf_size: 64 * 1024,
+            shuffle_mode: ShuffleMode::default(),
         }
     }
 }
@@ -125,7 +147,10 @@ mod tests {
 
     #[test]
     fn tiny_partitions_rejected() {
-        let cfg = MimirConfig { comm_buf_size: 64 };
+        let cfg = MimirConfig {
+            comm_buf_size: 64,
+            ..MimirConfig::default()
+        };
         assert!(cfg.validate(8).is_err());
         assert!(cfg.validate(4).is_ok());
     }

@@ -29,6 +29,63 @@ struct GroupInfo {
 /// (HashMap slot, `GroupInfo`, cursor).
 const BUCKET_ENTRY_OVERHEAD: usize = 64;
 
+/// Maximum bytes the pass-1 bucket may consume beyond its reservation.
+///
+/// The bucket grows key by key; re-reserving on every insert would
+/// round-trip the pool's atomics per unique key, so growth is batched.
+/// Batching by *bytes* (not by key count, which with long keys could
+/// leave hundreds of KiB untracked) bounds the accounting error to this
+/// constant regardless of key length.
+const BUCKET_RESIZE_DELTA: usize = 4096;
+
+/// Incremental pool charge for the pass-1 hash bucket: accumulates byte
+/// deltas and settles them into the [`mimir_mem::Reservation`] whenever
+/// the untracked amount reaches [`BUCKET_RESIZE_DELTA`].
+struct BucketCharge {
+    res: mimir_mem::Reservation,
+    /// Bytes the reservation currently covers.
+    charged: usize,
+    /// Bytes the bucket actually holds.
+    pending: usize,
+}
+
+impl BucketCharge {
+    fn new(pool: &MemPool) -> Result<Self> {
+        Ok(Self {
+            res: pool.try_reserve(0)?,
+            charged: 0,
+            pending: 0,
+        })
+    }
+
+    /// Records `bytes` of bucket growth, charging the pool once the
+    /// untracked delta reaches the threshold. A single growth larger than
+    /// the threshold is charged immediately.
+    fn add(&mut self, bytes: usize) -> Result<()> {
+        self.pending += bytes;
+        if self.pending - self.charged >= BUCKET_RESIZE_DELTA {
+            self.res.resize(self.pending)?;
+            self.charged = self.pending;
+        }
+        debug_assert!(self.untracked() < BUCKET_RESIZE_DELTA);
+        Ok(())
+    }
+
+    /// Charges any remaining untracked bytes (end of pass 1).
+    fn settle(&mut self) -> Result<()> {
+        if self.charged != self.pending {
+            self.res.resize(self.pending)?;
+            self.charged = self.pending;
+        }
+        Ok(())
+    }
+
+    /// Bytes held but not yet charged to the pool.
+    fn untracked(&self) -> usize {
+        self.pending - self.charged
+    }
+}
+
 /// Stored size of one value under `hint`.
 #[inline]
 fn val_stored_len(hint: LenHint, val: &[u8]) -> usize {
@@ -48,8 +105,7 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
     let page_size = pool.page_size();
 
     // --- Pass 1: size every group in a hash bucket. -------------------
-    let mut bucket_res = pool.try_reserve(0)?;
-    let mut bucket_bytes = 0usize;
+    let mut bucket = BucketCharge::new(pool)?;
     let mut index: HashMap<Vec<u8>, u32, FxBuild> = HashMap::default();
     let mut groups: Vec<GroupInfo> = Vec::new();
     for (k, v) in kvc.iter() {
@@ -62,10 +118,7 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
                     count: 0,
                     val_bytes: 0,
                 });
-                bucket_bytes += k.len() + BUCKET_ENTRY_OVERHEAD;
-                if groups.len().is_multiple_of(1024) {
-                    bucket_res.resize(bucket_bytes)?;
-                }
+                bucket.add(k.len() + BUCKET_ENTRY_OVERHEAD)?;
                 i
             }
         };
@@ -73,7 +126,7 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
         g.count += 1;
         g.val_bytes += val_stored_len(meta.val, v);
     }
-    bucket_res.resize(bucket_bytes)?;
+    bucket.settle()?;
 
     // --- Layout: place every entry in pages or jumbo buffers. ---------
     let mut keys_by_idx: Vec<&[u8]> = vec![&[]; groups.len()];
@@ -165,7 +218,7 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
     }
 
     drop(index);
-    drop(bucket_res);
+    drop(bucket);
 
     KmvContainer::from_parts(meta, pages, jumbos, locs, pool, n_values, total_bytes)
 }
@@ -329,6 +382,55 @@ mod tests {
         let err = convert(kvc, &pool).unwrap_err();
         assert!(matches!(err, MimirError::Mem(_)), "{err}");
         assert_eq!(pool.used(), 0, "partial convert fully unwinds");
+    }
+
+    #[test]
+    fn bucket_charge_error_stays_under_the_delta() {
+        let pool = MemPool::new("t", 256, 1 << 20).unwrap();
+        let mut bucket = BucketCharge::new(&pool).unwrap();
+        // Long keys: the old every-1024-keys policy would leave up to
+        // 1023 × entry_bytes untracked; the byte-delta policy keeps the
+        // gap below BUCKET_RESIZE_DELTA at every step.
+        let entry = 200 + BUCKET_ENTRY_OVERHEAD;
+        for i in 1..=500usize {
+            bucket.add(entry).unwrap();
+            assert!(
+                bucket.untracked() < BUCKET_RESIZE_DELTA,
+                "after {i} adds: {} untracked",
+                bucket.untracked()
+            );
+            assert!(pool.used() >= (i * entry).saturating_sub(BUCKET_RESIZE_DELTA - 1));
+        }
+        bucket.settle().unwrap();
+        assert_eq!(bucket.untracked(), 0);
+        assert_eq!(pool.used(), 500 * entry, "settle charges exactly");
+        drop(bucket);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn bucket_charge_takes_big_single_adds_immediately() {
+        let pool = MemPool::new("t", 256, 1 << 20).unwrap();
+        let mut bucket = BucketCharge::new(&pool).unwrap();
+        bucket.add(10 * BUCKET_RESIZE_DELTA).unwrap();
+        assert_eq!(bucket.untracked(), 0, "oversize add charges at once");
+        assert_eq!(pool.used(), 10 * BUCKET_RESIZE_DELTA);
+    }
+
+    #[test]
+    fn bucket_charge_growth_respects_the_budget() {
+        // Budget smaller than the bucket: add() must fail, not overrun.
+        let pool = MemPool::new("t", 256, 8 * 1024).unwrap();
+        let mut bucket = BucketCharge::new(&pool).unwrap();
+        let mut failed = false;
+        for _ in 0..200 {
+            if bucket.add(100).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "20 KB of adds into an 8 KB budget must fail");
+        assert!(pool.used() <= 8 * 1024);
     }
 
     #[test]

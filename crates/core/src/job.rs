@@ -26,7 +26,7 @@ use crate::kmvc::ValueIter;
 use crate::partial::PartialReducer;
 use crate::partitioner::Partitioner;
 use crate::shuffle::{Emitter, Shuffler};
-use crate::{JobStats, KvContainer, KvMeta, Result};
+use crate::{JobStats, KvContainer, KvMeta, Result, ShuffleMode};
 
 /// A configured-but-not-yet-run MapReduce job.
 pub struct MapReduceJob<'c, 'w> {
@@ -35,6 +35,7 @@ pub struct MapReduceJob<'c, 'w> {
     out_meta: KvMeta,
     partitioner: Partitioner,
     compress_flush_bytes: Option<usize>,
+    shuffle_mode: Option<ShuffleMode>,
 }
 
 /// A finished job: the output KVs this rank owns, plus metrics.
@@ -74,6 +75,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             out_meta: KvMeta::var(),
             partitioner: Partitioner::hash(),
             compress_flush_bytes: None,
+            shuffle_mode: None,
         }
     }
 
@@ -114,6 +116,26 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
     pub fn compress_flush_bytes(mut self, bytes: usize) -> Self {
         self.compress_flush_bytes = Some(bytes);
         self
+    }
+
+    /// Overrides the context's [`ShuffleMode`] for this job. Collective:
+    /// every rank must choose the same mode.
+    #[must_use]
+    pub fn shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        self.shuffle_mode = Some(mode);
+        self
+    }
+
+    /// Opt-in communication/compute overlap: shorthand for
+    /// [`Self::shuffle_mode`] with [`ShuffleMode::Overlapped`] (or the
+    /// default zero-copy blocking path when `false`).
+    #[must_use]
+    pub fn comm_overlap(self, on: bool) -> Self {
+        self.shuffle_mode(if on {
+            ShuffleMode::Overlapped
+        } else {
+            ShuffleMode::ZeroCopy
+        })
     }
 
     /// The baseline workflow: map → (implicit aggregate) → convert →
@@ -163,13 +185,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
-        let mut shuffler = Shuffler::with_partitioner(
+        let mut shuffler = Shuffler::with_options(
             comm,
             pool,
             self.kv_meta,
             cfg.comm_buf_size,
             sink,
             self.partitioner.clone(),
+            self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
         map(&mut shuffler)?;
         drop(map_span);
@@ -204,13 +227,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
-        let mut shuffler = Shuffler::with_partitioner(
+        let mut shuffler = Shuffler::with_options(
             comm,
             pool,
             self.kv_meta,
             cfg.comm_buf_size,
             sink,
             self.partitioner.clone(),
+            self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
         drive_compressed_map(
             map,
@@ -256,13 +280,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, kv_meta);
-        let mut shuffler = Shuffler::with_partitioner(
+        let mut shuffler = Shuffler::with_options(
             comm,
             pool,
             kv_meta,
             cfg.comm_buf_size,
             sink,
             self.partitioner.clone(),
+            self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
         match compress {
             None => map(&mut shuffler)?,
@@ -349,13 +374,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = PartialReducer::new(pool, kv_meta, combine)?;
-        let mut shuffler = Shuffler::with_partitioner(
+        let mut shuffler = Shuffler::with_options(
             comm,
             pool,
             kv_meta,
             cfg.comm_buf_size,
             sink,
             self.partitioner.clone(),
+            self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
         match compress {
             None => map(&mut shuffler)?,

@@ -2,7 +2,7 @@ use std::collections::VecDeque;
 
 use mimir_mem::{MemPool, Page};
 
-use crate::kv::{encode_into, encoded_len, validate, KvDecoder};
+use crate::kv::{decode_one, encode_into, encoded_len, validate, KvDecoder};
 use crate::sink::KvSink;
 use crate::{KvMeta, MimirError, Result};
 
@@ -88,6 +88,51 @@ impl KvContainer {
         Ok(())
     }
 
+    /// Inserts a contiguous run of encoded KVs (already in this
+    /// container's encoding) by page-wise memcpy, returning the number of
+    /// KVs inserted.
+    ///
+    /// Pages hold only whole KVs, so the run is chunked at KV boundaries
+    /// with a cheap length scan — no per-KV validation or re-encoding.
+    /// Hints were validated when the KVs entered the framework at the
+    /// emit boundary, so the run is trusted (malformed bytes panic, as in
+    /// [`KvDecoder`]).
+    ///
+    /// # Errors
+    /// [`MimirError::KvTooLarge`] if a single KV exceeds one page,
+    /// [`MimirError::Mem`] if the node budget is exhausted.
+    pub fn push_run(&mut self, run: &[u8]) -> Result<u64> {
+        let mut total = 0u64;
+        let mut rest = run;
+        while !rest.is_empty() {
+            let remaining = self.pages.back().map_or(0, |p| p.remaining());
+            let (chunk, n) = whole_kv_prefix(self.meta, rest, remaining);
+            if chunk == 0 {
+                // Nothing fits the current page. If a fresh page wouldn't
+                // hold the next KV either, it is oversized.
+                let (_, first) = decode_one(self.meta, rest).expect("rest is non-empty");
+                if first > self.pool.page_size() {
+                    return Err(MimirError::KvTooLarge {
+                        size: first,
+                        limit: self.pool.page_size(),
+                        what: "container page",
+                    });
+                }
+                self.pages.push_back(self.pool.alloc_page()?);
+                continue;
+            }
+            let page = self.pages.back_mut().expect("chunk > 0 implies a page");
+            let start = page.len();
+            page.set_len(start + chunk);
+            page.as_mut_slice()[start..start + chunk].copy_from_slice(&rest[..chunk]);
+            self.n_kvs += n;
+            self.bytes += chunk as u64;
+            total += n;
+            rest = &rest[chunk..];
+        }
+        Ok(total)
+    }
+
     /// Iterates the KVs without consuming them (used by the first pass of
     /// the two-pass convert).
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
@@ -152,9 +197,33 @@ impl KvContainer {
     }
 }
 
+/// Largest prefix of `buf` holding whole KVs whose total size fits in
+/// `cap` bytes; returns `(prefix_len, kv_count)`.
+fn whole_kv_prefix(meta: KvMeta, buf: &[u8], cap: usize) -> (usize, u64) {
+    let mut off = 0;
+    let mut n = 0u64;
+    while off < buf.len() {
+        let (_, used) = decode_one(meta, &buf[off..]).expect("offset < len");
+        if off + used > cap {
+            break;
+        }
+        off += used;
+        n += 1;
+    }
+    (off, n)
+}
+
 impl KvSink for KvContainer {
     fn accept(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
         self.push(key, val)
+    }
+
+    /// Bulk path: received runs are already in the container encoding
+    /// (wire format == container format), so they land by page-wise
+    /// memcpy.
+    fn accept_run(&mut self, meta: KvMeta, run: &[u8]) -> Result<u64> {
+        debug_assert_eq!(meta, self.meta, "run encoding must match the container");
+        self.push_run(run)
     }
 }
 

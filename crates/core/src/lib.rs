@@ -59,7 +59,7 @@ mod stats;
 pub mod typed;
 
 pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
-pub use config::{KvMeta, LenHint, MimirConfig};
+pub use config::{KvMeta, LenHint, MimirConfig, ShuffleMode};
 pub use context::MimirContext;
 pub use convert::convert;
 pub use error::MimirError;

@@ -10,7 +10,9 @@
 //! received data can never exceed the receive buffer, "even when the KV
 //! partitioning is highly unbalanced" — the paper's Section III-B
 //! guarantee, which is why the receive buffer needs only one send-buffer's
-//! worth of space where MR-MPI needed two pages.
+//! worth of space where MR-MPI needed two pages. The bound is enforced at
+//! runtime: every round's received bytes land in the static receive
+//! buffer, and overflowing it panics.
 //!
 //! ## Exchange-round protocol
 //!
@@ -21,6 +23,25 @@
 //! thus execute identical collective sequences — the MPI matching rule —
 //! and the final round still drains in-flight data, so the protocol is
 //! deadlock-free and loses nothing.
+//!
+//! Under [`ShuffleMode::Overlapped`] the round is reordered to
+//! `post(sends)` + `allreduce(done flags)` + `complete(receives)` +
+//! drain: the sends leave before the done-vote, so the vote's
+//! synchronization latency hides behind the data movement. Every rank
+//! must run the same mode (it is part of the collective call sequence).
+//!
+//! ## Data path
+//!
+//! [`ShuffleMode::ZeroCopy`] (the default) sends each partition directly
+//! from its send-buffer slice through pooled transport buffers, receives
+//! into the static receive buffer, and hands each source rank's run to
+//! the sink via [`KvSink::accept_run`] — for a [`crate::KvContainer`]
+//! sink that is a page-wise memcpy, since wire format equals container
+//! format. After a warm-up round the steady state performs no heap
+//! allocation. [`ShuffleMode::Legacy`] keeps the original
+//! allocate-per-round path as the ablation baseline.
+
+use std::ops::Range;
 
 use mimir_mem::MemPool;
 use mimir_mpi::{Comm, ReduceOp};
@@ -30,7 +51,7 @@ use crate::buffer::TrackedBuf;
 use crate::kv::{encode_into, encoded_len, validate, KvDecoder};
 use crate::partitioner::Partitioner;
 use crate::sink::KvSink;
-use crate::{KvMeta, MimirError, Result};
+use crate::{KvMeta, MimirError, Result, ShuffleMode};
 
 /// Destination for KVs produced by a map callback.
 ///
@@ -56,18 +77,28 @@ pub struct ShuffleStats {
     pub kvs_received: u64,
     /// Exchange rounds this rank participated in.
     pub rounds: u64,
+    /// Encoded bytes landed in this rank's receive buffer (includes the
+    /// rank's own partition).
+    pub bytes_received: u64,
+    /// Largest single-round receive total. The Section III-B invariant is
+    /// `max_round_recv_bytes ≤ comm_buf_size`; the data path asserts it
+    /// every round.
+    pub max_round_recv_bytes: u64,
 }
 
 impl ShuffleStats {
     /// Folds another rank's counters into this one (cluster totals, the
     /// same shape as `CommStats::merge`). Traffic counters sum; `rounds`
     /// takes the max because exchange rounds are collective — every rank
-    /// participates in the same ones, so summing would overcount.
+    /// participates in the same ones, so summing would overcount — and so
+    /// does the per-round receive high-water mark.
     pub fn merge(&mut self, other: &ShuffleStats) {
         self.kvs_emitted += other.kvs_emitted;
         self.kv_bytes_emitted += other.kv_bytes_emitted;
         self.kvs_received += other.kvs_received;
         self.rounds = self.rounds.max(other.rounds);
+        self.bytes_received += other.bytes_received;
+        self.max_round_recv_bytes = self.max_round_recv_bytes.max(other.max_round_recv_bytes);
     }
 }
 
@@ -75,14 +106,16 @@ impl ShuffleStats {
 pub struct Shuffler<'a, S: KvSink> {
     comm: &'a mut Comm,
     meta: KvMeta,
+    mode: ShuffleMode,
     send: TrackedBuf,
-    /// The static receive buffer of paper Section III-B. The transport
-    /// hands us owned byte buffers, so this reservation models the
-    /// buffer's existence for memory accounting; its capacity bound is
-    /// guaranteed by the partition arithmetic above.
-    _recv: TrackedBuf,
+    /// The static receive buffer of paper Section III-B. Every round's
+    /// received partitions are copied here; the partition arithmetic
+    /// guarantees one send-buffer's worth of space always suffices.
+    recv: TrackedBuf,
     part_cap: usize,
     part_len: Vec<usize>,
+    /// Receive-buffer sub-range per source rank, reused across rounds.
+    ranges: Vec<Range<usize>>,
     partitioner: Partitioner,
     sink: S,
     stats: ShuffleStats,
@@ -118,6 +151,32 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
         sink: S,
         partitioner: Partitioner,
     ) -> Result<Self> {
+        Self::with_options(
+            comm,
+            pool,
+            meta,
+            comm_buf_size,
+            sink,
+            partitioner,
+            ShuffleMode::default(),
+        )
+    }
+
+    /// Fully-parameterized constructor: partitioner plus data-path
+    /// [`ShuffleMode`]. The mode is part of the collective call sequence,
+    /// so every rank must pass the same one.
+    ///
+    /// # Errors
+    /// As [`Self::new`].
+    pub fn with_options(
+        comm: &'a mut Comm,
+        pool: &MemPool,
+        meta: KvMeta,
+        comm_buf_size: usize,
+        sink: S,
+        partitioner: Partitioner,
+        mode: ShuffleMode,
+    ) -> Result<Self> {
         let p = comm.size();
         let part_cap = comm_buf_size / p;
         if part_cap < 16 {
@@ -128,10 +187,12 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
         Ok(Self {
             comm,
             meta,
+            mode,
             send: TrackedBuf::new(pool, part_cap * p)?,
-            _recv: TrackedBuf::new(pool, part_cap * p)?,
+            recv: TrackedBuf::new(pool, part_cap * p)?,
             part_cap,
             part_len: vec![0; p],
+            ranges: Vec::with_capacity(p),
             partitioner,
             sink,
             stats: ShuffleStats::default(),
@@ -164,6 +225,11 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
         self.comm.size()
     }
 
+    /// The active data-path mode.
+    pub fn mode(&self) -> ShuffleMode {
+        self.mode
+    }
+
     /// One exchange round; returns whether every rank reported done.
     fn exchange(&mut self, my_done: bool) -> Result<bool> {
         let mut round = mimir_obs::span(
@@ -172,6 +238,99 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             self.stats.rounds,
             0,
         );
+        let all_done = match self.mode {
+            ShuffleMode::Legacy => self.exchange_legacy(my_done)?,
+            ShuffleMode::ZeroCopy => self.exchange_zero_copy(my_done, false)?,
+            ShuffleMode::Overlapped => self.exchange_zero_copy(my_done, true)?,
+        };
+        self.stats.rounds += 1;
+        round.set_b(u64::from(all_done));
+        Ok(all_done)
+    }
+
+    /// The zero-copy round: partitions leave straight from their
+    /// send-buffer slices, receives land in the static receive buffer,
+    /// and each source's run drains in bulk. With `overlap`, sends are
+    /// posted before the done-allreduce so the vote hides behind them.
+    fn exchange_zero_copy(&mut self, my_done: bool, overlap: bool) -> Result<bool> {
+        let send_bytes: u64 = self.part_len.iter().map(|&l| l as u64).sum();
+        let p = self.comm.size();
+        let part_cap = self.part_cap;
+
+        let (pending, all_done) = if overlap {
+            let pending = {
+                let mut step = mimir_obs::step_span(Step::Post);
+                step.set_b(send_bytes);
+                let send = self.send.as_slice();
+                let part_len = &self.part_len;
+                self.comm.alltoallv_post(
+                    (0..p).map(|d| &send[d * part_cap..d * part_cap + part_len[d]]),
+                    self.recv.as_mut_slice(),
+                )
+            };
+            let all_done = {
+                let _sync = mimir_obs::step_span(Step::Sync);
+                self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+            };
+            (pending, all_done)
+        } else {
+            let all_done = {
+                let _sync = mimir_obs::step_span(Step::Sync);
+                self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+            };
+            let pending = {
+                let send = self.send.as_slice();
+                let part_len = &self.part_len;
+                self.comm.alltoallv_post(
+                    (0..p).map(|d| &send[d * part_cap..d * part_cap + part_len[d]]),
+                    self.recv.as_mut_slice(),
+                )
+            };
+            (pending, all_done)
+        };
+
+        {
+            let mut step = mimir_obs::step_span(if overlap { Step::Recv } else { Step::Alltoallv });
+            if !overlap {
+                step.set_b(send_bytes);
+            }
+            self.comm
+                .alltoallv_complete(pending, self.recv.as_mut_slice(), &mut self.ranges);
+            if overlap {
+                step.set_b(self.ranges.last().map_or(0, |r| r.end) as u64);
+            }
+        }
+        self.part_len.fill(0);
+
+        // The Section III-B bound, enforced: this round's receive total
+        // fits the static receive buffer.
+        let recv_bytes = self.ranges.last().map_or(0, |r| r.end) as u64;
+        assert!(
+            recv_bytes <= self.recv.as_slice().len() as u64,
+            "round received {recv_bytes} B into a {} B receive buffer",
+            self.recv.as_slice().len()
+        );
+        self.stats.bytes_received += recv_bytes;
+        self.stats.max_round_recv_bytes = self.stats.max_round_recv_bytes.max(recv_bytes);
+
+        {
+            let mut drain = mimir_obs::step_span(Step::Drain);
+            let recv = self.recv.as_slice();
+            let meta = self.meta;
+            let mut received = 0u64;
+            for r in &self.ranges {
+                received += self.sink.accept_run(meta, &recv[r.clone()])?;
+            }
+            self.stats.kvs_received += received;
+            drain.set_b(recv_bytes);
+        }
+        Ok(all_done)
+    }
+
+    /// The original data path (ablation baseline): every partition is
+    /// copied into a fresh `Vec`, the transport returns owned buffers,
+    /// and received KVs re-insert one at a time.
+    fn exchange_legacy(&mut self, my_done: bool) -> Result<bool> {
         let all_done = {
             let _sync = mimir_obs::step_span(Step::Sync);
             self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
@@ -187,6 +346,14 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             self.comm.alltoallv(parts)
         };
         self.part_len.fill(0);
+        let recv_bytes: u64 = received.iter().map(|b| b.len() as u64).sum();
+        assert!(
+            recv_bytes <= self.recv.as_slice().len() as u64,
+            "round received {recv_bytes} B into a {} B receive buffer",
+            self.recv.as_slice().len()
+        );
+        self.stats.bytes_received += recv_bytes;
+        self.stats.max_round_recv_bytes = self.stats.max_round_recv_bytes.max(recv_bytes);
         {
             let _drain = mimir_obs::step_span(Step::Drain);
             for buf in received {
@@ -196,8 +363,6 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
                 }
             }
         }
-        self.stats.rounds += 1;
-        round.set_b(u64::from(all_done));
         Ok(all_done)
     }
 }
@@ -244,12 +409,26 @@ mod tests {
 
     type WorldOutput = Vec<(HashMap<Vec<u8>, Vec<u64>>, ShuffleStats)>;
 
-    fn shuffle_world(n_ranks: usize, comm_buf: usize, kvs_per_rank: usize) -> WorldOutput {
+    fn shuffle_world_mode(
+        n_ranks: usize,
+        comm_buf: usize,
+        kvs_per_rank: usize,
+        mode: ShuffleMode,
+    ) -> WorldOutput {
         run_world(n_ranks, move |comm| {
             let pool = MemPool::unlimited("t", 4096);
             let meta = KvMeta::cstr_key_u64_val();
             let sink = KvContainer::new(&pool, meta);
-            let mut sh = Shuffler::new(comm, &pool, meta, comm_buf, sink).unwrap();
+            let mut sh = Shuffler::with_options(
+                comm,
+                &pool,
+                meta,
+                comm_buf,
+                sink,
+                Partitioner::hash(),
+                mode,
+            )
+            .unwrap();
             let me = sh.rank() as u64;
             for i in 0..kvs_per_rank as u64 {
                 let key = format!("key-{}", i % 13);
@@ -267,6 +446,10 @@ mod tests {
             .unwrap();
             (got, stats)
         })
+    }
+
+    fn shuffle_world(n_ranks: usize, comm_buf: usize, kvs_per_rank: usize) -> WorldOutput {
+        shuffle_world_mode(n_ranks, comm_buf, kvs_per_rank, ShuffleMode::default())
     }
 
     #[test]
@@ -299,6 +482,35 @@ mod tests {
             }
         }
         assert_eq!(all.len(), 13);
+    }
+
+    #[test]
+    fn every_mode_delivers_the_same_multiset() {
+        let n = 3;
+        let per_rank = 300;
+        let mut per_mode = Vec::new();
+        for mode in [
+            ShuffleMode::Legacy,
+            ShuffleMode::ZeroCopy,
+            ShuffleMode::Overlapped,
+        ] {
+            let results = shuffle_world_mode(n, 1536, per_rank, mode);
+            let mut flat: Vec<(Vec<u8>, Vec<u64>)> = Vec::new();
+            for (rank, (m, stats)) in results.into_iter().enumerate() {
+                // The III-B bound held every round.
+                assert!(stats.max_round_recv_bytes <= 1536, "{mode:?} rank {rank}");
+                for (k, mut vs) in m {
+                    vs.sort_unstable();
+                    flat.push((k, vs));
+                }
+            }
+            flat.sort();
+            per_mode.push((mode, flat));
+        }
+        let (_, reference) = &per_mode[0];
+        for (mode, flat) in &per_mode[1..] {
+            assert_eq!(flat, reference, "{mode:?} differs from Legacy");
+        }
     }
 
     #[test]
@@ -401,6 +613,46 @@ mod tests {
                 .find(|e| e.kind == EventKind::RoundEnd)
                 .unwrap();
             assert_eq!(last_end.b, 1, "final round reports all-done");
+        }
+    }
+
+    #[test]
+    fn overlapped_rounds_emit_post_and_recv_steps() {
+        let out = run_world(2, |comm| {
+            mimir_obs::install(mimir_obs::Recorder::new(comm.rank(), 1024));
+            let pool = MemPool::unlimited("t", 4096);
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::with_options(
+                comm,
+                &pool,
+                meta,
+                4096,
+                sink,
+                Partitioner::hash(),
+                ShuffleMode::Overlapped,
+            )
+            .unwrap();
+            for i in 0..50u32 {
+                sh.emit(format!("k{i}").as_bytes(), b"v").unwrap();
+            }
+            let (_, stats) = sh.finish().unwrap();
+            let r = mimir_obs::take().unwrap();
+            (stats, r.events())
+        });
+        for (stats, evs) in out {
+            let steps = |s: Step| {
+                evs.iter()
+                    .filter(|e| e.kind == EventKind::StepBegin && e.a == s as u64)
+                    .count() as u64
+            };
+            // Four sub-steps (post, sync, recv, drain) per round; the
+            // blocking alltoallv step never appears.
+            assert_eq!(steps(Step::Post), stats.rounds);
+            assert_eq!(steps(Step::Sync), stats.rounds);
+            assert_eq!(steps(Step::Recv), stats.rounds);
+            assert_eq!(steps(Step::Drain), stats.rounds);
+            assert_eq!(steps(Step::Alltoallv), 0);
         }
     }
 

@@ -1,4 +1,5 @@
-use crate::Result;
+use crate::kv::KvDecoder;
+use crate::{KvMeta, Result};
 
 /// A consumer of shuffled KVs.
 ///
@@ -17,4 +18,24 @@ pub trait KvSink {
     /// Typically [`crate::MimirError::Mem`] when the node budget is
     /// exhausted.
     fn accept(&mut self, key: &[u8], val: &[u8]) -> Result<()>;
+
+    /// Accepts a contiguous run of encoded KVs — one source rank's
+    /// contribution to an exchange round, in the wire encoding given by
+    /// `meta`. Returns the number of KVs consumed.
+    ///
+    /// The default decodes and [`Self::accept`]s each KV. Sinks whose
+    /// storage format equals the wire format (the container) override
+    /// this with a bulk memcpy; sinks that must look at every KV anyway
+    /// (partial reduction, combining) keep the per-KV path.
+    ///
+    /// # Errors
+    /// As [`Self::accept`].
+    fn accept_run(&mut self, meta: KvMeta, run: &[u8]) -> Result<u64> {
+        let mut n = 0;
+        for (k, v) in KvDecoder::new(meta, run) {
+            self.accept(k, v)?;
+            n += 1;
+        }
+        Ok(n)
+    }
 }

@@ -73,6 +73,8 @@ mod tests {
                 kv_bytes_emitted: 1000,
                 kvs_received: 90,
                 rounds: 4,
+                bytes_received: 1000,
+                max_round_recv_bytes: 300,
             },
             unique_keys: 7,
             node_peak_bytes: 5000,
@@ -90,6 +92,8 @@ mod tests {
                 kv_bytes_emitted: 500,
                 kvs_received: 60,
                 rounds: 4,
+                bytes_received: 600,
+                max_round_recv_bytes: 400,
             },
             unique_keys: 3,
             node_peak_bytes: 6000,
@@ -105,6 +109,11 @@ mod tests {
         assert_eq!(a.shuffle.kvs_emitted, 150);
         assert_eq!(a.shuffle.kvs_received, 150);
         assert_eq!(a.shuffle.rounds, 4, "rounds are collective: max, not sum");
+        assert_eq!(a.shuffle.bytes_received, 1600);
+        assert_eq!(
+            a.shuffle.max_round_recv_bytes, 400,
+            "per-round high-water: max"
+        );
         assert_eq!(a.unique_keys, 10);
         assert_eq!(a.node_peak_bytes, 6000);
         assert_eq!(a.map_peak_bytes, 6000);

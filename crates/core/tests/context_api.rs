@@ -35,7 +35,10 @@ fn invalid_config_is_rejected_at_construction() {
             comm,
             pool,
             IoModel::free(),
-            MimirConfig { comm_buf_size: 64 },
+            MimirConfig {
+                comm_buf_size: 64,
+                ..MimirConfig::default()
+            },
         );
         assert!(matches!(res, Err(MimirError::Config(_))));
     });
@@ -85,6 +88,7 @@ fn config_accessor_round_trips() {
         let pool = MemPool::unlimited("node", 64 * 1024);
         let cfg = MimirConfig {
             comm_buf_size: 32 * 1024,
+            ..MimirConfig::default()
         };
         let ctx = MimirContext::new(comm, pool.clone(), IoModel::free(), cfg).unwrap();
         assert_eq!(ctx.config().comm_buf_size, 32 * 1024);

@@ -3,8 +3,43 @@ use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, Sender};
 
 use crate::error::DisconnectPanic;
-use crate::msg::{tags, Msg, Tag};
+use crate::msg::{tags, Msg, Payload, Tag};
 use crate::{CommError, CommStats};
+
+/// Maximum number of idle message buffers kept in the per-rank pool.
+///
+/// The exchange steady state needs one in-flight buffer per peer in each
+/// direction; buffers flow sender → receiver → receiver's pool, so after a
+/// warm-up round every rank's pool oscillates around `size - 1` entries.
+/// The cap only matters for bursty user point-to-point traffic.
+const BUF_POOL_CAP: usize = 64;
+
+/// Handle for a nonblocking send posted with [`Comm::isend`] /
+/// [`Comm::isend_vec`].
+///
+/// The in-process transport is eager and unbounded: the payload is handed
+/// to the destination's channel at post time, so requests are born
+/// complete. The type still exists so callers are written against the
+/// MPI-shaped post/complete protocol (and so a bounded-rendezvous
+/// transport could be dropped in later without touching call sites).
+#[derive(Debug)]
+#[must_use = "an isend must be completed with wait() or test()"]
+pub struct Request {
+    completed: bool,
+}
+
+impl Request {
+    /// True once the send buffer may be reused. Always true on the eager
+    /// transport.
+    pub fn test(&self) -> bool {
+        self.completed
+    }
+
+    /// Blocks until the send completes (a no-op on the eager transport).
+    pub fn wait(self) {
+        debug_assert!(self.completed);
+    }
+}
 
 /// A rank's endpoint into the world: point-to-point messaging plus the
 /// collective operations (barrier, allreduce, alltoallv, …).
@@ -22,7 +57,11 @@ pub struct Comm {
     rxs: Vec<Receiver<Msg>>,
     /// Messages received from each source but not yet matched by tag.
     pending: Vec<VecDeque<Msg>>,
-    stats: CommStats,
+    /// Idle message buffers, recycled between rounds so the steady-state
+    /// exchange path performs no heap allocation (`send_allocs` counts the
+    /// misses).
+    free_bufs: Vec<Vec<u8>>,
+    pub(crate) stats: CommStats,
 }
 
 impl Comm {
@@ -40,6 +79,7 @@ impl Comm {
             txs,
             rxs,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
+            free_bufs: Vec::new(),
             stats: CommStats::default(),
         }
     }
@@ -80,9 +120,33 @@ impl Comm {
         self.send_internal(dst, tag, data);
     }
 
-    /// Copying variant of [`Self::send_vec`].
+    /// Copying variant of [`Self::send_vec`]. The copy lands in a pooled
+    /// buffer, so repeated sends reuse a stable set of allocations.
     pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
-        self.send_vec(dst, tag, data.to_vec());
+        assert!(
+            tag <= tags::USER_MAX,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.send_copy_pooled(dst, tag, data);
+    }
+
+    /// Posts a nonblocking copying send and returns its [`Request`].
+    ///
+    /// The payload is copied into a pooled buffer at post time, so `data`
+    /// may be reused immediately regardless of request completion.
+    pub fn isend(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Request {
+        assert!(
+            tag <= tags::USER_MAX,
+            "tag {tag:#x} is reserved for collectives"
+        );
+        self.send_copy_pooled(dst, tag, data);
+        Request { completed: true }
+    }
+
+    /// Posts a nonblocking send that takes ownership of `data` (no copy).
+    pub fn isend_vec(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Request {
+        self.send_vec(dst, tag, data);
+        Request { completed: true }
     }
 
     /// Receives the next message from `src` carrying `tag`, blocking until
@@ -100,15 +164,70 @@ impl Comm {
         self.recv_internal(src, tag)
     }
 
+    /// Takes an idle buffer from the pool (cleared, arbitrary capacity) or
+    /// allocates a fresh one, counting the miss in `send_allocs`.
+    pub(crate) fn take_buf(&mut self) -> Vec<u8> {
+        match self.free_bufs.pop() {
+            Some(buf) => buf,
+            None => {
+                self.stats.send_allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse (dropped if the pool is
+    /// full).
+    pub(crate) fn recycle_buf(&mut self, mut buf: Vec<u8>) {
+        if self.free_bufs.len() < BUF_POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.free_bufs.push(buf);
+        }
+    }
+
+    /// Copies `data` into a pooled buffer and sends it. A growth of the
+    /// pooled buffer's capacity counts as a `send_alloc` (steady state
+    /// reaches a high-water capacity and stops).
+    pub(crate) fn send_copy_pooled(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        let mut buf = self.take_buf();
+        if buf.capacity() < data.len() {
+            self.stats.send_allocs += 1;
+        }
+        buf.extend_from_slice(data);
+        self.stats.bytes_copied += data.len() as u64;
+        self.send_internal(dst, tag, buf);
+    }
+
     pub(crate) fn send_internal(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
+        self.send_msg(
+            dst,
+            Msg {
+                tag,
+                data: Payload::Heap(data),
+            },
+        );
+    }
+
+    /// Sends a single `u64` carried inline — no heap allocation.
+    pub(crate) fn send_u64_internal(&mut self, dst: usize, tag: Tag, value: u64) {
+        self.send_msg(
+            dst,
+            Msg {
+                tag,
+                data: Payload::Small(value),
+            },
+        );
+    }
+
+    fn send_msg(&mut self, dst: usize, msg: Msg) {
         assert!(
             dst < self.size,
             "send to rank {dst} in a world of {}",
             self.size
         );
         self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
-        if self.txs[dst].send(Msg { tag, data }).is_err() {
+        self.stats.bytes_sent += msg.data.len() as u64;
+        if self.txs[dst].send(msg).is_err() {
             // resume_unwind skips the panic hook: the cascade teardown is
             // expected noise; the root-cause rank's own panic already
             // printed.
@@ -120,6 +239,20 @@ impl Comm {
     }
 
     pub(crate) fn recv_internal(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        self.recv_msg(src, tag).into_vec()
+    }
+
+    /// Receives a message sent with [`Self::send_u64_internal`].
+    pub(crate) fn recv_u64_internal(&mut self, src: usize, tag: Tag) -> u64 {
+        match self.recv_msg(src, tag) {
+            Payload::Small(v) => v,
+            Payload::Heap(bytes) => {
+                u64::from_le_bytes(bytes.try_into().expect("8-byte u64 payload"))
+            }
+        }
+    }
+
+    fn recv_msg(&mut self, src: usize, tag: Tag) -> Payload {
         assert!(
             src < self.size,
             "recv from rank {src} in a world of {}",

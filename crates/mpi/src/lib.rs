@@ -32,7 +32,8 @@ mod msg;
 mod stats;
 mod world;
 
-pub use comm::Comm;
+pub use collectives::PendingAlltoallv;
+pub use comm::{Comm, Request};
 pub use error::CommError;
 pub use msg::Tag;
 pub use stats::CommStats;

@@ -17,9 +17,42 @@ pub(crate) mod tags {
     pub const ALLTOALLV: Tag = 0xFFFF_FF05;
 }
 
-/// An in-flight message: a tag plus an owned byte payload.
+/// Message payload: either a single `u64` carried inline (the collectives'
+/// control-message path — no heap allocation per hop) or an owned byte
+/// buffer.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// A `u64` carried inline in the message struct. On the wire this is
+    /// the little-endian 8-byte encoding of the value.
+    Small(u64),
+    /// An owned heap buffer. Receivers recycle these into their buffer
+    /// pool so steady-state exchange traffic reuses a stable set of
+    /// allocations.
+    Heap(Vec<u8>),
+}
+
+impl Payload {
+    /// Wire length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Small(_) => 8,
+            Payload::Heap(v) => v.len(),
+        }
+    }
+
+    /// Materializes the payload as an owned buffer (allocates for the
+    /// `Small` case — only user-facing receive paths hit this).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Small(v) => v.to_le_bytes().to_vec(),
+            Payload::Heap(v) => v,
+        }
+    }
+}
+
+/// An in-flight message: a tag plus a payload.
 #[derive(Debug)]
 pub(crate) struct Msg {
     pub tag: Tag,
-    pub data: Vec<u8>,
+    pub data: Payload,
 }

@@ -3,7 +3,9 @@
 /// The paper's KV-hint discussion (Section III-C3) notes that shrinking the
 /// KV encoding "also reduces the amount of data that needs to be
 /// communicated during the aggregate phase"; these counters let the bench
-/// harness report exactly that.
+/// harness report exactly that. `bytes_copied` and `send_allocs` expose the
+/// transport's copy and allocation behavior so the zero-copy shuffle path
+/// can be verified from counters alone.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Messages this rank sent (point-to-point and collective-internal).
@@ -16,6 +18,13 @@ pub struct CommStats {
     pub bytes_recvd: u64,
     /// Collective operations this rank participated in.
     pub collectives: u64,
+    /// Payload bytes memcpy'd by the transport (into pooled send buffers
+    /// and out into caller-owned receive buffers).
+    pub bytes_copied: u64,
+    /// Heap allocations taken on the send path: pool misses plus pooled
+    /// buffer capacity growths. Stops increasing once the exchange reaches
+    /// steady state.
+    pub send_allocs: u64,
 }
 
 impl CommStats {
@@ -27,6 +36,8 @@ impl CommStats {
             msgs_recvd: self.msgs_recvd + other.msgs_recvd,
             bytes_recvd: self.bytes_recvd + other.bytes_recvd,
             collectives: self.collectives + other.collectives,
+            bytes_copied: self.bytes_copied + other.bytes_copied,
+            send_allocs: self.send_allocs + other.send_allocs,
         }
     }
 }

@@ -69,11 +69,23 @@ pub enum Step {
     Alltoallv = 1,
     /// Draining received KVs into the sink.
     Drain = 2,
+    /// Overlapped rounds: posting the nonblocking sends (before the
+    /// done-allreduce hides behind them).
+    Post = 3,
+    /// Overlapped rounds: completing the receives into the receive
+    /// buffer.
+    Recv = 4,
 }
 
 impl Step {
     /// All steps, index-aligned with their discriminants.
-    pub const ALL: [Step; 3] = [Step::Sync, Step::Alltoallv, Step::Drain];
+    pub const ALL: [Step; 5] = [
+        Step::Sync,
+        Step::Alltoallv,
+        Step::Drain,
+        Step::Post,
+        Step::Recv,
+    ];
 
     /// Stable lowercase name (used in exported traces).
     pub fn name(self) -> &'static str {
@@ -81,6 +93,8 @@ impl Step {
             Step::Sync => "sync",
             Step::Alltoallv => "alltoallv",
             Step::Drain => "drain",
+            Step::Post => "post",
+            Step::Recv => "recv",
         }
     }
 

@@ -29,6 +29,12 @@ pub struct CommCounters {
     pub bytes_recvd: u64,
     /// Collective operations participated in.
     pub collectives: u64,
+    /// Payload bytes memcpy'd by the transport (pooled send buffers +
+    /// caller-owned receive buffers).
+    pub bytes_copied: u64,
+    /// Heap allocations taken on the send path (pool misses + pooled
+    /// buffer growths); flat after warm-up on the zero-copy path.
+    pub send_allocs: u64,
 }
 
 impl CommCounters {
@@ -39,6 +45,8 @@ impl CommCounters {
         self.bytes_sent += other.bytes_sent;
         self.bytes_recvd += other.bytes_recvd;
         self.collectives += other.collectives;
+        self.bytes_copied += other.bytes_copied;
+        self.send_allocs += other.send_allocs;
     }
 }
 
@@ -79,17 +87,25 @@ pub struct ShuffleCounters {
     pub rounds: u64,
     /// KV payload bytes spilled to disk.
     pub spilled_bytes: u64,
+    /// Encoded bytes landed in this rank's receive buffer.
+    pub bytes_received: u64,
+    /// Largest single-round receive total — must stay ≤ the receive
+    /// buffer capacity (the Section III-B bound).
+    pub max_round_recv_bytes: u64,
 }
 
 impl ShuffleCounters {
     /// Sums the traffic counters; rounds take the max (every rank steps
-    /// through the same number of collective rounds).
+    /// through the same number of collective rounds), as does the
+    /// per-round receive high-water mark.
     pub fn merge(&mut self, other: &ShuffleCounters) {
         self.kvs_emitted += other.kvs_emitted;
         self.kv_bytes_emitted += other.kv_bytes_emitted;
         self.kvs_received += other.kvs_received;
         self.rounds = self.rounds.max(other.rounds);
         self.spilled_bytes += other.spilled_bytes;
+        self.bytes_received += other.bytes_received;
+        self.max_round_recv_bytes = self.max_round_recv_bytes.max(other.max_round_recv_bytes);
     }
 }
 
@@ -245,6 +261,8 @@ impl RankReport {
                     ("bytes_sent", Json::Num(self.comm.bytes_sent as f64)),
                     ("bytes_recvd", Json::Num(self.comm.bytes_recvd as f64)),
                     ("collectives", Json::Num(self.comm.collectives as f64)),
+                    ("bytes_copied", Json::Num(self.comm.bytes_copied as f64)),
+                    ("send_allocs", Json::Num(self.comm.send_allocs as f64)),
                 ]),
             ),
             (
@@ -272,6 +290,14 @@ impl RankReport {
                     (
                         "spilled_bytes",
                         Json::Num(self.shuffle.spilled_bytes as f64),
+                    ),
+                    (
+                        "bytes_received",
+                        Json::Num(self.shuffle.bytes_received as f64),
+                    ),
+                    (
+                        "max_round_recv_bytes",
+                        Json::Num(self.shuffle.max_round_recv_bytes as f64),
                     ),
                 ]),
             ),
@@ -327,6 +353,9 @@ impl RankReport {
             })
         }
         let u = |path: &[&str]| -> Result<u64, JsonError> { field(v, path).map(|n| n as u64) };
+        // Counters added after the first release parse leniently so
+        // reports recorded by older builds still load.
+        let u_opt = |path: &[&str]| -> u64 { field(v, path).map_or(0, |n| n as u64) };
         let mut events = Vec::new();
         if let Some(Json::Arr(items)) = v.get("events") {
             for item in items {
@@ -368,6 +397,8 @@ impl RankReport {
                 bytes_sent: u(&["comm", "bytes_sent"])?,
                 bytes_recvd: u(&["comm", "bytes_recvd"])?,
                 collectives: u(&["comm", "collectives"])?,
+                bytes_copied: u_opt(&["comm", "bytes_copied"]),
+                send_allocs: u_opt(&["comm", "send_allocs"]),
             },
             mem: MemCounters {
                 pages_allocated: u(&["mem", "pages_allocated"])?,
@@ -381,6 +412,8 @@ impl RankReport {
                 kvs_received: u(&["shuffle", "kvs_received"])?,
                 rounds: u(&["shuffle", "rounds"])?,
                 spilled_bytes: u(&["shuffle", "spilled_bytes"])?,
+                bytes_received: u_opt(&["shuffle", "bytes_received"]),
+                max_round_recv_bytes: u_opt(&["shuffle", "max_round_recv_bytes"]),
             },
             times: PhaseTimes {
                 map_s: field(v, &["times", "map_s"])?,
@@ -433,6 +466,8 @@ mod tests {
                 bytes_sent: 1000,
                 bytes_recvd: 900,
                 collectives: 4,
+                bytes_copied: 1700,
+                send_allocs: 3 + rank,
             },
             mem: MemCounters {
                 pages_allocated: 8,
@@ -446,6 +481,8 @@ mod tests {
                 kvs_received: 100,
                 rounds: 2 + rank,
                 spilled_bytes: 0,
+                bytes_received: 850,
+                max_round_recv_bytes: 400 + rank,
             },
             times: PhaseTimes {
                 map_s: 0.5 + rank as f64,

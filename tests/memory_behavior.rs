@@ -32,6 +32,7 @@ fn mimir_peak(total_bytes: usize, opts: WcOptions, budget: usize) -> Result<usiz
             IoModel::free(),
             MimirConfig {
                 comm_buf_size: 16 * 1024,
+                ..MimirConfig::default()
             },
         )
         .unwrap();
@@ -177,6 +178,7 @@ fn communication_buffers_bound_mimir_recv_memory() {
             IoModel::free(),
             MimirConfig {
                 comm_buf_size: 8 * 1024,
+                ..MimirConfig::default()
             },
         )
         .unwrap();

@@ -57,6 +57,7 @@ fn run_sum_job(
             IoModel::free(),
             MimirConfig {
                 comm_buf_size: comm_buf,
+                ..MimirConfig::default()
             },
         )
         .unwrap();

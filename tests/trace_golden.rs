@@ -39,6 +39,7 @@ fn traced_wordcount_reports() -> Vec<RankReport> {
                 MimirConfig {
                     // Small partitions force several exchange rounds.
                     comm_buf_size: 4 * 1024,
+                    ..MimirConfig::default()
                 },
             )
             .unwrap();

@@ -53,6 +53,7 @@ fn tiny_comm_buffers_force_many_rounds_same_answer() {
         // 1 KiB comm buffer → 256 B partitions → dozens of rounds.
         let cfg = MimirConfig {
             comm_buf_size: 1024,
+            ..MimirConfig::default()
         };
         let mut ctx = MimirContext::new(comm, pool, IoModel::free(), cfg).unwrap();
         let text = ctx.read_text_split(&path2).unwrap();
