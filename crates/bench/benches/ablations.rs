@@ -154,6 +154,7 @@ fn ablate_shuffle_mode() {
                     MimirConfig {
                         comm_buf_size: 64 << 10,
                         shuffle_mode: mode,
+                        ..MimirConfig::default()
                     },
                 )
                 .unwrap();

@@ -17,8 +17,8 @@ use mimir_apps::RunMetrics;
 use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 use mimir_obs::{
-    chrome_trace, jsonl_string, CommCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes,
-    RankReport, Recorder, ShuffleCounters,
+    chrome_trace, jsonl_string, CommCounters, GroupCounters, JobCounters, MemCounters, PhasePeaks,
+    PhaseTimes, RankReport, Recorder, ShuffleCounters,
 };
 
 /// Where trace files land when `MIMIR_TRACE_DIR` is unset.
@@ -127,6 +127,16 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         spilled_bytes: 0,
         bytes_received: j.shuffle.bytes_received,
         max_round_recv_bytes: j.shuffle.max_round_recv_bytes,
+    };
+    report.group = GroupCounters {
+        inserts: j.group.inserts,
+        probes: j.group.probes,
+        max_probe: j.group.max_probe,
+        rehashes: j.group.rehashes,
+        interned_bytes: j.group.interned_bytes,
+        groups: j.group.groups,
+        capacity: j.group.capacity,
+        probe_hist: j.group.probe_hist,
     };
     report.times = PhaseTimes {
         map_s: j.map_time.as_secs_f64(),

@@ -95,6 +95,20 @@ pub enum ShuffleMode {
     Overlapped,
 }
 
+/// How convert, the combiner, and partial reduction group keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupingMode {
+    /// The original `HashMap<Vec<u8>, …>` path: one heap allocation and
+    /// a key copy per unique key, re-hash + re-lookup per KV in convert
+    /// pass 2. Kept as the ablation baseline.
+    Legacy,
+    /// The [`crate::GroupIndex`] engine: open-addressing slot table,
+    /// keys interned into pool-page arenas, each key hashed exactly once
+    /// per KV, convert pass 2 streams by recorded group id.
+    #[default]
+    Arena,
+}
+
 /// Framework configuration shared by every job on a context.
 #[derive(Debug, Clone, Copy)]
 pub struct MimirConfig {
@@ -104,6 +118,8 @@ pub struct MimirConfig {
     pub comm_buf_size: usize,
     /// Shuffle data-path variant (default [`ShuffleMode::ZeroCopy`]).
     pub shuffle_mode: ShuffleMode,
+    /// Grouping-engine variant (default [`GroupingMode::Arena`]).
+    pub grouping_mode: GroupingMode,
 }
 
 impl Default for MimirConfig {
@@ -112,6 +128,7 @@ impl Default for MimirConfig {
         Self {
             comm_buf_size: 64 * 1024,
             shuffle_mode: ShuffleMode::default(),
+            grouping_mode: GroupingMode::default(),
         }
     }
 }

@@ -5,86 +5,40 @@
 //! > KMV in the KMVC. In the second pass, the KVs are converted into KMVs
 //! > by inserting them into the corresponding position in the KMVC."
 //!
-//! The hash bucket is charged to the node pool through a reservation, so
-//! the convert phase's real footprint (KVC + KMVC + bucket coexisting) is
-//! what the peak-memory figures measure.
+//! Grouping runs on the shared [`GroupIndex`] engine
+//! ([`GroupingMode::Arena`], the default): pass 1 hashes each key exactly
+//! once and records the resulting group id in a per-KV `u32` side array,
+//! so pass 2 streams values into position **by index** — zero re-hashing
+//! and zero map lookups on the second traversal. The original
+//! `HashMap<Vec<u8>, u32>` path is kept behind [`GroupingMode::Legacy`]
+//! as the ablation baseline.
+//!
+//! Every structure the phase holds — the group index, the group-info and
+//! group-id side arrays, the placement tables — is charged to the node
+//! pool, so the convert phase's real footprint (KVC + KMVC + grouping
+//! state coexisting) is what the peak-memory figures measure.
 
 use std::collections::HashMap;
 
 use mimir_mem::MemPool;
 
 use crate::buffer::TrackedBuf;
-use crate::hash::FxBuild;
+use crate::group::{DeltaCharge, GroupIndex, GroupStats};
+use crate::hash::{fxhash64, FxBuild};
 use crate::kmvc::{GroupLoc, Slot};
 use crate::kv::write_side;
-use crate::{KmvContainer, KvContainer, LenHint, Result};
+use crate::{GroupingMode, KmvContainer, KvContainer, KvMeta, LenHint, Result};
 
 /// Per-unique-key info gathered in pass 1.
+#[derive(Default, Clone, Copy)]
 struct GroupInfo {
     count: u32,
     val_bytes: usize,
 }
 
-/// Estimated heap cost of one hash-bucket entry beyond the key bytes
-/// (HashMap slot, `GroupInfo`, cursor).
+/// Estimated heap cost of one legacy hash-bucket entry beyond the key
+/// bytes (HashMap slot, key `Vec` header, cursor).
 const BUCKET_ENTRY_OVERHEAD: usize = 64;
-
-/// Maximum bytes the pass-1 bucket may consume beyond its reservation.
-///
-/// The bucket grows key by key; re-reserving on every insert would
-/// round-trip the pool's atomics per unique key, so growth is batched.
-/// Batching by *bytes* (not by key count, which with long keys could
-/// leave hundreds of KiB untracked) bounds the accounting error to this
-/// constant regardless of key length.
-const BUCKET_RESIZE_DELTA: usize = 4096;
-
-/// Incremental pool charge for the pass-1 hash bucket: accumulates byte
-/// deltas and settles them into the [`mimir_mem::Reservation`] whenever
-/// the untracked amount reaches [`BUCKET_RESIZE_DELTA`].
-struct BucketCharge {
-    res: mimir_mem::Reservation,
-    /// Bytes the reservation currently covers.
-    charged: usize,
-    /// Bytes the bucket actually holds.
-    pending: usize,
-}
-
-impl BucketCharge {
-    fn new(pool: &MemPool) -> Result<Self> {
-        Ok(Self {
-            res: pool.try_reserve(0)?,
-            charged: 0,
-            pending: 0,
-        })
-    }
-
-    /// Records `bytes` of bucket growth, charging the pool once the
-    /// untracked delta reaches the threshold. A single growth larger than
-    /// the threshold is charged immediately.
-    fn add(&mut self, bytes: usize) -> Result<()> {
-        self.pending += bytes;
-        if self.pending - self.charged >= BUCKET_RESIZE_DELTA {
-            self.res.resize(self.pending)?;
-            self.charged = self.pending;
-        }
-        debug_assert!(self.untracked() < BUCKET_RESIZE_DELTA);
-        Ok(())
-    }
-
-    /// Charges any remaining untracked bytes (end of pass 1).
-    fn settle(&mut self) -> Result<()> {
-        if self.charged != self.pending {
-            self.res.resize(self.pending)?;
-            self.charged = self.pending;
-        }
-        Ok(())
-    }
-
-    /// Bytes held but not yet charged to the pool.
-    fn untracked(&self) -> usize {
-        self.pending - self.charged
-    }
-}
 
 /// Stored size of one value under `hint`.
 #[inline]
@@ -92,48 +46,60 @@ fn val_stored_len(hint: LenHint, val: &[u8]) -> usize {
     hint.overhead() + val.len()
 }
 
-/// Converts a KV container into a KMV container, grouping values by key.
+/// Converts a KV container into a KMV container, grouping values by key,
+/// with the default [`GroupingMode`].
 ///
 /// Keys appear in the output in first-occurrence order, making reduce
 /// output deterministic for a given KVC content.
 ///
 /// # Errors
-/// Out-of-memory if the bucket, the KMVC, or a jumbo entry exceeds the
-/// node budget.
+/// Out-of-memory if the grouping state, the KMVC, or a jumbo entry
+/// exceeds the node budget.
 pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
-    let meta = kvc.meta();
+    convert_with(kvc, pool, GroupingMode::default()).map(|(kmvc, _)| kmvc)
+}
+
+/// [`convert`] with an explicit grouping engine, also returning the
+/// engine's counters (empty under [`GroupingMode::Legacy`], which has no
+/// instrumented table).
+///
+/// # Errors
+/// As [`convert`].
+pub fn convert_with(
+    kvc: KvContainer,
+    pool: &MemPool,
+    mode: GroupingMode,
+) -> Result<(KmvContainer, GroupStats)> {
+    match mode {
+        GroupingMode::Arena => convert_arena(kvc, pool),
+        GroupingMode::Legacy => convert_legacy(kvc, pool),
+    }
+}
+
+/// Everything the layout step produces: placed entry headers plus the
+/// per-group write cursors pass 2 advances.
+struct Layout {
+    pages: Vec<mimir_mem::Page>,
+    jumbos: Vec<TrackedBuf>,
+    locs: Vec<GroupLoc>,
+    cursors: Vec<usize>,
+    page_used: usize,
+    total_bytes: u64,
+    n_values: u64,
+}
+
+/// Places every group's entry (`[key][count u32][values…]`) in pages or
+/// jumbo buffers and writes the headers; values stream in during pass 2.
+/// The `locs`/`cursors` side arrays are charged to `side`.
+fn layout_groups<'k>(
+    pool: &MemPool,
+    meta: KvMeta,
+    groups: &[GroupInfo],
+    key_of: impl Fn(usize) -> &'k [u8],
+    side: &mut DeltaCharge,
+) -> Result<Layout> {
     let page_size = pool.page_size();
-
-    // --- Pass 1: size every group in a hash bucket. -------------------
-    let mut bucket = BucketCharge::new(pool)?;
-    let mut index: HashMap<Vec<u8>, u32, FxBuild> = HashMap::default();
-    let mut groups: Vec<GroupInfo> = Vec::new();
-    for (k, v) in kvc.iter() {
-        let idx = match index.get(k) {
-            Some(&i) => i,
-            None => {
-                let i = groups.len() as u32;
-                index.insert(k.to_vec(), i);
-                groups.push(GroupInfo {
-                    count: 0,
-                    val_bytes: 0,
-                });
-                bucket.add(k.len() + BUCKET_ENTRY_OVERHEAD)?;
-                i
-            }
-        };
-        let g = &mut groups[idx as usize];
-        g.count += 1;
-        g.val_bytes += val_stored_len(meta.val, v);
-    }
-    bucket.settle()?;
-
-    // --- Layout: place every entry in pages or jumbo buffers. ---------
-    let mut keys_by_idx: Vec<&[u8]> = vec![&[]; groups.len()];
-    for (k, &i) in &index {
-        keys_by_idx[i as usize] = k;
-    }
-
+    side.add(groups.len() * (std::mem::size_of::<GroupLoc>() + std::mem::size_of::<usize>()))?;
     let mut pages = Vec::new();
     let mut jumbos: Vec<TrackedBuf> = Vec::new();
     let mut locs: Vec<GroupLoc> = Vec::with_capacity(groups.len());
@@ -145,7 +111,7 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
     let mut n_values = 0u64;
 
     for (idx, g) in groups.iter().enumerate() {
-        let key = keys_by_idx[idx];
+        let key = key_of(idx);
         let key_len = meta.key.overhead() + key.len();
         let entry_len = key_len + 4 + g.val_bytes;
         total_bytes += entry_len as u64;
@@ -191,36 +157,170 @@ pub fn convert(kvc: KvContainer, pool: &MemPool) -> Result<KmvContainer> {
     if let Some(p) = pages.last_mut() {
         p.set_len(page_used);
     }
+    Ok(Layout {
+        pages,
+        jumbos,
+        locs,
+        cursors,
+        page_used,
+        total_bytes,
+        n_values,
+    })
+}
 
-    // --- Pass 2: stream values into position, freeing KVC pages as they
-    // are consumed. -----------------------------------------------------
-    kvc.drain(|k, v| {
-        let idx = *index.get(k).expect("key indexed in pass 1") as usize;
-        let loc = locs[idx];
-        let buf = match loc.slot {
-            Slot::Page(i) => {
-                let p = &mut pages[i as usize];
-                let cap = p.capacity();
-                if p.len() < cap {
-                    // Re-expose full capacity for random-access writes on
-                    // the trimmed last page.
-                    p.set_len(cap);
-                }
-                p.as_mut_slice()
+/// Resolves a group's destination buffer during pass 2.
+#[inline]
+fn entry_buf<'b>(
+    layout_pages: &'b mut [mimir_mem::Page],
+    jumbos: &'b mut [TrackedBuf],
+    loc: GroupLoc,
+) -> &'b mut [u8] {
+    match loc.slot {
+        Slot::Page(i) => {
+            let p = &mut layout_pages[i as usize];
+            let cap = p.capacity();
+            if p.len() < cap {
+                // Re-expose full capacity for random-access writes on
+                // the trimmed last page.
+                p.set_len(cap);
             }
-            Slot::Jumbo(i) => jumbos[i as usize].as_mut_slice(),
-        };
-        cursors[idx] = write_side(meta.val, v, buf, cursors[idx]);
+            p.as_mut_slice()
+        }
+        Slot::Jumbo(i) => jumbos[i as usize].as_mut_slice(),
+    }
+}
+
+/// The arena path: pass 1 interns keys into a [`GroupIndex`] (one hash
+/// per KV) while recording each KV's group id; pass 2 replays the id
+/// array — no hashing, no lookups.
+fn convert_arena(kvc: KvContainer, pool: &MemPool) -> Result<(KmvContainer, GroupStats)> {
+    let meta = kvc.meta();
+
+    // --- Pass 1: size every group, remember each KV's group. ----------
+    let mut side = DeltaCharge::new(pool)?;
+    let mut index = GroupIndex::new(pool)?;
+    let mut groups: Vec<GroupInfo> = Vec::new();
+    // The per-KV group-id side array that eliminates pass-2 lookups:
+    // 4 bytes per KV, charged up front (the KV count is known).
+    side.add(kvc.len() as usize * std::mem::size_of::<u32>())?;
+    let mut kv_group: Vec<u32> = Vec::with_capacity(kvc.len() as usize);
+    for (k, v) in kvc.iter() {
+        let (idx, fresh) = index.insert_hashed(fxhash64(k), k)?;
+        if fresh {
+            side.add(std::mem::size_of::<GroupInfo>())?;
+            groups.push(GroupInfo::default());
+        }
+        let g = &mut groups[idx as usize];
+        g.count += 1;
+        g.val_bytes += val_stored_len(meta.val, v);
+        kv_group.push(idx);
+    }
+    side.settle()?;
+
+    // --- Layout: place every entry in pages or jumbo buffers. ---------
+    let mut layout = layout_groups(pool, meta, &groups, |i| index.key(i as u32), &mut side)?;
+
+    // --- Pass 2: stream values into position by recorded group id,
+    // freeing KVC pages as they are consumed. ---------------------------
+    let mut kv_i = 0usize;
+    kvc.drain(|k, v| {
+        let idx = kv_group[kv_i] as usize;
+        kv_i += 1;
+        debug_assert_eq!(index.key(idx as u32), k, "drain order matches iter order");
+        let _ = k;
+        let loc = layout.locs[idx];
+        let buf = entry_buf(&mut layout.pages, &mut layout.jumbos, loc);
+        layout.cursors[idx] = write_side(meta.val, v, buf, layout.cursors[idx]);
         Ok(())
     })?;
-    if let Some(p) = pages.last_mut() {
-        p.set_len(page_used);
+    if let Some(p) = layout.pages.last_mut() {
+        p.set_len(layout.page_used);
     }
 
+    let stats = index.stats();
     drop(index);
-    drop(bucket);
+    drop(side);
 
-    KmvContainer::from_parts(meta, pages, jumbos, locs, pool, n_values, total_bytes)
+    let kmvc = KmvContainer::from_parts(
+        meta,
+        layout.pages,
+        layout.jumbos,
+        layout.locs,
+        pool,
+        layout.n_values,
+        layout.total_bytes,
+    )?;
+    Ok((kmvc, stats))
+}
+
+/// The original path (ablation baseline): `HashMap<Vec<u8>, u32>` bucket
+/// in pass 1, a map lookup per KV in pass 2.
+fn convert_legacy(kvc: KvContainer, pool: &MemPool) -> Result<(KmvContainer, GroupStats)> {
+    let meta = kvc.meta();
+
+    // --- Pass 1: size every group in a hash bucket. -------------------
+    let mut side = DeltaCharge::new(pool)?;
+    let mut index: HashMap<Vec<u8>, u32, FxBuild> = HashMap::default();
+    let mut groups: Vec<GroupInfo> = Vec::new();
+    for (k, v) in kvc.iter() {
+        let idx = match index.get(k) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len() as u32;
+                index.insert(k.to_vec(), i);
+                groups.push(GroupInfo::default());
+                side.add(k.len() + BUCKET_ENTRY_OVERHEAD + std::mem::size_of::<GroupInfo>())?;
+                i
+            }
+        };
+        let g = &mut groups[idx as usize];
+        g.count += 1;
+        g.val_bytes += val_stored_len(meta.val, v);
+    }
+    side.settle()?;
+
+    // --- Layout: place every entry in pages or jumbo buffers. ---------
+    side.add(groups.len() * std::mem::size_of::<&[u8]>())?;
+    let mut keys_by_idx: Vec<&[u8]> = vec![&[]; groups.len()];
+    for (k, &i) in &index {
+        keys_by_idx[i as usize] = k;
+    }
+    let mut layout = layout_groups(pool, meta, &groups, |i| keys_by_idx[i], &mut side)?;
+
+    // --- Pass 2: stream values into position, re-looking each key up,
+    // freeing KVC pages as they are consumed. ---------------------------
+    kvc.drain(|k, v| {
+        let idx = *index.get(k).expect("key indexed in pass 1") as usize;
+        let loc = layout.locs[idx];
+        let buf = entry_buf(&mut layout.pages, &mut layout.jumbos, loc);
+        layout.cursors[idx] = write_side(meta.val, v, buf, layout.cursors[idx]);
+        Ok(())
+    })?;
+    if let Some(p) = layout.pages.last_mut() {
+        p.set_len(layout.page_used);
+    }
+
+    let n_groups = groups.len() as u64;
+    drop(keys_by_idx);
+    drop(index);
+    drop(side);
+
+    let kmvc = KmvContainer::from_parts(
+        meta,
+        layout.pages,
+        layout.jumbos,
+        layout.locs,
+        pool,
+        layout.n_values,
+        layout.total_bytes,
+    )?;
+    Ok((
+        kmvc,
+        GroupStats {
+            groups: n_groups,
+            ..GroupStats::default()
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -240,116 +340,150 @@ mod tests {
         out
     }
 
+    const BOTH_MODES: [GroupingMode; 2] = [GroupingMode::Arena, GroupingMode::Legacy];
+
     #[test]
     fn groups_values_by_key_in_first_occurrence_order() {
-        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
-        let mut kvc = KvContainer::new(&pool, KvMeta::var());
-        for (k, v) in [
-            ("apple", "1"),
-            ("banana", "2"),
-            ("apple", "3"),
-            ("cherry", "4"),
-            ("banana", "5"),
-            ("apple", "6"),
-        ] {
-            kvc.push(k.as_bytes(), v.as_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+            let mut kvc = KvContainer::new(&pool, KvMeta::var());
+            for (k, v) in [
+                ("apple", "1"),
+                ("banana", "2"),
+                ("apple", "3"),
+                ("cherry", "4"),
+                ("banana", "5"),
+                ("apple", "6"),
+            ] {
+                kvc.push(k.as_bytes(), v.as_bytes()).unwrap();
+            }
+            let (kmvc, _) = convert_with(kvc, &pool, mode).unwrap();
+            assert_eq!(kmvc.n_groups(), 3);
+            assert_eq!(kmvc.n_values(), 6);
+
+            let mut order = Vec::new();
+            kmvc.for_each_group(|k, _| {
+                order.push(k.to_vec());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(
+                order,
+                vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()],
+                "{mode:?}"
+            );
+
+            let g = groups_of(&kmvc);
+            assert_eq!(
+                g[&b"apple"[..].to_vec()],
+                vec![b"1".to_vec(), b"3".to_vec(), b"6".to_vec()]
+            );
+            assert_eq!(g[&b"cherry"[..].to_vec()], vec![b"4".to_vec()]);
         }
-        let kmvc = convert(kvc, &pool).unwrap();
-        assert_eq!(kmvc.n_groups(), 3);
-        assert_eq!(kmvc.n_values(), 6);
-
-        let mut order = Vec::new();
-        kmvc.for_each_group(|k, _| {
-            order.push(k.to_vec());
-            Ok(())
-        })
-        .unwrap();
-        assert_eq!(
-            order,
-            vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]
-        );
-
-        let g = groups_of(&kmvc);
-        assert_eq!(
-            g[&b"apple"[..].to_vec()],
-            vec![b"1".to_vec(), b"3".to_vec(), b"6".to_vec()]
-        );
-        assert_eq!(g[&b"cherry"[..].to_vec()], vec![b"4".to_vec()]);
     }
 
     #[test]
     fn convert_with_hints() {
-        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
-        let meta = KvMeta::cstr_key_u64_val();
-        let mut kvc = KvContainer::new(&pool, meta);
-        for i in 0..50u64 {
-            let key = format!("w{}", i % 5);
-            kvc.push(key.as_bytes(), &i.to_le_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+            let meta = KvMeta::cstr_key_u64_val();
+            let mut kvc = KvContainer::new(&pool, meta);
+            for i in 0..50u64 {
+                let key = format!("w{}", i % 5);
+                kvc.push(key.as_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            let (kmvc, _) = convert_with(kvc, &pool, mode).unwrap();
+            assert_eq!(kmvc.n_groups(), 5);
+            let g = groups_of(&kmvc);
+            assert_eq!(g[&b"w0".to_vec()].len(), 10);
+            let vals: Vec<u64> = g[&b"w3".to_vec()]
+                .iter()
+                .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+                .collect();
+            assert_eq!(vals, vec![3, 8, 13, 18, 23, 28, 33, 38, 43, 48], "{mode:?}");
         }
-        let kmvc = convert(kvc, &pool).unwrap();
-        assert_eq!(kmvc.n_groups(), 5);
-        let g = groups_of(&kmvc);
-        assert_eq!(g[&b"w0".to_vec()].len(), 10);
-        let vals: Vec<u64> = g[&b"w3".to_vec()]
-            .iter()
-            .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
-            .collect();
-        assert_eq!(vals, vec![3, 8, 13, 18, 23, 28, 33, 38, 43, 48]);
+    }
+
+    #[test]
+    fn arena_mode_reports_group_stats() {
+        let pool = MemPool::new("t", 256, 64 * 1024).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::cstr_key_u64_val());
+        for i in 0..300u64 {
+            kvc.push(format!("w{}", i % 40).as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let (_, stats) = convert_with(kvc, &pool, GroupingMode::Arena).unwrap();
+        assert_eq!(stats.groups, 40);
+        assert_eq!(stats.inserts, 300, "every KV probes exactly once");
+        assert_eq!(
+            stats.interned_bytes,
+            (0..40).map(|i| format!("w{i}").len() as u64).sum()
+        );
+        assert!(stats.capacity >= 64);
+        assert_eq!(stats.probe_hist.iter().sum::<u64>(), 300);
     }
 
     #[test]
     fn hot_key_gets_a_jumbo_entry() {
-        let pool = MemPool::new("t", 128, 256 * 1024).unwrap();
-        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
-        // 100 values × 8 B = 800 B ≫ 128 B page.
-        for i in 0..100u64 {
-            kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            let pool = MemPool::new("t", 128, 256 * 1024).unwrap();
+            let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
+            // 100 values × 8 B = 800 B ≫ 128 B page.
+            for i in 0..100u64 {
+                kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+            }
+            kvc.push(b"cold", &0u64.to_le_bytes()).unwrap();
+            let (kmvc, _) = convert_with(kvc, &pool, mode).unwrap();
+            assert_eq!(kmvc.jumbos_held(), 1, "{mode:?}");
+            let g = groups_of(&kmvc);
+            assert_eq!(g[&b"hotk".to_vec()].len(), 100);
+            assert_eq!(g[&b"cold".to_vec()].len(), 1);
         }
-        kvc.push(b"cold", &0u64.to_le_bytes()).unwrap();
-        let kmvc = convert(kvc, &pool).unwrap();
-        assert_eq!(kmvc.jumbos_held(), 1);
-        let g = groups_of(&kmvc);
-        assert_eq!(g[&b"hotk".to_vec()].len(), 100);
-        assert_eq!(g[&b"cold".to_vec()].len(), 1);
     }
 
     #[test]
     fn empty_container_converts_to_empty() {
-        let pool = MemPool::new("t", 128, 4096).unwrap();
-        let kvc = KvContainer::new(&pool, KvMeta::var());
-        let kmvc = convert(kvc, &pool).unwrap();
-        assert_eq!(kmvc.n_groups(), 0);
-        assert_eq!(kmvc.n_values(), 0);
+        for mode in BOTH_MODES {
+            let pool = MemPool::new("t", 128, 4096).unwrap();
+            let kvc = KvContainer::new(&pool, KvMeta::var());
+            let (kmvc, _) = convert_with(kvc, &pool, mode).unwrap();
+            assert_eq!(kmvc.n_groups(), 0);
+            assert_eq!(kmvc.n_values(), 0);
+        }
     }
 
     #[test]
     fn kvc_pages_are_freed_during_pass_two() {
-        let page = 256;
-        let pool = MemPool::new("t", page, 1024 * 1024).unwrap();
-        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
-        for i in 0..1000u64 {
-            kvc.push(&(i % 7).to_le_bytes(), &i.to_le_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            let page = 256;
+            let pool = MemPool::new("t", page, 1024 * 1024).unwrap();
+            let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
+            for i in 0..1000u64 {
+                kvc.push(&(i % 7).to_le_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            let kvc_pages = kvc.pages_held();
+            let before = pool.used();
+            let (kmvc, _) = convert_with(kvc, &pool, mode).unwrap();
+            // After convert the KVC is gone; only KMVC memory remains.
+            let after = pool.used();
+            assert!(after < before, "{mode:?}: KVC freed: {before} -> {after}");
+            assert!(kvc_pages > 10);
+            assert_eq!(kmvc.n_values(), 1000);
         }
-        let kvc_pages = kvc.pages_held();
-        let before = pool.used();
-        let kmvc = convert(kvc, &pool).unwrap();
-        // After convert the KVC is gone; only KMVC memory remains.
-        let after = pool.used();
-        assert!(after < before, "KVC freed: {before} -> {after}");
-        assert!(kvc_pages > 10);
-        assert_eq!(kmvc.n_values(), 1000);
     }
 
     #[test]
     fn convert_oom_is_reported() {
-        // Budget fits the KVC but not KVC + bucket + KMVC.
-        let pool = MemPool::new("t", 256, 2048).unwrap();
-        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
-        for i in 0..120u64 {
-            kvc.push(&i.to_le_bytes(), &i.to_le_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            // Budget fits the KVC but not KVC + grouping state + KMVC.
+            let pool = MemPool::new("t", 256, 2048).unwrap();
+            let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
+            for i in 0..120u64 {
+                kvc.push(&i.to_le_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            let err = convert_with(kvc, &pool, mode).unwrap_err();
+            assert!(matches!(err, MimirError::Mem(_)), "{mode:?}: {err}");
         }
-        let err = convert(kvc, &pool).unwrap_err();
-        assert!(matches!(err, MimirError::Mem(_)), "{err}");
     }
 
     #[test]
@@ -373,64 +507,73 @@ mod tests {
 
     #[test]
     fn jumbo_entry_exceeding_budget_is_oom_not_panic() {
-        // Budget fits the KVC but not KVC + the jumbo KMV entry.
-        let pool = MemPool::new("t", 128, 2 * 1024).unwrap();
-        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
-        for i in 0..120u64 {
-            kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+        for mode in BOTH_MODES {
+            // Budget fits the KVC but not KVC + the jumbo KMV entry.
+            let pool = MemPool::new("t", 128, 2 * 1024).unwrap();
+            let mut kvc = KvContainer::new(&pool, KvMeta::fixed(4, 8));
+            for i in 0..120u64 {
+                kvc.push(b"hotk", &i.to_le_bytes()).unwrap();
+            }
+            let err = convert_with(kvc, &pool, mode).unwrap_err();
+            assert!(matches!(err, MimirError::Mem(_)), "{mode:?}: {err}");
+            assert_eq!(pool.used(), 0, "partial convert fully unwinds");
         }
-        let err = convert(kvc, &pool).unwrap_err();
-        assert!(matches!(err, MimirError::Mem(_)), "{err}");
-        assert_eq!(pool.used(), 0, "partial convert fully unwinds");
     }
 
     #[test]
-    fn bucket_charge_error_stays_under_the_delta() {
-        let pool = MemPool::new("t", 256, 1 << 20).unwrap();
-        let mut bucket = BucketCharge::new(&pool).unwrap();
-        // Long keys: the old every-1024-keys policy would leave up to
-        // 1023 × entry_bytes untracked; the byte-delta policy keeps the
-        // gap below BUCKET_RESIZE_DELTA at every step.
-        let entry = 200 + BUCKET_ENTRY_OVERHEAD;
-        for i in 1..=500usize {
-            bucket.add(entry).unwrap();
-            assert!(
-                bucket.untracked() < BUCKET_RESIZE_DELTA,
-                "after {i} adds: {} untracked",
-                bucket.untracked()
-            );
-            assert!(pool.used() >= (i * entry).saturating_sub(BUCKET_RESIZE_DELTA - 1));
+    fn side_arrays_are_charged_to_the_pool() {
+        // 4000 KVs over 16 keys: the per-KV group-id array alone is
+        // 16 KB, which must appear in the pool accounting during the
+        // phase (this was untracked before the arena engine).
+        let pool = MemPool::new("t", 4096, 1 << 20).unwrap();
+        let mut kvc = KvContainer::new(&pool, KvMeta::fixed(8, 8));
+        for i in 0..4000u64 {
+            kvc.push(&(i % 16).to_le_bytes(), &i.to_le_bytes()).unwrap();
         }
-        bucket.settle().unwrap();
-        assert_eq!(bucket.untracked(), 0);
-        assert_eq!(pool.used(), 500 * entry, "settle charges exactly");
-        drop(bucket);
+        let kvc_bytes = pool.used();
+        let peak_before = pool.peak();
+        let (kmvc, _) = convert_with(kvc, &pool, GroupingMode::Arena).unwrap();
+        let peak = pool.peak();
+        assert!(
+            peak >= peak_before.max(kvc_bytes) + 4000 * 4,
+            "peak {peak} must include the 16 KB kv_group side array (kvc was {kvc_bytes})"
+        );
+        drop(kmvc);
         assert_eq!(pool.used(), 0);
     }
 
     #[test]
-    fn bucket_charge_takes_big_single_adds_immediately() {
-        let pool = MemPool::new("t", 256, 1 << 20).unwrap();
-        let mut bucket = BucketCharge::new(&pool).unwrap();
-        bucket.add(10 * BUCKET_RESIZE_DELTA).unwrap();
-        assert_eq!(bucket.untracked(), 0, "oversize add charges at once");
-        assert_eq!(pool.used(), 10 * BUCKET_RESIZE_DELTA);
-    }
-
-    #[test]
-    fn bucket_charge_growth_respects_the_budget() {
-        // Budget smaller than the bucket: add() must fail, not overrun.
-        let pool = MemPool::new("t", 256, 8 * 1024).unwrap();
-        let mut bucket = BucketCharge::new(&pool).unwrap();
-        let mut failed = false;
-        for _ in 0..200 {
-            if bucket.add(100).is_err() {
-                failed = true;
-                break;
-            }
+    fn modes_agree_on_random_workloads() {
+        let pool = MemPool::unlimited("t", 512);
+        for salt in 0..3u64 {
+            let build = || {
+                let mut kvc = KvContainer::new(&pool, KvMeta::var());
+                let mut x = 0x9E3779B97F4A7C15u64 ^ salt;
+                for _ in 0..700 {
+                    // xorshift-ish deterministic stream
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = format!("k{}", x % 97);
+                    kvc.push(key.as_bytes(), &x.to_le_bytes()).unwrap();
+                }
+                kvc
+            };
+            let (a, _) = convert_with(build(), &pool, GroupingMode::Arena).unwrap();
+            let (b, _) = convert_with(build(), &pool, GroupingMode::Legacy).unwrap();
+            assert_eq!(groups_of(&a), groups_of(&b));
+            // Identical first-occurrence order, not just identical sets.
+            let order = |kmvc: &KmvContainer| {
+                let mut ks = Vec::new();
+                kmvc.for_each_group(|k, _| {
+                    ks.push(k.to_vec());
+                    Ok(())
+                })
+                .unwrap();
+                ks
+            };
+            assert_eq!(order(&a), order(&b));
         }
-        assert!(failed, "20 KB of adds into an 8 KB budget must fail");
-        assert!(pool.used() <= 8 * 1024);
     }
 
     #[test]

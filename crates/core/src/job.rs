@@ -21,12 +21,13 @@ use mimir_obs::Phase;
 
 use crate::combiner::{CombineFn, CombinerTable, StreamingCombiner};
 use crate::context::MimirContext;
-use crate::convert::convert;
+use crate::convert::convert_with;
+use crate::group::GroupStats;
 use crate::kmvc::ValueIter;
 use crate::partial::PartialReducer;
 use crate::partitioner::Partitioner;
 use crate::shuffle::{Emitter, Shuffler};
-use crate::{JobStats, KvContainer, KvMeta, Result, ShuffleMode};
+use crate::{GroupingMode, JobStats, KvContainer, KvMeta, Result, ShuffleMode};
 
 /// A configured-but-not-yet-run MapReduce job.
 pub struct MapReduceJob<'c, 'w> {
@@ -36,6 +37,7 @@ pub struct MapReduceJob<'c, 'w> {
     partitioner: Partitioner,
     compress_flush_bytes: Option<usize>,
     shuffle_mode: Option<ShuffleMode>,
+    grouping_mode: Option<GroupingMode>,
 }
 
 /// A finished job: the output KVs this rank owns, plus metrics.
@@ -76,6 +78,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             partitioner: Partitioner::hash(),
             compress_flush_bytes: None,
             shuffle_mode: None,
+            grouping_mode: None,
         }
     }
 
@@ -123,6 +126,15 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
     #[must_use]
     pub fn shuffle_mode(mut self, mode: ShuffleMode) -> Self {
         self.shuffle_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the context's [`GroupingMode`] for this job (convert,
+    /// combiner, and partial-reduction grouping engine). Local to the
+    /// rank's data structures — not collective.
+    #[must_use]
+    pub fn grouping_mode(mut self, mode: GroupingMode) -> Self {
+        self.grouping_mode = Some(mode);
         self
     }
 
@@ -236,12 +248,13 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
-        drive_compressed_map(
+        let group = drive_compressed_map(
             map,
             compress,
             pool,
             self.kv_meta,
             self.compress_flush_bytes,
+            self.grouping_mode.unwrap_or(cfg.grouping_mode),
             &mut shuffler,
         )?;
         drop(map_span);
@@ -255,6 +268,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             stats: JobStats {
                 map_time: t0.elapsed(),
                 shuffle,
+                group,
                 kvs_out,
                 node_peak_bytes: pool.peak(),
                 map_peak_bytes: pool.phase_peak(),
@@ -274,6 +288,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let MimirContext {
             comm, pool, cfg, ..
         } = &mut *self.ctx;
+        let gmode = self.grouping_mode.unwrap_or(cfg.grouping_mode);
 
         // --- map + implicit aggregate --------------------------------
         let t0 = Instant::now();
@@ -289,15 +304,17 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
+        let mut group = GroupStats::default();
         match compress {
             None => map(&mut shuffler)?,
             Some(cf) => {
-                drive_compressed_map(
+                group = drive_compressed_map(
                     map,
                     cf,
                     pool,
                     kv_meta,
                     self.compress_flush_bytes,
+                    gmode,
                     &mut shuffler,
                 )?;
             }
@@ -316,7 +333,8 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let t1 = Instant::now();
         pool.reset_phase_peak();
         let convert_span = mimir_obs::phase_span(Phase::Convert);
-        let kmvc = convert(kvc, pool)?;
+        let (kmvc, convert_group) = convert_with(kvc, pool, gmode)?;
+        group.merge(&convert_group);
         drop(convert_span);
         let convert_time = t1.elapsed();
         let convert_peak_bytes = pool.phase_peak();
@@ -348,6 +366,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 convert_time,
                 reduce_time,
                 shuffle,
+                group,
                 unique_keys,
                 node_peak_bytes: pool.peak(),
                 map_peak_bytes,
@@ -369,11 +388,12 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let MimirContext {
             comm, pool, cfg, ..
         } = &mut *self.ctx;
+        let gmode = self.grouping_mode.unwrap_or(cfg.grouping_mode);
 
         let t0 = Instant::now();
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
-        let sink = PartialReducer::new(pool, kv_meta, combine)?;
+        let sink = PartialReducer::with_mode(pool, kv_meta, combine, gmode)?;
         let mut shuffler = Shuffler::with_options(
             comm,
             pool,
@@ -383,15 +403,17 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
         )?;
+        let mut group = GroupStats::default();
         match compress {
             None => map(&mut shuffler)?,
             Some(cf) => {
-                drive_compressed_map(
+                group = drive_compressed_map(
                     map,
                     cf,
                     pool,
                     kv_meta,
                     self.compress_flush_bytes,
+                    gmode,
                     &mut shuffler,
                 )?;
             }
@@ -408,6 +430,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let unique_keys = reducer.unique_keys() as u64;
+        group.merge(&reducer.group_stats());
         let out = reducer.into_output(pool, out_meta)?;
         comm.barrier();
         drop(reduce_span);
@@ -422,6 +445,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 convert_time: std::time::Duration::ZERO,
                 reduce_time,
                 shuffle,
+                group,
                 unique_keys,
                 kvs_out,
                 node_peak_bytes: pool.peak(),
@@ -435,25 +459,27 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
 /// Runs `map` through a compression table, flushing into `shuffler`
 /// either once at the end (the paper's delayed aggregate) or whenever the
-/// table exceeds `flush_bytes`.
+/// table exceeds `flush_bytes`. Returns the grouping engine's counters.
 fn drive_compressed_map(
     map: MapFn<'_>,
     cf: CombineFn<'_>,
     pool: &mimir_mem::MemPool,
     meta: KvMeta,
     flush_bytes: Option<usize>,
+    gmode: GroupingMode,
     shuffler: &mut dyn Emitter,
-) -> Result<()> {
-    let mut table = CombinerTable::new(pool, meta, cf)?;
+) -> Result<GroupStats> {
+    let mut table = CombinerTable::with_mode(pool, meta, cf, gmode)?;
     match flush_bytes {
         None => {
             map(&mut table)?;
-            table.flush_into(shuffler)
+            table.flush_into(shuffler)?;
+            Ok(table.group_stats())
         }
         Some(limit) => {
             let mut streaming = StreamingCombiner::new(table, shuffler, limit);
             map(&mut streaming)?;
-            streaming.finish().map(|_| ())
+            streaming.finish().map(|(_, stats)| stats)
         }
     }
 }

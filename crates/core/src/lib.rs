@@ -44,6 +44,7 @@ mod config;
 mod context;
 mod convert;
 mod error;
+mod group;
 mod hash;
 mod job;
 mod kmvc;
@@ -59,10 +60,11 @@ mod stats;
 pub mod typed;
 
 pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
-pub use config::{KvMeta, LenHint, MimirConfig, ShuffleMode};
+pub use config::{GroupingMode, KvMeta, LenHint, MimirConfig, ShuffleMode};
 pub use context::MimirContext;
-pub use convert::convert;
+pub use convert::{convert, convert_with};
 pub use error::MimirError;
+pub use group::{GroupIndex, GroupStats};
 pub use job::{JobOutput, MapFn, MapReduceJob, OutEmitter, ReduceFn};
 pub use kmvc::{KmvContainer, ValueIter};
 pub use kv::{decode_one, encode_push, encoded_len, KvDecoder};
@@ -75,7 +77,7 @@ pub use sink::KvSink;
 pub use staging::StagedKvs;
 pub use stats::JobStats;
 
-pub use hash::{fxhash64, partition_of};
+pub use hash::{fast_range, fxhash64, partition_of, partition_of_hashed};
 
 /// Result alias for fallible Mimir operations.
 pub type Result<T> = std::result::Result<T, MimirError>;

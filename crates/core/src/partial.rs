@@ -12,9 +12,10 @@
 use mimir_mem::MemPool;
 
 use crate::combiner::{CombineFn, FoldTable};
+use crate::group::GroupStats;
 use crate::kv::validate;
 use crate::sink::KvSink;
-use crate::{KvContainer, KvMeta, Result};
+use crate::{GroupingMode, KvContainer, KvMeta, Result};
 
 /// The partial-reduction sink: shuffled KVs fold straight into a bucket.
 pub struct PartialReducer<'f> {
@@ -29,8 +30,21 @@ impl<'f> PartialReducer<'f> {
     /// # Errors
     /// Memory exhaustion.
     pub fn new(pool: &MemPool, meta: KvMeta, combine: CombineFn<'f>) -> Result<Self> {
+        Self::with_mode(pool, meta, combine, GroupingMode::default())
+    }
+
+    /// [`Self::new`] with an explicit grouping engine.
+    ///
+    /// # Errors
+    /// Memory exhaustion.
+    pub fn with_mode(
+        pool: &MemPool,
+        meta: KvMeta,
+        combine: CombineFn<'f>,
+        mode: GroupingMode,
+    ) -> Result<Self> {
         Ok(Self {
-            table: FoldTable::new(pool, combine)?,
+            table: FoldTable::new(pool, combine, mode)?,
             meta,
             kvs_in: 0,
         })
@@ -44,6 +58,11 @@ impl<'f> PartialReducer<'f> {
     /// KVs folded so far.
     pub fn kvs_in(&self) -> u64 {
         self.kvs_in
+    }
+
+    /// The grouping engine's counters.
+    pub fn group_stats(&self) -> GroupStats {
+        self.table.group_stats()
     }
 
     /// Finalizes the reduction: moves the bucket contents into a
@@ -60,7 +79,7 @@ impl<'f> PartialReducer<'f> {
                 self.0.push(k, v)
             }
         }
-        self.table.drain_into(&mut Adapter(&mut out))?;
+        self.table.drain_into(&mut Adapter(&mut out), false)?;
         Ok(out)
     }
 }

@@ -27,6 +27,11 @@ type PartitionFn = dyn Fn(&[u8], usize) -> usize + Send + Sync;
 pub struct Partitioner {
     f: Arc<PartitionFn>,
     name: &'static str,
+    /// True only for [`Partitioner::hash`]: the destination is a pure
+    /// function of `fxhash64(key)`, so emitters holding a precomputed
+    /// hash may route via [`crate::hash::partition_of_hashed`] without
+    /// calling `f`.
+    is_hash: bool,
 }
 
 impl Partitioner {
@@ -35,6 +40,7 @@ impl Partitioner {
         Self {
             f: Arc::new(partition_of),
             name: "hash",
+            is_hash: true,
         }
     }
 
@@ -49,6 +55,7 @@ impl Partitioner {
         Self {
             f: Arc::new(f),
             name,
+            is_hash: false,
         }
     }
 
@@ -65,7 +72,15 @@ impl Partitioner {
                 ((v / per) as usize).min(p - 1)
             }),
             name: "u64-block",
+            is_hash: false,
         }
+    }
+
+    /// Whether this is the default hash partitioner (see `is_hash` field
+    /// docs).
+    #[inline]
+    pub(crate) fn is_hash(&self) -> bool {
+        self.is_hash
     }
 
     /// Destination rank of `key` among `n_ranks`.

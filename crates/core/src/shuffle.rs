@@ -64,6 +64,19 @@ pub trait Emitter {
     /// # Errors
     /// Hint violations, oversized KVs, or memory exhaustion.
     fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()>;
+
+    /// Emits one KV whose `fxhash64` is already known (`key_hash` must be
+    /// `fxhash64(key)`). Emitters that route by key hash — the
+    /// [`Shuffler`] under the default partitioner — override this to skip
+    /// re-hashing; the default discards the hash and forwards to
+    /// [`Self::emit`].
+    ///
+    /// # Errors
+    /// As [`Self::emit`].
+    fn emit_hashed(&mut self, key: &[u8], val: &[u8], key_hash: u64) -> Result<()> {
+        let _ = key_hash;
+        self.emit(key, val)
+    }
 }
 
 /// Counters describing one shuffle.
@@ -367,8 +380,9 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
     }
 }
 
-impl<S: KvSink> Emitter for Shuffler<'_, S> {
-    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+impl<S: KvSink> Shuffler<'_, S> {
+    /// The shared emit body once the destination rank is known.
+    fn emit_to(&mut self, dst: usize, key: &[u8], val: &[u8]) -> Result<()> {
         validate(self.meta.key, key, "key")?;
         validate(self.meta.val, val, "value")?;
         let len = encoded_len(self.meta, key, val);
@@ -379,7 +393,6 @@ impl<S: KvSink> Emitter for Shuffler<'_, S> {
                 what: "send-buffer partition",
             });
         }
-        let dst = self.partitioner.of(key, self.comm.size());
         if self.part_len[dst] + len > self.part_cap {
             // Partition full: suspend the map, run an aggregate round.
             self.exchange(false)?;
@@ -395,6 +408,23 @@ impl<S: KvSink> Emitter for Shuffler<'_, S> {
         self.stats.kvs_emitted += 1;
         self.stats.kv_bytes_emitted += len as u64;
         Ok(())
+    }
+}
+
+impl<S: KvSink> Emitter for Shuffler<'_, S> {
+    fn emit(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        let dst = self.partitioner.of(key, self.comm.size());
+        self.emit_to(dst, key, val)
+    }
+
+    fn emit_hashed(&mut self, key: &[u8], val: &[u8], key_hash: u64) -> Result<()> {
+        debug_assert_eq!(key_hash, crate::hash::fxhash64(key));
+        let dst = if self.partitioner.is_hash() {
+            crate::hash::partition_of_hashed(key_hash, self.comm.size())
+        } else {
+            self.partitioner.of(key, self.comm.size())
+        };
+        self.emit_to(dst, key, val)
     }
 }
 

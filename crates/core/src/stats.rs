@@ -1,5 +1,6 @@
 use std::time::Duration;
 
+use crate::group::GroupStats;
 use crate::shuffle::ShuffleStats;
 
 /// Per-rank metrics for one completed job — everything the paper's
@@ -14,6 +15,9 @@ pub struct JobStats {
     pub reduce_time: Duration,
     /// Shuffle counters (emitted KVs/bytes, rounds).
     pub shuffle: ShuffleStats,
+    /// Grouping-engine counters (convert index, combiner, or partial-
+    /// reduction fold table; zero under [`crate::GroupingMode::Legacy`]).
+    pub group: GroupStats,
     /// Unique keys after grouping (KMV groups or fold-table entries).
     pub unique_keys: u64,
     /// Node-pool peak observed at job end, in bytes. This is the
@@ -50,6 +54,7 @@ impl JobStats {
         self.convert_time = self.convert_time.max(other.convert_time);
         self.reduce_time = self.reduce_time.max(other.reduce_time);
         self.shuffle.merge(&other.shuffle);
+        self.group.merge(&other.group);
         self.unique_keys += other.unique_keys;
         self.node_peak_bytes = self.node_peak_bytes.max(other.node_peak_bytes);
         self.map_peak_bytes = self.map_peak_bytes.max(other.map_peak_bytes);

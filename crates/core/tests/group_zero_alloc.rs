@@ -1,0 +1,122 @@
+//! Proof that the grouping engine's hot path stops allocating: once a
+//! [`GroupIndex`] (or a fold table built on it) has seen its working set,
+//! further lookups of existing keys and in-place value merges perform
+//! zero heap allocations — the property that lets skewed workloads (the
+//! common MapReduce case) run the grouping loop at memory speed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use mimir_core::{fxhash64, GroupIndex, GroupingMode, PartialReducer};
+use mimir_mem::MemPool;
+
+/// Wraps the system allocator with a per-thread allocation counter (the
+/// same harness as the shuffle zero-alloc proof).
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(p, l, n) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Probing an existing key — hash, slot walk, tag compare, interned-key
+/// compare — touches no allocator at all.
+#[test]
+fn existing_key_lookups_are_allocation_free() {
+    let pool = MemPool::unlimited("t", 64 * 1024);
+    let mut ix = GroupIndex::new(&pool).unwrap();
+    let keys: Vec<Vec<u8>> = (0..1000u32)
+        .map(|i| format!("word-{i:04}").into_bytes())
+        .collect();
+    for k in &keys {
+        ix.insert(k).unwrap();
+    }
+
+    let before = allocs();
+    for _ in 0..10 {
+        for (want, k) in keys.iter().enumerate() {
+            let (id, fresh) = ix.insert(k).unwrap();
+            assert_eq!((id, fresh), (want as u32, false));
+            assert_eq!(ix.get(k), Some(want as u32));
+        }
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "10,000 existing-key probes allocated {during} times"
+    );
+
+    // Precomputed-hash probes share the same path.
+    let hashes: Vec<u64> = keys.iter().map(|k| fxhash64(k)).collect();
+    let before = allocs();
+    for (k, h) in keys.iter().zip(&hashes) {
+        ix.insert_hashed(*h, k).unwrap();
+    }
+    assert_eq!(allocs() - before, 0);
+}
+
+/// The partial-reduction steady state — every arriving KV folds into an
+/// existing group — is allocation-free once the working set is resident:
+/// the probe hits, the combine callback writes into a reused scratch
+/// buffer, and the accumulator is updated in place.
+#[test]
+fn steady_state_fold_is_allocation_free() {
+    let pool = MemPool::unlimited("t", 64 * 1024);
+    let meta = mimir_core::KvMeta::cstr_key_u64_val();
+    let combine: mimir_core::CombineFn = Box::new(|_k, a, b, out| {
+        let s =
+            u64::from_le_bytes(a.try_into().unwrap()) + u64::from_le_bytes(b.try_into().unwrap());
+        out.extend_from_slice(&s.to_le_bytes());
+    });
+    let mut pr = PartialReducer::with_mode(&pool, meta, combine, GroupingMode::Arena).unwrap();
+
+    // Warm-up: materialize all 64 groups and their accumulators, and let
+    // the slot table reach its final capacity.
+    use mimir_core::KvSink;
+    let keys: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| format!("k{i:02}").into_bytes())
+        .collect();
+    for _ in 0..4 {
+        for k in &keys {
+            pr.accept(k, &1u64.to_le_bytes()).unwrap();
+        }
+    }
+
+    // Measured burst: 6,400 folds, all into existing groups.
+    let before = allocs();
+    for _ in 0..100 {
+        for k in &keys {
+            pr.accept(k, &1u64.to_le_bytes()).unwrap();
+        }
+    }
+    let during = allocs() - before;
+    assert_eq!(during, 0, "steady-state folds allocated {during} times");
+
+    let stats = pr.group_stats();
+    assert_eq!(stats.inserts, 104 * 64);
+    assert_eq!(pr.unique_keys(), 64);
+}

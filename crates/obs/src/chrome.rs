@@ -90,6 +90,23 @@ fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
                     ),
                 ]));
             }
+            EventKind::GroupRehash => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("group-rehash".into())),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("capacity", Json::Num(e.a as f64)),
+                            ("groups", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
             EventKind::CombinerFlush => {
                 out.push(Json::obj(vec![
                     ("name", Json::Str("combiner-flush".into())),

@@ -133,11 +133,14 @@ pub enum EventKind {
     /// The combiner table flushed into the shuffle. `a` = entries,
     /// `b` = estimated table bytes before the flush.
     CombinerFlush = 9,
+    /// A group index rebuilt its slot table. `a` = new slot capacity,
+    /// `b` = live groups re-placed.
+    GroupRehash = 10,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -148,6 +151,7 @@ impl EventKind {
         EventKind::SpillBegin,
         EventKind::SpillEnd,
         EventKind::CombinerFlush,
+        EventKind::GroupRehash,
     ];
 
     /// Stable serialization name.
@@ -163,6 +167,7 @@ impl EventKind {
             EventKind::SpillBegin => "spill_begin",
             EventKind::SpillEnd => "spill_end",
             EventKind::CombinerFlush => "combiner_flush",
+            EventKind::GroupRehash => "group_rehash",
         }
     }
 

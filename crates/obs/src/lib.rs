@@ -34,5 +34,6 @@ pub use recorder::{
     SpanGuard, DEFAULT_CAPACITY,
 };
 pub use report::{
-    CommCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, ShuffleCounters,
+    CommCounters, GroupCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport,
+    ShuffleCounters,
 };

@@ -160,6 +160,56 @@ impl PhasePeaks {
     }
 }
 
+/// Grouping-engine counters (mirrors `mimir-core`'s `GroupStats`): the
+/// arena-keyed group index behind convert, the combiner, and partial
+/// reduction. All zero when the legacy `HashMap` engine ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCounters {
+    /// Keys routed through the index (one per KV).
+    pub inserts: u64,
+    /// Probe steps beyond the home slot, summed over inserts.
+    pub probes: u64,
+    /// Longest single probe sequence.
+    pub max_probe: u64,
+    /// Slot-table rebuilds with live entries.
+    pub rehashes: u64,
+    /// Key bytes interned into the arena.
+    pub interned_bytes: u64,
+    /// Unique keys grouped.
+    pub groups: u64,
+    /// Slot-table capacity at measurement time.
+    pub capacity: u64,
+    /// Probe-length histogram: buckets 0, 1, 2, 3, 4–7, 8–15, 16–31,
+    /// 32+.
+    pub probe_hist: [u64; 8],
+}
+
+impl GroupCounters {
+    /// Sums the traffic counters and the histogram; extremes
+    /// (`max_probe`, `capacity`) take the max.
+    pub fn merge(&mut self, other: &GroupCounters) {
+        self.inserts += other.inserts;
+        self.probes += other.probes;
+        self.max_probe = self.max_probe.max(other.max_probe);
+        self.rehashes += other.rehashes;
+        self.interned_bytes += other.interned_bytes;
+        self.groups += other.groups;
+        self.capacity = self.capacity.max(other.capacity);
+        for (a, b) in self.probe_hist.iter_mut().zip(other.probe_hist.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean probe steps per insert (0 when nothing was inserted).
+    pub fn avg_probe(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.inserts as f64
+        }
+    }
+}
+
 /// Job-level counters (mirrors parts of `mimir-core`'s `JobStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounters {
@@ -196,6 +246,8 @@ pub struct RankReport {
     pub mem: MemCounters,
     /// Shuffle counters.
     pub shuffle: ShuffleCounters,
+    /// Grouping-engine counters.
+    pub group: GroupCounters,
     /// Per-phase wall-clock times.
     pub times: PhaseTimes,
     /// Per-phase memory peaks.
@@ -228,6 +280,7 @@ impl RankReport {
         self.comm.merge(&other.comm);
         self.mem.merge(&other.mem);
         self.shuffle.merge(&other.shuffle);
+        self.group.merge(&other.group);
         self.times.merge(&other.times);
         self.peaks.merge(&other.peaks);
         self.job.merge(&other.job);
@@ -298,6 +351,31 @@ impl RankReport {
                     (
                         "max_round_recv_bytes",
                         Json::Num(self.shuffle.max_round_recv_bytes as f64),
+                    ),
+                ]),
+            ),
+            (
+                "group",
+                Json::obj(vec![
+                    ("inserts", Json::Num(self.group.inserts as f64)),
+                    ("probes", Json::Num(self.group.probes as f64)),
+                    ("max_probe", Json::Num(self.group.max_probe as f64)),
+                    ("rehashes", Json::Num(self.group.rehashes as f64)),
+                    (
+                        "interned_bytes",
+                        Json::Num(self.group.interned_bytes as f64),
+                    ),
+                    ("groups", Json::Num(self.group.groups as f64)),
+                    ("capacity", Json::Num(self.group.capacity as f64)),
+                    (
+                        "probe_hist",
+                        Json::Arr(
+                            self.group
+                                .probe_hist
+                                .iter()
+                                .map(|&n| Json::Num(n as f64))
+                                .collect(),
+                        ),
                     ),
                 ]),
             ),
@@ -415,6 +493,26 @@ impl RankReport {
                 bytes_received: u_opt(&["shuffle", "bytes_received"]),
                 max_round_recv_bytes: u_opt(&["shuffle", "max_round_recv_bytes"]),
             },
+            group: {
+                // Added after the first release: the whole object may be
+                // absent in old reports, so every field parses leniently.
+                let mut probe_hist = [0u64; 8];
+                if let Some(Json::Arr(items)) = v.get("group").and_then(|g| g.get("probe_hist")) {
+                    for (slot, item) in probe_hist.iter_mut().zip(items.iter()) {
+                        *slot = item.as_u64().unwrap_or(0);
+                    }
+                }
+                GroupCounters {
+                    inserts: u_opt(&["group", "inserts"]),
+                    probes: u_opt(&["group", "probes"]),
+                    max_probe: u_opt(&["group", "max_probe"]),
+                    rehashes: u_opt(&["group", "rehashes"]),
+                    interned_bytes: u_opt(&["group", "interned_bytes"]),
+                    groups: u_opt(&["group", "groups"]),
+                    capacity: u_opt(&["group", "capacity"]),
+                    probe_hist,
+                }
+            },
             times: PhaseTimes {
                 map_s: field(v, &["times", "map_s"])?,
                 aggregate_s: field(v, &["times", "aggregate_s"])?,
@@ -483,6 +581,16 @@ mod tests {
                 spilled_bytes: 0,
                 bytes_received: 850,
                 max_round_recv_bytes: 400 + rank,
+            },
+            group: GroupCounters {
+                inserts: 200 * (rank + 1),
+                probes: 40,
+                max_probe: 3 + rank,
+                rehashes: 5,
+                interned_bytes: 640,
+                groups: 50,
+                capacity: 128,
+                probe_hist: [150, 30, 10, 5, 5, 0, 0, rank],
             },
             times: PhaseTimes {
                 map_s: 0.5 + rank as f64,
