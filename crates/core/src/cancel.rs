@@ -1,0 +1,59 @@
+//! Cooperative job cancellation.
+//!
+//! A [`CancelToken`] is a shared flag the owner (typically a scheduler on
+//! the same rank, or any thread) can raise at any time; the job observes
+//! it at **phase boundaries**, where every rank is already synchronizing.
+//!
+//! The check is itself collective: each rank contributes its local view of
+//! the flag to an `allreduce Max` on the job's own communicator, so either
+//! *all* ranks abandon the job at the same boundary or none do — a rank
+//! can never run `convert` while a peer has already bailed out of the
+//! matching collective sequence. Raising the flag on a single rank is
+//! therefore enough to cancel the whole job. When no token is installed
+//! the checkpoints cost nothing (no extra collectives).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag for one job (cheaply clonable; all clones
+/// observe the same flag).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-raised token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; callable from any thread. The
+    /// job stops at its next phase boundary with
+    /// [`crate::MimirError::Cancelled`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// This clone's local view of the flag (the collective checkpoint is
+    /// what makes the *global* decision).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t2.is_cancelled());
+        t.cancel();
+        assert!(t2.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+}

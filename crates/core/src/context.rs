@@ -5,7 +5,7 @@ use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 
 use crate::job::MapReduceJob;
-use crate::{MimirConfig, Result};
+use crate::{CancelToken, MimirConfig, Result};
 
 /// A rank's handle to the Mimir runtime: communication, the node memory
 /// pool, the I/O model, and framework configuration. One context serves
@@ -15,6 +15,7 @@ pub struct MimirContext<'w> {
     pub(crate) pool: MemPool,
     pub(crate) io: IoModel,
     pub(crate) cfg: MimirConfig,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl<'w> MimirContext<'w> {
@@ -30,7 +31,18 @@ impl<'w> MimirContext<'w> {
             pool,
             io,
             cfg,
+            cancel: None,
         })
+    }
+
+    /// Installs a cooperative cancellation token: every job run on this
+    /// context votes on the flag collectively at its phase boundaries and
+    /// fails with [`crate::MimirError::Cancelled`] once any rank's clone
+    /// has been raised. Without a token the checkpoints are free (no extra
+    /// collectives). Every rank of the job must install a token (or none):
+    /// the vote is a collective.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// This rank's index.

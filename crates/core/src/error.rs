@@ -27,6 +27,11 @@ pub enum MimirError {
     HintViolation(String),
     /// Invalid job configuration.
     Config(String),
+    /// The job was cooperatively cancelled at a phase boundary (its
+    /// [`crate::CancelToken`] was raised on some rank). All ranks of the
+    /// job observe this error at the same boundary, so partially-built
+    /// containers drop — and credit their pool — on every rank.
+    Cancelled,
 }
 
 impl fmt::Display for MimirError {
@@ -39,6 +44,7 @@ impl fmt::Display for MimirError {
             }
             MimirError::HintViolation(msg) => write!(f, "KV-hint violation: {msg}"),
             MimirError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            MimirError::Cancelled => write!(f, "job cancelled at a phase boundary"),
         }
     }
 }
@@ -70,5 +76,10 @@ impl MimirError {
     /// condition the bench harness turns into a "missing data point".
     pub fn is_oom(&self) -> bool {
         matches!(self, MimirError::Mem(MemError::OutOfMemory { .. }))
+    }
+
+    /// True when the job stopped because its cancel token was raised.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, MimirError::Cancelled)
     }
 }

@@ -191,8 +191,13 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
     /// owner ranks and returned ungrouped (the BFS traversal shape).
     pub fn map_shuffle(self, map: MapFn<'_>) -> Result<JobOutput> {
         let MimirContext {
-            comm, pool, cfg, ..
+            comm,
+            pool,
+            cfg,
+            cancel,
+            ..
         } = &mut *self.ctx;
+        cancel_checkpoint(comm, cancel)?;
         let t0 = Instant::now();
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
@@ -233,8 +238,13 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         compress: CombineFn<'_>,
     ) -> Result<JobOutput> {
         let MimirContext {
-            comm, pool, cfg, ..
+            comm,
+            pool,
+            cfg,
+            cancel,
+            ..
         } = &mut *self.ctx;
+        cancel_checkpoint(comm, cancel)?;
         let t0 = Instant::now();
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
@@ -286,9 +296,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let out_meta = self.out_meta;
         let kv_meta = self.kv_meta;
         let MimirContext {
-            comm, pool, cfg, ..
+            comm,
+            pool,
+            cfg,
+            cancel,
+            ..
         } = &mut *self.ctx;
         let gmode = self.grouping_mode.unwrap_or(cfg.grouping_mode);
+        cancel_checkpoint(comm, cancel)?;
 
         // --- map + implicit aggregate --------------------------------
         let t0 = Instant::now();
@@ -328,6 +343,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(agg_span);
         let map_time = t0.elapsed();
         let map_peak_bytes = pool.phase_peak();
+        cancel_checkpoint(comm, cancel)?;
 
         // --- convert ---------------------------------------------------
         let t1 = Instant::now();
@@ -338,6 +354,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(convert_span);
         let convert_time = t1.elapsed();
         let convert_peak_bytes = pool.phase_peak();
+        cancel_checkpoint(comm, cancel)?;
 
         // --- reduce ----------------------------------------------------
         let t2 = Instant::now();
@@ -386,9 +403,14 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let out_meta = self.out_meta;
         let kv_meta = self.kv_meta;
         let MimirContext {
-            comm, pool, cfg, ..
+            comm,
+            pool,
+            cfg,
+            cancel,
+            ..
         } = &mut *self.ctx;
         let gmode = self.grouping_mode.unwrap_or(cfg.grouping_mode);
+        cancel_checkpoint(comm, cancel)?;
 
         let t0 = Instant::now();
         pool.reset_phase_peak();
@@ -425,6 +447,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(agg_span);
         let map_time = t0.elapsed();
         let map_peak_bytes = pool.phase_peak();
+        cancel_checkpoint(comm, cancel)?;
 
         let t2 = Instant::now();
         pool.reset_phase_peak();
@@ -455,6 +478,23 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             },
         })
     }
+}
+
+/// Collective cancellation checkpoint at a phase boundary: free when no
+/// [`crate::CancelToken`] is installed; otherwise an `allreduce Max` vote
+/// of the local flag on the job's communicator, so all ranks abandon the
+/// job at the same boundary (see the `cancel` module docs).
+fn cancel_checkpoint(
+    comm: &mut mimir_mpi::Comm,
+    cancel: &Option<crate::CancelToken>,
+) -> Result<()> {
+    if let Some(token) = cancel {
+        let raised = comm.allreduce_u64(mimir_mpi::ReduceOp::Max, u64::from(token.is_cancelled()));
+        if raised != 0 {
+            return Err(crate::MimirError::Cancelled);
+        }
+    }
+    Ok(())
 }
 
 /// Runs `map` through a compression table, flushing into `shuffler`

@@ -39,6 +39,7 @@
 //!   table for less communication.
 
 mod buffer;
+mod cancel;
 mod combiner;
 mod config;
 mod context;
@@ -59,6 +60,7 @@ mod staging;
 mod stats;
 pub mod typed;
 
+pub use cancel::CancelToken;
 pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
 pub use config::{GroupingMode, KvMeta, LenHint, MimirConfig, ShuffleMode};
 pub use context::MimirContext;

@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -92,6 +92,10 @@ pub struct IoModel {
 
 struct ModelInner {
     cfg: IoModelConfig,
+    /// When set, every charge also *sleeps* its modeled duration, turning
+    /// the accounting model into a wall-clock stall — see
+    /// [`IoModel::set_paced`].
+    paced: AtomicBool,
     modeled_nanos: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
@@ -124,6 +128,7 @@ impl IoModel {
         Ok(Self {
             inner: Arc::new(ModelInner {
                 cfg,
+                paced: AtomicBool::new(false),
                 modeled_nanos: AtomicU64::new(0),
                 bytes_read: AtomicU64::new(0),
                 bytes_written: AtomicU64::new(0),
@@ -189,6 +194,25 @@ impl IoModel {
         self.inner.cfg
     }
 
+    /// Turns pacing on or off (shared by all clones of this model).
+    ///
+    /// Unpaced (the default), charges only *account* modeled time — runs
+    /// finish as fast as the CPU allows and the modeled PFS time is a
+    /// number in the report. Paced, every charge also sleeps its modeled
+    /// duration on the calling thread, so an I/O-bound phase really stalls
+    /// the rank that issued it. That is what gives a multi-job scheduler
+    /// something to overlap: while one job sleeps in its ingest reads,
+    /// another job's compute proceeds — the same latency-hiding the paper's
+    /// platforms get from asynchronous PFS traffic.
+    pub fn set_paced(&self, paced: bool) {
+        self.inner.paced.store(paced, Ordering::Release);
+    }
+
+    /// Whether charges currently sleep their modeled duration.
+    pub fn is_paced(&self) -> bool {
+        self.inner.paced.load(Ordering::Acquire)
+    }
+
     fn charge(&self, bytes: usize, bw: f64) -> Duration {
         let transfer = if bw.is_finite() {
             Duration::from_secs_f64(bytes as f64 / bw)
@@ -199,6 +223,9 @@ impl IoModel {
         self.inner
             .modeled_nanos
             .fetch_add(total.as_nanos() as u64, Ordering::AcqRel);
+        if total > Duration::ZERO && self.is_paced() {
+            std::thread::sleep(total);
+        }
         total
     }
 }
@@ -259,6 +286,26 @@ mod tests {
             op_latency: Duration::ZERO,
         };
         assert!(IoModel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn paced_model_sleeps_the_modeled_time() {
+        let m = IoModel::new(IoModelConfig {
+            read_bw: f64::INFINITY,
+            write_bw: f64::INFINITY,
+            op_latency: Duration::from_millis(20),
+        })
+        .unwrap();
+        let quick = std::time::Instant::now();
+        m.charge_read(1);
+        assert!(
+            quick.elapsed() < Duration::from_millis(15),
+            "unpaced is free"
+        );
+        m.set_paced(true);
+        let slow = std::time::Instant::now();
+        m.charge_read(1);
+        assert!(slow.elapsed() >= Duration::from_millis(20), "paced stalls");
     }
 
     #[test]

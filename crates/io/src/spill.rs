@@ -15,15 +15,41 @@ pub struct SpillStore {
     dir: PathBuf,
     model: IoModel,
     counter: Arc<AtomicU64>,
+    /// Total payload bytes written through this store's files, so per-job
+    /// (per-communicator) disk usage is reportable while the job runs.
+    bytes_written: Arc<AtomicU64>,
     owns_dir: bool,
 }
 
 impl SpillStore {
     /// Creates a store in a fresh unique subdirectory of the system temp
     /// directory; the directory is removed when the store drops.
+    ///
+    /// Shorthand for [`Self::new_temp_scoped`] with the default `"world"`
+    /// scope.
     pub fn new_temp(label: &str, model: IoModel) -> Result<Self> {
+        Self::new_temp_scoped("world", label, model)
+    }
+
+    /// Creates a temp-directory store whose directory name carries the
+    /// owning world/communicator name (e.g. `Comm::name()`), so the spill
+    /// dirs of concurrent jobs are attributable at a glance:
+    /// `mimir-spill-<scope>-<label>-<pid>-<token>`.
+    pub fn new_temp_scoped(scope: &str, label: &str, model: IoModel) -> Result<Self> {
+        // Communicator names contain dots ("world.job3"); keep those, but
+        // strip path separators and whitespace defensively.
+        let scope: String = scope
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
         let unique = format!(
-            "mimir-spill-{label}-{}-{:x}",
+            "mimir-spill-{scope}-{label}-{}-{:x}",
             std::process::id(),
             fresh_token()
         );
@@ -33,6 +59,7 @@ impl SpillStore {
             dir,
             model,
             counter: Arc::new(AtomicU64::new(0)),
+            bytes_written: Arc::new(AtomicU64::new(0)),
             owns_dir: true,
         })
     }
@@ -43,6 +70,7 @@ impl SpillStore {
             dir: dir.into(),
             model,
             counter: Arc::new(AtomicU64::new(0)),
+            bytes_written: Arc::new(AtomicU64::new(0)),
             owns_dir: false,
         }
     }
@@ -61,7 +89,19 @@ impl SpillStore {
             model: self.model.clone(),
             bytes: 0,
             chunks: 0,
+            store_bytes: Arc::clone(&self.bytes_written),
         })
+    }
+
+    /// The directory the store's files live in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Total payload bytes written through this store so far (across all
+    /// its files, including deleted ones) — the per-job disk usage number.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
     }
 
     /// The cost model this store charges.
@@ -90,6 +130,8 @@ pub struct SpillFile {
     model: IoModel,
     bytes: u64,
     chunks: u64,
+    /// The owning store's cumulative byte counter.
+    store_bytes: Arc<AtomicU64>,
 }
 
 impl SpillFile {
@@ -110,6 +152,8 @@ impl SpillFile {
             )))?;
         self.model.charge_write(data.len() + 8);
         self.bytes += data.len() as u64;
+        self.store_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.chunks += 1;
         Ok(())
     }
@@ -283,5 +327,44 @@ mod tests {
         let a = store.create("x").unwrap();
         let b = store.create("x").unwrap();
         assert_ne!(a.path, b.path);
+    }
+
+    #[test]
+    fn scoped_store_names_dir_after_communicator() {
+        let store = SpillStore::new_temp_scoped("world.job3", "wc", IoModel::free()).unwrap();
+        let dirname = store
+            .dir()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            dirname.starts_with("mimir-spill-world.job3-wc-"),
+            "dir: {dirname}"
+        );
+        // Path separators in a hostile scope must not escape the temp dir.
+        let store = SpillStore::new_temp_scoped("a/../b", "wc", IoModel::free()).unwrap();
+        let dirname = store
+            .dir()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            dirname.starts_with("mimir-spill-a_.._b-wc-"),
+            "dir: {dirname}"
+        );
+    }
+
+    #[test]
+    fn store_tracks_cumulative_bytes_across_files() {
+        let store = SpillStore::new_temp("t", IoModel::free()).unwrap();
+        let mut a = store.create("x").unwrap();
+        a.write_chunk(&[1u8; 100]).unwrap();
+        a.finish().unwrap();
+        let mut b = store.create("y").unwrap();
+        b.write_chunk(&[2u8; 50]).unwrap();
+        b.delete().unwrap();
+        assert_eq!(store.bytes_written(), 150, "deleted files still count");
     }
 }

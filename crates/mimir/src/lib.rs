@@ -50,18 +50,20 @@ pub use mimir_datagen as datagen;
 pub use mimir_io as io;
 pub use mimir_mem as mem;
 pub use mimir_mpi as mpi;
+pub use mimir_sched as sched;
 pub use mrmpi;
 
 /// The names most programs need.
 pub mod prelude {
     pub use mimir_core::{
-        run_iterative_with_recovery, typed, CheckpointStore, Emitter, JobOutput, JobStats,
-        KvContainer, KvMeta, LenHint, MimirConfig, MimirContext, MimirError, Partitioner,
+        run_iterative_with_recovery, typed, CancelToken, CheckpointStore, Emitter, JobOutput,
+        JobStats, KvContainer, KvMeta, LenHint, MimirConfig, MimirContext, MimirError, Partitioner,
         StagedKvs, ValueIter,
     };
     pub use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
     pub use mimir_io::{IoModel, IoModelConfig, SpillStore};
     pub use mimir_mem::{MemPool, NodeMap};
-    pub use mimir_mpi::{run_world, run_world_result, Comm, ReduceOp};
+    pub use mimir_mpi::{run_world, run_world_result, Comm, ReduceOp, WorldError};
+    pub use mimir_sched::{JobOutcome, JobService, JobSpec, JobState, JobYield, SchedConfig};
     pub use mrmpi::{MapReduce, MrMpiConfig, OocMode};
 }

@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender};
 
 use crate::error::DisconnectPanic;
 use crate::msg::{tags, Msg, Payload, Tag};
@@ -49,8 +49,14 @@ impl Request {
 /// `(source, tag)`; messages that arrive ahead of the matching receive are
 /// parked in a per-source pending queue, preserving FIFO order per pair.
 pub struct Comm {
+    name: String,
     rank: usize,
     size: usize,
+    /// Number of derived communicators ([`Comm::dup`] / [`Comm::split`])
+    /// created from this one so far. All ranks execute the same derivation
+    /// sequence (dup/split are collective), so the counter doubles as a
+    /// cross-rank sequence number for the consistency handshake.
+    derived: u64,
     /// Sender endpoint towards each destination rank.
     txs: Vec<Sender<Msg>>,
     /// Receiver endpoint from each source rank.
@@ -59,13 +65,16 @@ pub struct Comm {
     pending: Vec<VecDeque<Msg>>,
     /// Idle message buffers, recycled between rounds so the steady-state
     /// exchange path performs no heap allocation (`send_allocs` counts the
-    /// misses).
+    /// misses). Each communicator owns its own free-list: concurrent jobs
+    /// on dup'd communicators never contend for (or poison) each other's
+    /// pooled buffers.
     free_bufs: Vec<Vec<u8>>,
     pub(crate) stats: CommStats,
 }
 
 impl Comm {
     pub(crate) fn new(
+        name: String,
         rank: usize,
         size: usize,
         txs: Vec<Sender<Msg>>,
@@ -74,8 +83,10 @@ impl Comm {
         debug_assert_eq!(txs.len(), size);
         debug_assert_eq!(rxs.len(), size);
         Self {
+            name,
             rank,
             size,
+            derived: 0,
             txs,
             rxs,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
@@ -94,6 +105,15 @@ impl Comm {
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// This communicator's name — `"world"` for the root communicator of
+    /// [`crate::run_world`], with a `.dupN` / `.splitN.cC` / custom-label
+    /// suffix appended per derivation. Spill directories and trace lanes
+    /// use it to attribute resources to the communicator that owns them.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Communication counters accumulated by this rank so far.
@@ -249,6 +269,27 @@ impl Comm {
             Payload::Heap(bytes) => {
                 u64::from_le_bytes(bytes.try_into().expect("8-byte u64 payload"))
             }
+            Payload::Chan(_) => unreachable!("channel payload on a value tag"),
+        }
+    }
+
+    /// Ships a fresh channel sender to `dst` (communicator-derivation
+    /// control plane only).
+    fn send_chan_internal(&mut self, dst: usize, tag: Tag, sender: Sender<Msg>) {
+        self.send_msg(
+            dst,
+            Msg {
+                tag,
+                data: Payload::Chan(sender),
+            },
+        );
+    }
+
+    /// Receives a channel sender shipped with [`Self::send_chan_internal`].
+    fn recv_chan_internal(&mut self, src: usize, tag: Tag) -> Sender<Msg> {
+        match self.recv_msg(src, tag) {
+            Payload::Chan(s) => s,
+            other => unreachable!("expected channel payload, got {} bytes", other.len()),
         }
     }
 
@@ -287,9 +328,162 @@ impl Comm {
     }
 }
 
+/// Derivation-handshake opcode for [`Comm::dup`] (top byte of the token).
+const DERIVE_DUP: u64 = 1;
+/// Derivation-handshake opcode for [`Comm::split`].
+const DERIVE_SPLIT: u64 = 2;
+/// Low bits of the handshake token carrying the derivation sequence number.
+const DERIVE_SEQ_MASK: u64 = 0x00FF_FFFF_FFFF_FFFF;
+
+impl Comm {
+    /// Duplicates this communicator (collective).
+    ///
+    /// Every rank receives a new communicator spanning the same group with
+    /// the same rank numbering but a *private channel matrix*: traffic on
+    /// the duplicate can never match traffic on the parent or on any other
+    /// duplicate, whatever tags either side uses. This is the isolation
+    /// primitive the job scheduler hands to each running job, so two jobs'
+    /// `alltoallv` rounds can interleave on the same ranks (even from
+    /// different threads — the duplicate is `Send` and fully independent).
+    ///
+    /// The duplicate starts with an empty pooled-buffer free-list, so
+    /// concurrent owners never contend for recycled buffers.
+    ///
+    /// # Panics
+    /// Panics if ranks disagree on the derivation sequence (one rank calls
+    /// `dup` while another calls `split`, or their derivation counts have
+    /// diverged) — the collective-consistency assert.
+    pub fn dup(&mut self) -> Comm {
+        let seq = self.begin_derivation(DERIVE_DUP);
+        let name = format!("{}.dup{seq}", self.name);
+        self.build_dup(name)
+    }
+
+    /// [`Comm::dup`] with a caller-chosen label suffix (e.g. a job name),
+    /// visible in spill directories and panic messages.
+    pub fn dup_named(&mut self, label: &str) -> Comm {
+        let _seq = self.begin_derivation(DERIVE_DUP);
+        let name = format!("{}.{label}", self.name);
+        self.build_dup(name)
+    }
+
+    /// Partitions this communicator into disjoint sub-communicators
+    /// (collective): ranks passing the same `Some(color)` form one group,
+    /// ordered by `(key, parent rank)`; ranks passing `None` participate
+    /// in the exchange but receive no communicator (MPI's
+    /// `MPI_UNDEFINED`).
+    ///
+    /// # Panics
+    /// Panics on a derivation-sequence mismatch, like [`Comm::dup`].
+    pub fn split(&mut self, color: Option<u64>, key: u64) -> Option<Comm> {
+        let seq = self.begin_derivation(DERIVE_SPLIT);
+        // Membership exchange: every rank contributes (present, color, key)
+        // so the group roster is known identically everywhere.
+        let mut payload = [0u8; 17];
+        payload[0] = u8::from(color.is_some());
+        payload[1..9].copy_from_slice(&color.unwrap_or(0).to_le_bytes());
+        payload[9..17].copy_from_slice(&key.to_le_bytes());
+        let all = self.allgather(payload.to_vec());
+        let my_color = color?;
+        let mut members: Vec<(u64, usize)> = Vec::new();
+        for (old_rank, buf) in all.iter().enumerate() {
+            let present = buf[0] != 0;
+            let c = u64::from_le_bytes(buf[1..9].try_into().expect("color bytes"));
+            let k = u64::from_le_bytes(buf[9..17].try_into().expect("key bytes"));
+            if present && c == my_color {
+                members.push((k, old_rank));
+            }
+        }
+        members.sort_unstable();
+        let new_size = members.len();
+        let new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("caller belongs to its own color group");
+        let name = format!("{}.split{seq}.c{my_color}", self.name);
+
+        let mut txs: Vec<Option<Sender<Msg>>> = (0..new_size).map(|_| None).collect();
+        let mut rxs = Vec::with_capacity(new_size);
+        for (src_new, &(_, src_old)) in members.iter().enumerate() {
+            let (t, r) = mpsc::channel::<Msg>();
+            rxs.push(r);
+            if src_new == new_rank {
+                txs[new_rank] = Some(t);
+            } else {
+                self.send_chan_internal(src_old, tags::SPLIT, t);
+            }
+        }
+        for (dst_new, &(_, dst_old)) in members.iter().enumerate() {
+            if dst_new != new_rank {
+                txs[dst_new] = Some(self.recv_chan_internal(dst_old, tags::SPLIT));
+            }
+        }
+        let txs = txs
+            .into_iter()
+            .map(|t| t.expect("endpoint exchanged"))
+            .collect();
+        Some(Comm::new(name, new_rank, new_size, txs, rxs))
+    }
+
+    /// Collective entry gate for `dup`/`split`: allgathers a token packing
+    /// (opcode, per-comm derivation sequence) and asserts every rank sent
+    /// the same one. Catching the divergence here — rather than hanging in
+    /// some later mismatched collective — is what makes concurrent-job
+    /// bugs debuggable.
+    fn begin_derivation(&mut self, opcode: u64) -> u64 {
+        let seq = self.derived;
+        self.derived += 1;
+        let token = (opcode << 56) | (seq & DERIVE_SEQ_MASK);
+        let tokens = self.allgather_u64(token);
+        for (r, &t) in tokens.iter().enumerate() {
+            assert!(
+                t == token,
+                "collective-consistency violation on \"{}\": rank {} entered \
+                 derivation token {token:#x} but rank {r} entered {t:#x} \
+                 (mixed dup/split calls or diverged derivation counts)",
+                self.name,
+                self.rank,
+            );
+        }
+        seq
+    }
+
+    /// Builds the duplicate's channel matrix: this rank creates one fresh
+    /// channel per source, keeps every receiving half, and ships each
+    /// sending half to the rank that will use it — all over the parent's
+    /// reserved `DUP` tag, so user traffic can't interleave. Sends are
+    /// eager, so posting all sends before any receive cannot deadlock.
+    fn build_dup(&mut self, name: String) -> Comm {
+        let me = self.rank;
+        let size = self.size;
+        let mut txs: Vec<Option<Sender<Msg>>> = (0..size).map(|_| None).collect();
+        let mut rxs = Vec::with_capacity(size);
+        for src in 0..size {
+            let (t, r) = mpsc::channel::<Msg>();
+            rxs.push(r);
+            if src == me {
+                txs[me] = Some(t);
+            } else {
+                self.send_chan_internal(src, tags::DUP, t);
+            }
+        }
+        for (dst, tx) in txs.iter_mut().enumerate() {
+            if dst != me {
+                *tx = Some(self.recv_chan_internal(dst, tags::DUP));
+            }
+        }
+        let txs = txs
+            .into_iter()
+            .map(|t| t.expect("endpoint exchanged"))
+            .collect();
+        Comm::new(name, me, size, txs, rxs)
+    }
+}
+
 impl std::fmt::Debug for Comm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Comm")
+            .field("name", &self.name)
             .field("rank", &self.rank)
             .field("size", &self.size)
             .finish()

@@ -34,7 +34,7 @@ mod world;
 
 pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Request};
-pub use error::CommError;
+pub use error::{is_disconnect_panic, panic_message, CommError, WorldError};
 pub use msg::Tag;
 pub use stats::CommStats;
 pub use world::{run_world, run_world_named, run_world_result};

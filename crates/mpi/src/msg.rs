@@ -15,11 +15,15 @@ pub(crate) mod tags {
     pub const GATHER: Tag = 0xFFFF_FF03;
     pub const ALLGATHER: Tag = 0xFFFF_FF04;
     pub const ALLTOALLV: Tag = 0xFFFF_FF05;
+    /// Channel-endpoint exchange inside [`crate::Comm::dup`].
+    pub const DUP: Tag = 0xFFFF_FF06;
+    /// Channel-endpoint exchange inside [`crate::Comm::split`].
+    pub const SPLIT: Tag = 0xFFFF_FF07;
 }
 
-/// Message payload: either a single `u64` carried inline (the collectives'
-/// control-message path — no heap allocation per hop) or an owned byte
-/// buffer.
+/// Message payload: a single `u64` carried inline (the collectives'
+/// control-message path — no heap allocation per hop), an owned byte
+/// buffer, or a channel endpoint shipped during communicator construction.
 #[derive(Debug)]
 pub(crate) enum Payload {
     /// A `u64` carried inline in the message struct. On the wire this is
@@ -29,14 +33,22 @@ pub(crate) enum Payload {
     /// pool so steady-state exchange traffic reuses a stable set of
     /// allocations.
     Heap(Vec<u8>),
+    /// A fresh channel sender shipped to a peer while building a derived
+    /// communicator ([`crate::Comm::dup`] / [`crate::Comm::split`]). This
+    /// is how a new communicator gets a genuinely private channel matrix:
+    /// each rank keeps the receiving halves and distributes the sending
+    /// halves over the parent communicator's reserved tag space.
+    Chan(std::sync::mpsc::Sender<Msg>),
 }
 
 impl Payload {
-    /// Wire length in bytes.
+    /// Wire length in bytes. Channel endpoints are control-plane objects
+    /// with no wire representation; they count as zero payload bytes.
     pub fn len(&self) -> usize {
         match self {
             Payload::Small(_) => 8,
             Payload::Heap(v) => v.len(),
+            Payload::Chan(_) => 0,
         }
     }
 
@@ -46,6 +58,7 @@ impl Payload {
         match self {
             Payload::Small(v) => v.to_le_bytes().to_vec(),
             Payload::Heap(v) => v,
+            Payload::Chan(_) => unreachable!("channel payloads never reach byte receives"),
         }
     }
 }

@@ -2,7 +2,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 
 use crate::comm::Comm;
-use crate::error::DisconnectPanic;
+use crate::error::{panic_message, DisconnectPanic, WorldError};
 use crate::msg::Msg;
 
 /// Runs `f` as an SPMD program across `n_ranks` rank threads and returns
@@ -40,6 +40,31 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
+    match run_world_inner(name, n_ranks, &f) {
+        Ok(results) => results,
+        Err(mut panics) => {
+            // Prefer a root-cause panic over the disconnect cascade it
+            // caused.
+            let root = panics
+                .iter()
+                .position(|(_, p)| !p.is::<DisconnectPanic>())
+                .unwrap_or(0);
+            std::panic::resume_unwind(panics.swap_remove(root).1)
+        }
+    }
+}
+
+/// A rank's panic payload, tagged with the rank that raised it.
+type RankPanic = (usize, Box<dyn std::any::Any + Send>);
+
+/// Spawns the rank threads and joins them, returning either every rank's
+/// result or the full set of `(rank, panic payload)` failures for the
+/// caller to interpret.
+fn run_world_inner<R, F>(name: &str, n_ranks: usize, f: &F) -> Result<Vec<R>, Vec<RankPanic>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
     assert!(n_ranks > 0, "world needs at least one rank");
 
     // Channel matrix: one FIFO channel per (src, dst) pair.
@@ -60,14 +85,13 @@ where
         .into_iter()
         .zip(rxs)
         .enumerate()
-        .map(|(rank, (tx_row, rx_row))| Comm::new(rank, n_ranks, tx_row, rx_row))
+        .map(|(rank, (tx_row, rx_row))| Comm::new(name.to_string(), rank, n_ranks, tx_row, rx_row))
         .collect();
 
     let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
-    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+    let mut panics: Vec<RankPanic> = Vec::new();
 
     std::thread::scope(|scope| {
-        let f = &f;
         let handles: Vec<_> = comms
             .into_iter()
             .enumerate()
@@ -89,54 +113,73 @@ where
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join().expect("rank thread result") {
                 Ok(r) => results[rank] = Some(r),
-                Err(payload) => panics.push(payload),
+                Err(payload) => panics.push((rank, payload)),
             }
         }
     });
 
     if !panics.is_empty() {
-        // Prefer a root-cause panic over the disconnect cascade it caused.
-        let root = panics
-            .iter()
-            .position(|p| !p.is::<DisconnectPanic>())
-            .unwrap_or(0);
-        std::panic::resume_unwind(panics.swap_remove(root));
+        return Err(panics);
     }
 
-    results
+    Ok(results
         .into_iter()
         .map(|r| r.expect("rank completed without panic"))
-        .collect()
+        .collect())
 }
 
 /// [`run_world`] for fallible SPMD programs: a rank returning `Err`
 /// aborts the world (like `MPI_Abort` — peers blocked on collectives are
-/// torn down) and the error is returned to the caller. With multiple
-/// failing ranks, one error is returned (the others are dropped).
+/// torn down) and [`WorldError::Aborted`] carries the error back. With
+/// multiple failing ranks, the lowest-ranked abort error is returned (the
+/// others are dropped).
 ///
-/// # Panics
-/// Re-raises any panic that was not a rank-error abort.
-pub fn run_world_result<R, E, F>(n_ranks: usize, f: F) -> Result<Vec<R>, E>
+/// A rank that *panics* (instead of returning `Err`) no longer poisons the
+/// caller with an opaque re-raised panic: it surfaces as
+/// [`WorldError::RankPanicked`] naming the root-cause rank, with the
+/// disconnect cascade on its peers folded away.
+pub fn run_world_result<R, E, F>(n_ranks: usize, f: F) -> Result<Vec<R>, WorldError<E>>
 where
     R: Send,
     E: Send + 'static,
     F: Fn(&mut Comm) -> Result<R, E> + Send + Sync,
 {
     struct AbortPayload<E>(E);
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        run_world(n_ranks, |comm| match f(comm) {
-            Ok(r) => r,
-            // resume_unwind skips the panic hook: a rank-error abort is a
-            // clean control-flow path, not a bug to report on stderr.
-            Err(e) => std::panic::resume_unwind(Box::new(AbortPayload(e))),
-        })
-    }));
-    match outcome {
+    let wrapped = |comm: &mut Comm| match f(comm) {
+        Ok(r) => r,
+        // resume_unwind skips the panic hook: a rank-error abort is a
+        // clean control-flow path, not a bug to report on stderr.
+        Err(e) => std::panic::resume_unwind(Box::new(AbortPayload(e))),
+    };
+    match run_world_inner("world", n_ranks, &wrapped) {
         Ok(results) => Ok(results),
-        Err(payload) => match payload.downcast::<AbortPayload<E>>() {
-            Ok(abort) => Err(abort.0),
-            Err(other) => std::panic::resume_unwind(other),
-        },
+        Err(panics) => {
+            // Precedence: a clean abort wins (it is always a root cause),
+            // then a genuine panic, then — if every failure was a
+            // disconnect cascade, which cannot happen without a root cause
+            // but is handled defensively — the first observer.
+            let mut first_panic: Option<(usize, String)> = None;
+            let mut first_cascade: Option<(usize, String)> = None;
+            for (rank, payload) in panics {
+                match payload.downcast::<AbortPayload<E>>() {
+                    Ok(abort) => return Err(WorldError::Aborted(abort.0)),
+                    Err(payload) => {
+                        let slot = if payload.is::<DisconnectPanic>() {
+                            &mut first_cascade
+                        } else {
+                            &mut first_panic
+                        };
+                        if slot.is_none() {
+                            *slot = Some((rank, panic_message(payload.as_ref())));
+                        }
+                    }
+                }
+            }
+            let (rank, message) = first_panic
+                .or(first_cascade)
+                .expect("world failed with at least one panic");
+            Err(WorldError::RankPanicked { rank, message })
+        }
     }
 }
 
@@ -354,5 +397,143 @@ mod tests {
     fn big_world_smoke() {
         let out = run_world(64, |c| c.allreduce_u64(ReduceOp::Sum, 1));
         assert_eq!(out, vec![64; 64]);
+    }
+
+    #[test]
+    fn result_world_propagates_err_as_aborted() {
+        let res: Result<Vec<()>, _> = run_world_result(4, |c| {
+            if c.rank() == 1 {
+                Err("bad input".to_string())
+            } else {
+                let _ = c.recv(1, 1);
+                Ok(())
+            }
+        });
+        assert_eq!(
+            res,
+            Err(crate::WorldError::Aborted("bad input".to_string()))
+        );
+    }
+
+    #[test]
+    fn result_world_propagates_panic_as_structured_error() {
+        let res: Result<Vec<()>, crate::WorldError<String>> = run_world_result(4, |c| {
+            if c.rank() == 2 {
+                panic!("deliberate failure on rank 2");
+            }
+            // Peers wedge on the dead rank; the cascade must fold away.
+            let _ = c.recv(2, 1);
+            Ok(())
+        });
+        match res {
+            Err(crate::WorldError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 2);
+                assert!(message.contains("deliberate failure"), "got: {message}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dup_gives_private_channels() {
+        let out = run_world(4, |c| {
+            let mut d = c.dup();
+            assert_eq!(d.rank(), c.rank());
+            assert_eq!(d.size(), c.size());
+            assert!(d.name().starts_with("world.dup"), "name: {}", d.name());
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            // Same tag on both communicators; send order parent-first but
+            // receive dup-first. Cross-matching would swap the payloads.
+            c.send(next, 7, &[b'P', c.rank() as u8]);
+            d.send(next, 7, &[b'D', c.rank() as u8]);
+            let from_dup = d.recv(prev, 7);
+            let from_parent = c.recv(prev, 7);
+            (from_parent, from_dup)
+        });
+        for (rank, (p, d)) in out.iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            assert_eq!(p, &[b'P', prev as u8]);
+            assert_eq!(d, &[b'D', prev as u8]);
+        }
+    }
+
+    #[test]
+    fn dup_collectives_interleave_across_threads() {
+        // Each rank hands its duplicate to a separate thread; both layers
+        // run disjoint collective sequences concurrently. Any cross-match
+        // between the two channel matrices would corrupt a result or hang.
+        let out = run_world(4, |c| {
+            let mut d = c.dup();
+            let side = std::thread::spawn(move || {
+                let mut acc = 0;
+                for round in 0..100u64 {
+                    acc += d.allreduce_u64(ReduceOp::Sum, round + d.rank() as u64);
+                    d.barrier();
+                }
+                acc
+            });
+            let mut acc = 0;
+            for round in 0..100u64 {
+                acc += c.allreduce_u64(ReduceOp::Max, round * 2 + c.rank() as u64);
+            }
+            (acc, side.join().expect("dup thread"))
+        });
+        for (parent_acc, dup_acc) in out {
+            // parent: sum over rounds of max(2r, 2r+1, 2r+2, 2r+3) = 2r+3
+            assert_eq!(parent_acc, (0..100u64).map(|r| 2 * r + 3).sum::<u64>());
+            // dup: sum over rounds of (4r + 0+1+2+3)
+            assert_eq!(dup_acc, (0..100u64).map(|r| 4 * r + 6).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn split_partitions_by_color_and_orders_by_key() {
+        let out = run_world(6, |c| {
+            let color = (c.rank() % 2) as u64;
+            // Reverse the key so new rank order is reversed parent order.
+            let key = (c.size() - c.rank()) as u64;
+            let sub = c.split(Some(color), key).expect("in a group");
+            (sub.rank(), sub.size(), sub.name().to_string(), {
+                let mut s = sub;
+                s.allgather_u64(c.rank() as u64)
+            })
+        });
+        // Even ranks {0,2,4} with reversed keys → new order [4,2,0].
+        assert_eq!(out[4].0, 0);
+        assert_eq!(out[2].0, 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1, 3);
+        assert!(out[0].2.contains("split0.c0"), "name: {}", out[0].2);
+        assert_eq!(out[0].3, vec![4, 2, 0]);
+        assert_eq!(out[1].3, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn split_none_gets_no_comm() {
+        let out = run_world(4, |c| {
+            let color = (c.rank() != 0).then_some(7u64);
+            c.split(color, c.rank() as u64).map(|s| s.size())
+        });
+        assert_eq!(out, vec![None, Some(3), Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn mismatched_derivation_panics() {
+        let res = std::panic::catch_unwind(|| {
+            run_world(2, |c| {
+                if c.rank() == 0 {
+                    let _ = c.dup();
+                } else {
+                    let _ = c.split(Some(0), 0);
+                }
+            });
+        });
+        let payload = res.unwrap_err();
+        let msg = crate::panic_message(payload.as_ref());
+        assert!(
+            msg.contains("collective-consistency violation"),
+            "got: {msg}"
+        );
     }
 }

@@ -14,9 +14,64 @@ use crate::report::RankReport;
 /// Process id used for all ranks (one logical job = one process row).
 const PID: f64 = 1.0;
 
+/// Scheduler job lanes get tids far above the rank lanes:
+/// `(rank + 1) * JOB_LANE_STRIDE + job_id`, so each rank's jobs group
+/// under that rank in Perfetto's tid-sorted view.
+const JOB_LANE_STRIDE: u64 = 1_000;
+
+/// The tid of job `job_id`'s lane on `rank`.
+fn job_lane(rank: u64, job_id: u64) -> f64 {
+    ((rank + 1) * JOB_LANE_STRIDE + job_id) as f64
+}
+
 /// Converts one rank's events into trace_event records.
 fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
     let tid = Json::Num(rank as f64);
+    // Per-job lane state: which span ("queued"/"running") is open, so
+    // suspend/re-admit cycles and ends stay balanced whatever order the
+    // scheduler emitted.
+    let mut job_state: std::collections::HashMap<u64, &'static str> =
+        std::collections::HashMap::new();
+    let job_span = |out: &mut Vec<Json>,
+                    state: &mut std::collections::HashMap<u64, &'static str>,
+                    job: u64,
+                    ts: &Json,
+                    next: Option<&'static str>,
+                    args: Vec<(&str, Json)>| {
+        let lane = Json::Num(job_lane(rank, job));
+        if let Some(open) = state.remove(&job) {
+            out.push(Json::obj(vec![
+                ("name", Json::Str(open.into())),
+                ("ph", Json::Str("E".into())),
+                ("ts", ts.clone()),
+                ("pid", Json::Num(PID)),
+                ("tid", lane.clone()),
+            ]));
+        } else if next.is_some() {
+            // First sighting of this job on this rank: label its lane.
+            out.push(Json::obj(vec![
+                ("name", Json::Str("thread_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Num(PID)),
+                ("tid", lane.clone()),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::Str(format!("r{rank} job {job}")))]),
+                ),
+            ]));
+        }
+        if let Some(name) = next {
+            out.push(Json::obj(vec![
+                ("name", Json::Str(name.into())),
+                ("ph", Json::Str("B".into())),
+                ("ts", ts.clone()),
+                ("pid", Json::Num(PID)),
+                ("tid", lane),
+                ("args", Json::obj(args)),
+            ]));
+            state.insert(job, name);
+        }
+    };
     for e in events {
         // trace_event timestamps are microseconds; keep sub-µs precision
         // as a fraction.
@@ -122,6 +177,48 @@ fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
                             ("table_bytes", Json::Num(e.b as f64)),
                         ]),
                     ),
+                ]));
+            }
+            EventKind::JobSubmit => {
+                job_span(
+                    out,
+                    &mut job_state,
+                    e.a,
+                    &ts,
+                    Some("queued"),
+                    vec![("priority", Json::Num(e.b as f64))],
+                );
+            }
+            EventKind::JobAdmit => {
+                job_span(
+                    out,
+                    &mut job_state,
+                    e.a,
+                    &ts,
+                    Some("running"),
+                    vec![("footprint_bytes", Json::Num(e.b as f64))],
+                );
+            }
+            EventKind::JobSuspend => {
+                job_span(
+                    out,
+                    &mut job_state,
+                    e.a,
+                    &ts,
+                    Some("queued"),
+                    vec![("retries", Json::Num(e.b as f64))],
+                );
+            }
+            EventKind::JobEnd => {
+                job_span(out, &mut job_state, e.a, &ts, None, Vec::new());
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(format!("job {} end", e.a))),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", Json::Num(e.t_ns as f64 / 1000.0)),
+                    ("pid", Json::Num(PID)),
+                    ("tid", Json::Num(job_lane(rank, e.a))),
+                    ("args", Json::obj(vec![("outcome", Json::Num(e.b as f64))])),
                 ]));
             }
         }
@@ -240,6 +337,69 @@ mod tests {
             step_end.get("args").unwrap().get("b").unwrap().as_u64(),
             Some(123)
         );
+    }
+
+    #[test]
+    fn job_lifecycle_renders_as_balanced_lane_spans() {
+        let evs = vec![
+            Event {
+                t_ns: 1_000,
+                kind: EventKind::JobSubmit,
+                a: 3,
+                b: 7, // priority
+            },
+            Event {
+                t_ns: 2_000,
+                kind: EventKind::JobAdmit,
+                a: 3,
+                b: 4096,
+            },
+            Event {
+                t_ns: 3_000,
+                kind: EventKind::JobSuspend,
+                a: 3,
+                b: 1,
+            },
+            Event {
+                t_ns: 4_000,
+                kind: EventKind::JobAdmit,
+                a: 3,
+                b: 8192,
+            },
+            Event {
+                t_ns: 5_000,
+                kind: EventKind::JobEnd,
+                a: 3,
+                b: 0,
+            },
+        ];
+        let doc = chrome_trace(&[report_with_events(1, evs)]);
+        let trace = doc.get("traceEvents").unwrap().as_arr().unwrap().to_vec();
+        let lane = (1 + 1) * 1_000 + 3; // (rank+1)*stride + job id
+        let lane_events: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("tid").and_then(Json::as_u64) == Some(lane))
+            .collect();
+        let (mut begins, mut ends, mut metas, mut instants) = (0, 0, 0, 0);
+        for ev in &lane_events {
+            match ev.get("ph").and_then(Json::as_str) {
+                Some("B") => begins += 1,
+                Some("E") => ends += 1,
+                Some("M") => metas += 1,
+                Some("i") => instants += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(metas, 1, "one lane label");
+        assert_eq!(begins, 4, "queued, running, queued-again, running-again");
+        assert_eq!(begins, ends, "balanced spans despite suspend cycle");
+        assert_eq!(instants, 1, "job-end marker");
+        // First span on the lane is the queued state.
+        let first_b = lane_events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .unwrap();
+        assert_eq!(first_b.get("name").unwrap().as_str(), Some("queued"));
     }
 
     #[test]

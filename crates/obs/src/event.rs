@@ -136,11 +136,22 @@ pub enum EventKind {
     /// A group index rebuilt its slot table. `a` = new slot capacity,
     /// `b` = live groups re-placed.
     GroupRehash = 10,
+    /// A job entered the scheduler queue. `a` = job id, `b` = priority.
+    JobSubmit = 11,
+    /// A job passed admission (its memory reservation succeeded on every
+    /// node). `a` = job id, `b` = reserved footprint bytes.
+    JobAdmit = 12,
+    /// A job left the running set. `a` = job id, `b` = outcome code
+    /// (the scheduler's `JobOutcome` encoding).
+    JobEnd = 13,
+    /// A running job was suspended for retry after an OOM. `a` = job id,
+    /// `b` = retry count so far.
+    JobSuspend = 14,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -152,6 +163,10 @@ impl EventKind {
         EventKind::SpillEnd,
         EventKind::CombinerFlush,
         EventKind::GroupRehash,
+        EventKind::JobSubmit,
+        EventKind::JobAdmit,
+        EventKind::JobEnd,
+        EventKind::JobSuspend,
     ];
 
     /// Stable serialization name.
@@ -168,6 +183,10 @@ impl EventKind {
             EventKind::SpillEnd => "spill_end",
             EventKind::CombinerFlush => "combiner_flush",
             EventKind::GroupRehash => "group_rehash",
+            EventKind::JobSubmit => "job_submit",
+            EventKind::JobAdmit => "job_admit",
+            EventKind::JobEnd => "job_end",
+            EventKind::JobSuspend => "job_suspend",
         }
     }
 

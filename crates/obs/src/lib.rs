@@ -34,6 +34,6 @@ pub use recorder::{
     SpanGuard, DEFAULT_CAPACITY,
 };
 pub use report::{
-    CommCounters, GroupCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport,
-    ShuffleCounters,
+    CommCounters, GroupCounters, JobCounters, JobRecord, MemCounters, PhasePeaks, PhaseTimes,
+    RankReport, ShuffleCounters,
 };

@@ -230,6 +230,52 @@ impl JobCounters {
     }
 }
 
+/// One scheduled job's lifecycle record (mirrors `mimir-sched`'s
+/// per-job stats): how long it queued, how long it ran, what it
+/// reserved, and what it produced. A rank reports one record per job it
+/// participated in; merged reports combine records by job id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobRecord {
+    /// Scheduler-assigned job id.
+    pub id: u64,
+    /// Human-readable job name.
+    pub name: String,
+    /// Submission priority (higher runs first).
+    pub priority: u64,
+    /// Terminal outcome code (the scheduler's `JobOutcome` encoding:
+    /// 0 done, then increasing severity).
+    pub outcome: u64,
+    /// Times the job was suspended and re-queued after an OOM.
+    pub retries: u64,
+    /// Seconds spent waiting in the admission queue.
+    pub queued_s: f64,
+    /// Seconds spent admitted and running.
+    pub running_s: f64,
+    /// Reserved memory footprint at final admission, in bytes.
+    pub footprint_bytes: u64,
+    /// KVs the job's reduce produced on this rank.
+    pub kvs_out: u64,
+    /// Bytes the job spilled to its scoped spill directory on this rank.
+    pub spill_bytes: u64,
+}
+
+impl JobRecord {
+    /// Folds another rank's record for the *same job* into this one:
+    /// per-rank production sums, lifecycle times and extremes take the
+    /// max (the lifecycle is collective, so ranks agree up to clock
+    /// skew).
+    pub fn merge(&mut self, other: &JobRecord) {
+        self.priority = self.priority.max(other.priority);
+        self.outcome = self.outcome.max(other.outcome);
+        self.retries = self.retries.max(other.retries);
+        self.queued_s = self.queued_s.max(other.queued_s);
+        self.running_s = self.running_s.max(other.running_s);
+        self.footprint_bytes = self.footprint_bytes.max(other.footprint_bytes);
+        self.kvs_out += other.kvs_out;
+        self.spill_bytes += other.spill_bytes;
+    }
+}
+
 /// Everything one rank knows about a finished job: counters from every
 /// layer plus (optionally) the rank's trace events.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -254,6 +300,9 @@ pub struct RankReport {
     pub peaks: PhasePeaks,
     /// Job-level counters.
     pub job: JobCounters,
+    /// Per-scheduled-job lifecycle records (empty outside the job
+    /// service). Merged reports combine records by job id.
+    pub jobs: Vec<JobRecord>,
     /// Trace events retained by the rank's recorder (empty when tracing
     /// was off, and dropped from merged reports).
     pub events: Vec<Event>,
@@ -284,6 +333,14 @@ impl RankReport {
         self.times.merge(&other.times);
         self.peaks.merge(&other.peaks);
         self.job.merge(&other.job);
+        for theirs in &other.jobs {
+            if let Some(mine) = self.jobs.iter_mut().find(|j| j.id == theirs.id) {
+                mine.merge(theirs);
+            } else {
+                self.jobs.push(theirs.clone());
+            }
+        }
+        self.jobs.sort_by_key(|j| j.id);
         self.events.clear();
         self.events_dropped += other.events_dropped;
     }
@@ -407,6 +464,28 @@ impl RankReport {
                     ),
                 ]),
             ),
+            (
+                "jobs",
+                Json::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| {
+                            Json::obj(vec![
+                                ("id", Json::Num(j.id as f64)),
+                                ("name", Json::Str(j.name.clone())),
+                                ("priority", Json::Num(j.priority as f64)),
+                                ("outcome", Json::Num(j.outcome as f64)),
+                                ("retries", Json::Num(j.retries as f64)),
+                                ("queued_s", Json::Num(j.queued_s)),
+                                ("running_s", Json::Num(j.running_s)),
+                                ("footprint_bytes", Json::Num(j.footprint_bytes as f64)),
+                                ("kvs_out", Json::Num(j.kvs_out as f64)),
+                                ("spill_bytes", Json::Num(j.spill_bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("events", Json::Arr(events)),
             ("events_dropped", Json::Num(self.events_dropped as f64)),
         ])
@@ -434,6 +513,31 @@ impl RankReport {
         // Counters added after the first release parse leniently so
         // reports recorded by older builds still load.
         let u_opt = |path: &[&str]| -> u64 { field(v, path).map_or(0, |n| n as u64) };
+        // The job service postdates the first release: absent in old
+        // reports, so the whole section parses leniently.
+        let mut jobs = Vec::new();
+        if let Some(Json::Arr(items)) = v.get("jobs") {
+            for item in items {
+                let ju = |key: &str| -> u64 { item.get(key).and_then(Json::as_u64).unwrap_or(0) };
+                let jf = |key: &str| -> f64 { item.get(key).and_then(Json::as_f64).unwrap_or(0.0) };
+                jobs.push(JobRecord {
+                    id: ju("id"),
+                    name: item
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    priority: ju("priority"),
+                    outcome: ju("outcome"),
+                    retries: ju("retries"),
+                    queued_s: jf("queued_s"),
+                    running_s: jf("running_s"),
+                    footprint_bytes: ju("footprint_bytes"),
+                    kvs_out: ju("kvs_out"),
+                    spill_bytes: ju("spill_bytes"),
+                });
+            }
+        }
         let mut events = Vec::new();
         if let Some(Json::Arr(items)) = v.get("events") {
             for item in items {
@@ -529,6 +633,7 @@ impl RankReport {
                 kvs_out: u(&["job", "kvs_out"])?,
                 node_peak_bytes: u(&["job", "node_peak_bytes"])?,
             },
+            jobs,
             events,
             events_dropped: u(&["events_dropped"])?,
         })
@@ -608,6 +713,18 @@ mod tests {
                 kvs_out: 50,
                 node_peak_bytes: 1 << 20,
             },
+            jobs: vec![JobRecord {
+                id: 7,
+                name: "wc-small".into(),
+                priority: 2,
+                outcome: 0,
+                retries: rank,
+                queued_s: 0.01,
+                running_s: 0.5 + rank as f64,
+                footprint_bytes: 1 << 20,
+                kvs_out: 25 * (rank + 1),
+                spill_bytes: 128 * rank,
+            }],
             events: vec![Event {
                 t_ns: 42,
                 kind: EventKind::MemSample,
@@ -654,6 +771,37 @@ mod tests {
         assert_eq!(left.shuffle, right.shuffle);
         assert_eq!(left.peaks, right.peaks);
         assert_eq!(left.ranks, right.ranks);
+    }
+
+    #[test]
+    fn merge_combines_job_records_by_id() {
+        let mut a = sample(0);
+        let mut b = sample(1);
+        b.jobs.push(JobRecord {
+            id: 9,
+            name: "bfs-big".into(),
+            outcome: 3,
+            ..JobRecord::default()
+        });
+        a.merge(&b);
+        assert_eq!(a.jobs.len(), 2, "same id folds, new id appends");
+        let wc = a.jobs.iter().find(|j| j.id == 7).unwrap();
+        assert_eq!(wc.kvs_out, 25 + 50, "per-rank production sums");
+        assert_eq!(wc.retries, 1, "retries take the max");
+        assert!((wc.running_s - 1.5).abs() < 1e-12, "times take the max");
+        assert_eq!(a.jobs.iter().find(|j| j.id == 9).unwrap().outcome, 3);
+    }
+
+    #[test]
+    fn old_reports_without_jobs_section_still_parse() {
+        let mut r = sample(0);
+        r.jobs.clear();
+        let mut s = r.to_json_string();
+        // Simulate a pre-job-service report by deleting the field.
+        s = s.replace("\"jobs\":[],", "");
+        let back = RankReport::from_json_string(&s).unwrap();
+        assert!(back.jobs.is_empty());
+        assert_eq!(back.comm, r.comm);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! # mimir-sched — a multi-tenant job service over the Mimir runtime
+//!
+//! On a large machine, a MapReduce framework rarely has a node to
+//! itself: analysis pipelines submit many jobs with different
+//! footprints and priorities, and the memory budget — the resource the
+//! Mimir paper is built around — is shared between them. This crate
+//! turns the single-job `MimirContext` API into a per-world *job
+//! service*: each rank runs a [`JobService`] that accepts [`JobSpec`]s
+//! and executes several jobs concurrently against the shared node
+//! memory pool.
+//!
+//! Three mechanisms make that safe:
+//!
+//! 1. **Communicator isolation.** Every admitted job gets a private
+//!    communicator via `Comm::dup` — its own channel matrix, so one
+//!    job's collectives and point-to-point traffic can never match
+//!    another job's (or the scheduler's own votes). This is the
+//!    in-process analogue of `MPI_Comm_dup` contexts.
+//! 2. **Memory-aware admission control.** A job declares an estimated
+//!    footprint; it starts only once a reservation for that many bytes
+//!    succeeds on *every* node (a collective vote over non-counting
+//!    probes). Jobs that do not fit wait in a FIFO-within-priority
+//!    queue. A running job that still exhausts the pool is *suspended*:
+//!    its reservation is released and it is re-queued with a doubled
+//!    footprint estimate, up to a retry limit.
+//! 3. **Lifecycle + backpressure.** Jobs move through
+//!    `Queued → Admitted → Running → {Done, Failed, Cancelled}`
+//!    (see [`JobState`]); cancellation is cooperative and collective
+//!    (every rank observes it at the same phase boundary, so containers
+//!    unwind and the pool is credited on every rank); and
+//!    [`JobService::submit`] blocks once the queue is full, pushing
+//!    backpressure onto producers instead of growing without bound.
+//!
+//! The scheduler itself is a *collective program*: every rank drives
+//! its service in lockstep ([`JobService::tick`] /
+//! [`JobService::run_until_idle`]), and every scheduling decision —
+//! admission, completion, suspension — is an `allreduce` vote on the
+//! parent communicator, so the per-rank schedulers can never diverge.
+//! Job lifecycle events flow into `mimir-obs` (chrome-trace lanes per
+//! job id, a per-job section in `RankReport`).
+
+mod service;
+mod spec;
+mod state;
+
+pub use service::{JobService, SchedConfig};
+pub use spec::{JobBody, JobSpec, JobYield};
+pub use state::{JobOutcome, JobState};

@@ -1,0 +1,115 @@
+//! Job lifecycle states and terminal outcomes.
+
+/// Where a job is in its lifecycle:
+/// `Queued → Admitted → Running → {Done, Failed, Cancelled}`.
+///
+/// `Admitted` is the instant between the successful admission vote
+/// (every node's reservation held) and the worker thread starting; in
+/// this implementation both happen inside one scheduler tick, so
+/// external observers see `Queued` become `Running`. A job suspended on
+/// OOM moves from `Running` back to `Queued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Reservation held on every node; worker about to start.
+    Admitted,
+    /// Worker threads executing the body on every rank.
+    Running,
+    /// Finished successfully; output retrievable.
+    Done,
+    /// Finished unsuccessfully (body error, panic, admission
+    /// impossibility, or OOM retries exhausted).
+    Failed,
+    /// Cancelled — before it started, or cooperatively at a phase
+    /// boundary while running.
+    Cancelled,
+}
+
+/// How a job ended. The numeric codes double as *severities* for the
+/// cross-rank outcome reconciliation vote: when the per-rank workers of
+/// one job disagree (one rank OOMs and returns early, collapsing the
+/// job's communicator; its peers then die with disconnect panics), the
+/// `allreduce Max` over these codes picks the root cause, because the
+/// symptom — [`JobOutcome::Disconnected`] — is deliberately the lowest
+/// non-success severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum JobOutcome {
+    /// Every rank's body returned `Ok`.
+    Done = 0,
+    /// This rank's worker died because a peer dropped the job
+    /// communicator — a symptom of whatever outcome the peer reports.
+    /// Never the reconciled outcome of a whole job unless every rank
+    /// reports it (which indicates a scheduler bug).
+    Disconnected = 1,
+    /// The cooperative cancellation vote fired at a phase boundary.
+    Cancelled = 2,
+    /// The body ran out of pool memory. Retryable: the scheduler
+    /// suspends the job and re-queues it with a doubled footprint.
+    /// Once retries are exhausted this becomes the terminal outcome
+    /// (with final state [`JobState::Failed`]) so the root cause stays
+    /// visible.
+    OutOfMemory = 3,
+    /// The body returned a non-OOM, non-cancellation error, or the
+    /// job's footprint could never be admitted.
+    Failed = 4,
+    /// The body panicked (a genuine panic, not a disconnect cascade).
+    Panicked = 5,
+}
+
+impl JobOutcome {
+    /// Stable numeric code (the severity used in reconciliation votes
+    /// and recorded in `JobEnd` trace events / per-job reports).
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(code: u64) -> Option<JobOutcome> {
+        match code {
+            0 => Some(JobOutcome::Done),
+            1 => Some(JobOutcome::Disconnected),
+            2 => Some(JobOutcome::Cancelled),
+            3 => Some(JobOutcome::OutOfMemory),
+            4 => Some(JobOutcome::Failed),
+            5 => Some(JobOutcome::Panicked),
+            _ => None,
+        }
+    }
+
+    /// The terminal [`JobState`] this outcome maps to.
+    pub fn final_state(self) -> JobState {
+        match self {
+            JobOutcome::Done => JobState::Done,
+            JobOutcome::Cancelled => JobState::Cancelled,
+            _ => JobState::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_order_by_severity() {
+        for code in 0..6 {
+            assert_eq!(JobOutcome::from_code(code).unwrap().code(), code);
+        }
+        assert_eq!(JobOutcome::from_code(6), None);
+        // The reconciliation vote depends on this ordering.
+        assert!(JobOutcome::Disconnected.code() < JobOutcome::Cancelled.code());
+        assert!(JobOutcome::Cancelled.code() < JobOutcome::OutOfMemory.code());
+        assert!(JobOutcome::OutOfMemory.code() < JobOutcome::Failed.code());
+        assert!(JobOutcome::Failed.code() < JobOutcome::Panicked.code());
+    }
+
+    #[test]
+    fn outcomes_map_to_terminal_states() {
+        assert_eq!(JobOutcome::Done.final_state(), JobState::Done);
+        assert_eq!(JobOutcome::Cancelled.final_state(), JobState::Cancelled);
+        assert_eq!(JobOutcome::OutOfMemory.final_state(), JobState::Failed);
+        assert_eq!(JobOutcome::Panicked.final_state(), JobState::Failed);
+    }
+}

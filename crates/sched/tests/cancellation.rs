@@ -1,0 +1,113 @@
+//! Cancellation accounting: a cancelled job must release 100% of its
+//! memory — the admission reservation *and* every pool page its
+//! containers held when the cooperative vote fired. Because the vote is
+//! collective, every rank unwinds at the same phase boundary, so the
+//! credit happens on every node.
+
+use mimir_core::KvMeta;
+use mimir_io::IoModel;
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mimir_sched::{JobOutcome, JobService, JobSpec, JobState, JobYield, SchedConfig};
+
+const RANKS: usize = 2;
+const BUDGET: usize = 16 << 20;
+
+#[test]
+fn cancelled_job_releases_every_reserved_and_held_byte() {
+    let outs = run_world(RANKS, |comm| {
+        let pool = MemPool::new(format!("node{}", comm.rank()), 64 * 1024, BUDGET).unwrap();
+        let used_before = pool.used();
+        let mut svc = JobService::new(comm, pool, IoModel::free(), SchedConfig::default());
+
+        // A long-running job: thousands of tiny shuffles, each opening
+        // with a cancellation checkpoint. Big enough that the cancel
+        // below lands mid-run; finite so a broken cancellation fails the
+        // outcome assertion instead of hanging the suite.
+        let spec = JobSpec::new("long-runner", 1 << 20, |ctx| {
+            for i in 0..20_000u64 {
+                let out = ctx
+                    .job()
+                    .kv_meta(KvMeta::cstr_key_u64_val())
+                    .out_meta(KvMeta::cstr_key_u64_val())
+                    .map_shuffle(&mut |em| {
+                        em.emit(b"key", &i.to_le_bytes())?;
+                        Ok(())
+                    })?;
+                out.output.drain(|_k, _v| Ok(()))?;
+            }
+            Ok(JobYield::default())
+        });
+
+        let id = svc.submit(spec);
+        // Drive until the job is admitted and running, then cancel.
+        while svc.state(id) != Some(JobState::Running) {
+            svc.tick();
+        }
+        let reserved_while_running = svc.pool().used();
+        svc.cancel(id);
+        svc.run_until_idle();
+
+        (
+            svc.outcome(id),
+            svc.take_output(id).is_none(),
+            used_before,
+            reserved_while_running,
+            svc.pool().used(),
+        )
+    });
+
+    for (outcome, no_output, used_before, reserved_while_running, used_after) in outs {
+        assert_eq!(outcome, Some(JobOutcome::Cancelled));
+        assert!(no_output, "a cancelled job yields no output");
+        assert!(
+            reserved_while_running >= 1 << 20,
+            "the admission reservation was charged while running"
+        );
+        assert_eq!(
+            used_after, used_before,
+            "cancellation must release 100% of reservations and pages"
+        );
+    }
+}
+
+/// The cancellation surfaces as `MimirError::Cancelled` inside the
+/// body too — a job that wants to clean up external state can observe
+/// it before returning the error.
+#[test]
+fn body_observes_cancelled_error_at_a_phase_boundary() {
+    let outs = run_world(RANKS, |comm| {
+        let pool = MemPool::new(format!("node{}", comm.rank()), 64 * 1024, BUDGET).unwrap();
+        let mut svc = JobService::new(comm, pool, IoModel::free(), SchedConfig::default());
+        let spec = JobSpec::new("observer", 64 * 1024, |ctx| {
+            for _ in 0..20_000u64 {
+                let r = ctx
+                    .job()
+                    .kv_meta(KvMeta::cstr_key_u64_val())
+                    .out_meta(KvMeta::cstr_key_u64_val())
+                    .map_shuffle(&mut |em| {
+                        em.emit(b"key", &1u64.to_le_bytes())?;
+                        Ok(())
+                    });
+                match r {
+                    Ok(out) => out.output.drain(|_k, _v| Ok(()))?,
+                    // The body sees the cancellation as an ordinary
+                    // error — the hook for external cleanup.
+                    Err(e) if e.is_cancelled() => return Err(e),
+                    Err(e) => panic!("expected only a cancellation, got {e}"),
+                }
+            }
+            panic!("ran to completion without seeing the cancel");
+        });
+        let id = svc.submit(spec);
+        while svc.state(id) != Some(mimir_sched::JobState::Running) {
+            svc.tick();
+        }
+        svc.cancel(id);
+        svc.run_until_idle();
+        svc.outcome(id)
+    });
+    for outcome in outs {
+        assert_eq!(outcome, Some(JobOutcome::Cancelled));
+    }
+}

@@ -1,0 +1,139 @@
+//! Scheduler stress: 16 mixed-priority jobs on 4 ranks under a tight
+//! memory budget, wrapped in a watchdog. The service must retire every
+//! job deterministically, never violate the node budget (the pool's
+//! hard cap plus the admission reservations), and end with the pool
+//! fully credited.
+
+use std::time::{Duration, Instant};
+
+use mimir_apps::wordcount::{wordcount_mimir, WcOptions};
+use mimir_datagen::UniformWords;
+use mimir_io::IoModel;
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
+
+const RANKS: usize = 4;
+/// Tight: a handful of concurrent WordCounts saturate it, forcing the
+/// admission queue to actually queue.
+const BUDGET: usize = 6 << 20;
+const JOBS: usize = 16;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn word_total(data: &[u8]) -> u64 {
+    // Each encoded record is `word \0 count(8B le)`; sum the counts.
+    let mut total = 0;
+    let mut i = 0;
+    while i < data.len() {
+        let nul = i + data[i..].iter().position(|&b| b == 0).unwrap();
+        total += u64::from_le_bytes(data[nul + 1..nul + 9].try_into().unwrap());
+        i = nul + 9;
+    }
+    total
+}
+
+fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
+    run_world(RANKS, |comm| {
+        let pool = MemPool::new(format!("node{}", comm.rank()), 64 * 1024, BUDGET).unwrap();
+        let cfg = SchedConfig {
+            queue_cap: 8,
+            max_running: 3,
+            max_retries: 3,
+        };
+        let mut svc = JobService::new(comm, pool, IoModel::free(), cfg);
+
+        let ids: Vec<u64> = (0..JOBS as u64)
+            .map(|j| {
+                let bytes_per_rank = 4 * 1024 + (j as usize % 4) * 4 * 1024;
+                let spec = JobSpec::new(format!("wc{j}"), 256 * 1024, move |ctx| {
+                    let text =
+                        UniformWords::new(j + 1).generate(ctx.rank(), ctx.size(), bytes_per_rank);
+                    let (mut counts, _m) = wordcount_mimir(ctx, &text, &WcOptions::default())?;
+                    counts.sort();
+                    let mut data = Vec::new();
+                    for (word, n) in &counts {
+                        data.extend_from_slice(word);
+                        data.push(0);
+                        data.extend_from_slice(&n.to_le_bytes());
+                    }
+                    let kvs = counts.len() as u64;
+                    Ok(JobYield {
+                        data,
+                        kvs_out: kvs,
+                        spill_bytes: 0,
+                    })
+                })
+                .priority(j % 3); // mixed priorities
+                svc.submit(spec)
+            })
+            .collect();
+
+        svc.run_until_idle();
+
+        let outcomes: Vec<_> = ids.iter().map(|&id| svc.outcome(id)).collect();
+        // Deterministic content check: the total word count across all
+        // ranks of every job equals the generated word count.
+        let mut words_counted = 0;
+        for &id in &ids {
+            if let Some(y) = svc.take_output(id) {
+                words_counted += word_total(&y.data);
+            }
+        }
+        (
+            outcomes,
+            words_counted,
+            svc.pool().peak(),
+            svc.pool().used(),
+        )
+    })
+}
+
+#[test]
+fn sixteen_mixed_priority_jobs_on_a_tight_budget() {
+    // Watchdog: the whole SPMD run must finish well inside the bound —
+    // a deadlocked vote or a lost wakeup would otherwise hang CI.
+    let start = Instant::now();
+    let runner = std::thread::spawn(stress_world);
+    while !runner.is_finished() {
+        assert!(
+            start.elapsed() < WATCHDOG,
+            "watchdog: scheduler stress did not finish within {WATCHDOG:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let outs = runner.join().unwrap();
+
+    let mut per_rank_words = Vec::new();
+    for (outcomes, words, peak, used) in outs {
+        assert_eq!(outcomes.len(), JOBS);
+        for (j, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(
+                *outcome,
+                Some(JobOutcome::Done),
+                "job {j} should finish despite the tight budget"
+            );
+        }
+        assert!(
+            peak <= BUDGET,
+            "budget violation: peak {peak} B over the {BUDGET} B node budget"
+        );
+        assert_eq!(used, 0, "all reservations and pages credited back");
+        per_rank_words.push(words);
+    }
+    // Every rank holds a deterministic slice of each job's output, and
+    // the world-wide totals must match the generated corpora exactly:
+    // the sum over ranks is the same regardless of scheduling order.
+    let total: u64 = per_rank_words.iter().sum();
+    assert!(total > 0, "the jobs counted nothing");
+    let rerun_total: u64 = {
+        let outs = {
+            let runner = std::thread::spawn(stress_world);
+            runner.join().unwrap()
+        };
+        outs.iter().map(|(_, words, _, _)| words).sum()
+    };
+    assert_eq!(
+        total, rerun_total,
+        "scheduling nondeterminism changed job outputs"
+    );
+}

@@ -39,7 +39,8 @@ fn mimir_peak(total_bytes: usize, opts: WcOptions, budget: usize) -> Result<usiz
         wordcount_mimir(&mut ctx, &text, &opts)
             .map(|_| ())
             .map_err(|e| e.is_oom())
-    })?;
+    })
+    .map_err(|e| matches!(e, WorldError::Aborted(true)))?;
     Ok(nodes.max_node_peak())
 }
 
