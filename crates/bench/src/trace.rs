@@ -18,7 +18,7 @@ use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 use mimir_obs::{
     chrome_trace, jsonl_string, CommCounters, GroupCounters, JobCounters, MemCounters, PhasePeaks,
-    PhaseTimes, RankReport, Recorder, ShuffleCounters,
+    PhaseTimes, RankReport, Recorder, ShuffleCounters, WaitCounters,
 };
 
 /// Where trace files land when `MIMIR_TRACE_DIR` is unset.
@@ -49,7 +49,7 @@ impl TraceSession {
     }
 
     /// Installs this rank's recorder (ring capacity from
-    /// `MIMIR_TRACE_EVENTS`), timestamped against the shared epoch.
+    /// `MIMIR_TRACE_CAP`), timestamped against the shared epoch.
     pub fn install(&self, rank: usize) {
         mimir_obs::install(Recorder::with_epoch(
             rank,
@@ -117,6 +117,14 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         pages_recycled: ps.page_frees,
         bytes_in_use: ps.used as u64,
         peak_bytes: ps.peak as u64,
+        // `usize::MAX` means "unlimited": store 0 so the doctor's
+        // headroom rule skips pools the experiment didn't meter.
+        budget_bytes: if ps.budget == usize::MAX {
+            0
+        } else {
+            ps.budget as u64
+        },
+        oom_events: ps.oom_events,
     };
     let j = &m.job;
     report.shuffle = ShuffleCounters {
@@ -127,6 +135,16 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         spilled_bytes: 0,
         bytes_received: j.shuffle.bytes_received,
         max_round_recv_bytes: j.shuffle.max_round_recv_bytes,
+        max_dest_bytes: j.shuffle.max_dest_bytes,
+        imbalance_permille: j.shuffle.imbalance_permille,
+        gini_permille: j.shuffle.gini_permille,
+    };
+    report.waits = WaitCounters {
+        total_wait_ns: cs.wait_ns,
+        total_work_ns: cs.work_ns,
+        sync_wait_ns: j.shuffle.sync_wait_ns,
+        data_wait_ns: j.shuffle.data_wait_ns,
+        barrier_wait_ns: j.barrier_wait_ns,
     };
     report.group = GroupCounters {
         inserts: j.group.inserts,

@@ -215,7 +215,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(map_span);
         let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (kvc, shuffle) = shuffler.finish()?;
-        comm.barrier();
+        let barrier_wait_ns = timed_barrier(comm);
         drop(agg_span);
         let kvs_out = kvc.len();
         Ok(JobOutput {
@@ -226,6 +226,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 kvs_out,
                 node_peak_bytes: pool.peak(),
                 map_peak_bytes: pool.phase_peak(),
+                barrier_wait_ns,
                 ..JobStats::default()
             },
         })
@@ -270,7 +271,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(map_span);
         let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (kvc, shuffle) = shuffler.finish()?;
-        comm.barrier();
+        let barrier_wait_ns = timed_barrier(comm);
         drop(agg_span);
         let kvs_out = kvc.len();
         Ok(JobOutput {
@@ -282,6 +283,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 kvs_out,
                 node_peak_bytes: pool.peak(),
                 map_peak_bytes: pool.phase_peak(),
+                barrier_wait_ns,
                 ..JobStats::default()
             },
         })
@@ -339,7 +341,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let (kvc, shuffle) = shuffler.finish()?;
         // The paper retains the global synchronization between the map
         // and reduce phases.
-        comm.barrier();
+        let mut barrier_wait_ns = timed_barrier(comm);
         drop(agg_span);
         let map_time = t0.elapsed();
         let map_peak_bytes = pool.phase_peak();
@@ -370,7 +372,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             kmvc.for_each_group(|k, vals| reduce(k, vals, &mut emitter))?;
         }
         drop(kmvc);
-        comm.barrier();
+        barrier_wait_ns += timed_barrier(comm);
         drop(reduce_span);
         let reduce_time = t2.elapsed();
         let reduce_peak_bytes = pool.phase_peak();
@@ -390,6 +392,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 convert_peak_bytes,
                 reduce_peak_bytes,
                 kvs_out,
+                barrier_wait_ns,
             },
         })
     }
@@ -443,7 +446,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         drop(map_span);
         let agg_span = mimir_obs::phase_span(Phase::Aggregate);
         let (reducer, shuffle) = shuffler.finish()?;
-        comm.barrier();
+        let mut barrier_wait_ns = timed_barrier(comm);
         drop(agg_span);
         let map_time = t0.elapsed();
         let map_peak_bytes = pool.phase_peak();
@@ -455,7 +458,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         let unique_keys = reducer.unique_keys() as u64;
         group.merge(&reducer.group_stats());
         let out = reducer.into_output(pool, out_meta)?;
-        comm.barrier();
+        barrier_wait_ns += timed_barrier(comm);
         drop(reduce_span);
         let reduce_time = t2.elapsed();
         let reduce_peak_bytes = pool.phase_peak();
@@ -474,10 +477,21 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
                 node_peak_bytes: pool.peak(),
                 map_peak_bytes,
                 reduce_peak_bytes,
+                barrier_wait_ns,
                 ..JobStats::default()
             },
         })
     }
+}
+
+/// Runs a barrier and returns the time this rank spent blocked in it, by
+/// differencing the communicator's cumulative wait counter. Feeds
+/// [`JobStats::barrier_wait_ns`]: the rank that waits *least* at a phase
+/// barrier is the straggler everyone else waited for.
+fn timed_barrier(comm: &mut mimir_mpi::Comm) -> u64 {
+    let w0 = comm.stats().wait_ns;
+    comm.barrier();
+    comm.stats().wait_ns.saturating_sub(w0)
 }
 
 /// Collective cancellation checkpoint at a phase boundary: free when no

@@ -97,6 +97,22 @@ pub struct ShuffleStats {
     /// `max_round_recv_bytes ≤ comm_buf_size`; the data path asserts it
     /// every round.
     pub max_round_recv_bytes: u64,
+    /// Nanoseconds this rank spent blocked in the rounds' done-allreduce
+    /// — straggler-bound wait: some peer was still mapping or draining
+    /// when this rank entered the vote.
+    pub sync_wait_ns: u64,
+    /// Nanoseconds blocked receiving the rounds' partition payloads —
+    /// byte-bound wait: peers were still pushing data.
+    pub data_wait_ns: u64,
+    /// Cumulative bytes this rank sent to its hottest destination.
+    pub max_dest_bytes: u64,
+    /// Send-side partition imbalance over the whole shuffle: max/mean of
+    /// cumulative per-destination bytes in permille (1000 = perfectly
+    /// balanced, 0 = nothing emitted).
+    pub imbalance_permille: u64,
+    /// Gini coefficient of cumulative per-destination bytes in permille
+    /// (0 = uniform, →1000 = everything to one destination).
+    pub gini_permille: u64,
 }
 
 impl ShuffleStats {
@@ -112,6 +128,11 @@ impl ShuffleStats {
         self.rounds = self.rounds.max(other.rounds);
         self.bytes_received += other.bytes_received;
         self.max_round_recv_bytes = self.max_round_recv_bytes.max(other.max_round_recv_bytes);
+        self.sync_wait_ns += other.sync_wait_ns;
+        self.data_wait_ns += other.data_wait_ns;
+        self.max_dest_bytes = self.max_dest_bytes.max(other.max_dest_bytes);
+        self.imbalance_permille = self.imbalance_permille.max(other.imbalance_permille);
+        self.gini_permille = self.gini_permille.max(other.gini_permille);
     }
 }
 
@@ -129,9 +150,41 @@ pub struct Shuffler<'a, S: KvSink> {
     part_len: Vec<usize>,
     /// Receive-buffer sub-range per source rank, reused across rounds.
     ranges: Vec<Range<usize>>,
+    /// Cumulative bytes emitted towards each destination rank — the
+    /// per-destination histogram behind the skew metrics.
+    dest_bytes: Vec<u64>,
+    /// Cumulative KVs emitted towards each destination rank.
+    dest_kvs: Vec<u64>,
+    /// Preallocated sort buffer for the Gini computation, so per-round
+    /// skew accounting stays allocation-free in steady state.
+    skew_scratch: Vec<u64>,
     partitioner: Partitioner,
     sink: S,
     stats: ShuffleStats,
+}
+
+/// Imbalance ratio (max/mean) and Gini coefficient, both in permille, of
+/// the distribution currently held in `values`. Sorts `values` in place
+/// (callers pass a reused scratch buffer). Returns `None` for an empty or
+/// all-zero distribution.
+fn skew_permille(values: &mut [u64]) -> Option<(u64, u64)> {
+    let n = values.len() as u64;
+    let total: u64 = values.iter().sum();
+    if n == 0 || total == 0 {
+        return None;
+    }
+    let max = values.iter().copied().max().unwrap_or(0);
+    let imbalance = (max as u128 * 1000 * n as u128 / total as u128) as u64;
+    values.sort_unstable();
+    // G = (2 Σ i·x₍ᵢ₎) / (n Σ x) − (n+1)/n, ascending order, i 1-based.
+    let weighted: u128 = values
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as u128 + 1) * x as u128)
+        .sum();
+    let g = (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64;
+    let gini = (g.clamp(0.0, 1.0) * 1000.0).round() as u64;
+    Some((imbalance, gini))
 }
 
 impl<'a, S: KvSink> Shuffler<'a, S> {
@@ -206,6 +259,9 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             part_cap,
             part_len: vec![0; p],
             ranges: Vec::with_capacity(p),
+            dest_bytes: vec![0; p],
+            dest_kvs: vec![0; p],
+            skew_scratch: Vec::with_capacity(p),
             partitioner,
             sink,
             stats: ShuffleStats::default(),
@@ -219,7 +275,22 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
     /// Sink failures while draining the final rounds.
     pub fn finish(mut self) -> Result<(S, ShuffleStats)> {
         while !self.exchange(true)? {}
+        // Whole-shuffle skew over the cumulative per-destination
+        // histogram (the per-round view goes out as RoundSkew events).
+        self.stats.max_dest_bytes = self.dest_bytes.iter().copied().max().unwrap_or(0);
+        self.skew_scratch.clear();
+        self.skew_scratch.extend_from_slice(&self.dest_bytes);
+        if let Some((imbalance, gini)) = skew_permille(&mut self.skew_scratch) {
+            self.stats.imbalance_permille = imbalance;
+            self.stats.gini_permille = gini;
+        }
         Ok((self.sink, self.stats))
+    }
+
+    /// The cumulative per-destination histogram: `(bytes, kvs)` emitted
+    /// towards each rank so far.
+    pub fn dest_histogram(&self) -> (&[u64], &[u64]) {
+        (&self.dest_bytes, &self.dest_kvs)
     }
 
     /// Read access to the sink mid-shuffle (mainly for tests and
@@ -251,11 +322,28 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             self.stats.rounds,
             0,
         );
+        // This round's send-side skew, while `part_len` still holds the
+        // fill levels. Only computed when a recorder is listening — the
+        // cumulative skew in `finish` covers the counters either way.
+        if mimir_obs::active() {
+            self.skew_scratch.clear();
+            self.skew_scratch
+                .extend(self.part_len.iter().map(|&l| l as u64));
+            if let Some((imbalance, gini)) = skew_permille(&mut self.skew_scratch) {
+                mimir_obs::emit(EventKind::RoundSkew, imbalance, gini);
+            }
+        }
+        let (sync0, data0) = (self.stats.sync_wait_ns, self.stats.data_wait_ns);
         let all_done = match self.mode {
             ShuffleMode::Legacy => self.exchange_legacy(my_done)?,
             ShuffleMode::ZeroCopy => self.exchange_zero_copy(my_done, false)?,
             ShuffleMode::Overlapped => self.exchange_zero_copy(my_done, true)?,
         };
+        mimir_obs::emit(
+            EventKind::RoundWait,
+            self.stats.sync_wait_ns - sync0,
+            self.stats.data_wait_ns - data0,
+        );
         self.stats.rounds += 1;
         round.set_b(u64::from(all_done));
         Ok(all_done)
@@ -283,13 +371,19 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             };
             let all_done = {
                 let _sync = mimir_obs::step_span(Step::Sync);
-                self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+                let w0 = self.comm.stats().wait_ns;
+                let done = self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1;
+                self.stats.sync_wait_ns += self.comm.stats().wait_ns - w0;
+                done
             };
             (pending, all_done)
         } else {
             let all_done = {
                 let _sync = mimir_obs::step_span(Step::Sync);
-                self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+                let w0 = self.comm.stats().wait_ns;
+                let done = self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1;
+                self.stats.sync_wait_ns += self.comm.stats().wait_ns - w0;
+                done
             };
             let pending = {
                 let send = self.send.as_slice();
@@ -307,8 +401,10 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             if !overlap {
                 step.set_b(send_bytes);
             }
+            let w0 = self.comm.stats().wait_ns;
             self.comm
                 .alltoallv_complete(pending, self.recv.as_mut_slice(), &mut self.ranges);
+            self.stats.data_wait_ns += self.comm.stats().wait_ns - w0;
             if overlap {
                 step.set_b(self.ranges.last().map_or(0, |r| r.end) as u64);
             }
@@ -346,7 +442,10 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
     fn exchange_legacy(&mut self, my_done: bool) -> Result<bool> {
         let all_done = {
             let _sync = mimir_obs::step_span(Step::Sync);
-            self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1
+            let w0 = self.comm.stats().wait_ns;
+            let done = self.comm.allreduce_u64(ReduceOp::LAnd, u64::from(my_done)) == 1;
+            self.stats.sync_wait_ns += self.comm.stats().wait_ns - w0;
+            done
         };
         let p = self.comm.size();
         let send = self.send.as_slice();
@@ -356,7 +455,10 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
         let received = {
             let mut step = mimir_obs::step_span(Step::Alltoallv);
             step.set_b(self.part_len.iter().map(|&l| l as u64).sum());
-            self.comm.alltoallv(parts)
+            let w0 = self.comm.stats().wait_ns;
+            let bufs = self.comm.alltoallv(parts);
+            self.stats.data_wait_ns += self.comm.stats().wait_ns - w0;
+            bufs
         };
         self.part_len.fill(0);
         let recv_bytes: u64 = received.iter().map(|b| b.len() as u64).sum();
@@ -405,6 +507,8 @@ impl<S: KvSink> Shuffler<'_, S> {
             &mut self.send.as_mut_slice()[off..off + len],
         );
         self.part_len[dst] += len;
+        self.dest_bytes[dst] += len as u64;
+        self.dest_kvs[dst] += 1;
         self.stats.kvs_emitted += 1;
         self.stats.kv_bytes_emitted += len as u64;
         Ok(())
@@ -637,6 +741,11 @@ mod tests {
             assert_eq!(count(EventKind::RoundEnd), stats.rounds);
             // Three sub-steps (sync, alltoallv, drain) per round.
             assert_eq!(count(EventKind::StepBegin), 3 * stats.rounds);
+            // One wait-attribution event per round; skew only for rounds
+            // that actually carried bytes.
+            assert_eq!(count(EventKind::RoundWait), stats.rounds);
+            let skews = count(EventKind::RoundSkew);
+            assert!((1..=stats.rounds).contains(&skews), "skew events: {skews}");
             let last_end = evs
                 .iter()
                 .rev()
@@ -683,6 +792,99 @@ mod tests {
             assert_eq!(steps(Step::Recv), stats.rounds);
             assert_eq!(steps(Step::Drain), stats.rounds);
             assert_eq!(steps(Step::Alltoallv), 0);
+        }
+    }
+
+    #[test]
+    fn skew_permille_math() {
+        assert_eq!(skew_permille(&mut []), None);
+        assert_eq!(skew_permille(&mut [0, 0, 0]), None);
+        let (imb, gini) = skew_permille(&mut [100, 100, 100, 100]).unwrap();
+        assert_eq!(imb, 1000, "uniform: max equals mean");
+        assert_eq!(gini, 0, "uniform: zero Gini");
+        let (imb, gini) = skew_permille(&mut [400, 0, 0, 0]).unwrap();
+        assert_eq!(imb, 4000, "one hot destination out of four");
+        assert_eq!(gini, 750, "G = (n−1)/n for a point mass");
+    }
+
+    #[test]
+    fn skewed_partitioner_is_visible_in_counters_and_uniform_is_not() {
+        let n = 4;
+        let shuffle_stats = |partitioner: Partitioner| -> Vec<ShuffleStats> {
+            run_world(n, move |comm| {
+                let pool = MemPool::unlimited("t", 4096);
+                let meta = KvMeta::cstr_key_u64_val();
+                let sink = KvContainer::new(&pool, meta);
+                let mut sh =
+                    Shuffler::with_partitioner(comm, &pool, meta, 4096, sink, partitioner.clone())
+                        .unwrap();
+                for i in 0..400u64 {
+                    let key = format!("key-{i}");
+                    sh.emit(key.as_bytes(), &i.to_le_bytes()).unwrap();
+                }
+                let (bytes, kvs) = sh.dest_histogram();
+                assert_eq!(bytes.len(), 4);
+                assert_eq!(kvs.iter().sum::<u64>(), 400);
+                sh.finish().unwrap().1
+            })
+        };
+        let hot = shuffle_stats(Partitioner::custom("to-zero", |_, _| 0));
+        for s in &hot {
+            assert_eq!(
+                s.imbalance_permille, 4000,
+                "every byte went to rank 0: max = 4 × mean"
+            );
+            assert_eq!(s.gini_permille, 750);
+            assert_eq!(s.max_dest_bytes, s.kv_bytes_emitted);
+        }
+        let uniform = shuffle_stats(Partitioner::hash());
+        for s in &uniform {
+            assert!(
+                s.imbalance_permille < 1500,
+                "hashed keys spread evenly, got {} permille",
+                s.imbalance_permille
+            );
+            assert!(s.gini_permille < 250, "got {} permille", s.gini_permille);
+        }
+    }
+
+    #[test]
+    fn delayed_rank_shows_up_in_peers_sync_wait() {
+        use std::time::Duration;
+        let delay = Duration::from_millis(50);
+        let stats = run_world(3, move |comm| {
+            let pool = MemPool::unlimited("t", 4096);
+            let meta = KvMeta::var();
+            let sink = KvContainer::new(&pool, meta);
+            let mut sh = Shuffler::new(comm, &pool, meta, 4096, sink).unwrap();
+            if sh.rank() == 2 {
+                // Rank 2 is a slow mapper; its peers reach the shuffle's
+                // final done-vote and block on it.
+                std::thread::sleep(delay);
+            }
+            sh.emit(b"k", b"v").unwrap();
+            sh.finish().unwrap().1
+        });
+        let floor = (delay.as_nanos() as u64 * 8) / 10;
+        for (rank, s) in stats.iter().enumerate() {
+            if rank == 2 {
+                assert!(
+                    s.sync_wait_ns < floor,
+                    "the straggler itself should not wait: {} ns",
+                    s.sync_wait_ns
+                );
+            } else {
+                assert!(
+                    s.sync_wait_ns >= floor,
+                    "rank {rank} waited only {} ns on the straggler",
+                    s.sync_wait_ns
+                );
+                assert!(
+                    s.data_wait_ns < floor,
+                    "the delay is sync-bound, not byte-bound: {} ns",
+                    s.data_wait_ns
+                );
+            }
         }
     }
 

@@ -34,6 +34,11 @@ pub struct JobStats {
     pub reduce_peak_bytes: usize,
     /// KVs produced into the job output.
     pub kvs_out: u64,
+    /// Time this rank spent blocked in the explicit phase barriers (the
+    /// map→reduce synchronization the paper retains, plus the reduce
+    /// exit barrier). High values on most ranks point at one straggler;
+    /// the rank with the *smallest* barrier wait is the critical rank.
+    pub barrier_wait_ns: u64,
 }
 
 impl JobStats {
@@ -61,6 +66,7 @@ impl JobStats {
         self.convert_peak_bytes = self.convert_peak_bytes.max(other.convert_peak_bytes);
         self.reduce_peak_bytes = self.reduce_peak_bytes.max(other.reduce_peak_bytes);
         self.kvs_out += other.kvs_out;
+        self.barrier_wait_ns += other.barrier_wait_ns;
     }
 }
 
@@ -80,6 +86,11 @@ mod tests {
                 rounds: 4,
                 bytes_received: 1000,
                 max_round_recv_bytes: 300,
+                sync_wait_ns: 50,
+                data_wait_ns: 20,
+                max_dest_bytes: 400,
+                imbalance_permille: 1200,
+                gini_permille: 100,
             },
             unique_keys: 7,
             node_peak_bytes: 5000,
@@ -99,6 +110,11 @@ mod tests {
                 rounds: 4,
                 bytes_received: 600,
                 max_round_recv_bytes: 400,
+                sync_wait_ns: 30,
+                data_wait_ns: 25,
+                max_dest_bytes: 350,
+                imbalance_permille: 1900,
+                gini_permille: 80,
             },
             unique_keys: 3,
             node_peak_bytes: 6000,
@@ -119,6 +135,11 @@ mod tests {
             a.shuffle.max_round_recv_bytes, 400,
             "per-round high-water: max"
         );
+        assert_eq!(a.shuffle.sync_wait_ns, 80, "waits sum");
+        assert_eq!(a.shuffle.data_wait_ns, 45);
+        assert_eq!(a.shuffle.max_dest_bytes, 400, "skew high-water: max");
+        assert_eq!(a.shuffle.imbalance_permille, 1900);
+        assert_eq!(a.shuffle.gini_permille, 100);
         assert_eq!(a.unique_keys, 10);
         assert_eq!(a.node_peak_bytes, 6000);
         assert_eq!(a.map_peak_bytes, 6000);

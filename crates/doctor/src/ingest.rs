@@ -1,0 +1,191 @@
+//! Readers for the two on-disk trace formats the stack exports.
+//!
+//! - **JSONL** (`<label>.jsonl`): the native input. Each `report` line
+//!   deserializes back into a full [`RankReport`], so every rule runs at
+//!   full strength. `header` and `event` lines are tolerated and the
+//!   header's loss count is folded in when the report lines predate the
+//!   loss accounting.
+//! - **Chrome trace** (`<label>.trace.json`): a timeline, not a counter
+//!   dump. Ingestion reconstructs a skeleton — the rank set from the
+//!   process-name metadata and the loss count from the trace-level
+//!   `metadata` object — which is enough for the trace-health rules but
+//!   leaves the counter-based rules blind. Prefer the JSONL file.
+
+use mimir_obs::{Json, RankReport};
+
+/// Parses a JSON-lines export into per-rank reports.
+///
+/// Tolerates `header` and `event` records, blank lines, and trailing
+/// newlines. Unknown record types are skipped, not fatal, so a future
+/// exporter revision stays readable.
+///
+/// # Errors
+/// Malformed JSON, a `report` line that does not deserialize, or an
+/// input containing no report lines at all.
+pub fn ingest_jsonl(text: &str) -> Result<Vec<RankReport>, String> {
+    let docs = Json::parse_lines(text).map_err(|e| e.to_string())?;
+    let mut reports = Vec::new();
+    let mut header_dropped = 0u64;
+    for d in &docs {
+        match d.get("record").and_then(Json::as_str) {
+            Some("report") => {
+                reports.push(RankReport::from_json(d).map_err(|e| e.to_string())?);
+            }
+            Some("header") => {
+                header_dropped = d.get("events_dropped").and_then(Json::as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    if reports.is_empty() {
+        return Err("no `report` records found — is this a mimir .jsonl export?".into());
+    }
+    // Belt and braces: if the header reports loss the report lines don't
+    // carry (an older exporter), pin it on rank 0 so the dropped-events
+    // rule still sees it.
+    if header_dropped > 0 && reports.iter().all(|r| r.events_dropped == 0) {
+        reports[0].events_dropped = header_dropped;
+    }
+    Ok(reports)
+}
+
+/// Reconstructs a report *skeleton* from a chrome trace: rank ids from
+/// the `process_name` metadata and the loss count from the trace-level
+/// `metadata` object. Counter-based rules see zeros; use the JSONL
+/// export for a full diagnosis.
+///
+/// # Errors
+/// Malformed JSON or a document without a `traceEvents` array.
+pub fn ingest_chrome(text: &str) -> Result<Vec<RankReport>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "no `traceEvents` array — is this a chrome trace?".to_string())?;
+    // Rank lanes are announced as `thread_name` metadata named
+    // "rank N" (job lanes are named "rN job J" and live on high tids).
+    let mut ranks: Vec<u64> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("rank "))
+        })
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    if ranks.is_empty() {
+        return Err("chrome trace contains no events".into());
+    }
+    let n = ranks.len() as u64;
+    let mut reports: Vec<RankReport> = ranks
+        .into_iter()
+        .map(|r| {
+            let mut rep = RankReport::new(r as usize);
+            rep.ranks = n;
+            rep
+        })
+        .collect();
+    if let Some(dropped) = doc
+        .get("metadata")
+        .and_then(|m| m.get("events_dropped"))
+        .and_then(Json::as_u64)
+    {
+        reports[0].events_dropped = dropped;
+    }
+    Ok(reports)
+}
+
+/// Dispatches on content: a chrome trace is one JSON document with a
+/// `traceEvents` key; everything else is treated as JSONL.
+///
+/// # Errors
+/// Whatever the underlying reader reports.
+pub fn ingest_path_text(text: &str) -> Result<Vec<RankReport>, String> {
+    if Json::parse(text)
+        .map(|d| d.get("traceEvents").is_some())
+        .unwrap_or(false)
+    {
+        ingest_chrome(text)
+    } else {
+        ingest_jsonl(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimir_obs::{chrome_trace, jsonl_string};
+
+    fn sample_world() -> Vec<RankReport> {
+        (0..3usize)
+            .map(|r| {
+                let mut rep = RankReport::new(r);
+                rep.ranks = 3;
+                rep.shuffle.kvs_emitted = 100 + r as u64;
+                rep.waits.sync_wait_ns = 5_000 * (r as u64 + 1);
+                rep
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_ingest() {
+        let reports = sample_world();
+        let text = jsonl_string(&reports);
+        let back = ingest_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in reports.iter().zip(&back) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.shuffle.kvs_emitted, b.shuffle.kvs_emitted);
+            assert_eq!(a.waits.sync_wait_ns, b.waits.sync_wait_ns);
+        }
+        // Trailing newlines and blank lines are tolerated.
+        let padded = format!("{text}\n\n\n");
+        assert_eq!(ingest_jsonl(&padded).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn jsonl_with_loss_keeps_the_header_and_counts() {
+        let mut reports = sample_world();
+        reports[1].events_dropped = 9;
+        let text = jsonl_string(&reports);
+        let back = ingest_jsonl(&text).unwrap();
+        assert_eq!(back.iter().map(|r| r.events_dropped).sum::<u64>(), 9);
+    }
+
+    #[test]
+    fn non_reports_are_rejected_with_a_readable_error() {
+        assert!(ingest_jsonl("{\"record\":\"event\"}\n")
+            .unwrap_err()
+            .contains("report"));
+        assert!(ingest_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_ingest_reconstructs_the_rank_skeleton() {
+        let mut reports = sample_world();
+        reports[2].events_dropped = 4;
+        let text = chrome_trace(&reports).to_string();
+        let back = ingest_path_text(&text).unwrap();
+        assert_eq!(back.len(), 3, "one skeleton report per pid");
+        assert_eq!(
+            back.iter().map(|r| r.events_dropped).sum::<u64>(),
+            4,
+            "loss survives via the trace metadata"
+        );
+    }
+
+    #[test]
+    fn dispatch_picks_jsonl_for_jsonl() {
+        let text = jsonl_string(&sample_world());
+        let back = ingest_path_text(&text).unwrap();
+        assert_eq!(
+            back[0].shuffle.kvs_emitted, 100,
+            "full counters, not a skeleton"
+        );
+    }
+}

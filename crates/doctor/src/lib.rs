@@ -1,0 +1,254 @@
+//! `mimir-doctor`: post-mortem diagnosis over Mimir trace exports.
+//!
+//! The observability stack answers "what happened" (chrome timelines,
+//! JSONL counters); this crate answers "what went *wrong*, and what does
+//! the paper say to do about it". [`diagnose`] runs a fixed rule set
+//! over a run's gathered [`RankReport`]s and produces a [`Diagnosis`]:
+//! a ranked list of [`Finding`]s, each with a severity, the ranks
+//! involved, numeric evidence, and a hint grounded in the Mimir paper's
+//! design sections.
+//!
+//! Rules:
+//!
+//! | code | looks at | fires on |
+//! |---|---|---|
+//! | `straggler` | per-rank sync+barrier waits | peers waiting ≥50% longer than the critical rank |
+//! | `partition-skew` | per-destination byte histograms, cross-rank receive totals | imbalance ≥2× the fair share |
+//! | `memory-headroom` | pool peak vs budget, OOM events | margin <10% or any budget violation |
+//! | `spill-amplification` | spilled vs emitted shuffle bytes | spill exceeding the data itself |
+//! | `dropped-events` | trace ring overwrites | any loss; >5% is critical |
+//! | `job-lifecycle` | scheduler job records | non-`Done` outcomes, suspend-and-retry churn |
+//! | `deadlock-suspect` | wait fraction vs wall time | ≥95% wall spent blocked with nothing received |
+//!
+//! The `mimir-doctor` binary wraps this over `.jsonl` / `.trace.json`
+//! files; see `src/main.rs` or `README.md`.
+
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod rules;
+
+pub use ingest::{ingest_chrome, ingest_jsonl, ingest_path_text};
+
+use mimir_obs::{Json, RankReport};
+
+/// How bad a finding is. Ordered: `Info < Warn < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing, no action needed.
+    Info,
+    /// Degrades performance or trustworthiness; act when convenient.
+    Warn,
+    /// Wrong results, lost work, or a violated budget; act now.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case name, as printed and as accepted by `--fail-on`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses a `--fail-on` argument.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnosed problem: what, where, how bad, and what to do.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable rule code (e.g. `partition-skew`).
+    pub code: &'static str,
+    /// One-line human statement of the problem.
+    pub title: String,
+    /// Pipeline phase the problem lives in, when attributable
+    /// (e.g. `map/aggregate (shuffle)`), else empty.
+    pub phase: &'static str,
+    /// Ranks implicated (hotspot, critical rank, …); empty when global.
+    pub ranks: Vec<u64>,
+    /// Numeric evidence backing the title, as `(name, value)` pairs.
+    pub evidence: Vec<(String, Json)>,
+    /// Remedy, grounded in the paper where one applies.
+    pub hint: &'static str,
+}
+
+impl Finding {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("severity", Json::Str(self.severity.as_str().into())),
+            ("code", Json::Str(self.code.into())),
+            ("title", Json::Str(self.title.clone())),
+            ("phase", Json::Str(self.phase.into())),
+            (
+                "ranks",
+                Json::Arr(self.ranks.iter().map(|&r| Json::Num(r as f64)).collect()),
+            ),
+            (
+                "evidence",
+                Json::Obj(
+                    self.evidence
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("hint", Json::Str(self.hint.into())),
+        ])
+    }
+}
+
+/// The full diagnosis of one run: findings sorted most severe first.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnosis {
+    /// All findings, sorted by descending severity then rule code.
+    pub findings: Vec<Finding>,
+}
+
+impl Diagnosis {
+    /// The most severe finding's severity, or `None` for a clean run.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Structured rendering, for scripting and the CI artifact.
+    pub fn to_json(&self) -> Json {
+        let count = |s: Severity| self.findings.iter().filter(|f| f.severity == s).count() as f64;
+        Json::obj(vec![
+            (
+                "worst",
+                match self.worst_severity() {
+                    Some(s) => Json::Str(s.as_str().into()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "counts",
+                Json::obj(vec![
+                    ("critical", Json::Num(count(Severity::Critical))),
+                    ("warn", Json::Num(count(Severity::Warn))),
+                    ("info", Json::Num(count(Severity::Info))),
+                ]),
+            ),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human rendering: one block per finding, worst first.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str("mimir-doctor: no findings — the run looks healthy\n");
+            return out;
+        }
+        let count = |s: Severity| self.findings.iter().filter(|f| f.severity == s).count();
+        out.push_str(&format!(
+            "mimir-doctor: {} finding(s) — {} critical, {} warn, {} info\n",
+            self.findings.len(),
+            count(Severity::Critical),
+            count(Severity::Warn),
+            count(Severity::Info),
+        ));
+        for f in &self.findings {
+            out.push('\n');
+            out.push_str(&format!(
+                "[{}] {}: {}\n",
+                f.severity.as_str().to_uppercase(),
+                f.code,
+                f.title
+            ));
+            if !f.phase.is_empty() {
+                out.push_str(&format!("  phase: {}\n", f.phase));
+            }
+            if !f.ranks.is_empty() {
+                let ranks: Vec<String> = f.ranks.iter().map(|r| r.to_string()).collect();
+                out.push_str(&format!("  ranks: {}\n", ranks.join(", ")));
+            }
+            for (k, v) in &f.evidence {
+                out.push_str(&format!("  {k}: {v}\n"));
+            }
+            out.push_str(&format!("  hint: {}\n", f.hint));
+        }
+        out
+    }
+}
+
+/// Runs every rule over the gathered per-rank reports of one run.
+///
+/// Sorting is deterministic: descending severity, then rule code, then
+/// title — so goldens and CI diffs are stable.
+pub fn diagnose(reports: &[RankReport]) -> Diagnosis {
+    let mut findings = Vec::new();
+    rules::straggler(reports, &mut findings);
+    rules::partition_skew(reports, &mut findings);
+    rules::memory_headroom(reports, &mut findings);
+    rules::spill_amplification(reports, &mut findings);
+    rules::dropped_events(reports, &mut findings);
+    rules::job_lifecycle(reports, &mut findings);
+    rules::deadlock_suspect(reports, &mut findings);
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.title.cmp(&b.title))
+    });
+    Diagnosis { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Critical);
+        for s in [Severity::Info, Severity::Warn, Severity::Critical] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn clean_reports_produce_no_findings() {
+        let reports: Vec<RankReport> = (0..4).map(RankReport::new).collect();
+        let d = diagnose(&reports);
+        assert!(d.findings.is_empty(), "got: {}", d.to_text());
+        assert_eq!(d.worst_severity(), None);
+        assert!(d.to_text().contains("healthy"));
+        assert_eq!(d.to_json().get("worst"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn diagnosis_renders_sorted_json_and_text() {
+        let mut r = RankReport::new(0);
+        r.ranks = 1;
+        r.events_dropped = 5; // warn
+        r.mem.budget_bytes = 1000;
+        r.mem.peak_bytes = 900;
+        r.mem.oom_events = 2; // critical
+        let d = diagnose(&[r]);
+        assert!(d.findings.len() >= 2);
+        assert_eq!(d.findings[0].severity, Severity::Critical, "worst first");
+        assert_eq!(d.worst_severity(), Some(Severity::Critical));
+        let j = d.to_json();
+        assert_eq!(j.get("worst").unwrap().as_str(), Some("critical"));
+        let text = d.to_text();
+        assert!(text.contains("[CRITICAL]"));
+        assert!(text.contains("hint:"));
+    }
+}

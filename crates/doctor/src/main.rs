@@ -1,0 +1,85 @@
+//! `mimir-doctor`: diagnose a Mimir trace export from the command line.
+//!
+//! ```text
+//! mimir-doctor [--json] [--fail-on info|warn|critical] <file>...
+//! ```
+//!
+//! Inputs are the files the trace stack writes: `<label>.jsonl` (full
+//! counters — preferred) or `<label>.trace.json` (chrome timeline; only
+//! the trace-health rules can run). Multiple files are diagnosed as
+//! independent runs and the findings are concatenated.
+//!
+//! Exit status: `0` clean (or nothing at/above `--fail-on`), `1` when a
+//! finding reaches the `--fail-on` severity (default: `critical`), `2`
+//! on usage or read errors.
+
+use mimir_doctor::{diagnose, ingest_path_text, Diagnosis, Severity};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mimir-doctor [--json] [--fail-on info|warn|critical] <file>...\n\
+         \n\
+         Diagnoses Mimir trace exports (.jsonl preferred; .trace.json\n\
+         yields a skeleton view). Prints human text by default, a JSON\n\
+         document with --json. Exits 1 when any finding reaches the\n\
+         --fail-on severity (default critical), 2 on bad input."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json = false;
+    let mut fail_on = Severity::Critical;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fail-on" => {
+                let Some(level) = args.next().as_deref().and_then(Severity::parse) else {
+                    usage();
+                };
+                fail_on = level;
+            }
+            "-h" | "--help" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let mut combined = Diagnosis::default();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mimir-doctor: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let reports = match ingest_path_text(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mimir-doctor: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        combined.findings.extend(diagnose(&reports).findings);
+    }
+    combined.findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.title.cmp(&b.title))
+    });
+
+    if json {
+        println!("{}", combined.to_json().to_pretty());
+    } else {
+        print!("{}", combined.to_text());
+    }
+    let failed = combined.worst_severity().is_some_and(|w| w >= fail_on);
+    std::process::exit(i32::from(failed));
+}

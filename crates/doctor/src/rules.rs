@@ -1,0 +1,559 @@
+//! The diagnosis rules. Each rule reads the gathered [`RankReport`]s
+//! and pushes zero or more [`Finding`]s; thresholds are module
+//! constants so tests (and readers) see the exact trip points.
+
+use mimir_obs::{Json, RankReport};
+
+use crate::{Finding, Severity};
+
+/// A straggler must cost peers at least this much absolute wait —
+/// below it the "skew" is scheduling noise, not a diagnosis.
+pub const STRAGGLER_MIN_WAIT_NS: u64 = 10_000_000;
+/// …and the spread between the most- and least-waiting rank must be at
+/// least this fraction of the maximum.
+pub const STRAGGLER_SPREAD: f64 = 0.5;
+/// Receive imbalance (max rank / fair share, permille) that merits a
+/// warning: 2× the fair share.
+pub const SKEW_WARN_PERMILLE: u64 = 2000;
+/// Imbalance that merits a critical finding: 4× the fair share.
+pub const SKEW_CRIT_PERMILLE: u64 = 4000;
+/// Pool headroom margin (permille of budget) under which a run is one
+/// growth spurt away from OOM.
+pub const HEADROOM_WARN_PERMILLE: u64 = 100;
+/// Trace-event loss fraction above which the timeline is untrustworthy.
+pub const DROP_CRIT_FRACTION: f64 = 0.05;
+/// Wall-time fraction spent blocked that makes a rank a deadlock
+/// suspect (when it also received nothing).
+pub const DEADLOCK_WAIT_FRACTION: f64 = 0.95;
+/// Ignore deadlock suspicion on runs shorter than this: start-up
+/// barriers dominate tiny runs.
+pub const DEADLOCK_MIN_WALL_NS: u64 = 100_000_000;
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+/// Wait-state attribution across ranks: when most ranks spend long in
+/// the shuffle's sync votes and the phase barriers, the rank that waited
+/// *least* is the one everyone else was waiting for.
+pub fn straggler(reports: &[RankReport], out: &mut Vec<Finding>) {
+    if reports.len() < 2 {
+        return;
+    }
+    let wait = |r: &RankReport| r.waits.sync_wait_ns + r.waits.barrier_wait_ns;
+    let (mut min_rank, mut min_wait) = (0u64, u64::MAX);
+    let (mut max_rank, mut max_wait) = (0u64, 0u64);
+    for r in reports {
+        let w = wait(r);
+        if w < min_wait {
+            (min_rank, min_wait) = (r.rank, w);
+        }
+        if w > max_wait {
+            (max_rank, max_wait) = (r.rank, w);
+        }
+    }
+    if max_wait < STRAGGLER_MIN_WAIT_NS {
+        return;
+    }
+    let spread = (max_wait - min_wait) as f64 / max_wait as f64;
+    if spread < STRAGGLER_SPREAD {
+        return;
+    }
+    let wall_ns = reports
+        .iter()
+        .map(|r| ((r.times.map_s + r.times.convert_s + r.times.reduce_s) * 1e9) as u64)
+        .max()
+        .unwrap_or(0);
+    let severity = if wall_ns > 0 && max_wait as f64 >= 0.5 * wall_ns as f64 {
+        Severity::Critical
+    } else {
+        Severity::Warn
+    };
+    out.push(Finding {
+        severity,
+        code: "straggler",
+        title: format!(
+            "rank {min_rank} is the critical rank: peers waited up to \
+             {:.1} ms for it ({}% spread in sync+barrier wait)",
+            max_wait as f64 / 1e6,
+            (spread * 100.0) as u64,
+        ),
+        phase: "map/aggregate (shuffle) + phase barriers",
+        ranks: vec![min_rank, max_rank],
+        evidence: vec![
+            ("min_wait_ns".into(), num(min_wait)),
+            ("max_wait_ns".into(), num(max_wait)),
+            ("critical_rank".into(), num(min_rank)),
+            ("most_delayed_rank".into(), num(max_rank)),
+            ("wall_ns".into(), num(wall_ns)),
+        ],
+        hint: "One rank arrives late at every collective: check its input \
+               share and placement. The interleaved shuffle (paper §III-B) \
+               only overlaps waits it can see — a compute-bound straggler \
+               needs rebalanced input, not more buffering.",
+    });
+}
+
+/// Partition skew: per-destination histograms inside a rank (recorded by
+/// the shuffler) and receive totals across ranks both measure how far
+/// the partitioner is from the uniform ideal the paper assumes.
+pub fn partition_skew(reports: &[RankReport], out: &mut Vec<Finding>) {
+    // Cross-rank: who received how much.
+    let total: u64 = reports.iter().map(|r| r.shuffle.bytes_received).sum();
+    let (mut hot_rank, mut hot_bytes) = (0u64, 0u64);
+    for r in reports {
+        if r.shuffle.bytes_received > hot_bytes {
+            (hot_rank, hot_bytes) = (r.rank, r.shuffle.bytes_received);
+        }
+    }
+    let cross_permille = if total > 0 {
+        (hot_bytes as u128 * 1000 * reports.len() as u128 / total as u128) as u64
+    } else {
+        0
+    };
+    // In-rank: worst per-destination histogram any sender saw.
+    let dest_permille = reports
+        .iter()
+        .map(|r| r.shuffle.imbalance_permille)
+        .max()
+        .unwrap_or(0);
+    let gini = reports
+        .iter()
+        .map(|r| r.shuffle.gini_permille)
+        .max()
+        .unwrap_or(0);
+    let worst = cross_permille.max(dest_permille);
+    if worst < SKEW_WARN_PERMILLE {
+        return;
+    }
+    let severity = if worst >= SKEW_CRIT_PERMILLE {
+        Severity::Critical
+    } else {
+        Severity::Warn
+    };
+    out.push(Finding {
+        severity,
+        code: "partition-skew",
+        title: format!(
+            "shuffle traffic is skewed: the hottest partition carries \
+             {:.1}x its fair share (rank {hot_rank} received {hot_bytes} B)",
+            worst as f64 / 1000.0,
+        ),
+        phase: "map/aggregate (shuffle)",
+        ranks: vec![hot_rank],
+        evidence: vec![
+            ("imbalance_permille".into(), num(worst)),
+            ("cross_rank_permille".into(), num(cross_permille)),
+            ("per_dest_permille".into(), num(dest_permille)),
+            ("gini_permille".into(), num(gini)),
+            ("hot_rank_bytes".into(), num(hot_bytes)),
+            ("total_bytes".into(), num(total)),
+        ],
+        hint: "Skewed map output concentrates memory and time on few ranks. \
+               Enable partial reduction so duplicates fold before they \
+               travel (paper §III-C2), or install a custom partitioner that \
+               splits the heavy keys.",
+    });
+}
+
+/// Memory headroom: peak vs budget per node pool, and hard violations.
+pub fn memory_headroom(reports: &[RankReport], out: &mut Vec<Finding>) {
+    let ooms: u64 = reports.iter().map(|r| r.mem.oom_events).sum();
+    if ooms > 0 {
+        let ranks: Vec<u64> = reports
+            .iter()
+            .filter(|r| r.mem.oom_events > 0)
+            .map(|r| r.rank)
+            .collect();
+        out.push(Finding {
+            severity: Severity::Critical,
+            code: "memory-headroom",
+            title: format!("{ooms} allocation(s) were refused for exceeding the pool budget"),
+            phase: "",
+            ranks,
+            evidence: vec![("oom_events".into(), num(ooms))],
+            hint: "The job's working set exceeds the node budget. Shrink the \
+                   comm buffers, enable KV compression or partial reduction \
+                   (paper §III-C), or raise the budget / spill threshold.",
+        });
+        return;
+    }
+    // Tightest margin across the metered pools (budget 0 = unmetered).
+    let mut tightest: Option<(&RankReport, u64)> = None;
+    for r in reports {
+        if r.mem.budget_bytes == 0 || r.mem.peak_bytes == 0 {
+            continue;
+        }
+        let margin =
+            (r.mem.budget_bytes.saturating_sub(r.mem.peak_bytes)) * 1000 / r.mem.budget_bytes;
+        if tightest.is_none_or(|(_, m)| margin < m) {
+            tightest = Some((r, margin));
+        }
+    }
+    if let Some((r, margin)) = tightest {
+        if margin < HEADROOM_WARN_PERMILLE {
+            out.push(Finding {
+                severity: Severity::Warn,
+                code: "memory-headroom",
+                title: format!(
+                    "pool peak came within {:.1}% of the budget on rank {} \
+                     ({} of {} bytes)",
+                    margin as f64 / 10.0,
+                    r.rank,
+                    r.mem.peak_bytes,
+                    r.mem.budget_bytes,
+                ),
+                phase: "",
+                ranks: vec![r.rank],
+                evidence: vec![
+                    ("peak_bytes".into(), num(r.mem.peak_bytes)),
+                    ("budget_bytes".into(), num(r.mem.budget_bytes)),
+                    ("margin_permille".into(), num(margin)),
+                ],
+                hint: "Under 10% headroom, any input growth tips the run into \
+                       OOM. The paper's Figure 8 family shows peak memory \
+                       tracking the shuffle buffers: reduce comm_buf_size or \
+                       turn on partial reduction before scaling up.",
+            });
+        }
+    }
+}
+
+/// Spill amplification: spilling more bytes than the job emitted means
+/// the out-of-core path is thrashing, not absorbing a burst.
+pub fn spill_amplification(reports: &[RankReport], out: &mut Vec<Finding>) {
+    let spilled: u64 = reports
+        .iter()
+        .map(|r| r.shuffle.spilled_bytes + r.jobs.iter().map(|j| j.spill_bytes).sum::<u64>())
+        .sum();
+    let emitted: u64 = reports.iter().map(|r| r.shuffle.kv_bytes_emitted).sum();
+    if spilled == 0 || emitted == 0 || spilled <= emitted {
+        return;
+    }
+    out.push(Finding {
+        severity: Severity::Warn,
+        code: "spill-amplification",
+        title: format!(
+            "spilled {spilled} B against {emitted} B of emitted KVs \
+             ({:.1}x amplification)",
+            spilled as f64 / emitted as f64
+        ),
+        phase: "map/aggregate (shuffle)",
+        ranks: Vec::new(),
+        evidence: vec![
+            ("spilled_bytes".into(), num(spilled)),
+            ("emitted_bytes".into(), num(emitted)),
+        ],
+        hint: "Each spilled byte is written and re-read: amplification above \
+               1x means the memory budget forces repeated spilling. Raise \
+               the budget, or cut the working set with KV compression / \
+               partial reduction (paper §III-C).",
+    });
+}
+
+/// Trace-ring overwrites: a truncated timeline silently biases every
+/// timeline-derived conclusion, so loss itself is a finding.
+pub fn dropped_events(reports: &[RankReport], out: &mut Vec<Finding>) {
+    let dropped: u64 = reports.iter().map(|r| r.events_dropped).sum();
+    if dropped == 0 {
+        return;
+    }
+    let retained: u64 = reports.iter().map(|r| r.events.len() as u64).sum();
+    let fraction = dropped as f64 / (dropped + retained) as f64;
+    let severity = if fraction > DROP_CRIT_FRACTION {
+        Severity::Critical
+    } else {
+        Severity::Warn
+    };
+    out.push(Finding {
+        severity,
+        code: "dropped-events",
+        title: format!(
+            "{dropped} trace event(s) were overwritten ({:.1}% of the stream)",
+            fraction * 100.0
+        ),
+        phase: "",
+        ranks: reports
+            .iter()
+            .filter(|r| r.events_dropped > 0)
+            .map(|r| r.rank)
+            .collect(),
+        evidence: vec![
+            ("events_dropped".into(), num(dropped)),
+            ("events_retained".into(), num(retained)),
+        ],
+        hint: "The ring kept only the newest window; early phases are \
+               missing from the timeline. Raise MIMIR_TRACE_CAP (each event \
+               is 32 bytes; the default 64Ki events = 2 MiB per rank).",
+    });
+}
+
+/// Scheduler job lifecycle: every non-`Done` outcome and every
+/// suspend-and-retry cycle is worth a line. Outcome codes mirror
+/// `mimir_sched::JobOutcome` (the doctor reads reports, not the crate).
+pub fn job_lifecycle(reports: &[RankReport], out: &mut Vec<Finding>) {
+    // Records are replicated per rank; take the widest view seen.
+    let Some(r) = reports.iter().max_by_key(|r| r.jobs.len()) else {
+        return;
+    };
+    for j in &r.jobs {
+        let (severity, what) = match j.outcome {
+            0 => {
+                if j.retries > 0 {
+                    (
+                        Severity::Warn,
+                        format!(
+                            "finished only after {} suspend-and-retry cycle(s)",
+                            j.retries
+                        ),
+                    )
+                } else {
+                    continue;
+                }
+            }
+            1 => (Severity::Warn, "died of a peer's disconnect".to_string()),
+            2 => (Severity::Info, "was cancelled".to_string()),
+            3 => (
+                Severity::Critical,
+                "ran out of pool memory (retries exhausted)".to_string(),
+            ),
+            4 => (Severity::Critical, "failed".to_string()),
+            _ => (Severity::Critical, "panicked".to_string()),
+        };
+        out.push(Finding {
+            severity,
+            code: "job-lifecycle",
+            title: format!("job {} `{}` {what}", j.id, j.name),
+            phase: "",
+            ranks: Vec::new(),
+            evidence: vec![
+                ("job_id".into(), num(j.id)),
+                ("outcome_code".into(), num(j.outcome)),
+                ("retries".into(), num(j.retries)),
+                ("footprint_bytes".into(), num(j.footprint_bytes)),
+            ],
+            hint: "Suspend-and-retry doubles the footprint estimate each \
+                   cycle: a job that retries often was submitted with a far \
+                   too small footprint, and one that exhausts retries cannot \
+                   fit at all — split its input or raise the node budget.",
+        });
+    }
+}
+
+/// Deadlock suspect: a rank that spent ≥95% of its wall time blocked
+/// and received nothing was almost certainly waiting on a peer that
+/// never spoke — a mis-sequenced collective or a lost message.
+pub fn deadlock_suspect(reports: &[RankReport], out: &mut Vec<Finding>) {
+    for r in reports {
+        let wall_ns = ((r.times.map_s + r.times.convert_s + r.times.reduce_s) * 1e9) as u64;
+        if wall_ns < DEADLOCK_MIN_WALL_NS || r.comm.bytes_recvd > 0 {
+            continue;
+        }
+        let wait = r.waits.total_wait_ns;
+        if (wait as f64) < DEADLOCK_WAIT_FRACTION * wall_ns as f64 {
+            continue;
+        }
+        out.push(Finding {
+            severity: Severity::Warn,
+            code: "deadlock-suspect",
+            title: format!(
+                "rank {} spent {:.0}% of its wall time blocked and received \
+                 no data",
+                r.rank,
+                100.0 * wait as f64 / wall_ns as f64
+            ),
+            phase: "",
+            ranks: vec![r.rank],
+            evidence: vec![
+                ("total_wait_ns".into(), num(wait)),
+                ("wall_ns".into(), num(wall_ns)),
+                ("bytes_recvd".into(), num(r.comm.bytes_recvd)),
+            ],
+            hint: "Check for a rank that exited early or a collective called \
+                   in different orders on different ranks — the SPMD \
+                   discipline requires identical call sequences everywhere.",
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize) -> Vec<RankReport> {
+        (0..n)
+            .map(|r| {
+                let mut rep = RankReport::new(r);
+                rep.ranks = n as u64;
+                rep
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straggler_names_the_least_waiting_rank() {
+        let mut reports = world(4);
+        for r in &mut reports {
+            r.waits.sync_wait_ns = 40_000_000;
+            r.waits.barrier_wait_ns = 10_000_000;
+            r.times.map_s = 0.06;
+        }
+        reports[2].waits.sync_wait_ns = 1_000_000;
+        reports[2].waits.barrier_wait_ns = 0;
+        let mut out = Vec::new();
+        straggler(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "straggler");
+        assert_eq!(out[0].ranks[0], 2, "critical rank = least waiting");
+        assert_eq!(
+            out[0].severity,
+            Severity::Critical,
+            "50 ms of 60 ms wall is critical"
+        );
+        // Uniform waits: no finding.
+        let mut out = Vec::new();
+        straggler(&world(4), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skew_fires_on_concentration_and_names_the_phase() {
+        let mut reports = world(4);
+        for r in &mut reports {
+            r.shuffle.kv_bytes_emitted = 1000;
+        }
+        reports[0].shuffle.bytes_received = 4000; // everything lands on rank 0
+        let mut out = Vec::new();
+        partition_skew(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Critical, "4x fair share");
+        assert_eq!(out[0].phase, "map/aggregate (shuffle)");
+        assert_eq!(out[0].ranks, vec![0]);
+        assert!(out[0].hint.contains("III-C2"), "paper-grounded hint");
+
+        // Uniform receives: silent.
+        let mut reports = world(4);
+        for r in &mut reports {
+            r.shuffle.bytes_received = 1000;
+        }
+        let mut out = Vec::new();
+        partition_skew(&reports, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skew_reads_the_per_destination_histogram_too() {
+        let mut reports = world(2);
+        reports[1].shuffle.imbalance_permille = 2500; // sender-side view
+        let mut out = Vec::new();
+        partition_skew(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn headroom_margins_and_violations() {
+        let mut reports = world(2);
+        reports[0].mem.budget_bytes = 1000;
+        reports[0].mem.peak_bytes = 950; // 5% margin
+        let mut out = Vec::new();
+        memory_headroom(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+
+        reports[1].mem.oom_events = 3;
+        let mut out = Vec::new();
+        memory_headroom(&reports, &mut out);
+        assert_eq!(out.len(), 1, "violation supersedes the margin warning");
+        assert_eq!(out[0].severity, Severity::Critical);
+        assert_eq!(out[0].ranks, vec![1]);
+
+        // Comfortable margin, no OOM: silent. Unmetered (budget 0): silent.
+        let mut reports = world(2);
+        reports[0].mem.budget_bytes = 1000;
+        reports[0].mem.peak_bytes = 500;
+        let mut out = Vec::new();
+        memory_headroom(&reports, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spill_amplification_needs_spill_above_emitted() {
+        let mut reports = world(2);
+        reports[0].shuffle.kv_bytes_emitted = 100;
+        reports[0].shuffle.spilled_bytes = 350;
+        let mut out = Vec::new();
+        spill_amplification(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].title.contains("3.5x"));
+
+        reports[0].shuffle.spilled_bytes = 50; // absorbing a burst is fine
+        let mut out = Vec::new();
+        spill_amplification(&reports, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dropped_events_scale_with_loss_fraction() {
+        let mut reports = world(1);
+        reports[0].events_dropped = 1;
+        for _ in 0..99 {
+            reports[0].events.push(mimir_obs::Event {
+                t_ns: 0,
+                kind: mimir_obs::EventKind::MemSample,
+                a: 0,
+                b: 0,
+            });
+        }
+        let mut out = Vec::new();
+        dropped_events(&reports, &mut out);
+        assert_eq!(out[0].severity, Severity::Warn, "1% loss warns");
+        assert!(out[0].hint.contains("MIMIR_TRACE_CAP"));
+
+        reports[0].events_dropped = 50;
+        let mut out = Vec::new();
+        dropped_events(&reports, &mut out);
+        assert_eq!(out[0].severity, Severity::Critical, "33% loss is critical");
+    }
+
+    #[test]
+    fn job_lifecycle_reads_outcomes_and_retries() {
+        let mut reports = world(2);
+        let job = |id: u64, outcome: u64, retries: u64| mimir_obs::JobRecord {
+            id,
+            name: format!("j{id}"),
+            outcome,
+            retries,
+            ..mimir_obs::JobRecord::default()
+        };
+        reports[0].jobs = vec![
+            job(0, 0, 0), // clean: silent
+            job(1, 0, 2), // retried: warn
+            job(2, 2, 0), // cancelled: info
+            job(3, 3, 3), // OOM: critical
+        ];
+        let mut out = Vec::new();
+        job_lifecycle(&reports, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert_eq!(out[1].severity, Severity::Info);
+        assert_eq!(out[2].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn deadlock_suspect_needs_high_wait_and_silence() {
+        let mut reports = world(2);
+        reports[1].times.map_s = 0.2;
+        reports[1].waits.total_wait_ns = 198_000_000;
+        reports[1].comm.bytes_recvd = 0;
+        let mut out = Vec::new();
+        deadlock_suspect(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ranks, vec![1]);
+
+        reports[1].comm.bytes_recvd = 4096; // it did talk: not a deadlock
+        let mut out = Vec::new();
+        deadlock_suspect(&reports, &mut out);
+        assert!(out.is_empty());
+    }
+}

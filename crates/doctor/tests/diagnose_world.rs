@@ -1,0 +1,79 @@
+//! Acceptance: the doctor flags a genuinely skewed run with the right
+//! phase and hotspot, and stays silent on the uniform control — the
+//! same job, same data, different partitioner.
+
+use mimir_core::{MimirConfig, MimirContext, Partitioner};
+use mimir_io::IoModel;
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mimir_obs::RankReport;
+
+const RANKS: usize = 4;
+const KEYS_PER_RANK: usize = 400;
+
+/// Runs a map-shuffle over synthetic keys and assembles the per-rank
+/// reports the way `mimir-bench`'s trace session does.
+fn run_shuffle(partitioner: Partitioner) -> Vec<RankReport> {
+    run_world(RANKS, move |comm| {
+        let rank = comm.rank();
+        let pool = MemPool::unlimited(format!("n{rank}"), 64 * 1024);
+        let mut ctx = MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default())
+            .expect("context");
+        let out = ctx
+            .job()
+            .partitioner(partitioner.clone())
+            .map_shuffle(&mut |em| {
+                for i in 0..KEYS_PER_RANK {
+                    let key = format!("key-{:05}", i * RANKS + rank);
+                    em.emit(key.as_bytes(), b"1")?;
+                }
+                Ok(())
+            })
+            .expect("map_shuffle");
+        let s = &out.stats;
+        let mut r = RankReport::new(rank);
+        r.ranks = RANKS as u64;
+        r.shuffle.kvs_emitted = s.shuffle.kvs_emitted;
+        r.shuffle.kv_bytes_emitted = s.shuffle.kv_bytes_emitted;
+        r.shuffle.kvs_received = s.shuffle.kvs_received;
+        r.shuffle.bytes_received = s.shuffle.bytes_received;
+        r.shuffle.max_dest_bytes = s.shuffle.max_dest_bytes;
+        r.shuffle.imbalance_permille = s.shuffle.imbalance_permille;
+        r.shuffle.gini_permille = s.shuffle.gini_permille;
+        r.waits.sync_wait_ns = s.shuffle.sync_wait_ns;
+        r.waits.data_wait_ns = s.shuffle.data_wait_ns;
+        r.waits.barrier_wait_ns = s.barrier_wait_ns;
+        r.times.map_s = s.map_time.as_secs_f64();
+        r
+    })
+}
+
+#[test]
+fn skewed_run_yields_a_skew_finding_naming_the_shuffle_phase() {
+    let reports = run_shuffle(Partitioner::custom("to-zero", |_key, _n| 0));
+    let d = mimir_doctor::diagnose(&reports);
+    let skew = d
+        .findings
+        .iter()
+        .find(|f| f.code == "partition-skew")
+        .unwrap_or_else(|| panic!("no skew finding in:\n{}", d.to_text()));
+    assert_eq!(skew.phase, "map/aggregate (shuffle)");
+    assert_eq!(skew.ranks, vec![0], "rank 0 is the hotspot");
+    assert_eq!(
+        skew.severity,
+        mimir_doctor::Severity::Critical,
+        "a point mass is 4x the fair share"
+    );
+    assert!(skew.hint.contains("III-C2"), "paper-grounded hint");
+}
+
+#[test]
+fn uniform_run_yields_no_skew_finding() {
+    let reports = run_shuffle(Partitioner::hash());
+    let d = mimir_doctor::diagnose(&reports);
+    assert!(
+        d.findings.iter().all(|f| f.code != "partition-skew"),
+        "hash partitioning flagged as skew:\n{}",
+        d.to_text()
+    );
+}

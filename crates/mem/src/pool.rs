@@ -47,6 +47,12 @@ pub(crate) struct PoolInner {
     page_allocs: AtomicU64,
     page_frees: AtomicU64,
     oom_events: AtomicU64,
+    /// Usage level at the last emitted trace sample. The sampler is
+    /// decimated: charges and credits only emit a `MemSample` event once
+    /// usage has moved at least one page away from this watermark, so
+    /// byte-granular reservation churn costs one atomic load per call,
+    /// not one trace event.
+    last_sample: AtomicUsize,
     free_pages: Mutex<Vec<Box<[u8]>>>,
 }
 
@@ -79,6 +85,7 @@ impl MemPool {
                 page_allocs: AtomicU64::new(0),
                 page_frees: AtomicU64::new(0),
                 oom_events: AtomicU64::new(0),
+                last_sample: AtomicUsize::new(0),
                 free_pages: Mutex::new(Vec::new()),
             }),
         })
@@ -97,7 +104,6 @@ impl MemPool {
     pub fn alloc_page(&self) -> Result<Page> {
         self.charge(self.inner.page_size)?;
         self.inner.page_allocs.fetch_add(1, Ordering::Relaxed);
-        self.inner.sample();
         let buf = self
             .inner
             .free_pages
@@ -259,6 +265,7 @@ impl PoolInner {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::AcqRel);
                     self.phase_peak.fetch_max(next, Ordering::AcqRel);
+                    self.maybe_sample(next);
                     return Ok(());
                 }
                 Err(actual) => current = actual,
@@ -269,12 +276,12 @@ impl PoolInner {
     pub(crate) fn credit(&self, bytes: usize) {
         let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
         debug_assert!(prev >= bytes, "pool accounting underflow");
+        self.maybe_sample(prev.saturating_sub(bytes));
     }
 
     pub(crate) fn recycle_page(&self, buf: Box<[u8]>) {
         self.page_frees.fetch_add(1, Ordering::Relaxed);
         self.credit(self.page_size);
-        self.sample();
         let mut cache = self.free_pages.lock().unwrap();
         // Bound the cache so long-lived unlimited pools don't hoard host
         // memory: keep at most budget/page_size or 1024 buffers.
@@ -284,13 +291,25 @@ impl PoolInner {
         }
     }
 
-    /// Emits a pool high-water sample on the calling rank's trace (no-op
-    /// when tracing is off).
-    fn sample(&self) {
-        if mimir_obs::active() {
+    /// Emits a pool high-water sample on the calling rank's trace when
+    /// usage has drifted at least one page from the last sample. No-op
+    /// when tracing is off; one relaxed load when it is on but the
+    /// watermark hasn't moved far enough — cheap enough to hang off every
+    /// charge/credit, including byte-granular reservations.
+    fn maybe_sample(&self, used_now: usize) {
+        if !mimir_obs::active() {
+            return;
+        }
+        let last = self.last_sample.load(Ordering::Relaxed);
+        if used_now.abs_diff(last) >= self.page_size
+            && self
+                .last_sample
+                .compare_exchange(last, used_now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
             mimir_obs::emit(
                 mimir_obs::EventKind::MemSample,
-                self.used.load(Ordering::Relaxed) as u64,
+                used_now as u64,
                 self.peak.load(Ordering::Relaxed) as u64,
             );
         }
@@ -425,6 +444,32 @@ mod tests {
         drop(held);
         assert_eq!(pool.used(), 0);
         assert!(pool.probe_reserve(29).is_some());
+    }
+
+    #[test]
+    fn sampler_is_decimated_to_page_granularity() {
+        let pool = MemPool::new("t", 1024, 1 << 20).unwrap();
+        mimir_obs::install(mimir_obs::Recorder::new(0, 4096));
+        // Sub-page reservation churn never crosses the watermark.
+        for _ in 0..50 {
+            let r = pool.try_reserve(16).unwrap();
+            drop(r);
+        }
+        // Page-scale traffic does: one sample per alloc, one per free.
+        let pages = pool.alloc_pages(4).unwrap();
+        drop(pages);
+        let rec = mimir_obs::take().expect("recorder installed");
+        let events = rec.events();
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == mimir_obs::EventKind::MemSample)
+            .collect();
+        assert_eq!(
+            samples.len(),
+            8,
+            "4 allocs + 4 frees each move a full page; 16-byte churn is decimated"
+        );
+        assert_eq!(samples[3].a, 4 * 1024, "sample carries bytes used");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 pub use mimir_apps as apps;
 pub use mimir_core as core;
 pub use mimir_datagen as datagen;
+pub use mimir_doctor as doctor;
 pub use mimir_io as io;
 pub use mimir_mem as mem;
 pub use mimir_mpi as mpi;

@@ -10,6 +10,7 @@
 //! steps per rank instead of `p − 1` payload clones).
 
 use std::ops::Range;
+use std::time::Instant;
 
 use crate::msg::tags;
 use crate::{Comm, ReduceOp};
@@ -231,7 +232,9 @@ impl Comm {
                     part.len(),
                     recv.len()
                 );
+                let copy_start = Instant::now();
                 recv[..part.len()].copy_from_slice(part);
+                self.stats.work_ns += copy_start.elapsed().as_nanos() as u64;
                 self.stats.bytes_copied += part.len() as u64;
                 self_len = part.len();
             } else {
@@ -273,7 +276,9 @@ impl Comm {
                 src + 1,
                 recv.len()
             );
+            let copy_start = Instant::now();
             recv[off..end].copy_from_slice(&buf);
+            self.stats.work_ns += copy_start.elapsed().as_nanos() as u64;
             self.stats.bytes_copied += buf.len() as u64;
             self.recycle_buf(buf);
             ranges.push(off..end);

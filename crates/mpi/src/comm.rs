@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::Instant;
 
 use crate::error::DisconnectPanic;
 use crate::msg::{tags, Msg, Payload, Tag};
@@ -213,7 +214,9 @@ impl Comm {
         if buf.capacity() < data.len() {
             self.stats.send_allocs += 1;
         }
+        let copy_start = Instant::now();
         buf.extend_from_slice(data);
+        self.stats.work_ns += copy_start.elapsed().as_nanos() as u64;
         self.stats.bytes_copied += data.len() as u64;
         self.send_internal(dst, tag, buf);
     }
@@ -305,12 +308,17 @@ impl Comm {
             self.stats.bytes_recvd += msg.data.len() as u64;
             return msg.data;
         }
-        loop {
+        // Everything below blocks on a peer: this loop is the single
+        // funnel for every blocking point in the transport (recv and all
+        // collective-internal receives), so timing it here gives complete
+        // wait-state attribution with one clock read per matched message.
+        let wait_start = Instant::now();
+        let data = loop {
             match self.rxs[src].recv() {
                 Ok(msg) if msg.tag == tag => {
                     self.stats.msgs_recvd += 1;
                     self.stats.bytes_recvd += msg.data.len() as u64;
-                    return msg.data;
+                    break msg.data;
                 }
                 Ok(msg) => self.pending[src].push_back(msg),
                 Err(_) => std::panic::resume_unwind(Box::new(DisconnectPanic(
@@ -320,7 +328,9 @@ impl Comm {
                     },
                 ))),
             }
-        }
+        };
+        self.stats.wait_ns += wait_start.elapsed().as_nanos() as u64;
+        data
     }
 
     pub(crate) fn count_collective(&mut self) {

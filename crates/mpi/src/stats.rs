@@ -25,6 +25,21 @@ pub struct CommStats {
     /// buffer capacity growths. Stops increasing once the exchange reaches
     /// steady state.
     pub send_allocs: u64,
+    /// Nanoseconds this rank spent *blocked* waiting for a peer: every
+    /// blocking point in the transport (point-to-point `recv`, and the
+    /// internal receives of barrier / allreduce / allgather / alltoallv /
+    /// gather / bcast, which all funnel through the same matching loop)
+    /// counts the time from entering the blocking wait to message arrival.
+    /// Sends never block on the eager transport (send-buffer acquisition is
+    /// a pool pop; misses are `send_allocs`), so wait time is entirely
+    /// "blocked on peers". The BSP diagnosis question — byte-bound or
+    /// straggler-bound? — is answered by comparing this against `work_ns`.
+    pub wait_ns: u64,
+    /// Nanoseconds the transport spent doing *work* on payload bytes:
+    /// memcpy into pooled send buffers and out into caller-owned receive
+    /// buffers (the time behind `bytes_copied`). Stays flat when a peer is
+    /// slow; grows with traffic volume.
+    pub work_ns: u64,
 }
 
 impl CommStats {
@@ -38,6 +53,8 @@ impl CommStats {
             collectives: self.collectives + other.collectives,
             bytes_copied: self.bytes_copied + other.bytes_copied,
             send_allocs: self.send_allocs + other.send_allocs,
+            wait_ns: self.wait_ns + other.wait_ns,
+            work_ns: self.work_ns + other.work_ns,
         }
     }
 }

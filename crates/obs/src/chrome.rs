@@ -221,6 +221,50 @@ fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
                     ("args", Json::obj(vec![("outcome", Json::Num(e.b as f64))])),
                 ]));
             }
+            EventKind::RoundWait => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(format!("round-wait r{rank}"))),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("sync_wait_ns", Json::Num(e.a as f64)),
+                            ("data_wait_ns", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::RoundSkew => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(format!("round-skew r{rank}"))),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("imbalance_permille", Json::Num(e.a as f64)),
+                            ("gini_permille", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::JobHeartbeat => {
+                // Memory counter on the job's own lane: tenants' pool
+                // footprints read side by side under their rank row.
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(format!("job-mem r{rank} j{}", e.a))),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", Json::Num(job_lane(rank, e.a))),
+                    ("args", Json::obj(vec![("used", Json::Num(e.b as f64))])),
+                ]));
+            }
         }
     }
 }
@@ -245,10 +289,30 @@ pub fn chrome_trace(reports: &[RankReport]) -> Json {
         ]));
         rank_events(r.rank, &r.events, &mut events);
     }
-    Json::obj(vec![
+    let dropped: u64 = reports.iter().map(|r| r.events_dropped).sum();
+    let mut doc = vec![
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::Str("ms".into())),
-    ])
+    ];
+    if dropped > 0 {
+        // The timeline silently starts mid-run when the ring wrapped;
+        // stamp the loss where a human opening the trace will see it.
+        doc.push((
+            "metadata",
+            Json::obj(vec![
+                ("events_dropped", Json::Num(dropped as f64)),
+                (
+                    "warning",
+                    Json::Str(format!(
+                        "{dropped} events were overwritten by the trace ring; \
+                         the timeline is truncated at the front. Raise \
+                         MIMIR_TRACE_CAP (events per rank) to keep the full run."
+                    )),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(doc)
 }
 
 /// Serializes [`chrome_trace`] to a writable JSON string.
@@ -400,6 +464,77 @@ mod tests {
             .find(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
             .unwrap();
         assert_eq!(first_b.get("name").unwrap().as_str(), Some("queued"));
+    }
+
+    #[test]
+    fn dropped_events_stamp_trace_metadata() {
+        let mut lossy = report_with_events(0, Vec::new());
+        lossy.events_dropped = 42;
+        let doc = chrome_trace(&[lossy]);
+        let meta = doc.get("metadata").expect("metadata stamped on loss");
+        assert_eq!(meta.get("events_dropped").unwrap().as_u64(), Some(42));
+        assert!(meta
+            .get("warning")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("MIMIR_TRACE_CAP"));
+        let clean = chrome_trace(&[report_with_events(0, Vec::new())]);
+        assert!(clean.get("metadata").is_none(), "no loss, no warning");
+    }
+
+    #[test]
+    fn wait_skew_and_heartbeat_render_as_counter_lanes() {
+        let evs = vec![
+            Event {
+                t_ns: 1_000,
+                kind: EventKind::RoundWait,
+                a: 5_000,
+                b: 7_000,
+            },
+            Event {
+                t_ns: 2_000,
+                kind: EventKind::RoundSkew,
+                a: 2_400,
+                b: 310,
+            },
+            Event {
+                t_ns: 3_000,
+                kind: EventKind::JobHeartbeat,
+                a: 5,
+                b: 65_536,
+            },
+        ];
+        let doc = chrome_trace(&[report_with_events(1, evs)]);
+        let trace = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("sync_wait_ns")
+                .unwrap()
+                .as_u64(),
+            Some(5_000)
+        );
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("imbalance_permille")
+                .unwrap()
+                .as_u64(),
+            Some(2_400)
+        );
+        // The heartbeat lands on job 5's lane, not the rank lane.
+        assert_eq!(
+            counters[2].get("tid").and_then(Json::as_u64),
+            Some((1 + 1) * 1_000 + 5)
+        );
     }
 
     #[test]

@@ -147,11 +147,25 @@ pub enum EventKind {
     /// A running job was suspended for retry after an OOM. `a` = job id,
     /// `b` = retry count so far.
     JobSuspend = 14,
+    /// Wait-state summary of one exchange round. `a` = nanoseconds this
+    /// rank spent blocked in the round's done-allreduce (straggler-bound
+    /// wait), `b` = nanoseconds blocked completing the round's partition
+    /// receives (byte-bound wait).
+    RoundWait = 15,
+    /// Per-destination skew summary of one exchange round, computed over
+    /// the send-partition fill levels just before they ship.
+    /// `a` = imbalance ratio max/mean in permille (1000 = perfectly
+    /// balanced), `b` = Gini coefficient in permille (0 = uniform).
+    RoundSkew = 16,
+    /// Scheduler heartbeat for one running job. `a` = job id, `b` = pool
+    /// bytes in use on this rank at the tick. Rendered as a counter lane
+    /// per job so tenants' memory footprints read side by side.
+    JobHeartbeat = 17,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -167,6 +181,9 @@ impl EventKind {
         EventKind::JobAdmit,
         EventKind::JobEnd,
         EventKind::JobSuspend,
+        EventKind::RoundWait,
+        EventKind::RoundSkew,
+        EventKind::JobHeartbeat,
     ];
 
     /// Stable serialization name.
@@ -187,6 +204,9 @@ impl EventKind {
             EventKind::JobAdmit => "job_admit",
             EventKind::JobEnd => "job_end",
             EventKind::JobSuspend => "job_suspend",
+            EventKind::RoundWait => "round_wait",
+            EventKind::RoundSkew => "round_skew",
+            EventKind::JobHeartbeat => "job_heartbeat",
         }
     }
 

@@ -35,5 +35,5 @@ pub use recorder::{
 };
 pub use report::{
     CommCounters, GroupCounters, JobCounters, JobRecord, MemCounters, PhasePeaks, PhaseTimes,
-    RankReport, ShuffleCounters,
+    RankReport, ShuffleCounters, WaitCounters,
 };

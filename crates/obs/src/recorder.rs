@@ -143,9 +143,16 @@ pub fn env_enabled() -> bool {
     }
 }
 
-/// Ring capacity from `MIMIR_TRACE_EVENTS`, or [`DEFAULT_CAPACITY`].
+/// Ring capacity (events per rank) from `MIMIR_TRACE_CAP`, falling back
+/// to the legacy `MIMIR_TRACE_EVENTS` spelling, or [`DEFAULT_CAPACITY`].
+///
+/// Each event is 32 bytes, so the default 64 Ki events costs 2 MiB per
+/// rank; size the cap so one run's `rounds × events-per-round` fits, or
+/// the exporters will stamp a dropped-events warning into the output
+/// (see README "Sizing the trace ring").
 pub fn env_capacity() -> usize {
-    std::env::var("MIMIR_TRACE_EVENTS")
+    std::env::var("MIMIR_TRACE_CAP")
+        .or_else(|_| std::env::var("MIMIR_TRACE_EVENTS"))
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_CAPACITY)

@@ -61,16 +61,24 @@ pub struct MemCounters {
     pub bytes_in_use: u64,
     /// High-water mark over the whole run.
     pub peak_bytes: u64,
+    /// The pool's configured budget in bytes; 0 when the pool is
+    /// unlimited (no budget to diagnose headroom against).
+    pub budget_bytes: u64,
+    /// Allocation attempts the pool rejected for lack of budget.
+    pub oom_events: u64,
 }
 
 impl MemCounters {
     /// Sums the flow counters; peaks and in-use take the max (node pools
-    /// are shared, so summing them would double-count).
+    /// are shared, so summing them would double-count). The budget takes
+    /// the max too — ranks of one run share a per-node budget.
     pub fn merge(&mut self, other: &MemCounters) {
         self.pages_allocated += other.pages_allocated;
         self.pages_recycled += other.pages_recycled;
         self.bytes_in_use = self.bytes_in_use.max(other.bytes_in_use);
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.budget_bytes = self.budget_bytes.max(other.budget_bytes);
+        self.oom_events += other.oom_events;
     }
 }
 
@@ -92,12 +100,22 @@ pub struct ShuffleCounters {
     /// Largest single-round receive total — must stay ≤ the receive
     /// buffer capacity (the Section III-B bound).
     pub max_round_recv_bytes: u64,
+    /// Cumulative bytes this rank sent to its hottest destination.
+    pub max_dest_bytes: u64,
+    /// Send-side partition imbalance over the whole shuffle: max/mean of
+    /// cumulative per-destination bytes, in permille (1000 = perfectly
+    /// balanced; 0 = nothing sent).
+    pub imbalance_permille: u64,
+    /// Gini coefficient of cumulative per-destination bytes, in permille
+    /// (0 = uniform, →1000 = everything to one destination).
+    pub gini_permille: u64,
 }
 
 impl ShuffleCounters {
     /// Sums the traffic counters; rounds take the max (every rank steps
-    /// through the same number of collective rounds), as does the
-    /// per-round receive high-water mark.
+    /// through the same number of collective rounds), as do the
+    /// per-round receive high-water mark and the skew metrics (the
+    /// cluster is as skewed as its most skewed rank).
     pub fn merge(&mut self, other: &ShuffleCounters) {
         self.kvs_emitted += other.kvs_emitted;
         self.kv_bytes_emitted += other.kv_bytes_emitted;
@@ -106,6 +124,45 @@ impl ShuffleCounters {
         self.spilled_bytes += other.spilled_bytes;
         self.bytes_received += other.bytes_received;
         self.max_round_recv_bytes = self.max_round_recv_bytes.max(other.max_round_recv_bytes);
+        self.max_dest_bytes = self.max_dest_bytes.max(other.max_dest_bytes);
+        self.imbalance_permille = self.imbalance_permille.max(other.imbalance_permille);
+        self.gini_permille = self.gini_permille.max(other.gini_permille);
+    }
+}
+
+/// The wait-state taxonomy: where one rank's wall-clock went while the
+/// transport was involved. Waits are *rank-nanoseconds blocked on peers*;
+/// work is the transport's own memcpy/encode time. On a merged report the
+/// values are cluster totals (sums), so the interesting diagnosis signal
+/// is the *spread* across the per-rank reports, which is why exporters
+/// keep per-rank lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitCounters {
+    /// Every nanosecond blocked at any transport blocking point (recv,
+    /// and the internal receives of all collectives). Supersets the
+    /// attributed categories below.
+    pub total_wait_ns: u64,
+    /// Transport memcpy/encode nanoseconds (the time behind
+    /// `comm.bytes_copied`). Flat under stragglers; grows with volume.
+    pub total_work_ns: u64,
+    /// Blocked in shuffle done-votes — straggler-bound wait: some rank
+    /// was still mapping/draining when this one entered the round.
+    pub sync_wait_ns: u64,
+    /// Blocked completing shuffle partition receives — byte-bound wait:
+    /// peers were still pushing payload.
+    pub data_wait_ns: u64,
+    /// Blocked in the phase barriers at aggregate/reduce boundaries.
+    pub barrier_wait_ns: u64,
+}
+
+impl WaitCounters {
+    /// Element-wise sum: merged waits are cluster rank-seconds blocked.
+    pub fn merge(&mut self, other: &WaitCounters) {
+        self.total_wait_ns += other.total_wait_ns;
+        self.total_work_ns += other.total_work_ns;
+        self.sync_wait_ns += other.sync_wait_ns;
+        self.data_wait_ns += other.data_wait_ns;
+        self.barrier_wait_ns += other.barrier_wait_ns;
     }
 }
 
@@ -292,6 +349,8 @@ pub struct RankReport {
     pub mem: MemCounters,
     /// Shuffle counters.
     pub shuffle: ShuffleCounters,
+    /// Wait-state attribution: where this rank's transport time went.
+    pub waits: WaitCounters,
     /// Grouping-engine counters.
     pub group: GroupCounters,
     /// Per-phase wall-clock times.
@@ -329,6 +388,7 @@ impl RankReport {
         self.comm.merge(&other.comm);
         self.mem.merge(&other.mem);
         self.shuffle.merge(&other.shuffle);
+        self.waits.merge(&other.waits);
         self.group.merge(&other.group);
         self.times.merge(&other.times);
         self.peaks.merge(&other.peaks);
@@ -385,6 +445,8 @@ impl RankReport {
                     ("pages_recycled", Json::Num(self.mem.pages_recycled as f64)),
                     ("bytes_in_use", Json::Num(self.mem.bytes_in_use as f64)),
                     ("peak_bytes", Json::Num(self.mem.peak_bytes as f64)),
+                    ("budget_bytes", Json::Num(self.mem.budget_bytes as f64)),
+                    ("oom_events", Json::Num(self.mem.oom_events as f64)),
                 ]),
             ),
             (
@@ -408,6 +470,31 @@ impl RankReport {
                     (
                         "max_round_recv_bytes",
                         Json::Num(self.shuffle.max_round_recv_bytes as f64),
+                    ),
+                    (
+                        "max_dest_bytes",
+                        Json::Num(self.shuffle.max_dest_bytes as f64),
+                    ),
+                    (
+                        "imbalance_permille",
+                        Json::Num(self.shuffle.imbalance_permille as f64),
+                    ),
+                    (
+                        "gini_permille",
+                        Json::Num(self.shuffle.gini_permille as f64),
+                    ),
+                ]),
+            ),
+            (
+                "waits",
+                Json::obj(vec![
+                    ("total_wait_ns", Json::Num(self.waits.total_wait_ns as f64)),
+                    ("total_work_ns", Json::Num(self.waits.total_work_ns as f64)),
+                    ("sync_wait_ns", Json::Num(self.waits.sync_wait_ns as f64)),
+                    ("data_wait_ns", Json::Num(self.waits.data_wait_ns as f64)),
+                    (
+                        "barrier_wait_ns",
+                        Json::Num(self.waits.barrier_wait_ns as f64),
                     ),
                 ]),
             ),
@@ -587,6 +674,8 @@ impl RankReport {
                 pages_recycled: u(&["mem", "pages_recycled"])?,
                 bytes_in_use: u(&["mem", "bytes_in_use"])?,
                 peak_bytes: u(&["mem", "peak_bytes"])?,
+                budget_bytes: u_opt(&["mem", "budget_bytes"]),
+                oom_events: u_opt(&["mem", "oom_events"]),
             },
             shuffle: ShuffleCounters {
                 kvs_emitted: u(&["shuffle", "kvs_emitted"])?,
@@ -596,6 +685,17 @@ impl RankReport {
                 spilled_bytes: u(&["shuffle", "spilled_bytes"])?,
                 bytes_received: u_opt(&["shuffle", "bytes_received"]),
                 max_round_recv_bytes: u_opt(&["shuffle", "max_round_recv_bytes"]),
+                max_dest_bytes: u_opt(&["shuffle", "max_dest_bytes"]),
+                imbalance_permille: u_opt(&["shuffle", "imbalance_permille"]),
+                gini_permille: u_opt(&["shuffle", "gini_permille"]),
+            },
+            // The whole waits section postdates the first release.
+            waits: WaitCounters {
+                total_wait_ns: u_opt(&["waits", "total_wait_ns"]),
+                total_work_ns: u_opt(&["waits", "total_work_ns"]),
+                sync_wait_ns: u_opt(&["waits", "sync_wait_ns"]),
+                data_wait_ns: u_opt(&["waits", "data_wait_ns"]),
+                barrier_wait_ns: u_opt(&["waits", "barrier_wait_ns"]),
             },
             group: {
                 // Added after the first release: the whole object may be
@@ -677,6 +777,8 @@ mod tests {
                 pages_recycled: 8,
                 bytes_in_use: 0,
                 peak_bytes: 1 << 20,
+                budget_bytes: 4 << 20,
+                oom_events: rank,
             },
             shuffle: ShuffleCounters {
                 kvs_emitted: 100 * (rank + 1),
@@ -686,6 +788,16 @@ mod tests {
                 spilled_bytes: 0,
                 bytes_received: 850,
                 max_round_recv_bytes: 400 + rank,
+                max_dest_bytes: 600 + rank,
+                imbalance_permille: 1000 + 100 * rank,
+                gini_permille: 50 * rank,
+            },
+            waits: WaitCounters {
+                total_wait_ns: 90_000 + rank,
+                total_work_ns: 8_000,
+                sync_wait_ns: 60_000 * (rank + 1),
+                data_wait_ns: 20_000,
+                barrier_wait_ns: 10_000,
             },
             group: GroupCounters {
                 inserts: 200 * (rank + 1),
@@ -752,6 +864,16 @@ mod tests {
         assert_eq!(a.shuffle.kvs_emitted, 100 + 200);
         assert_eq!(a.shuffle.rounds, 3, "rounds take the max, not the sum");
         assert_eq!(a.mem.peak_bytes, 1 << 20, "peaks take the max");
+        assert_eq!(a.mem.oom_events, 1, "oom events sum");
+        assert_eq!(
+            a.waits.sync_wait_ns,
+            60_000 + 120_000,
+            "waits sum into cluster rank-nanoseconds"
+        );
+        assert_eq!(
+            a.shuffle.imbalance_permille, 1100,
+            "skew takes the most skewed rank"
+        );
         assert_eq!(a.job.unique_keys, 100);
         assert!((a.times.map_s - 1.5).abs() < 1e-12, "times take the max");
         assert!(a.events.is_empty(), "merged reports drop per-rank events");
@@ -769,6 +891,8 @@ mod tests {
         right.merge(&pair);
         assert_eq!(left.comm, right.comm);
         assert_eq!(left.shuffle, right.shuffle);
+        assert_eq!(left.waits, right.waits);
+        assert_eq!(left.mem, right.mem);
         assert_eq!(left.peaks, right.peaks);
         assert_eq!(left.ranks, right.ranks);
     }

@@ -1,0 +1,136 @@
+//! Property: the crate's JSON writer and parser are inverses.
+//!
+//! `Json::parse(x.to_string()) == x` and
+//! `Json::parse(x.to_pretty()) == x` over seeded random values — deep
+//! nesting, unicode and control-character strings, and finite floats
+//! (the writer maps non-finite numbers to `null` by design, so the
+//! generator never produces them). Plus: `parse_lines` tolerates blank
+//! lines and trailing newlines, which real `.jsonl` files always have.
+
+use mimir_obs::Json;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A string mixing ASCII, escapes, control chars, and multi-byte
+/// unicode — everything the writer must escape or pass through.
+fn random_string(rng: &mut Rng) -> String {
+    const POOL: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', 'λ', '中', '🦀',
+        '\u{2028}', '/', '<', '{', ']',
+    ];
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+        .collect()
+}
+
+/// A finite f64: mostly integers (the writer prints them without a
+/// fraction), sometimes dyadic fractions and large magnitudes — all
+/// exactly representable, all shortest-roundtrip printable.
+fn random_number(rng: &mut Rng) -> f64 {
+    match rng.below(4) {
+        0 => rng.below(1 << 53) as f64,
+        1 => -(rng.below(1 << 31) as f64),
+        2 => rng.below(1 << 20) as f64 + (rng.below(1024) as f64) / 1024.0,
+        _ => (rng.below(1 << 40) as f64) * 1e-6,
+    }
+}
+
+fn random_json(rng: &mut Rng, depth: u32) -> Json {
+    let leaf_only = depth >= 6;
+    match rng.below(if leaf_only { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 1),
+        2 => Json::Num(random_number(rng)),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.below(5) as usize;
+            Json::Arr((0..n).map(|_| random_json(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.below(5) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", random_string(rng)),
+                            random_json(rng, depth + 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn parse_inverts_both_writers() {
+    let mut rng = Rng(0x5eed_1001);
+    for trial in 0..500 {
+        let value = random_json(&mut rng, 0);
+        let compact = value.to_string();
+        let parsed = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("trial {trial}: unparseable compact output {compact}: {e}"));
+        assert_eq!(parsed, value, "compact roundtrip (trial {trial})");
+        let pretty = value.to_pretty();
+        let parsed = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("trial {trial}: unparseable pretty output {pretty}: {e}"));
+        assert_eq!(parsed, value, "pretty roundtrip (trial {trial})");
+    }
+}
+
+#[test]
+fn deep_nesting_roundtrips() {
+    // A pathological 40-deep chain exercises the recursion paths the
+    // random generator rarely reaches.
+    let mut v = Json::Num(1.0);
+    for i in 0..40 {
+        v = if i % 2 == 0 {
+            Json::Arr(vec![v])
+        } else {
+            Json::obj(vec![("inner", v)])
+        };
+    }
+    assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+}
+
+#[test]
+fn non_finite_numbers_write_as_null_by_design() {
+    assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+}
+
+#[test]
+fn parse_lines_tolerates_blank_lines_and_trailing_newlines() {
+    let mut rng = Rng(0x5eed_1002);
+    let docs: Vec<Json> = (0..10)
+        .map(|_| Json::obj(vec![("v", random_json(&mut rng, 4))]))
+        .collect();
+    let body: String = docs.iter().map(|d| format!("{d}\n")).collect();
+    for padded in [
+        body.clone(),
+        format!("{body}\n\n"),
+        format!("\n{body}"),
+        body.replace('\n', "\n\n"),
+        body.trim_end().to_string(), // no trailing newline at all
+    ] {
+        let parsed = Json::parse_lines(&padded).expect("tolerant parse");
+        assert_eq!(parsed, docs, "padding changed the parsed documents");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property: cross-rank report merging is order-independent.
+//!
+//! A gathered run merges per-rank [`RankReport`]s in whatever order the
+//! collective delivered them; the cluster aggregate must not depend on
+//! it. Sums commute, maxes commute, job records key-merge by id — this
+//! test exercises all of it (including the wait/skew counters added by
+//! the diagnosis layer) over seeded random reports and random
+//! permutations, no external property-test crate needed.
+
+use mimir_obs::{JobRecord, RankReport};
+
+/// xorshift64*: tiny seeded PRNG, deterministic across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A report with every counter the merge touches randomized. Times are
+/// integer milliseconds (exactly representable, so f64 max/sum are
+/// order-exact) and job ids overlap across ranks to exercise key-merge.
+fn random_report(rng: &mut Rng, rank: usize) -> RankReport {
+    let mut r = RankReport::new(rank);
+    r.comm.sends = rng.below(1 << 20);
+    r.comm.recvs = rng.below(1 << 20);
+    r.comm.bytes_sent = rng.below(1 << 40);
+    r.comm.bytes_recvd = rng.below(1 << 40);
+    r.comm.collectives = rng.below(1 << 10);
+    r.comm.bytes_copied = rng.below(1 << 30);
+    r.comm.send_allocs = rng.below(1 << 10);
+    r.mem.pages_allocated = rng.below(1 << 16);
+    r.mem.pages_recycled = rng.below(1 << 16);
+    r.mem.bytes_in_use = rng.below(1 << 30);
+    r.mem.peak_bytes = rng.below(1 << 30);
+    r.mem.budget_bytes = rng.below(1 << 32);
+    r.mem.oom_events = rng.below(4);
+    r.shuffle.kvs_emitted = rng.below(1 << 24);
+    r.shuffle.kv_bytes_emitted = rng.below(1 << 32);
+    r.shuffle.kvs_received = rng.below(1 << 24);
+    r.shuffle.rounds = rng.below(64);
+    r.shuffle.spilled_bytes = rng.below(1 << 28);
+    r.shuffle.bytes_received = rng.below(1 << 32);
+    r.shuffle.max_round_recv_bytes = rng.below(1 << 24);
+    r.shuffle.max_dest_bytes = rng.below(1 << 24);
+    r.shuffle.imbalance_permille = 1000 + rng.below(4000);
+    r.shuffle.gini_permille = rng.below(1000);
+    r.waits.total_wait_ns = rng.below(1 << 40);
+    r.waits.total_work_ns = rng.below(1 << 36);
+    r.waits.sync_wait_ns = rng.below(1 << 38);
+    r.waits.data_wait_ns = rng.below(1 << 38);
+    r.waits.barrier_wait_ns = rng.below(1 << 38);
+    r.times.map_s = rng.below(10_000) as f64 / 1000.0;
+    r.times.convert_s = rng.below(10_000) as f64 / 1000.0;
+    r.times.reduce_s = rng.below(10_000) as f64 / 1000.0;
+    r.peaks.map_bytes = rng.below(1 << 30);
+    r.peaks.convert_bytes = rng.below(1 << 30);
+    r.peaks.reduce_bytes = rng.below(1 << 30);
+    r.job.unique_keys = rng.below(1 << 20);
+    r.job.kvs_out = rng.below(1 << 20);
+    r.job.node_peak_bytes = rng.below(1 << 30);
+    r.events_dropped = rng.below(100);
+    // 0–3 job records drawn from a small id pool so ranks share ids.
+    for _ in 0..rng.below(4) {
+        let id = rng.below(5);
+        r.jobs.push(JobRecord {
+            id,
+            name: format!("job{id}"),
+            priority: rng.below(3),
+            outcome: rng.below(6),
+            retries: rng.below(3),
+            queued_s: rng.below(1000) as f64,
+            running_s: rng.below(1000) as f64,
+            footprint_bytes: rng.below(1 << 24),
+            kvs_out: rng.below(1 << 16),
+            spill_bytes: rng.below(1 << 20),
+        });
+    }
+    r
+}
+
+/// Folds `reports` in the order given by `perm` into a neutral
+/// accumulator (rank/ranks zeroed so the base contributes nothing).
+fn fold(reports: &[RankReport], perm: &[usize]) -> RankReport {
+    let mut acc = RankReport::new(0);
+    acc.ranks = 0;
+    for &i in perm {
+        acc.merge(&reports[i]);
+    }
+    acc
+}
+
+#[test]
+fn merge_is_order_independent() {
+    let mut rng = Rng(0x5eed_0001);
+    for trial in 0..50 {
+        let n = 2 + (rng.below(7) as usize);
+        let reports: Vec<RankReport> = (0..n).map(|r| random_report(&mut rng, r)).collect();
+        let identity: Vec<usize> = (0..n).collect();
+        let baseline = fold(&reports, &identity).to_json_string();
+        // A few random permutations per world.
+        for _ in 0..4 {
+            let mut perm = identity.clone();
+            for i in (1..n).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                perm.swap(i, j);
+            }
+            let shuffled = fold(&reports, &perm).to_json_string();
+            assert_eq!(
+                baseline, shuffled,
+                "merge depended on order (trial {trial}, perm {perm:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_pairwise() {
+    let mut rng = Rng(0x5eed_0002);
+    for _ in 0..50 {
+        let a = random_report(&mut rng, 0);
+        let b = random_report(&mut rng, 1);
+        let c = random_report(&mut rng, 2);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.to_json_string(), right.to_json_string());
+    }
+}
+
+#[test]
+fn merge_sums_waits_and_maxes_skew() {
+    // Spot-check the new diagnosis counters against hand arithmetic, so
+    // the property tests can't both be fooled by a sign-flip.
+    let mut a = RankReport::new(0);
+    a.waits.sync_wait_ns = 100;
+    a.waits.barrier_wait_ns = 7;
+    a.shuffle.imbalance_permille = 1200;
+    a.shuffle.gini_permille = 300;
+    a.mem.oom_events = 1;
+    let mut b = RankReport::new(1);
+    b.waits.sync_wait_ns = 50;
+    b.shuffle.imbalance_permille = 3000;
+    b.shuffle.gini_permille = 100;
+    a.merge(&b);
+    assert_eq!(a.waits.sync_wait_ns, 150);
+    assert_eq!(a.waits.barrier_wait_ns, 7);
+    assert_eq!(a.shuffle.imbalance_permille, 3000);
+    assert_eq!(a.shuffle.gini_permille, 300);
+    assert_eq!(a.mem.oom_events, 1);
+    assert_eq!(a.ranks, 2);
+}

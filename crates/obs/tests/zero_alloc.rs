@@ -2,22 +2,26 @@
 //! neither the disabled path (no recorder installed) nor the enabled hot
 //! path (recording into the preallocated ring) may touch the allocator.
 //!
-//! Uses a counting global allocator; the assertions compare allocation
-//! counts before/after a burst of emits on the main test thread, so this
-//! file holds exactly these tests (other threads would add noise).
+//! Uses a counting global allocator with a *per-thread* counter: the
+//! libtest harness allocates concurrently on its own threads, and a
+//! process-wide count would pick that noise up (observed as a rare
+//! flake). The `const` thread-local initializer keeps TLS access safe
+//! inside the allocator (no lazy init on first use).
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use mimir_obs::{emit, install, phase_span, step_span, take, EventKind, Phase, Recorder, Step};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -26,7 +30,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -35,9 +39,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn allocs_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = ALLOCS.with(Cell::get);
     f();
-    ALLOCS.load(Ordering::Relaxed) - before
+    ALLOCS.with(Cell::get) - before
 }
 
 #[test]

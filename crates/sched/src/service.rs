@@ -120,6 +120,10 @@ pub struct JobService<'w> {
     /// Admission order. Identical on every rank.
     running: Vec<RunningJob>,
     finished: Vec<FinishedJob>,
+    /// Last time [`Self::tick`] emitted per-job memory heartbeats;
+    /// decimates the heartbeat stream to ~1 ms so a busy tick loop
+    /// (500 µs cadence) doesn't double the trace volume.
+    last_heartbeat: Instant,
 }
 
 impl<'w> JobService<'w> {
@@ -135,6 +139,7 @@ impl<'w> JobService<'w> {
             queue: Vec::new(),
             running: Vec::new(),
             finished: Vec::new(),
+            last_heartbeat: Instant::now(),
         }
     }
 
@@ -179,6 +184,20 @@ impl<'w> JobService<'w> {
     /// lockstep.
     pub fn tick(&mut self) -> bool {
         let mut progressed = false;
+
+        // Memory heartbeat: one JobHeartbeat per running job carrying
+        // the node pool's current usage, rendered by the chrome exporter
+        // as a per-job counter lane. Decimated to ~1 ms.
+        if mimir_obs::active() && !self.running.is_empty() {
+            let now = Instant::now();
+            if now.duration_since(self.last_heartbeat) >= Duration::from_millis(1) {
+                self.last_heartbeat = now;
+                let used = self.pool.used() as u64;
+                for r in &self.running {
+                    mimir_obs::emit(EventKind::JobHeartbeat, r.id, used);
+                }
+            }
+        }
 
         // Completion sweep. Workers that died because a peer collapsed
         // the job communicator count as finished too, so `LAnd` always
@@ -686,6 +705,28 @@ mod tests {
         });
         for outcomes in outs {
             assert!(outcomes.iter().all(|o| *o == Some(JobOutcome::Done)));
+        }
+    }
+
+    #[test]
+    fn running_jobs_emit_memory_heartbeats() {
+        let outs = service_world(16 << 20, SchedConfig::default(), |svc| {
+            mimir_obs::install(mimir_obs::Recorder::new(0, 4096));
+            let spec = JobSpec::new("sleepy", 64 * 1024, |_ctx| {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(JobYield::default())
+            });
+            let id = svc.submit(spec);
+            svc.run_until_idle();
+            let rec = mimir_obs::take().expect("recorder installed");
+            let events = rec.events();
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::JobHeartbeat && e.a == id)
+                .count()
+        });
+        for beats in outs {
+            assert!(beats >= 1, "a 20 ms job spans at least one 1 ms heartbeat");
         }
     }
 

@@ -10,7 +10,8 @@ use mimir_apps::wordcount::{wordcount_mimir, WcOptions};
 use mimir_datagen::UniformWords;
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
-use mimir_mpi::run_world;
+use mimir_mpi::{run_world, Comm};
+use mimir_obs::{CommCounters, MemCounters, RankReport, Recorder};
 use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
 
 const RANKS: usize = 4;
@@ -32,15 +33,87 @@ fn word_total(data: &[u8]) -> u64 {
     total
 }
 
+/// When `MIMIR_TRACE` is set, assembles this rank's report (comm, pool,
+/// job records, trace events), gathers every report onto rank 0, and
+/// writes `<MIMIR_TRACE_DIR|traces>/sched_stress.jsonl` plus the chrome
+/// trace — the input `mimir-doctor` consumes in CI.
+fn export_trace(comm: &mut Comm, pool: &MemPool, records: Vec<mimir_obs::JobRecord>) {
+    let mut r = RankReport::new(comm.rank());
+    r.ranks = comm.size() as u64;
+    let cs = comm.stats();
+    r.comm = CommCounters {
+        sends: cs.msgs_sent,
+        recvs: cs.msgs_recvd,
+        bytes_sent: cs.bytes_sent,
+        bytes_recvd: cs.bytes_recvd,
+        collectives: cs.collectives,
+        bytes_copied: cs.bytes_copied,
+        send_allocs: cs.send_allocs,
+    };
+    r.waits.total_wait_ns = cs.wait_ns;
+    r.waits.total_work_ns = cs.work_ns;
+    let ps = pool.stats();
+    r.mem = MemCounters {
+        pages_allocated: ps.page_allocs,
+        pages_recycled: ps.page_frees,
+        bytes_in_use: ps.used as u64,
+        peak_bytes: ps.peak as u64,
+        budget_bytes: if ps.budget == usize::MAX {
+            0
+        } else {
+            ps.budget as u64
+        },
+        oom_events: ps.oom_events,
+    };
+    r.jobs = records;
+    if let Some(rec) = mimir_obs::take() {
+        r.events = rec.events();
+        r.events_dropped = rec.dropped();
+    }
+    let payload = r.to_json_string().into_bytes();
+    if let Some(gathered) = comm.gather(0, payload) {
+        let reports: Vec<RankReport> = gathered
+            .iter()
+            .map(|b| RankReport::from_json_string(std::str::from_utf8(b).unwrap()).unwrap())
+            .collect();
+        let dir = std::path::PathBuf::from(
+            std::env::var("MIMIR_TRACE_DIR").unwrap_or_else(|_| "traces".into()),
+        );
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("sched_stress.jsonl"),
+            mimir_obs::jsonl_string(&reports),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("sched_stress.trace.json"),
+            mimir_obs::chrome_trace(&reports).to_string(),
+        )
+        .unwrap();
+        eprintln!(
+            "trace: wrote {}/sched_stress.{{jsonl,trace.json}}",
+            dir.display()
+        );
+    }
+}
+
 fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
-    run_world(RANKS, |comm| {
+    let epoch = Instant::now();
+    run_world(RANKS, move |comm| {
+        if mimir_obs::env_enabled() {
+            mimir_obs::install(Recorder::with_epoch(
+                comm.rank(),
+                mimir_obs::env_capacity(),
+                epoch,
+            ));
+        }
         let pool = MemPool::new(format!("node{}", comm.rank()), 64 * 1024, BUDGET).unwrap();
         let cfg = SchedConfig {
             queue_cap: 8,
             max_running: 3,
             max_retries: 3,
         };
-        let mut svc = JobService::new(comm, pool, IoModel::free(), cfg);
+        let mut svc = JobService::new(comm, pool.clone(), IoModel::free(), cfg);
 
         let ids: Vec<u64> = (0..JOBS as u64)
             .map(|j| {
@@ -79,12 +152,13 @@ fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
                 words_counted += word_total(&y.data);
             }
         }
-        (
-            outcomes,
-            words_counted,
-            svc.pool().peak(),
-            svc.pool().used(),
-        )
+        let records = svc.job_records();
+        let (peak, used) = (svc.pool().peak(), svc.pool().used());
+        drop(svc);
+        if mimir_obs::env_enabled() {
+            export_trace(comm, &pool, records);
+        }
+        (outcomes, words_counted, peak, used)
     })
 }
 

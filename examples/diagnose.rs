@@ -1,0 +1,83 @@
+//! Diagnose a skewed run with `mimir-doctor`.
+//!
+//! Runs the same WordCount shuffle twice — once over a heavy power-law
+//! (Zipf) corpus and once over a uniform one — assembles the per-rank
+//! reports the way a trace session does, and feeds both to the doctor.
+//! The skewed run draws a partition-skew finding naming the shuffle
+//! phase and the hotspot rank; the uniform control comes back healthy.
+//!
+//! No combiner on purpose: partial reduction would collapse the hot key
+//! to one KV per rank and hide exactly the shuffle-volume imbalance the
+//! paper's Figure 10 is about.
+//!
+//! Run with: `cargo run --release -p mimir --example diagnose`
+
+use mimir::prelude::*;
+use mimir_obs::RankReport;
+
+const RANKS: usize = 4;
+const CORPUS_BYTES: usize = 256 * 1024;
+
+/// Maps a corpus, shuffles raw `(word, 1)` pairs, and returns per-rank
+/// reports carrying the shuffle skew and wait counters.
+fn run_wordcount(corpus: impl Fn(usize) -> Vec<u8> + Send + Sync) -> Vec<RankReport> {
+    run_world(RANKS, |comm| {
+        let rank = comm.rank();
+        let text = corpus(rank);
+        let pool = MemPool::unlimited(format!("n{rank}"), 64 * 1024);
+        let mut ctx = MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default())
+            .expect("context");
+        let meta = KvMeta::cstr_key_u64_val();
+        let out = ctx
+            .job()
+            .kv_meta(meta)
+            .map_shuffle(&mut |em| {
+                for line in mimir::io::LineReader::new(&text) {
+                    for word in mimir::io::words(line) {
+                        em.emit(word, &1u64.to_le_bytes())?;
+                    }
+                }
+                Ok(())
+            })
+            .expect("wordcount shuffle");
+
+        let s = &out.stats;
+        let mut r = RankReport::new(rank);
+        r.ranks = RANKS as u64;
+        r.shuffle.kvs_emitted = s.shuffle.kvs_emitted;
+        r.shuffle.kv_bytes_emitted = s.shuffle.kv_bytes_emitted;
+        r.shuffle.kvs_received = s.shuffle.kvs_received;
+        r.shuffle.bytes_received = s.shuffle.bytes_received;
+        r.shuffle.max_dest_bytes = s.shuffle.max_dest_bytes;
+        r.shuffle.imbalance_permille = s.shuffle.imbalance_permille;
+        r.shuffle.gini_permille = s.shuffle.gini_permille;
+        r.waits.sync_wait_ns = s.shuffle.sync_wait_ns;
+        r.waits.data_wait_ns = s.shuffle.data_wait_ns;
+        r.waits.barrier_wait_ns = s.barrier_wait_ns;
+        r.times.map_s = s.map_time.as_secs_f64();
+        r
+    })
+}
+
+fn main() {
+    // Zipf(2.0): the top word alone carries ~60% of all occurrences, so
+    // whichever rank its hash lands on receives several times its fair
+    // share of shuffle bytes.
+    let zipf = WikipediaWords {
+        vocab: 50_000,
+        zipf_s: 2.0,
+        seed: 42,
+    };
+    println!("=== skewed corpus (Zipf s=2.0) ===");
+    let reports = run_wordcount(|rank| zipf.generate(rank, RANKS, CORPUS_BYTES));
+    let received: Vec<u64> = reports.iter().map(|r| r.shuffle.bytes_received).collect();
+    println!("bytes received per rank: {received:?}");
+    println!("{}", mimir_doctor::diagnose(&reports).to_text());
+
+    println!("\n=== uniform control ===");
+    let uniform = UniformWords::new(42);
+    let reports = run_wordcount(|rank| uniform.generate(rank, RANKS, CORPUS_BYTES));
+    let received: Vec<u64> = reports.iter().map(|r| r.shuffle.bytes_received).collect();
+    println!("bytes received per rank: {received:?}");
+    println!("{}", mimir_doctor::diagnose(&reports).to_text());
+}
