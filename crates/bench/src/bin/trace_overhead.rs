@@ -1,0 +1,197 @@
+//! **Trace-overhead ablation** — cost of the observability stack on the
+//! shuffle hot path, measured on the heavy 8-rank shuffle cell (the same
+//! cell `shuffle_bench` gates on). Three configurations:
+//!
+//! - `off`: no recorder installed — every `emit`/`flow_*` call is a
+//!   thread-local `None` check and nothing else;
+//! - `skeleton`: recorder installed, flow stamping disabled — phase,
+//!   step, and round spans land in the ring but messages go untraced;
+//! - `full-flow`: flow stamping on — every message additionally carries
+//!   a flow id and the receive loop records `FlowSend`/`FlowRecv`
+//!   pairs, i.e. everything the critical-path engine needs.
+//!
+//! Best-of-repeats throughput per configuration; overhead is reported
+//! against `off`. Writes `BENCH_trace_overhead.json`; `--quick` runs a
+//! smaller cell as a CI smoke test. Prints a `REGRESSION` marker and
+//! exits nonzero if full-flow tracing costs ≥5% of untraced throughput —
+//! the budget under which "leave tracing on in production" stays an easy
+//! recommendation.
+
+use std::time::Instant;
+
+use mimir_bench::{fmt_size, HarnessArgs};
+use mimir_core::{Emitter, KvContainer, KvMeta, Partitioner, ShuffleMode, Shuffler};
+use mimir_datagen::rank_rng;
+use mimir_mem::MemPool;
+use mimir_mpi::run_world;
+use mimir_obs::{Json, Recorder};
+
+const KV_BYTES: u64 = 16; // fixed(8,8), matching shuffle_bench
+
+#[derive(Clone, Copy, PartialEq)]
+enum Tracing {
+    Off,
+    Skeleton,
+    FullFlow,
+}
+
+impl Tracing {
+    fn name(self) -> &'static str {
+        match self {
+            Tracing::Off => "off",
+            Tracing::Skeleton => "skeleton",
+            Tracing::FullFlow => "full-flow",
+        }
+    }
+}
+
+struct Measure {
+    mb_per_s: f64,
+    events: u64,
+    events_dropped: u64,
+}
+
+/// Ring capacity sized so the full-flow run never overflows — loss would
+/// make the event count (and thus the comparison) configuration-biased.
+const RING_CAP: usize = 1 << 20;
+
+fn run_cell(ranks: usize, comm_buf: usize, kvs_per_rank: usize, tracing: Tracing) -> Measure {
+    let epoch = Instant::now();
+    let out = run_world(ranks, move |comm| {
+        if tracing != Tracing::Off {
+            let mut rec = Recorder::with_epoch(comm.rank(), RING_CAP, epoch);
+            rec.set_flow_enabled(tracing == Tracing::FullFlow);
+            mimir_obs::install(rec);
+        }
+        let pool = MemPool::unlimited("bench", 1 << 20);
+        let meta = KvMeta::fixed(8, 8);
+        let sink = KvContainer::new(&pool, meta);
+        let mut sh = Shuffler::with_options(
+            comm,
+            &pool,
+            meta,
+            comm_buf,
+            sink,
+            Partitioner::hash(),
+            ShuffleMode::Overlapped,
+        )
+        .unwrap();
+        let mut rng = rank_rng(0x7ACE, sh.rank());
+        let t0 = Instant::now();
+        for _ in 0..kvs_per_rank {
+            let key = rng.next_u64().to_le_bytes();
+            sh.emit(&key, &[0u8; 8]).unwrap();
+        }
+        let _ = sh.finish().unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let (events, dropped) = match mimir_obs::take() {
+            Some(rec) => (rec.len() as u64, rec.dropped()),
+            None => (0, 0),
+        };
+        (elapsed, events, dropped)
+    });
+    let slowest = out.iter().map(|(t, _, _)| *t).fold(0.0, f64::max);
+    let total_bytes = (ranks * kvs_per_rank) as u64 * KV_BYTES;
+    Measure {
+        mb_per_s: total_bytes as f64 / (1 << 20) as f64 / slowest,
+        events: out.iter().map(|(_, e, _)| e).sum(),
+        events_dropped: out.iter().map(|(_, _, d)| d).sum(),
+    }
+}
+
+fn best_of(
+    ranks: usize,
+    comm_buf: usize,
+    kvs_per_rank: usize,
+    tracing: Tracing,
+    repeats: usize,
+) -> Measure {
+    (0..repeats)
+        .map(|_| run_cell(ranks, comm_buf, kvs_per_rank, tracing))
+        .max_by(|a, b| a.mb_per_s.total_cmp(&b.mb_per_s))
+        .unwrap()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Heavy-8 preset: the cell where the exchange engine (and therefore
+    // per-message tracing) is busiest. --quick shrinks it for CI.
+    let (ranks, comm_buf, repeats) = if args.quick {
+        (2usize, 64 << 10, 3)
+    } else {
+        (8usize, 256 << 10, 5)
+    };
+    let kvs_per_rank = 8 * comm_buf / KV_BYTES as usize;
+
+    println!(
+        "{:<6}{:>8}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "ranks", "buf", "tracing", "MB/s", "overhead", "events", "dropped"
+    );
+    let configs = [Tracing::Off, Tracing::Skeleton, Tracing::FullFlow];
+    let measures: Vec<Measure> = configs
+        .iter()
+        .map(|&t| best_of(ranks, comm_buf, kvs_per_rank, t, repeats))
+        .collect();
+    let off = measures[0].mb_per_s;
+
+    let mut rows = Vec::new();
+    let mut full_flow_overhead = 0.0;
+    for (cfg, m) in configs.iter().zip(&measures) {
+        // Overhead of this configuration vs untraced, as a fraction
+        // (0.03 = 3% of untraced throughput lost).
+        let overhead = (off / m.mb_per_s - 1.0).max(0.0);
+        if *cfg == Tracing::FullFlow {
+            full_flow_overhead = overhead;
+        }
+        println!(
+            "{:<6}{:>8}{:>12}{:>12.1}{:>11.1}%{:>12}{:>10}",
+            ranks,
+            fmt_size(comm_buf),
+            cfg.name(),
+            m.mb_per_s,
+            overhead * 100.0,
+            m.events,
+            m.events_dropped
+        );
+        rows.push(Json::obj(vec![
+            ("tracing", Json::Str(cfg.name().into())),
+            ("mb_per_s", Json::Num(m.mb_per_s)),
+            ("overhead_vs_off", Json::Num(overhead)),
+            ("events", Json::Num(m.events as f64)),
+            ("events_dropped", Json::Num(m.events_dropped as f64)),
+        ]));
+    }
+
+    let dropped: u64 = measures.iter().map(|m| m.events_dropped).sum();
+    let regression = full_flow_overhead >= 0.05;
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("trace_overhead".into())),
+        ("quick", Json::Bool(args.quick)),
+        ("ranks", Json::Num(ranks as f64)),
+        ("comm_buf", Json::Num(comm_buf as f64)),
+        ("kvs_per_rank", Json::Num(kvs_per_rank as f64)),
+        ("kv_meta", Json::Str("fixed(8,8)".into())),
+        ("full_flow_overhead", Json::Num(full_flow_overhead)),
+        ("regression", Json::Bool(regression)),
+        ("cells", Json::Arr(rows)),
+    ]);
+    let path = args
+        .json
+        .unwrap_or_else(|| "BENCH_trace_overhead.json".into());
+    std::fs::write(&path, doc.to_pretty()).expect("writing bench JSON");
+    println!("wrote {path}");
+    println!(
+        "full-flow tracing overhead vs untraced: {:.1}%",
+        full_flow_overhead * 100.0
+    );
+    if dropped > 0 {
+        println!(
+            "note: {dropped} events dropped — the ring overflowed, raise \
+             RING_CAP for a fair comparison"
+        );
+    }
+    if regression {
+        println!("REGRESSION: full-flow tracing costs >=5% of untraced throughput");
+        std::process::exit(1);
+    }
+}

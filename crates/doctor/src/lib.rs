@@ -12,7 +12,8 @@
 //!
 //! | code | looks at | fires on |
 //! |---|---|---|
-//! | `straggler` | per-rank sync+barrier waits | peers waiting ≥50% longer than the critical rank |
+//! | `critical-path` | flow-edge happens-before DAG | always reports the measured path; warns when one rank holds an outsized share |
+//! | `straggler` | per-rank sync+barrier waits | peers waiting ≥50% longer than the critical rank — only when no path could be measured |
 //! | `partition-skew` | per-destination byte histograms, cross-rank receive totals | imbalance ≥2× the fair share |
 //! | `memory-headroom` | pool peak vs budget, OOM events | margin <10% or any budget violation |
 //! | `spill-amplification` | spilled vs emitted shuffle bytes | spill exceeding the data itself |
@@ -25,9 +26,11 @@
 
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod ingest;
 pub mod rules;
 
+pub use critical_path::{critical_path, CriticalPath, Segment, SegmentKind};
 pub use ingest::{ingest_chrome, ingest_jsonl, ingest_path_text};
 
 use mimir_obs::{Json, RankReport};
@@ -62,6 +65,31 @@ impl Severity {
             _ => None,
         }
     }
+}
+
+/// Formats a nanosecond quantity for human output: the largest of
+/// ns/µs/ms/s that keeps the value ≥ 1, printed to 3 significant digits.
+/// JSON output keeps raw nanoseconds; only [`Diagnosis::to_text`] and
+/// the critical-path text rendering humanize.
+pub fn fmt_duration_ns(ns: f64) -> String {
+    let ns = ns.max(0.0);
+    let (v, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    let prec = if v >= 100.0 {
+        0
+    } else if v >= 10.0 {
+        1
+    } else {
+        2
+    };
+    format!("{v:.prec$} {unit}")
 }
 
 /// One diagnosed problem: what, where, how bad, and what to do.
@@ -179,7 +207,14 @@ impl Diagnosis {
                 out.push_str(&format!("  ranks: {}\n", ranks.join(", ")));
             }
             for (k, v) in &f.evidence {
-                out.push_str(&format!("  {k}: {v}\n"));
+                // Durations are stored as raw nanoseconds (stable for
+                // scripting); the human rendering converts them.
+                match v {
+                    Json::Num(ns) if k.ends_with("_ns") => {
+                        out.push_str(&format!("  {k}: {}\n", fmt_duration_ns(*ns)));
+                    }
+                    _ => out.push_str(&format!("  {k}: {v}\n")),
+                }
             }
             out.push_str(&format!("  hint: {}\n", f.hint));
         }
@@ -193,7 +228,13 @@ impl Diagnosis {
 /// title — so goldens and CI diffs are stable.
 pub fn diagnose(reports: &[RankReport]) -> Diagnosis {
     let mut findings = Vec::new();
-    rules::straggler(reports, &mut findings);
+    // A measured critical path supersedes the straggler heuristic: the
+    // heuristic infers the gating rank from aggregate wait counters, the
+    // path walks the actual happens-before edges.
+    match critical_path::critical_path(reports) {
+        Some(path) => rules::critical_path_rule(&path, reports, &mut findings),
+        None => rules::straggler(reports, &mut findings),
+    }
     rules::partition_skew(reports, &mut findings);
     rules::memory_headroom(reports, &mut findings);
     rules::spill_amplification(reports, &mut findings);
@@ -231,6 +272,40 @@ mod tests {
         assert_eq!(d.worst_severity(), None);
         assert!(d.to_text().contains("healthy"));
         assert_eq!(d.to_json().get("worst"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn durations_humanize_to_three_significant_digits() {
+        assert_eq!(fmt_duration_ns(0.0), "0.00 ns");
+        assert_eq!(fmt_duration_ns(412.0), "412 ns");
+        assert_eq!(fmt_duration_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_duration_ns(12_345.0), "12.3 µs");
+        assert_eq!(fmt_duration_ns(987_654.0), "988 µs");
+        assert_eq!(fmt_duration_ns(50_000_000.0), "50.0 ms");
+        assert_eq!(fmt_duration_ns(1_234_000_000.0), "1.23 s");
+        assert_eq!(fmt_duration_ns(765_000_000_000.0), "765 s");
+    }
+
+    #[test]
+    fn text_humanizes_ns_evidence_but_json_stays_raw() {
+        let mut r = RankReport::new(0);
+        r.ranks = 2;
+        // Trip the deadlock rule: its evidence carries several *_ns keys.
+        r.times.map_s = 0.2;
+        r.waits.total_wait_ns = 198_000_000;
+        let reports = vec![r, RankReport::new(1)];
+        let d = diagnose(&reports);
+        let text = d.to_text();
+        assert!(
+            text.contains("total_wait_ns: 198 ms"),
+            "durations humanize in text:\n{text}"
+        );
+        assert!(!text.contains("198000000"), "no raw ns in text:\n{text}");
+        let json = d.to_json().to_string();
+        assert!(
+            json.contains("198000000"),
+            "JSON keeps raw nanoseconds:\n{json}"
+        );
     }
 
     #[test]

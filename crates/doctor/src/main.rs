@@ -1,40 +1,51 @@
 //! `mimir-doctor`: diagnose a Mimir trace export from the command line.
 //!
 //! ```text
-//! mimir-doctor [--json] [--fail-on info|warn|critical] <file>...
+//! mimir-doctor [--json] [--critical-path] [--fail-on info|warn|critical] <file>...
 //! ```
 //!
 //! Inputs are the files the trace stack writes: `<label>.jsonl` (full
-//! counters — preferred) or `<label>.trace.json` (chrome timeline; only
-//! the trace-health rules can run). Multiple files are diagnosed as
-//! independent runs and the findings are concatenated.
+//! counters and event lines — preferred) or `<label>.trace.json`
+//! (chrome timeline; only the trace-health rules can run). Multiple
+//! files are diagnosed as independent runs and the findings are
+//! concatenated.
+//!
+//! `--critical-path` additionally prints the measured critical path's
+//! per-segment breakdown for each input that carries flow events (with
+//! `--json`, a `critical_paths` object keyed by file joins the
+//! diagnosis).
 //!
 //! Exit status: `0` clean (or nothing at/above `--fail-on`), `1` when a
 //! finding reaches the `--fail-on` severity (default: `critical`), `2`
 //! on usage or read errors.
 
-use mimir_doctor::{diagnose, ingest_path_text, Diagnosis, Severity};
+use mimir_doctor::{critical_path, diagnose, ingest_path_text, Diagnosis, Severity};
+use mimir_obs::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mimir-doctor [--json] [--fail-on info|warn|critical] <file>...\n\
+        "usage: mimir-doctor [--json] [--critical-path] [--fail-on info|warn|critical] <file>...\n\
          \n\
          Diagnoses Mimir trace exports (.jsonl preferred; .trace.json\n\
          yields a skeleton view). Prints human text by default, a JSON\n\
-         document with --json. Exits 1 when any finding reaches the\n\
-         --fail-on severity (default critical), 2 on bad input."
+         document with --json. --critical-path adds the measured\n\
+         critical path's per-segment breakdown for inputs that carry\n\
+         flow events. Exits 1 when any finding reaches the --fail-on\n\
+         severity (default critical), 2 on bad input."
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut json = false;
+    let mut want_path = false;
     let mut fail_on = Severity::Critical;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--critical-path" => want_path = true,
             "--fail-on" => {
                 let Some(level) = args.next().as_deref().and_then(Severity::parse) else {
                     usage();
@@ -51,6 +62,7 @@ fn main() {
     }
 
     let mut combined = Diagnosis::default();
+    let mut breakdowns: Vec<(String, mimir_doctor::CriticalPath)> = Vec::new();
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -67,6 +79,11 @@ fn main() {
             }
         };
         combined.findings.extend(diagnose(&reports).findings);
+        if want_path {
+            if let Some(cp) = critical_path(&reports) {
+                breakdowns.push((path.clone(), cp));
+            }
+        }
     }
     combined.findings.sort_by(|a, b| {
         b.severity
@@ -76,9 +93,31 @@ fn main() {
     });
 
     if json {
-        println!("{}", combined.to_json().to_pretty());
+        let mut doc = combined.to_json();
+        if want_path {
+            let paths_obj = Json::Obj(
+                breakdowns
+                    .iter()
+                    .map(|(p, cp)| (p.clone(), cp.to_json()))
+                    .collect(),
+            );
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("critical_paths".into(), paths_obj));
+            }
+        }
+        println!("{}", doc.to_pretty());
     } else {
         print!("{}", combined.to_text());
+        for (p, cp) in &breakdowns {
+            println!("\n{p}:");
+            print!("{}", cp.to_text());
+        }
+        if want_path && breakdowns.is_empty() {
+            println!(
+                "\nno critical path could be measured — the export carries no \
+                 matched flow events (run with MIMIR_TRACE=1 and flow tracing on)"
+            );
+        }
     }
     let failed = combined.worst_severity().is_some_and(|w| w >= fail_on);
     std::process::exit(i32::from(failed));

@@ -4,6 +4,7 @@
 
 use mimir_obs::{Json, RankReport};
 
+use crate::critical_path::CriticalPath;
 use crate::{Finding, Severity};
 
 /// A straggler must cost peers at least this much absolute wait —
@@ -22,6 +23,15 @@ pub const SKEW_CRIT_PERMILLE: u64 = 4000;
 pub const HEADROOM_WARN_PERMILLE: u64 = 100;
 /// Trace-event loss fraction above which the timeline is untrustworthy.
 pub const DROP_CRIT_FRACTION: f64 = 0.05;
+/// Slack over the fair `1000/p` permille share of the measured critical
+/// path one rank may hold before the path finding warns: fair + 150‰.
+pub const PATH_SHARE_SLACK_PERMILLE: u64 = 150;
+/// A dominant rank is *critical* (not just a warning) when its on-path
+/// time also covers at least this fraction of the run's wall time…
+pub const PATH_CRIT_WALL_FRACTION: f64 = 0.5;
+/// …and the wall is long enough to matter; start-up noise dominates
+/// shorter runs.
+pub const PATH_CRIT_MIN_WALL_NS: u64 = 100_000_000;
 /// Wall-time fraction spent blocked that makes a rank a deadlock
 /// suspect (when it also received nothing).
 pub const DEADLOCK_WAIT_FRACTION: f64 = 0.95;
@@ -31,6 +41,80 @@ pub const DEADLOCK_MIN_WALL_NS: u64 = 100_000_000;
 
 fn num(v: u64) -> Json {
     Json::Num(v as f64)
+}
+
+/// The measured critical path: reports the per-segment breakdown of the
+/// chain of work and messages that determined the wall time, and warns
+/// when one rank holds far more of the path than its fair share. This is
+/// a *measurement* (happens-before edges from flow events), so when it
+/// runs, [`straggler`]'s counter-based guess is suppressed by the caller.
+pub fn critical_path_rule(path: &CriticalPath, reports: &[RankReport], out: &mut Vec<Finding>) {
+    let p = reports.len().max(1) as u64;
+    let fair_permille = 1000 / p;
+    let share = path.dominant_share_permille;
+    let dominant_ns = path
+        .rank_path_ns
+        .first()
+        .map(|&(_, ns)| ns)
+        .unwrap_or_default();
+    let outsized = share > fair_permille + PATH_SHARE_SLACK_PERMILLE;
+    let severity = if outsized
+        && path.wall_ns >= PATH_CRIT_MIN_WALL_NS
+        && dominant_ns as f64 >= PATH_CRIT_WALL_FRACTION * path.wall_ns as f64
+    {
+        Severity::Critical
+    } else if outsized {
+        Severity::Warn
+    } else {
+        Severity::Info
+    };
+    let rounds_total = path.gating.len() as u64;
+    out.push(Finding {
+        severity,
+        code: "critical-path",
+        title: if outsized {
+            format!(
+                "the measured critical path runs through rank {} for {:.1}% \
+                 of its length (fair share {:.1}%), gating {} of {} rounds",
+                path.dominant_rank,
+                share as f64 / 10.0,
+                fair_permille as f64 / 10.0,
+                path.rounds_gated_by(path.dominant_rank),
+                rounds_total,
+            )
+        } else {
+            format!(
+                "the measured critical path is balanced: no rank holds more \
+                 than {:.1}% of it across {} message edge(s)",
+                share as f64 / 10.0,
+                path.edges,
+            )
+        },
+        phase: path.dominant_phase,
+        ranks: vec![path.dominant_rank],
+        evidence: vec![
+            ("wall_ns".into(), num(path.wall_ns)),
+            ("path_ns".into(), num(path.path_ns)),
+            ("compute_ns".into(), num(path.compute_ns)),
+            ("comm_ns".into(), num(path.comm_ns)),
+            ("wait_ns".into(), num(path.wait_ns)),
+            ("edges".into(), num(path.edges)),
+            ("dominant_rank".into(), num(path.dominant_rank)),
+            ("dominant_path_ns".into(), num(dominant_ns)),
+            ("dominant_share_permille".into(), num(share)),
+            (
+                "rounds_gated_by_dominant".into(),
+                num(path.rounds_gated_by(path.dominant_rank)),
+            ),
+            ("rounds_total".into(), num(rounds_total)),
+        ],
+        hint: "The path is measured from message-level happens-before \
+               edges, not inferred from wait counters. If one rank \
+               dominates, rebalance its input or check its placement; if \
+               `wait`/`comm` dominate the breakdown, the shuffle is \
+               latency-bound — grow comm buffers or enable overlapped \
+               rounds (paper §III-B).",
+    });
 }
 
 /// Wait-state attribution across ranks: when most ranks spend long in
@@ -388,6 +472,125 @@ mod tests {
                 rep
             })
             .collect()
+    }
+
+    use mimir_obs::{pack_rank_bytes, Event, EventKind, Phase};
+
+    /// Two ranks, wall 100 ms: rank 1 computes for 90 ms while rank 0
+    /// waits, then the done-vote message releases rank 0.
+    fn delayed_sender_world(scale_ns: u64) -> Vec<RankReport> {
+        let ev = |t_ns, kind, a, b| Event { t_ns, kind, a, b };
+        let f = (1u64 << mimir_obs::FLOW_SEQ_BITS) | 1;
+        let mut reports = world(2);
+        reports[0].events = vec![
+            ev(0, EventKind::PhaseBegin, Phase::Map as u64, 0),
+            ev(scale_ns / 20, EventKind::StepBegin, 0, 0), // sync
+            ev(
+                scale_ns * 95 / 100,
+                EventKind::FlowRecv,
+                f,
+                pack_rank_bytes(1, 8),
+            ),
+            ev(scale_ns * 96 / 100, EventKind::StepEnd, 0, 0),
+            ev(scale_ns, EventKind::PhaseEnd, Phase::Map as u64, 0),
+        ];
+        reports[1].events = vec![
+            ev(0, EventKind::PhaseBegin, Phase::Map as u64, 0),
+            ev(
+                scale_ns * 90 / 100,
+                EventKind::FlowSend,
+                f,
+                pack_rank_bytes(0, 8),
+            ),
+            ev(
+                scale_ns * 92 / 100,
+                EventKind::PhaseEnd,
+                Phase::Map as u64,
+                0,
+            ),
+        ];
+        reports
+    }
+
+    #[test]
+    fn critical_path_rule_grades_dominance_by_wall_impact() {
+        // 100 ms wall, rank 1 holds ~95% of the path: critical.
+        let reports = delayed_sender_world(100_000_000);
+        let path = crate::critical_path(&reports).expect("measured");
+        let mut out = Vec::new();
+        critical_path_rule(&path, &reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "critical-path");
+        assert_eq!(out[0].severity, Severity::Critical);
+        assert_eq!(out[0].ranks, vec![1]);
+        assert_eq!(out[0].phase, "map");
+
+        // Same shape at 1 ms wall: outsized share, but too short to be
+        // more than a warning.
+        let reports = delayed_sender_world(1_000_000);
+        let path = crate::critical_path(&reports).expect("measured");
+        let mut out = Vec::new();
+        critical_path_rule(&path, &reports, &mut out);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn measured_path_suppresses_the_straggler_guess() {
+        // Counters that would trip the straggler heuristic…
+        let mut reports = delayed_sender_world(100_000_000);
+        for r in &mut reports {
+            r.waits.sync_wait_ns = 90_000_000;
+            r.times.map_s = 0.1;
+        }
+        reports[1].waits.sync_wait_ns = 1_000_000;
+        // …are superseded by the measured path.
+        let d = crate::diagnose(&reports);
+        assert!(
+            d.findings.iter().any(|f| f.code == "critical-path"),
+            "no path finding:\n{}",
+            d.to_text()
+        );
+        assert!(
+            d.findings.iter().all(|f| f.code != "straggler"),
+            "heuristic not suppressed:\n{}",
+            d.to_text()
+        );
+        // Without events the heuristic still runs.
+        for r in &mut reports {
+            r.events.clear();
+        }
+        let d = crate::diagnose(&reports);
+        assert!(
+            d.findings.iter().any(|f| f.code == "straggler"),
+            "fallback heuristic missing:\n{}",
+            d.to_text()
+        );
+    }
+
+    #[test]
+    fn balanced_path_reports_info_only() {
+        // Two ranks alternating evenly: shares ~50% each, fair = 500‰.
+        let ev = |t_ns, kind, a, b| Event { t_ns, kind, a, b };
+        let f01 = 1u64; // rank 0, seq 1
+        let f10 = (1u64 << mimir_obs::FLOW_SEQ_BITS) | 1;
+        let mut reports = world(2);
+        reports[0].events = vec![
+            ev(0, EventKind::PhaseBegin, Phase::Map as u64, 0),
+            ev(50, EventKind::FlowSend, f01, pack_rank_bytes(1, 8)),
+            ev(105, EventKind::FlowRecv, f10, pack_rank_bytes(1, 8)),
+            ev(110, EventKind::PhaseEnd, Phase::Map as u64, 0),
+        ];
+        reports[1].events = vec![
+            ev(0, EventKind::PhaseBegin, Phase::Map as u64, 0),
+            ev(55, EventKind::FlowRecv, f01, pack_rank_bytes(0, 8)),
+            ev(100, EventKind::FlowSend, f10, pack_rank_bytes(0, 8)),
+            ev(108, EventKind::PhaseEnd, Phase::Map as u64, 0),
+        ];
+        let path = crate::critical_path(&reports).expect("measured");
+        let mut out = Vec::new();
+        critical_path_rule(&path, &reports, &mut out);
+        assert_eq!(out[0].severity, Severity::Info, "{}", out[0].title);
+        assert!(out[0].title.contains("balanced"));
     }
 
     #[test]

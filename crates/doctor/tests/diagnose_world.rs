@@ -2,11 +2,13 @@
 //! phase and hotspot, and stays silent on the uniform control — the
 //! same job, same data, different partitioner.
 
+use std::time::{Duration, Instant};
+
 use mimir_core::{MimirConfig, MimirContext, Partitioner};
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
 use mimir_mpi::run_world;
-use mimir_obs::RankReport;
+use mimir_obs::{jsonl_string, RankReport, Recorder};
 
 const RANKS: usize = 4;
 const KEYS_PER_RANK: usize = 400;
@@ -46,6 +48,170 @@ fn run_shuffle(partitioner: Partitioner) -> Vec<RankReport> {
         r.times.map_s = s.map_time.as_secs_f64();
         r
     })
+}
+
+/// Deterministic per-key work, identical on every rank. Without it the
+/// map is pure emit and each exchange round is so short that the vote
+/// collective's fixed message order (a few µs of delivery skew) shows up
+/// as a genuine — but uninteresting — path asymmetry.
+fn churn(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..200 {
+        x = x.wrapping_mul(0x0100_0000_01b3).rotate_left(13) ^ 0x9e37_79b9_7f4a_7c15;
+    }
+    x
+}
+
+/// Runs a flow-traced map-shuffle with shared-epoch recorders (the only
+/// way cross-rank timestamps are comparable) and an optional injected
+/// delay, and round-trips the gathered reports through the `.jsonl`
+/// export so the critical path runs on exactly what `mimir-doctor`
+/// would read from disk.
+fn run_traced_shuffle(
+    ranks: usize,
+    keys_per_rank: usize,
+    throttle: bool,
+    delay: Option<(usize, Duration)>,
+) -> Vec<RankReport> {
+    let epoch = Instant::now();
+    let reports = run_world(ranks, move |comm| {
+        let rank = comm.rank();
+        let mut rec = Recorder::with_epoch(rank, 256 * 1024, epoch);
+        rec.set_flow_enabled(true);
+        mimir_obs::install(rec);
+        let pool = MemPool::unlimited(format!("n{rank}"), 64 * 1024);
+        let config = MimirConfig {
+            comm_buf_size: 1024,
+            ..MimirConfig::default()
+        };
+        let mut ctx = MimirContext::new(comm, pool, IoModel::free(), config).expect("context");
+        let out = ctx
+            .job()
+            .map_shuffle(&mut |em| {
+                for i in 0..keys_per_rank {
+                    if let Some((victim, dur)) = delay {
+                        if rank == victim && i == keys_per_rank / 2 {
+                            std::thread::sleep(dur);
+                        }
+                    }
+                    // Sleeps overlap across ranks even when the rank
+                    // threads time-slice one CPU, so a throttled map
+                    // progresses in wall-clock lockstep — the only way a
+                    // "symmetric" load is actually symmetric regardless
+                    // of core count.
+                    if throttle && i % 8 == 0 {
+                        std::thread::sleep(Duration::from_micros(40));
+                    }
+                    let key = format!("key-{:05}", i * ranks + rank);
+                    em.emit(key.as_bytes(), &churn(i as u64).to_le_bytes())?;
+                }
+                Ok(())
+            })
+            .expect("map_shuffle");
+        let rec = mimir_obs::take().expect("recorder installed");
+        let s = &out.stats;
+        let mut r = RankReport::new(rank);
+        r.ranks = ranks as u64;
+        r.shuffle.kvs_emitted = s.shuffle.kvs_emitted;
+        r.waits.sync_wait_ns = s.shuffle.sync_wait_ns;
+        r.waits.data_wait_ns = s.shuffle.data_wait_ns;
+        r.waits.barrier_wait_ns = s.barrier_wait_ns;
+        r.times.map_s = s.map_time.as_secs_f64();
+        r.events = rec.events();
+        r.events_dropped = rec.dropped();
+        r
+    });
+    // Through the on-disk format and back: event lines must reattach.
+    mimir_doctor::ingest_jsonl(&jsonl_string(&reports)).expect("re-ingest")
+}
+
+#[test]
+fn critical_path_attributes_an_injected_delay_to_its_rank() {
+    const VICTIM: usize = 2;
+    const DELAY: Duration = Duration::from_millis(120);
+    let reports = run_traced_shuffle(RANKS, 400, false, Some((VICTIM, DELAY)));
+    let path =
+        mimir_doctor::critical_path(&reports).expect("flow-traced run must yield a measured path");
+    assert_eq!(
+        path.dominant_rank,
+        VICTIM as u64,
+        "the path must run through the delayed rank: {}",
+        path.to_text()
+    );
+    assert_eq!(
+        path.dominant_phase,
+        "map",
+        "the sleep was injected mid-map: {}",
+        path.to_text()
+    );
+    let victim_ns = path
+        .rank_path_ns
+        .iter()
+        .find(|&&(r, _)| r == VICTIM as u64)
+        .map(|&(_, ns)| ns)
+        .unwrap();
+    assert!(
+        victim_ns as f64 >= 0.9 * DELAY.as_nanos() as f64,
+        "only {victim_ns} ns of the {} ns injected delay landed on \
+         rank {VICTIM}'s path share:\n{}",
+        DELAY.as_nanos(),
+        path.to_text()
+    );
+
+    // The diagnosis reports it as a measured finding — and the
+    // wait-counter heuristic stays out of the way.
+    let d = mimir_doctor::diagnose(&reports);
+    let f = d
+        .findings
+        .iter()
+        .find(|f| f.code == "critical-path")
+        .unwrap_or_else(|| panic!("no critical-path finding in:\n{}", d.to_text()));
+    assert_eq!(f.ranks, vec![VICTIM as u64]);
+    assert_eq!(
+        f.severity,
+        mimir_doctor::Severity::Critical,
+        "120 ms of a short run is critical: {}",
+        f.title
+    );
+    assert!(
+        d.findings.iter().all(|f| f.code != "straggler"),
+        "measured path must replace the straggler guess:\n{}",
+        d.to_text()
+    );
+}
+
+#[test]
+fn symmetric_run_spreads_the_critical_path() {
+    // Throttled so the load is symmetric in wall time even on a single
+    // CPU (see `run_traced_shuffle`), and long enough that per-round
+    // gating rotates with scheduler noise instead of being decided by a
+    // handful of rounds.
+    const P: usize = RANKS;
+    let reports = run_traced_shuffle(P, 12_000, true, None);
+    let path = mimir_doctor::critical_path(&reports).expect("measured path");
+    let total: u64 = path.rank_path_ns.iter().map(|&(_, ns)| ns).sum();
+    let cap = 1000 / P as u64 + mimir_doctor::rules::PATH_SHARE_SLACK_PERMILLE;
+    for &(rank, ns) in &path.rank_path_ns {
+        let share = (ns * 1000).checked_div(total).unwrap_or(0);
+        assert!(
+            share <= cap,
+            "rank {rank} holds {share}‰ of a symmetric run's path \
+             (cap {cap}‰):\n{}",
+            path.to_text()
+        );
+    }
+    let d = mimir_doctor::diagnose(&reports);
+    let f = d
+        .findings
+        .iter()
+        .find(|f| f.code == "critical-path")
+        .expect("path finding present");
+    assert_eq!(
+        f.severity,
+        mimir_doctor::Severity::Info,
+        "a balanced path is informational: {}",
+        f.title
+    );
 }
 
 #[test]

@@ -227,6 +227,7 @@ impl Comm {
             Msg {
                 tag,
                 data: Payload::Heap(data),
+                flow: 0,
             },
         );
     }
@@ -238,11 +239,12 @@ impl Comm {
             Msg {
                 tag,
                 data: Payload::Small(value),
+                flow: 0,
             },
         );
     }
 
-    fn send_msg(&mut self, dst: usize, msg: Msg) {
+    fn send_msg(&mut self, dst: usize, mut msg: Msg) {
         assert!(
             dst < self.size,
             "send to rank {dst} in a world of {}",
@@ -250,6 +252,12 @@ impl Comm {
         );
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += msg.data.len() as u64;
+        // Causal stamp: every message (user, collective-internal, and
+        // derivation control plane alike) carries its sender's flow id.
+        // With tracing off this is one thread-local probe returning the
+        // sentinel 0, and flow_send is then a no-op.
+        msg.flow = mimir_obs::next_flow_id();
+        mimir_obs::flow_send(msg.flow, dst as u64, msg.data.len() as u64);
         if self.txs[dst].send(msg).is_err() {
             // resume_unwind skips the panic hook: the cascade teardown is
             // expected noise; the root-cause rank's own panic already
@@ -284,6 +292,7 @@ impl Comm {
             Msg {
                 tag,
                 data: Payload::Chan(sender),
+                flow: 0,
             },
         );
     }
@@ -306,6 +315,7 @@ impl Comm {
             let msg = self.pending[src].remove(pos).expect("position just found");
             self.stats.msgs_recvd += 1;
             self.stats.bytes_recvd += msg.data.len() as u64;
+            mimir_obs::flow_recv(msg.flow, msg.data.len() as u64);
             return msg.data;
         }
         // Everything below blocks on a peer: this loop is the single
@@ -318,6 +328,7 @@ impl Comm {
                 Ok(msg) if msg.tag == tag => {
                     self.stats.msgs_recvd += 1;
                     self.stats.bytes_recvd += msg.data.len() as u64;
+                    mimir_obs::flow_recv(msg.flow, msg.data.len() as u64);
                     break msg.data;
                 }
                 Ok(msg) => self.pending[src].push_back(msg),

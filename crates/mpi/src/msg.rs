@@ -63,9 +63,16 @@ impl Payload {
     }
 }
 
-/// An in-flight message: a tag plus a payload.
+/// An in-flight message: a tag plus a payload, stamped with the
+/// sender's flow id.
 #[derive(Debug)]
 pub(crate) struct Msg {
     pub tag: Tag,
     pub data: Payload,
+    /// Causal-tracing stamp: `(src_world_rank << 48) | seq`, allocated
+    /// by the sending rank's recorder just before the message ships, or
+    /// 0 when tracing is off. The receive loop records the matched id,
+    /// turning every message into a reconstructible happens-before edge
+    /// (see `mimir_obs::EventKind::FlowSend`/`FlowRecv`).
+    pub flow: u64,
 }

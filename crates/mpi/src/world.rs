@@ -378,6 +378,47 @@ mod tests {
     }
 
     #[test]
+    fn messages_carry_matching_flow_stamps() {
+        use mimir_obs::{EventKind, Recorder, FLOW_SEQ_BITS};
+        // One shared epoch: cross-rank timestamp comparisons need it.
+        let epoch = std::time::Instant::now();
+        let out = run_world(2, move |c| {
+            mimir_obs::install(Recorder::with_epoch(c.rank(), 1024, epoch));
+            if c.rank() == 0 {
+                c.send(1, 3, &[7u8; 32]);
+            } else {
+                let _ = c.recv(0, 3);
+            }
+            c.barrier();
+            let r = mimir_obs::take().unwrap();
+            r.events()
+        });
+        let sends: Vec<_> = out
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EventKind::FlowSend)
+            .collect();
+        let recvs: Vec<_> = out
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EventKind::FlowRecv)
+            .collect();
+        // The explicit send plus the barrier's internal hops all stamp.
+        assert!(!sends.is_empty() && !recvs.is_empty());
+        for r in &recvs {
+            let matching: Vec<_> = sends.iter().filter(|s| s.a == r.a).collect();
+            assert_eq!(matching.len(), 1, "exactly one send per received flow");
+            assert!(matching[0].t_ns <= r.t_ns, "send happens before receive");
+            // The source rank in the id's high bits matches the b packing.
+            assert_eq!(r.a >> FLOW_SEQ_BITS, r.b >> 48);
+        }
+        // The user payload's edge is present with its byte count.
+        assert!(sends
+            .iter()
+            .any(|s| s.b & 0xFFFF_FFFF_FFFF == 32 && s.b >> 48 == 1));
+    }
+
+    #[test]
     fn rank_panic_propagates_as_root_cause() {
         let res = std::panic::catch_unwind(|| {
             run_world(4, |c| {

@@ -7,7 +7,9 @@
 //! so a multi-rank run renders as stacked per-rank timelines — the view
 //! behind the paper's phase-interleaving discussion (Figures 4–6).
 
-use crate::event::{Event, EventKind};
+use std::collections::HashSet;
+
+use crate::event::{unpack_rank_bytes, Event, EventKind};
 use crate::json::Json;
 use crate::report::RankReport;
 
@@ -24,8 +26,11 @@ fn job_lane(rank: u64, job_id: u64) -> f64 {
     ((rank + 1) * JOB_LANE_STRIDE + job_id) as f64
 }
 
-/// Converts one rank's events into trace_event records.
-fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
+/// Converts one rank's events into trace_event records. `flows` is the
+/// set of flow ids seen on *both* ends across the whole report set:
+/// arrows are only drawn for complete pairs, so a ring-dropped half can
+/// never leave a dangling `ph:"s"` in the export.
+fn rank_events(rank: u64, events: &[Event], flows: &HashSet<u64>, out: &mut Vec<Json>) {
     let tid = Json::Num(rank as f64);
     // Per-job lane state: which span ("queued"/"running") is open, so
     // suspend/re-admit cycles and ends stay balanced whatever order the
@@ -253,6 +258,41 @@ fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
                     ),
                 ]));
             }
+            EventKind::FlowSend | EventKind::FlowRecv => {
+                if !flows.contains(&e.a) {
+                    continue;
+                }
+                let (peer, bytes) = unpack_rank_bytes(e.b);
+                let (ph, peer_key) = if e.kind == EventKind::FlowSend {
+                    ("s", "dst")
+                } else {
+                    ("f", "src")
+                };
+                let mut rec = vec![
+                    ("name", Json::Str("msg".into())),
+                    ("cat", Json::Str("flow".into())),
+                    ("ph", Json::Str(ph.into())),
+                    // String ids: numeric ids above 2^53 would lose
+                    // precision through the JSON float path.
+                    ("id", Json::Str(format!("0x{:x}", e.a))),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                ];
+                if e.kind == EventKind::FlowRecv {
+                    // Bind to the enclosing slice, not the next one: the
+                    // arrow should land where the receive matched.
+                    rec.push(("bp", Json::Str("e".into())));
+                }
+                rec.push((
+                    "args",
+                    Json::obj(vec![
+                        (peer_key, Json::Num(peer as f64)),
+                        ("bytes", Json::Num(bytes as f64)),
+                    ]),
+                ));
+                out.push(Json::obj(rec));
+            }
             EventKind::JobHeartbeat => {
                 // Memory counter on the job's own lane: tenants' pool
                 // footprints read side by side under their rank row.
@@ -274,6 +314,24 @@ fn rank_events(rank: u64, events: &[Event], out: &mut Vec<Json>) {
 /// Ranks appear as thread rows named `rank N`; span, counter, and
 /// instant events come from each report's retained trace events.
 pub fn chrome_trace(reports: &[RankReport]) -> Json {
+    // Prescan for complete flow pairs: an id qualifies only when its
+    // send and receive halves both survived their rings.
+    let mut sent = HashSet::new();
+    let mut recvd = HashSet::new();
+    for r in reports {
+        for e in &r.events {
+            match e.kind {
+                EventKind::FlowSend => {
+                    sent.insert(e.a);
+                }
+                EventKind::FlowRecv => {
+                    recvd.insert(e.a);
+                }
+                _ => {}
+            }
+        }
+    }
+    let flows: HashSet<u64> = sent.intersection(&recvd).copied().collect();
     let mut events = Vec::new();
     for r in reports {
         // Thread-name metadata gives Perfetto readable row labels.
@@ -287,7 +345,7 @@ pub fn chrome_trace(reports: &[RankReport]) -> Json {
                 Json::obj(vec![("name", Json::Str(format!("rank {}", r.rank)))]),
             ),
         ]));
-        rank_events(r.rank, &r.events, &mut events);
+        rank_events(r.rank, &r.events, &flows, &mut events);
     }
     let dropped: u64 = reports.iter().map(|r| r.events_dropped).sum();
     let mut doc = vec![
@@ -534,6 +592,68 @@ mod tests {
         assert_eq!(
             counters[2].get("tid").and_then(Json::as_u64),
             Some((1 + 1) * 1_000 + 5)
+        );
+    }
+
+    #[test]
+    fn flow_arrows_export_only_complete_pairs() {
+        // Flow ids from rank 0: the rank component of `(rank << 48) | seq`
+        // is zero, leaving just the sequence.
+        let flow_ok = 1u64;
+        let flow_lost = 2u64; // receive half dropped
+        let sender = report_with_events(
+            0,
+            vec![
+                Event {
+                    t_ns: 1_000,
+                    kind: EventKind::FlowSend,
+                    a: flow_ok,
+                    b: (1 << 48) | 64,
+                },
+                Event {
+                    t_ns: 2_000,
+                    kind: EventKind::FlowSend,
+                    a: flow_lost,
+                    b: (1 << 48) | 64,
+                },
+            ],
+        );
+        let receiver = report_with_events(
+            1,
+            vec![Event {
+                t_ns: 1_500,
+                kind: EventKind::FlowRecv,
+                a: flow_ok,
+                b: 64, // src rank 0 packed in the high bits (= 0)
+            }],
+        );
+        let doc = chrome_trace(&[sender, receiver]);
+        let trace = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let starts: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .collect();
+        let finishes: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .collect();
+        assert_eq!(starts.len(), 1, "the unmatched send draws no arrow");
+        assert_eq!(finishes.len(), 1);
+        assert_eq!(
+            starts[0].get("id").unwrap().as_str(),
+            finishes[0].get("id").unwrap().as_str(),
+            "the pair binds by id"
+        );
+        assert_eq!(starts[0].get("tid").and_then(Json::as_u64), Some(0));
+        assert_eq!(finishes[0].get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(finishes[0].get("bp").and_then(Json::as_str), Some("e"));
+        assert_eq!(
+            starts[0]
+                .get("args")
+                .unwrap()
+                .get("dst")
+                .and_then(Json::as_u64),
+            Some(1)
         );
     }
 

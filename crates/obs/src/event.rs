@@ -161,11 +161,21 @@ pub enum EventKind {
     /// bytes in use on this rank at the tick. Rendered as a counter lane
     /// per job so tenants' memory footprints read side by side.
     JobHeartbeat = 17,
+    /// A message left this rank. `a` = flow id
+    /// (`(src_world_rank << 48) | seq`, see `next_flow_id`), `b` =
+    /// `(dst_rank << 48) | payload_bytes`. Together with the matching
+    /// [`EventKind::FlowRecv`] this is one happens-before edge of the
+    /// cross-rank DAG.
+    FlowSend = 18,
+    /// A message was matched by a receive on this rank. `a` = flow id
+    /// copied from the sender's stamp, `b` = `(src_rank << 48) |
+    /// payload_bytes`.
+    FlowRecv = 19,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -184,6 +194,8 @@ impl EventKind {
         EventKind::RoundWait,
         EventKind::RoundSkew,
         EventKind::JobHeartbeat,
+        EventKind::FlowSend,
+        EventKind::FlowRecv,
     ];
 
     /// Stable serialization name.
@@ -207,6 +219,8 @@ impl EventKind {
             EventKind::RoundWait => "round_wait",
             EventKind::RoundSkew => "round_skew",
             EventKind::JobHeartbeat => "job_heartbeat",
+            EventKind::FlowSend => "flow_send",
+            EventKind::FlowRecv => "flow_recv",
         }
     }
 
@@ -219,6 +233,24 @@ impl EventKind {
     pub fn from_code(code: u64) -> Option<EventKind> {
         EventKind::ALL.get(code as usize).copied()
     }
+
+    /// Inverse of [`Self::name`] (used when re-ingesting `.jsonl`
+    /// exports, whose event lines carry names, not codes).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Packs a rank and a byte count into one event argument: the upper 16
+/// bits carry the peer rank, the lower 48 the payload size. Used by the
+/// flow events' `b` argument.
+pub fn pack_rank_bytes(rank: u64, bytes: u64) -> u64 {
+    (rank << 48) | (bytes & 0xFFFF_FFFF_FFFF)
+}
+
+/// Inverse of [`pack_rank_bytes`]: `(rank, bytes)`.
+pub fn unpack_rank_bytes(packed: u64) -> (u64, u64) {
+    (packed >> 48, packed & 0xFFFF_FFFF_FFFF)
 }
 
 /// One recorded event. See [`EventKind`] for the meaning of `a` and `b`.
@@ -259,7 +291,9 @@ mod tests {
     fn codes_roundtrip() {
         for k in EventKind::ALL {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
         }
+        assert_eq!(EventKind::from_name("no_such_kind"), None);
         for p in Phase::ALL {
             assert_eq!(Phase::from_code(p as u64), Some(p));
         }
@@ -293,5 +327,18 @@ mod tests {
             b: 2,
         };
         assert_eq!(e.label(), "mem_sample");
+    }
+
+    #[test]
+    fn rank_bytes_packing_roundtrips() {
+        for (rank, bytes) in [(0u64, 0u64), (3, 1), (65_535, (1 << 48) - 1)] {
+            assert_eq!(
+                unpack_rank_bytes(pack_rank_bytes(rank, bytes)),
+                (rank, bytes)
+            );
+        }
+        // Oversized byte counts are truncated, not smeared into the rank.
+        let (rank, _) = unpack_rank_bytes(pack_rank_bytes(7, u64::MAX));
+        assert_eq!(rank, 7);
     }
 }

@@ -26,12 +26,13 @@ pub mod recorder;
 pub mod report;
 
 pub use chrome::{chrome_trace, chrome_trace_string};
-pub use event::{Event, EventKind, Phase, Step};
+pub use event::{pack_rank_bytes, unpack_rank_bytes, Event, EventKind, Phase, Step};
 pub use json::{Json, JsonError};
 pub use jsonl::jsonl_string;
 pub use recorder::{
-    active, emit, env_capacity, env_enabled, install, phase_span, span, step_span, take, Recorder,
-    SpanGuard, DEFAULT_CAPACITY,
+    active, emit, env_capacity, env_enabled, env_flow_enabled, flow_recv, flow_send, install,
+    next_flow_id, phase_span, span, step_span, take, Recorder, SpanGuard, DEFAULT_CAPACITY,
+    FLOW_SEQ_BITS,
 };
 pub use report::{
     CommCounters, GroupCounters, JobCounters, JobRecord, MemCounters, PhasePeaks, PhaseTimes,

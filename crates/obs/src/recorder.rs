@@ -16,10 +16,14 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
-use crate::event::{Event, EventKind, Phase, Step};
+use crate::event::{pack_rank_bytes, Event, EventKind, Phase, Step};
 
 /// Default ring capacity (events per rank) when none is configured.
 pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// Bits of a flow id holding the per-rank sequence number; the rank
+/// lives in the bits above. See [`Recorder::next_flow_id`].
+pub const FLOW_SEQ_BITS: u32 = 48;
 
 /// A fixed-capacity event ring for one rank.
 #[derive(Debug)]
@@ -31,6 +35,12 @@ pub struct Recorder {
     head: usize,
     /// Events overwritten after the ring filled.
     dropped: u64,
+    /// Next flow sequence number (starts at 1; 0 is the "untraced"
+    /// sentinel, so flow id 0 is never allocated).
+    flow_seq: u64,
+    /// Whether sends stamp flow ids (the full-flow tier); off leaves
+    /// span/counter tracing alone (the skeleton tier).
+    flow_enabled: bool,
 }
 
 impl Recorder {
@@ -49,12 +59,40 @@ impl Recorder {
             buf: Vec::with_capacity(capacity.max(1)),
             head: 0,
             dropped: 0,
+            flow_seq: 1,
+            flow_enabled: env_flow_enabled(),
         }
     }
 
     /// The rank this recorder belongs to.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Whether sends through this recorder stamp flow ids.
+    pub fn flow_enabled(&self) -> bool {
+        self.flow_enabled
+    }
+
+    /// Turns flow stamping on or off (overriding `MIMIR_TRACE_FLOW`).
+    pub fn set_flow_enabled(&mut self, on: bool) {
+        self.flow_enabled = on;
+    }
+
+    /// Allocates the next flow id: `(rank << 48) | seq`, unique per rank
+    /// thread across every communicator (ranks are world ranks, and one
+    /// counter serves all comms, so dup/split clones can never collide).
+    /// Returns the untraced sentinel 0 when flow stamping is off. Never
+    /// allocates: one counter bump.
+    #[inline]
+    pub fn next_flow_id(&mut self) -> u64 {
+        if !self.flow_enabled {
+            return 0;
+        }
+        let id =
+            ((self.rank as u64) << FLOW_SEQ_BITS) | (self.flow_seq & ((1 << FLOW_SEQ_BITS) - 1));
+        self.flow_seq += 1;
+        id
     }
 
     /// The shared epoch timestamps are measured from.
@@ -134,6 +172,38 @@ pub fn emit(kind: EventKind, a: u64, b: u64) {
     });
 }
 
+/// Allocates a flow id from this thread's recorder, or returns the
+/// untraced sentinel 0 when tracing (or flow stamping) is off. See
+/// [`Recorder::next_flow_id`].
+#[inline]
+pub fn next_flow_id() -> u64 {
+    CURRENT.with(|c| c.borrow_mut().as_mut().map_or(0, Recorder::next_flow_id))
+}
+
+/// Records the send half of a flow edge: `flow` departs for `dst`
+/// carrying `bytes`. A no-op for the untraced sentinel 0, so call sites
+/// need no tracing-enabled check of their own.
+#[inline]
+pub fn flow_send(flow: u64, dst: u64, bytes: u64) {
+    if flow != 0 {
+        emit(EventKind::FlowSend, flow, pack_rank_bytes(dst, bytes));
+    }
+}
+
+/// Records the receive half of a flow edge: the message stamped `flow`
+/// was matched here. The source rank is recovered from the flow id's
+/// high bits, so the caller only supplies the payload size.
+#[inline]
+pub fn flow_recv(flow: u64, bytes: u64) {
+    if flow != 0 {
+        emit(
+            EventKind::FlowRecv,
+            flow,
+            pack_rank_bytes(flow >> FLOW_SEQ_BITS, bytes),
+        );
+    }
+}
+
 /// Whether `MIMIR_TRACE` asks for tracing (values `1`, `true`, `on`,
 /// case-insensitive).
 pub fn env_enabled() -> bool {
@@ -151,11 +221,44 @@ pub fn env_enabled() -> bool {
 /// the exporters will stamp a dropped-events warning into the output
 /// (see README "Sizing the trace ring").
 pub fn env_capacity() -> usize {
-    std::env::var("MIMIR_TRACE_CAP")
-        .or_else(|_| std::env::var("MIMIR_TRACE_EVENTS"))
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_CAPACITY)
+    for var in ["MIMIR_TRACE_CAP", "MIMIR_TRACE_EVENTS"] {
+        if let Ok(raw) = std::env::var(var) {
+            let (cap, warning) = parse_capacity(var, &raw);
+            if let Some(w) = warning {
+                eprintln!("{w}");
+            }
+            return cap;
+        }
+    }
+    DEFAULT_CAPACITY
+}
+
+/// Parses one capacity variable's value. On anything but a positive
+/// integer, returns [`DEFAULT_CAPACITY`] plus a one-line warning naming
+/// the variable, the rejected value, and the default used — a silent
+/// fallback here would hand the user a mysteriously truncated trace.
+fn parse_capacity(var: &str, raw: &str) -> (usize, Option<String>) {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => (n, None),
+        _ => (
+            DEFAULT_CAPACITY,
+            Some(format!(
+                "mimir-obs: ignoring {var}={raw:?} (not a positive event \
+                 count); using the default of {DEFAULT_CAPACITY} events"
+            )),
+        ),
+    }
+}
+
+/// Whether flow (message-level causal) events are stamped: on by
+/// default whenever tracing is, unless `MIMIR_TRACE_FLOW` is `0`,
+/// `false`, or `off` (case-insensitive) — the "skeleton" tier that
+/// keeps spans and counters but skips per-message events.
+pub fn env_flow_enabled() -> bool {
+    match std::env::var("MIMIR_TRACE_FLOW") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
 }
 
 /// RAII guard closing a span event pair; created by [`span`],
@@ -269,6 +372,71 @@ mod tests {
             ]
         );
         assert_eq!(evs[3].b, 4096, "set_b reaches the closing event");
+    }
+
+    #[test]
+    fn flow_ids_encode_rank_and_count_up() {
+        let mut r = Recorder::new(3, 8);
+        r.set_flow_enabled(true);
+        let a = r.next_flow_id();
+        let b = r.next_flow_id();
+        assert_eq!(a >> FLOW_SEQ_BITS, 3, "rank in the high bits");
+        assert_eq!(a & ((1 << FLOW_SEQ_BITS) - 1), 1, "sequence starts at 1");
+        assert_eq!(b, a + 1);
+        r.set_flow_enabled(false);
+        assert_eq!(r.next_flow_id(), 0, "disabled flow yields the sentinel");
+    }
+
+    #[test]
+    fn flow_id_zero_is_never_allocated() {
+        // Rank 0's first id must not collide with the untraced sentinel.
+        let mut r = Recorder::new(0, 8);
+        r.set_flow_enabled(true);
+        assert_ne!(r.next_flow_id(), 0);
+    }
+
+    #[test]
+    fn flow_emit_helpers_skip_the_sentinel() {
+        install(Recorder::new(2, 16));
+        flow_send(0, 1, 64); // sentinel: nothing recorded
+        flow_recv(0, 64);
+        let flow = (5u64 << FLOW_SEQ_BITS) | 9;
+        flow_send(flow, 1, 64);
+        flow_recv(flow, 64);
+        let r = take().unwrap();
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::FlowSend);
+        assert_eq!(evs[0].a, flow);
+        assert_eq!(evs[0].b >> 48, 1, "destination rank packed in b");
+        assert_eq!(evs[1].kind, EventKind::FlowRecv);
+        assert_eq!(evs[1].b >> 48, 5, "source rank recovered from the id");
+        assert_eq!(evs[1].b & 0xFFFF_FFFF_FFFF, 64);
+    }
+
+    #[test]
+    fn next_flow_id_without_recorder_is_the_sentinel() {
+        assert!(!active());
+        assert_eq!(next_flow_id(), 0);
+    }
+
+    #[test]
+    fn bad_capacity_values_warn_and_fall_back() {
+        let (cap, warning) = parse_capacity("MIMIR_TRACE_CAP", "lots");
+        assert_eq!(cap, DEFAULT_CAPACITY);
+        let w = warning.expect("unparsable value warns");
+        assert!(w.contains("MIMIR_TRACE_CAP"), "names the variable: {w}");
+        assert!(w.contains("\"lots\""), "names the bad value: {w}");
+        assert!(
+            w.contains(&DEFAULT_CAPACITY.to_string()),
+            "names the default used: {w}"
+        );
+        let (cap, warning) = parse_capacity("MIMIR_TRACE_EVENTS", "0");
+        assert_eq!(cap, DEFAULT_CAPACITY, "zero capacity is rejected too");
+        assert!(warning.is_some());
+        let (cap, warning) = parse_capacity("MIMIR_TRACE_CAP", " 4096 ");
+        assert_eq!(cap, 4096, "surrounding whitespace is tolerated");
+        assert!(warning.is_none());
     }
 
     #[test]

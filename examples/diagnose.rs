@@ -5,6 +5,12 @@
 //! reports the way a trace session does, and feeds both to the doctor.
 //! The skewed run draws a partition-skew finding naming the shuffle
 //! phase and the hotspot rank; the uniform control comes back healthy.
+//! The skewed run is additionally flow-traced (shared-epoch recorders,
+//! flow ids on every message), so the doctor measures its critical path
+//! instead of guessing the straggler, and the per-segment breakdown is
+//! printed. The control stays untraced: its story is the byte-counter
+//! contrast, and on a time-sliced machine a measured path would honestly
+//! (but distractingly) name whichever rank the scheduler starved.
 //!
 //! No combiner on purpose: partial reduction would collapse the hot key
 //! to one KV per rank and hide exactly the shuffle-volume imbalance the
@@ -12,17 +18,28 @@
 //!
 //! Run with: `cargo run --release -p mimir --example diagnose`
 
+use std::time::Instant;
+
 use mimir::prelude::*;
-use mimir_obs::RankReport;
+use mimir_obs::{RankReport, Recorder};
 
 const RANKS: usize = 4;
 const CORPUS_BYTES: usize = 256 * 1024;
 
 /// Maps a corpus, shuffles raw `(word, 1)` pairs, and returns per-rank
-/// reports carrying the shuffle skew and wait counters.
-fn run_wordcount(corpus: impl Fn(usize) -> Vec<u8> + Send + Sync) -> Vec<RankReport> {
-    run_world(RANKS, |comm| {
+/// reports carrying the shuffle skew and wait counters plus the flow
+/// event timeline the critical-path engine consumes.
+fn run_wordcount(corpus: impl Fn(usize) -> Vec<u8> + Send + Sync, traced: bool) -> Vec<RankReport> {
+    // One epoch for the whole world: cross-rank timestamps (and thus
+    // flow edges) are only comparable against a shared clock.
+    let epoch = Instant::now();
+    run_world(RANKS, move |comm| {
         let rank = comm.rank();
+        if traced {
+            let mut rec = Recorder::with_epoch(rank, 64 * 1024, epoch);
+            rec.set_flow_enabled(true);
+            mimir_obs::install(rec);
+        }
         let text = corpus(rank);
         let pool = MemPool::unlimited(format!("n{rank}"), 64 * 1024);
         let mut ctx = MimirContext::new(comm, pool, IoModel::free(), MimirConfig::default())
@@ -44,6 +61,10 @@ fn run_wordcount(corpus: impl Fn(usize) -> Vec<u8> + Send + Sync) -> Vec<RankRep
         let s = &out.stats;
         let mut r = RankReport::new(rank);
         r.ranks = RANKS as u64;
+        if let Some(rec) = mimir_obs::take() {
+            r.events = rec.events();
+            r.events_dropped = rec.dropped();
+        }
         r.shuffle.kvs_emitted = s.shuffle.kvs_emitted;
         r.shuffle.kv_bytes_emitted = s.shuffle.kv_bytes_emitted;
         r.shuffle.kvs_received = s.shuffle.kvs_received;
@@ -69,14 +90,17 @@ fn main() {
         seed: 42,
     };
     println!("=== skewed corpus (Zipf s=2.0) ===");
-    let reports = run_wordcount(|rank| zipf.generate(rank, RANKS, CORPUS_BYTES));
+    let reports = run_wordcount(|rank| zipf.generate(rank, RANKS, CORPUS_BYTES), true);
     let received: Vec<u64> = reports.iter().map(|r| r.shuffle.bytes_received).collect();
     println!("bytes received per rank: {received:?}");
     println!("{}", mimir_doctor::diagnose(&reports).to_text());
+    if let Some(path) = mimir_doctor::critical_path(&reports) {
+        println!("{}", path.to_text());
+    }
 
     println!("\n=== uniform control ===");
     let uniform = UniformWords::new(42);
-    let reports = run_wordcount(|rank| uniform.generate(rank, RANKS, CORPUS_BYTES));
+    let reports = run_wordcount(|rank| uniform.generate(rank, RANKS, CORPUS_BYTES), false);
     let received: Vec<u64> = reports.iter().map(|r| r.shuffle.bytes_received).collect();
     println!("bytes received per rank: {received:?}");
     println!("{}", mimir_doctor::diagnose(&reports).to_text());
