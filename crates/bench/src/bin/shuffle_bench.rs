@@ -100,6 +100,7 @@ fn mode_name(mode: ShuffleMode) -> &'static str {
         ShuffleMode::Legacy => "legacy",
         ShuffleMode::ZeroCopy => "zero-copy",
         ShuffleMode::Overlapped => "overlapped",
+        ShuffleMode::Adaptive => "adaptive",
     }
 }
 

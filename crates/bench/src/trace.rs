@@ -17,8 +17,8 @@ use mimir_apps::RunMetrics;
 use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 use mimir_obs::{
-    chrome_trace, jsonl_string, CommCounters, GroupCounters, JobCounters, MemCounters, PhasePeaks,
-    PhaseTimes, RankReport, Recorder, ShuffleCounters, WaitCounters,
+    chrome_trace, jsonl_string, AdaptCounters, CommCounters, GroupCounters, JobCounters,
+    MemCounters, PhasePeaks, PhaseTimes, RankReport, Recorder, ShuffleCounters, WaitCounters,
 };
 
 /// Where trace files land when `MIMIR_TRACE_DIR` is unset.
@@ -145,6 +145,23 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         sync_wait_ns: j.shuffle.sync_wait_ns,
         data_wait_ns: j.shuffle.data_wait_ns,
         barrier_wait_ns: j.barrier_wait_ns,
+    };
+    let a = &j.shuffle.adapt;
+    report.adapt = AdaptCounters {
+        mode_switches: a.mode_switches,
+        grow_steps: a.grow_steps,
+        shrink_steps: a.shrink_steps,
+        final_fill_permille: a.final_fill_permille,
+        final_overlap: a.final_overlap,
+        converged_round: a.converged_round,
+        hot_trips: a.hot_trips,
+        hot_staged_kvs: a.hot_staged_kvs,
+        hot_staged_bytes: a.hot_staged_bytes,
+        hot_unique_kvs: a.hot_unique_kvs,
+        hot_forward_bytes: a.hot_forward_bytes,
+        salted_rounds: a.salted_rounds,
+        merge_rounds: a.merge_rounds,
+        jumbo_floor_hits: a.jumbo_floor_hits,
     };
     report.group = GroupCounters {
         inserts: j.group.inserts,

@@ -27,7 +27,7 @@ use crate::kmvc::ValueIter;
 use crate::partial::PartialReducer;
 use crate::partitioner::Partitioner;
 use crate::shuffle::{Emitter, Shuffler};
-use crate::{GroupingMode, JobStats, KvContainer, KvMeta, Result, ShuffleMode};
+use crate::{AdaptPolicy, GroupingMode, JobStats, KvContainer, KvMeta, Result, ShuffleMode};
 
 /// A configured-but-not-yet-run MapReduce job.
 pub struct MapReduceJob<'c, 'w> {
@@ -38,6 +38,7 @@ pub struct MapReduceJob<'c, 'w> {
     compress_flush_bytes: Option<usize>,
     shuffle_mode: Option<ShuffleMode>,
     grouping_mode: Option<GroupingMode>,
+    adapt_policy: Option<AdaptPolicy>,
 }
 
 /// A finished job: the output KVs this rank owns, plus metrics.
@@ -79,6 +80,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             compress_flush_bytes: None,
             shuffle_mode: None,
             grouping_mode: None,
+            adapt_policy: None,
         }
     }
 
@@ -135,6 +137,17 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
     #[must_use]
     pub fn grouping_mode(mut self, mode: GroupingMode) -> Self {
         self.grouping_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the context's [`AdaptPolicy`] for this job (only
+    /// consulted when the effective shuffle mode is
+    /// [`ShuffleMode::Adaptive`]). Collective: every rank must choose the
+    /// same policy — the adaptive controller's ballots assume identical
+    /// thresholds on all ranks.
+    #[must_use]
+    pub fn adapt_policy(mut self, policy: AdaptPolicy) -> Self {
+        self.adapt_policy = Some(policy);
         self
     }
 
@@ -202,7 +215,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
-        let mut shuffler = Shuffler::with_options(
+        let mut shuffler = Shuffler::with_policy(
             comm,
             pool,
             self.kv_meta,
@@ -210,6 +223,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             sink,
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
+            self.adapt_policy.unwrap_or(cfg.adapt),
         )?;
         map(&mut shuffler)?;
         drop(map_span);
@@ -250,7 +264,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
-        let mut shuffler = Shuffler::with_options(
+        let mut shuffler = Shuffler::with_policy(
             comm,
             pool,
             self.kv_meta,
@@ -258,6 +272,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             sink,
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
+            self.adapt_policy.unwrap_or(cfg.adapt),
         )?;
         let group = drive_compressed_map(
             map,
@@ -312,7 +327,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, kv_meta);
-        let mut shuffler = Shuffler::with_options(
+        let mut shuffler = Shuffler::with_policy(
             comm,
             pool,
             kv_meta,
@@ -320,6 +335,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             sink,
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
+            self.adapt_policy.unwrap_or(cfg.adapt),
         )?;
         let mut group = GroupStats::default();
         match compress {
@@ -419,7 +435,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         pool.reset_phase_peak();
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = PartialReducer::with_mode(pool, kv_meta, combine, gmode)?;
-        let mut shuffler = Shuffler::with_options(
+        let mut shuffler = Shuffler::with_policy(
             comm,
             pool,
             kv_meta,
@@ -427,6 +443,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
             sink,
             self.partitioner.clone(),
             self.shuffle_mode.unwrap_or(cfg.shuffle_mode),
+            self.adapt_policy.unwrap_or(cfg.adapt),
         )?;
         let mut group = GroupStats::default();
         match compress {

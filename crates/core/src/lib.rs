@@ -38,6 +38,7 @@
 //!   merges duplicate keys before the exchange, trading a tracked hash
 //!   table for less communication.
 
+pub mod adapt;
 mod buffer;
 mod cancel;
 mod combiner;
@@ -60,9 +61,10 @@ mod staging;
 mod stats;
 pub mod typed;
 
+pub use adapt::{AdaptController, AdaptStats, HotStore};
 pub use cancel::CancelToken;
 pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
-pub use config::{GroupingMode, KvMeta, LenHint, MimirConfig, ShuffleMode};
+pub use config::{AdaptPolicy, GroupingMode, KvMeta, LenHint, MimirConfig, ShuffleMode};
 pub use context::MimirContext;
 pub use convert::{convert, convert_with};
 pub use error::MimirError;

@@ -91,6 +91,7 @@ mod tests {
                 max_dest_bytes: 400,
                 imbalance_permille: 1200,
                 gini_permille: 100,
+                ..ShuffleStats::default()
             },
             unique_keys: 7,
             node_peak_bytes: 5000,
@@ -115,6 +116,7 @@ mod tests {
                 max_dest_bytes: 350,
                 imbalance_permille: 1900,
                 gini_permille: 80,
+                ..ShuffleStats::default()
             },
             unique_keys: 3,
             node_peak_bytes: 6000,

@@ -7,8 +7,8 @@
 use std::collections::HashMap;
 
 use mimir_core::{
-    encode_push, partition_of, Emitter, KvContainer, KvDecoder, KvMeta, KvSink, LenHint,
-    Partitioner, ShuffleMode, Shuffler,
+    encode_push, partition_of, AdaptPolicy, Emitter, KvContainer, KvDecoder, KvMeta, KvSink,
+    LenHint, Partitioner, ShuffleMode, Shuffler,
 };
 use mimir_datagen::{rank_rng, RankRng};
 use mimir_mem::MemPool;
@@ -110,10 +110,113 @@ fn every_mode_delivers_the_emitted_multiset_under_every_hint() {
             ShuffleMode::Legacy,
             ShuffleMode::ZeroCopy,
             ShuffleMode::Overlapped,
+            ShuffleMode::Adaptive,
         ] {
             let got = shuffle(seed, meta, mode, ranks, n_kvs);
             for (rank, (g, e)) in got.iter().zip(&expected).enumerate() {
                 assert_eq!(g, e, "{meta:?} {mode:?} rank {rank}");
+            }
+        }
+    }
+}
+
+/// An [`AdaptPolicy`] tuned to act on every signal: single-round
+/// hysteresis, no signal floor, hot tripping from the first round — so
+/// mid-job mode flips, round-size steps, and the salted hot path all
+/// fire inside a small test workload.
+fn twitchy_policy() -> AdaptPolicy {
+    AdaptPolicy {
+        hysteresis_rounds: 1,
+        cooldown_rounds: 0,
+        min_signal_ns: 0,
+        hot_min_rounds: 1,
+        ..AdaptPolicy::default()
+    }
+}
+
+/// Like [`shuffle`], but every key routes to rank 0 (a point-mass
+/// partitioner) under an explicit policy; returns each rank's received
+/// multiset plus its adaptive counters.
+fn hot_shuffle(
+    seed: u64,
+    meta: KvMeta,
+    mode: ShuffleMode,
+    ranks: usize,
+    n_kvs: usize,
+    dup_heavy: bool,
+) -> Vec<(Multiset, mimir_core::AdaptStats)> {
+    run_world(ranks, move |comm| {
+        let pool = MemPool::unlimited("t", 4096);
+        let sink = KvContainer::new(&pool, meta);
+        let mut sh = Shuffler::with_policy(
+            comm,
+            &pool,
+            meta,
+            2048,
+            sink,
+            Partitioner::custom("to-zero", |_, _| 0),
+            mode,
+            twitchy_policy(),
+        )
+        .unwrap();
+        let me = sh.rank();
+        for (k, v) in hot_kvs(seed, me, meta, n_kvs, dup_heavy) {
+            sh.emit(&k, &v).unwrap();
+        }
+        let (kvc, stats) = sh.finish().unwrap();
+        assert!(stats.max_round_recv_bytes <= 2048, "{mode:?}");
+        let mut got = Vec::new();
+        kvc.drain(|k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        (multiset(got), stats.adapt)
+    })
+}
+
+/// The stream each rank emits at the hot destination: either a 13-KV
+/// vocabulary cycled (duplicate-heavy — the count-collapse staging path
+/// wins) or fully random KVs (near-unique — staging degenerates to
+/// forwarding and must still deliver exactly).
+fn hot_kvs(
+    seed: u64,
+    rank: usize,
+    meta: KvMeta,
+    n: usize,
+    dup_heavy: bool,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    if dup_heavy {
+        let vocab = rank_kvs(seed ^ 0x9E37, 99, meta, 13);
+        (0..n).map(|i| vocab[i % vocab.len()].clone()).collect()
+    } else {
+        rank_kvs(seed, rank, meta, n)
+    }
+}
+
+#[test]
+fn adaptive_hot_path_delivers_the_zero_copy_multiset() {
+    let ranks = 4;
+    let n_kvs = 400;
+    for (case, meta) in metas().into_iter().enumerate() {
+        for dup_heavy in [true, false] {
+            let seed = 0xD17E_u64.wrapping_add(case as u64);
+            let reference = hot_shuffle(seed, meta, ShuffleMode::ZeroCopy, ranks, n_kvs, dup_heavy);
+            let adaptive = hot_shuffle(seed, meta, ShuffleMode::Adaptive, ranks, n_kvs, dup_heavy);
+            for rank in 0..ranks {
+                assert_eq!(
+                    adaptive[rank].0, reference[rank].0,
+                    "{meta:?} dup={dup_heavy} rank {rank}: adaptive multiset diverged"
+                );
+            }
+            let trips: u64 = adaptive.iter().map(|(_, a)| a.hot_trips).sum();
+            assert!(
+                trips >= 1,
+                "{meta:?} dup={dup_heavy}: point-mass load never tripped the hot path"
+            );
+            if dup_heavy {
+                let staged: u64 = adaptive.iter().map(|(_, a)| a.hot_staged_kvs).sum();
+                assert!(staged > 0, "{meta:?}: no KVs were staged for collapse");
             }
         }
     }

@@ -20,6 +20,7 @@
 //! | `dropped-events` | trace ring overwrites | any loss; >5% is critical |
 //! | `job-lifecycle` | scheduler job records | non-`Done` outcomes, suspend-and-retry churn |
 //! | `deadlock-suspect` | wait fraction vs wall time | ≥95% wall spent blocked with nothing received |
+//! | `adaptation` | adaptive-controller counters, `RoundWait` stream | any adaptive decision (info) or mode-switch flapping (warn) |
 //!
 //! The `mimir-doctor` binary wraps this over `.jsonl` / `.trace.json`
 //! files; see `src/main.rs` or `README.md`.
@@ -241,6 +242,7 @@ pub fn diagnose(reports: &[RankReport]) -> Diagnosis {
     rules::dropped_events(reports, &mut findings);
     rules::job_lifecycle(reports, &mut findings);
     rules::deadlock_suspect(reports, &mut findings);
+    rules::adaptation(reports, &mut findings);
     findings.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

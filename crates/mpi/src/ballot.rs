@@ -1,0 +1,182 @@
+//! The adaptive shuffle's piggybacked ballot: one `Sum`-allreduce that
+//! carries the done flag *and* the round's tuning votes in a single
+//! bit-packed `u64`, so renegotiating the exchange mode or round size
+//! costs zero extra collectives over the plain done-vote.
+//!
+//! Each rank contributes 0 or 1 per field; the wrapping `Sum` reduction
+//! is exact because every field is wide enough ([`FIELD_BITS`] bits) to
+//! hold the world size, so per-field sums can never carry into a
+//! neighbour. All ranks unpack the identical total and feed it to the
+//! same deterministic decision rule, which keeps the adaptive
+//! controller collectively consistent without any extra round trips.
+
+use crate::comm::Comm;
+use crate::ReduceOp;
+
+/// Bits per ballot field. Six fields of 10 bits fit one `u64` with room
+/// to spare; each field counts at most `world size` votes.
+pub const FIELD_BITS: u32 = 10;
+
+/// Largest world size the packed ballot supports without per-field
+/// overflow: `2^FIELD_BITS - 1` ranks.
+pub const MAX_BALLOT_RANKS: usize = (1 << FIELD_BITS) - 1;
+
+const DONE_SHIFT: u32 = 0;
+const OVERLAP_SHIFT: u32 = FIELD_BITS;
+const ZEROCOPY_SHIFT: u32 = 2 * FIELD_BITS;
+const GROW_SHIFT: u32 = 3 * FIELD_BITS;
+const SHRINK_SHIFT: u32 = 4 * FIELD_BITS;
+const HOT_SHIFT: u32 = 5 * FIELD_BITS;
+const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
+
+/// One rank's vote for a shuffle round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BallotVote {
+    /// This rank has emitted all of its KVs (the classic done flag).
+    pub done: bool,
+    /// Last round looked sync-bound here: prefer overlapped posting.
+    pub prefer_overlap: bool,
+    /// Last round looked data-bound here: prefer vote-first zero-copy.
+    pub prefer_zerocopy: bool,
+    /// Grow the effective round size (amortize vote latency).
+    pub grow: bool,
+    /// Shrink the effective round size (smooth byte-bound rounds).
+    pub shrink: bool,
+    /// This rank holds staged hot-key KVs awaiting the salted flush.
+    pub hot_pending: bool,
+}
+
+/// The world-summed ballot: per-field vote counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BallotTally {
+    /// Ranks reporting done.
+    pub done: u64,
+    /// Ranks preferring overlapped posting.
+    pub prefer_overlap: u64,
+    /// Ranks preferring vote-first zero-copy.
+    pub prefer_zerocopy: u64,
+    /// Ranks voting to grow the round size.
+    pub grow: u64,
+    /// Ranks voting to shrink the round size.
+    pub shrink: u64,
+    /// Ranks holding staged hot-key KVs.
+    pub hot_pending: u64,
+}
+
+/// Packs one rank's vote into the ballot word.
+pub fn pack_vote(v: BallotVote) -> u64 {
+    (v.done as u64) << DONE_SHIFT
+        | (v.prefer_overlap as u64) << OVERLAP_SHIFT
+        | (v.prefer_zerocopy as u64) << ZEROCOPY_SHIFT
+        | (v.grow as u64) << GROW_SHIFT
+        | (v.shrink as u64) << SHRINK_SHIFT
+        | (v.hot_pending as u64) << HOT_SHIFT
+}
+
+/// Unpacks the summed ballot word into per-field counts.
+pub fn unpack_tally(sum: u64) -> BallotTally {
+    BallotTally {
+        done: (sum >> DONE_SHIFT) & FIELD_MASK,
+        prefer_overlap: (sum >> OVERLAP_SHIFT) & FIELD_MASK,
+        prefer_zerocopy: (sum >> ZEROCOPY_SHIFT) & FIELD_MASK,
+        grow: (sum >> GROW_SHIFT) & FIELD_MASK,
+        shrink: (sum >> SHRINK_SHIFT) & FIELD_MASK,
+        hot_pending: (sum >> HOT_SHIFT) & FIELD_MASK,
+    }
+}
+
+impl Comm {
+    /// The piggybacked round ballot: a single `Sum`-allreduce of the
+    /// packed vote. Collective; every rank receives the identical tally.
+    ///
+    /// # Panics
+    /// When the world is too large for the packed fields
+    /// ([`MAX_BALLOT_RANKS`]); the adaptive shuffle rejects such worlds
+    /// at construction, so a panic here means a caller skipped that
+    /// validation.
+    pub fn allreduce_ballot(&mut self, vote: BallotVote) -> BallotTally {
+        assert!(
+            self.size() <= MAX_BALLOT_RANKS,
+            "packed ballot supports at most {MAX_BALLOT_RANKS} ranks"
+        );
+        unpack_tally(self.allreduce_u64(ReduceOp::Sum, pack_vote(vote)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    #[test]
+    fn pack_unpack_roundtrips_every_field() {
+        for bits in 0..64u32 {
+            let v = BallotVote {
+                done: bits & 1 != 0,
+                prefer_overlap: bits & 2 != 0,
+                prefer_zerocopy: bits & 4 != 0,
+                grow: bits & 8 != 0,
+                shrink: bits & 16 != 0,
+                hot_pending: bits & 32 != 0,
+            };
+            let t = unpack_tally(pack_vote(v));
+            assert_eq!(t.done, v.done as u64);
+            assert_eq!(t.prefer_overlap, v.prefer_overlap as u64);
+            assert_eq!(t.prefer_zerocopy, v.prefer_zerocopy as u64);
+            assert_eq!(t.grow, v.grow as u64);
+            assert_eq!(t.shrink, v.shrink as u64);
+            assert_eq!(t.hot_pending, v.hot_pending as u64);
+        }
+    }
+
+    #[test]
+    fn summed_votes_never_carry_between_fields() {
+        // The worst case: MAX_BALLOT_RANKS ranks all voting 1 in every
+        // field. Simulate the reduction locally (it is a wrapping sum).
+        let all_on = pack_vote(BallotVote {
+            done: true,
+            prefer_overlap: true,
+            prefer_zerocopy: true,
+            grow: true,
+            shrink: true,
+            hot_pending: true,
+        });
+        let mut sum = 0u64;
+        for _ in 0..MAX_BALLOT_RANKS {
+            sum = sum.wrapping_add(all_on);
+        }
+        let t = unpack_tally(sum);
+        let n = MAX_BALLOT_RANKS as u64;
+        assert_eq!(
+            (t.done, t.prefer_overlap, t.prefer_zerocopy),
+            (n, n, n),
+            "no carry into neighbouring fields"
+        );
+        assert_eq!((t.grow, t.shrink, t.hot_pending), (n, n, n));
+    }
+
+    #[test]
+    fn ballot_allreduce_tallies_across_the_world() {
+        let tallies = run_world(4, |comm| {
+            let me = comm.rank();
+            // Ranks 0..2 are done; rank 3 votes grow + hot_pending;
+            // everyone prefers zero-copy.
+            comm.allreduce_ballot(BallotVote {
+                done: me < 3,
+                prefer_overlap: false,
+                prefer_zerocopy: true,
+                grow: me == 3,
+                shrink: false,
+                hot_pending: me == 3,
+            })
+        });
+        for t in tallies {
+            assert_eq!(t.done, 3);
+            assert_eq!(t.prefer_overlap, 0);
+            assert_eq!(t.prefer_zerocopy, 4);
+            assert_eq!(t.grow, 1);
+            assert_eq!(t.shrink, 0);
+            assert_eq!(t.hot_pending, 1);
+        }
+    }
+}

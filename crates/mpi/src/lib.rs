@@ -25,6 +25,7 @@
 //! "rank disconnected" panic — the in-process analogue of an MPI job
 //! abort — and [`run_world`] then re-raises the root-cause panic.
 
+mod ballot;
 mod collectives;
 mod comm;
 mod error;
@@ -32,6 +33,7 @@ mod msg;
 mod stats;
 mod world;
 
+pub use ballot::{pack_vote, unpack_tally, BallotTally, BallotVote, MAX_BALLOT_RANKS};
 pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Request};
 pub use error::{is_disconnect_panic, panic_message, CommError, WorldError};

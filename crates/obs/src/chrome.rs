@@ -293,6 +293,23 @@ fn rank_events(rank: u64, events: &[Event], flows: &HashSet<u64>, out: &mut Vec<
                 ));
                 out.push(Json::obj(rec));
             }
+            EventKind::AdaptDecision => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("adapt-decision".into())),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("decision", Json::Num(e.a as f64)),
+                            ("operand", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
             EventKind::JobHeartbeat => {
                 // Memory counter on the job's own lane: tenants' pool
                 // footprints read side by side under their rank row.
@@ -705,5 +722,53 @@ mod tests {
             assert_eq!(begins, 2);
             assert_eq!(begins, ends, "balanced B/E pairs for rank {rank}");
         }
+    }
+
+    #[test]
+    fn adapt_decisions_render_as_thread_instants() {
+        let evs = vec![
+            Event {
+                t_ns: 1_000,
+                kind: EventKind::AdaptDecision,
+                a: 1, // decision code (e.g. mode switch)
+                b: 7, // operand (round / dest / permille, per code)
+            },
+            Event {
+                t_ns: 2_000,
+                kind: EventKind::AdaptDecision,
+                a: 5,
+                b: 3,
+            },
+        ];
+        let doc = chrome_trace(&[report_with_events(1, evs)]);
+        let trace = doc.get("traceEvents").unwrap().as_arr().unwrap().to_vec();
+        let decisions: Vec<_> = trace
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("adapt-decision"))
+            .collect();
+        assert_eq!(decisions.len(), 2);
+        for d in &decisions {
+            // Thread-scoped instants: they pin to the deciding rank's
+            // lane instead of spanning the whole process track.
+            assert_eq!(d.get("ph").and_then(Json::as_str), Some("i"));
+            assert_eq!(d.get("s").and_then(Json::as_str), Some("t"));
+            assert_eq!(d.get("tid").and_then(Json::as_u64), Some(1));
+        }
+        assert_eq!(
+            decisions[0]
+                .get("args")
+                .unwrap()
+                .get("decision")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            decisions[1]
+                .get("args")
+                .unwrap()
+                .get("operand")
+                .and_then(Json::as_u64),
+            Some(3)
+        );
     }
 }

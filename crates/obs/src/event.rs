@@ -171,11 +171,17 @@ pub enum EventKind {
     /// copied from the sender's stamp, `b` = `(src_rank << 48) |
     /// payload_bytes`.
     FlowRecv = 19,
+    /// The adaptive shuffle controller applied a decision. `a` = decision
+    /// code (`mimir-core`'s `adapt::decision` constants: mode switch,
+    /// grow/shrink, hot trip, salted/merge flush, jumbo floor), `b` =
+    /// decision operand (new fill permille, hot destination rank, frames
+    /// flushed, …, per code).
+    AdaptDecision = 20,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -196,6 +202,7 @@ impl EventKind {
         EventKind::JobHeartbeat,
         EventKind::FlowSend,
         EventKind::FlowRecv,
+        EventKind::AdaptDecision,
     ];
 
     /// Stable serialization name.
@@ -221,6 +228,7 @@ impl EventKind {
             EventKind::JobHeartbeat => "job_heartbeat",
             EventKind::FlowSend => "flow_send",
             EventKind::FlowRecv => "flow_recv",
+            EventKind::AdaptDecision => "adapt_decision",
         }
     }
 

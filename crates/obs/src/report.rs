@@ -267,6 +267,69 @@ impl GroupCounters {
     }
 }
 
+/// Adaptive-shuffle controller counters (mirrors `mimir-core`'s
+/// `AdaptStats`): what the live tuner decided and what the hot-key
+/// mitigation staged. All zero outside `ShuffleMode::Adaptive`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptCounters {
+    /// Exchange-mode switches applied (ZeroCopy ↔ Overlapped posting).
+    pub mode_switches: u64,
+    /// Effective round-size grow steps applied.
+    pub grow_steps: u64,
+    /// Effective round-size shrink steps applied.
+    pub shrink_steps: u64,
+    /// Effective round-size fill target at job end, in permille of the
+    /// partition capacity (1000 = full partitions).
+    pub final_fill_permille: u64,
+    /// 1 when the job finished with overlapped posting, 0 vote-first.
+    pub final_overlap: u64,
+    /// Round index of the last tuning change (the controller is
+    /// converged from here on); 0 when no change was ever applied.
+    pub converged_round: u64,
+    /// Hot-destination trips: times a destination crossed the trip
+    /// share and its traffic was diverted through the two-stage path.
+    pub hot_trips: u64,
+    /// KVs absorbed into the hot stage (count bumps included).
+    pub hot_staged_kvs: u64,
+    /// Encoded KV bytes those staged KVs would have sent directly.
+    pub hot_staged_bytes: u64,
+    /// Distinct KVs held by the hot stage (its interned population).
+    pub hot_unique_kvs: u64,
+    /// Encoded bytes that bypassed a full stage and shipped directly.
+    pub hot_forward_bytes: u64,
+    /// Exchange rounds spent in the salted spread phase of the flush.
+    pub salted_rounds: u64,
+    /// Exchange rounds spent in the owner-merge phase of the flush.
+    pub merge_rounds: u64,
+    /// Rounds where the jumbo floor overrode a shrunken fill target so
+    /// the largest KV seen still fits the effective round.
+    pub jumbo_floor_hits: u64,
+}
+
+impl AdaptCounters {
+    /// Sums the decision/traffic counters; the convergence descriptors
+    /// (`final_fill_permille`, `final_overlap`, `converged_round`) take
+    /// the max — under identical tallies every rank lands on the same
+    /// values, so max is the identity there and stays meaningful when a
+    /// rank sat out.
+    pub fn merge(&mut self, other: &AdaptCounters) {
+        self.mode_switches += other.mode_switches;
+        self.grow_steps += other.grow_steps;
+        self.shrink_steps += other.shrink_steps;
+        self.final_fill_permille = self.final_fill_permille.max(other.final_fill_permille);
+        self.final_overlap = self.final_overlap.max(other.final_overlap);
+        self.converged_round = self.converged_round.max(other.converged_round);
+        self.hot_trips += other.hot_trips;
+        self.hot_staged_kvs += other.hot_staged_kvs;
+        self.hot_staged_bytes += other.hot_staged_bytes;
+        self.hot_unique_kvs += other.hot_unique_kvs;
+        self.hot_forward_bytes += other.hot_forward_bytes;
+        self.salted_rounds += other.salted_rounds;
+        self.merge_rounds += other.merge_rounds;
+        self.jumbo_floor_hits += other.jumbo_floor_hits;
+    }
+}
+
 /// Job-level counters (mirrors parts of `mimir-core`'s `JobStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounters {
@@ -353,6 +416,8 @@ pub struct RankReport {
     pub waits: WaitCounters,
     /// Grouping-engine counters.
     pub group: GroupCounters,
+    /// Adaptive-shuffle controller counters.
+    pub adapt: AdaptCounters,
     /// Per-phase wall-clock times.
     pub times: PhaseTimes,
     /// Per-phase memory peaks.
@@ -390,6 +455,7 @@ impl RankReport {
         self.shuffle.merge(&other.shuffle);
         self.waits.merge(&other.waits);
         self.group.merge(&other.group);
+        self.adapt.merge(&other.adapt);
         self.times.merge(&other.times);
         self.peaks.merge(&other.peaks);
         self.job.merge(&other.job);
@@ -520,6 +586,46 @@ impl RankReport {
                                 .map(|&n| Json::Num(n as f64))
                                 .collect(),
                         ),
+                    ),
+                ]),
+            ),
+            (
+                "adapt",
+                Json::obj(vec![
+                    ("mode_switches", Json::Num(self.adapt.mode_switches as f64)),
+                    ("grow_steps", Json::Num(self.adapt.grow_steps as f64)),
+                    ("shrink_steps", Json::Num(self.adapt.shrink_steps as f64)),
+                    (
+                        "final_fill_permille",
+                        Json::Num(self.adapt.final_fill_permille as f64),
+                    ),
+                    ("final_overlap", Json::Num(self.adapt.final_overlap as f64)),
+                    (
+                        "converged_round",
+                        Json::Num(self.adapt.converged_round as f64),
+                    ),
+                    ("hot_trips", Json::Num(self.adapt.hot_trips as f64)),
+                    (
+                        "hot_staged_kvs",
+                        Json::Num(self.adapt.hot_staged_kvs as f64),
+                    ),
+                    (
+                        "hot_staged_bytes",
+                        Json::Num(self.adapt.hot_staged_bytes as f64),
+                    ),
+                    (
+                        "hot_unique_kvs",
+                        Json::Num(self.adapt.hot_unique_kvs as f64),
+                    ),
+                    (
+                        "hot_forward_bytes",
+                        Json::Num(self.adapt.hot_forward_bytes as f64),
+                    ),
+                    ("salted_rounds", Json::Num(self.adapt.salted_rounds as f64)),
+                    ("merge_rounds", Json::Num(self.adapt.merge_rounds as f64)),
+                    (
+                        "jumbo_floor_hits",
+                        Json::Num(self.adapt.jumbo_floor_hits as f64),
                     ),
                 ]),
             ),
@@ -717,6 +823,24 @@ impl RankReport {
                     probe_hist,
                 }
             },
+            // The adaptive controller postdates the first release: the
+            // whole section parses leniently like the group section.
+            adapt: AdaptCounters {
+                mode_switches: u_opt(&["adapt", "mode_switches"]),
+                grow_steps: u_opt(&["adapt", "grow_steps"]),
+                shrink_steps: u_opt(&["adapt", "shrink_steps"]),
+                final_fill_permille: u_opt(&["adapt", "final_fill_permille"]),
+                final_overlap: u_opt(&["adapt", "final_overlap"]),
+                converged_round: u_opt(&["adapt", "converged_round"]),
+                hot_trips: u_opt(&["adapt", "hot_trips"]),
+                hot_staged_kvs: u_opt(&["adapt", "hot_staged_kvs"]),
+                hot_staged_bytes: u_opt(&["adapt", "hot_staged_bytes"]),
+                hot_unique_kvs: u_opt(&["adapt", "hot_unique_kvs"]),
+                hot_forward_bytes: u_opt(&["adapt", "hot_forward_bytes"]),
+                salted_rounds: u_opt(&["adapt", "salted_rounds"]),
+                merge_rounds: u_opt(&["adapt", "merge_rounds"]),
+                jumbo_floor_hits: u_opt(&["adapt", "jumbo_floor_hits"]),
+            },
             times: PhaseTimes {
                 map_s: field(v, &["times", "map_s"])?,
                 aggregate_s: field(v, &["times", "aggregate_s"])?,
@@ -809,6 +933,22 @@ mod tests {
                 capacity: 128,
                 probe_hist: [150, 30, 10, 5, 5, 0, 0, rank],
             },
+            adapt: AdaptCounters {
+                mode_switches: 1 + rank,
+                grow_steps: 2,
+                shrink_steps: rank,
+                final_fill_permille: 750 + 50 * rank,
+                final_overlap: rank % 2,
+                converged_round: 6 + rank,
+                hot_trips: rank,
+                hot_staged_kvs: 300 * rank,
+                hot_staged_bytes: 4800 * rank,
+                hot_unique_kvs: 3 * rank,
+                hot_forward_bytes: 16 * rank,
+                salted_rounds: rank,
+                merge_rounds: rank,
+                jumbo_floor_hits: 0,
+            },
             times: PhaseTimes {
                 map_s: 0.5 + rank as f64,
                 aggregate_s: 0.0,
@@ -875,6 +1015,12 @@ mod tests {
             "skew takes the most skewed rank"
         );
         assert_eq!(a.job.unique_keys, 100);
+        assert_eq!(a.adapt.mode_switches, 1 + 2, "adapt decisions sum");
+        assert_eq!(
+            a.adapt.final_fill_permille, 800,
+            "the converged fill target takes the max"
+        );
+        assert_eq!(a.adapt.hot_staged_kvs, 300, "hot staging sums");
         assert!((a.times.map_s - 1.5).abs() < 1e-12, "times take the max");
         assert!(a.events.is_empty(), "merged reports drop per-rank events");
     }
@@ -892,6 +1038,7 @@ mod tests {
         assert_eq!(left.comm, right.comm);
         assert_eq!(left.shuffle, right.shuffle);
         assert_eq!(left.waits, right.waits);
+        assert_eq!(left.adapt, right.adapt);
         assert_eq!(left.mem, right.mem);
         assert_eq!(left.peaks, right.peaks);
         assert_eq!(left.ranks, right.ranks);

@@ -133,6 +133,49 @@ fn concurrent_jobs_match_solo_overlapped_arena() {
     check_mode(ShuffleMode::Overlapped, GroupingMode::Arena);
 }
 
+#[test]
+fn concurrent_jobs_match_solo_adaptive_arena() {
+    check_mode(ShuffleMode::Adaptive, GroupingMode::Arena);
+}
+
+/// The per-job adaptive override: `JobSpec::adaptive` flips just that
+/// tenant's shuffle onto the adaptive runtime, and its isolated run
+/// still matches a solo run under the same configuration.
+#[test]
+fn adaptive_spec_override_matches_solo() {
+    use mimir_core::AdaptPolicy;
+    let policy = AdaptPolicy {
+        hysteresis_rounds: 2,
+        ..AdaptPolicy::default()
+    };
+    let adaptive_cfg = MimirConfig {
+        shuffle_mode: ShuffleMode::Adaptive,
+        adapt: policy,
+        ..MimirConfig::default()
+    };
+    let solo_a = solo_outputs(adaptive_cfg, 1);
+    let solo_b = solo_outputs(MimirConfig::default(), 2);
+    let both = run_world(RANKS, move |comm| {
+        let pool = make_pool(comm.rank());
+        let mut svc = JobService::new(comm, pool, IoModel::free(), SchedConfig::default());
+        // Job A opts into the adaptive runtime via the spec; job B stays
+        // on the session default.
+        let a =
+            svc.submit(JobSpec::new("wc-a", 1 << 20, move |ctx| wc_body(1, ctx)).adaptive(policy));
+        let b = svc.submit(JobSpec::new("wc-b", 1 << 20, move |ctx| wc_body(2, ctx)));
+        svc.run_until_idle();
+        assert_eq!(svc.outcome(a), Some(JobOutcome::Done));
+        assert_eq!(svc.outcome(b), Some(JobOutcome::Done));
+        (
+            svc.take_output(a).unwrap().data,
+            svc.take_output(b).unwrap().data,
+        )
+    });
+    let (conc_a, conc_b): (Vec<_>, Vec<_>) = both.into_iter().unzip();
+    assert_eq!(multiset(&conc_a), multiset(&solo_a));
+    assert_eq!(multiset(&conc_b), multiset(&solo_b));
+}
+
 /// Stronger than the multiset property for the default configuration:
 /// with the same world size, each rank's output must be *byte
 /// identical* to its solo run — the hash partitioning sees the same
