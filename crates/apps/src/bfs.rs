@@ -12,8 +12,16 @@
 //! 2. **Level-synchronous traversal** — each iteration maps over the
 //!    local frontier, emitting `(neighbor, parent)` KVs shuffled to the
 //!    neighbor's owner; unvisited neighbors join the next frontier. This
-//!    is "map-only": no convert/reduce. KV compression can merge
-//!    duplicate `(neighbor, …)` proposals before the exchange.
+//!    is "map-only": no convert/reduce.
+//!
+//! The traversal is chained through the cross-job KV cache: each level's
+//! output is stashed under a frontier name with `output_cached` and the
+//! next level consumes it in place with `input_cached` + `chain_shuffle`,
+//! so frontier KVs never round-trip through serialization or spill
+//! between levels. Traversal re-keys every KV (`vertex → neighbor`), so
+//! the chain declares `shuffle_elision(false)` and each level still runs
+//! a real exchange — the cache saves the *materialization*, not the
+//! shuffle itself.
 //!
 //! Vertex ownership is `partition_of(key)` — identical to the shuffle's
 //! partitioner, so shuffled KVs land exactly on their owner.
@@ -21,7 +29,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use mimir_core::{partition_of, typed, Emitter, KvMeta, MimirContext};
+use mimir_core::{typed, Emitter, KvMeta, MimirContext};
 use mimir_io::SpillStore;
 use mimir_mem::{MemPool, Reservation};
 use mimir_mpi::{Comm, ReduceOp};
@@ -34,7 +42,10 @@ use crate::RunMetrics;
 pub struct BfsOptions {
     /// KV-hint: fixed 8-byte vertex key and value.
     pub hint: bool,
-    /// Map-side KV compression during traversal (first-parent wins).
+    /// Map-side KV compression during traversal (first-parent wins):
+    /// within a level, only the first proposal per neighbor leaves the
+    /// emitting rank. MR-MPI runs it as a compress pass over the page
+    /// set; Mimir's chained traversal dedupes at the emit site.
     pub compress: bool,
 }
 
@@ -128,7 +139,6 @@ pub fn bfs_mimir(
 ) -> mimir_core::Result<(BfsResult, RunMetrics)> {
     let t0 = Instant::now();
     let meta = opts.meta();
-    let p = ctx.size();
     let rank = ctx.rank();
     let mut metrics = RunMetrics::default();
 
@@ -150,53 +160,83 @@ pub fn bfs_mimir(
     out.output
         .drain(|k, v| adj.add(typed::dec_u64(k), typed::dec_u64(v)))?;
 
-    // --- Stage 2: level-synchronous traversal (iterative map-only). ----
+    // --- Stage 2: level-synchronous traversal (iterative map-only), ----
+    // chained through the cross-job cache. The seed job plants the root
+    // proposal on its owner rank and stashes it as the frontier; every
+    // level then consumes the cached frontier in place and stashes its
+    // successor under the same name (the checkout happens before the
+    // stash, so the overwrite is safe).
+    const FRONTIER: &str = "bfs.frontier";
     let mut parents: HashMap<u64, u64> = HashMap::new();
-    let mut frontier: Vec<u64> = Vec::new();
-    if partition_of(&typed::enc_u64(root), p) == rank {
-        parents.insert(root, root);
-        frontier.push(root);
-    }
+    let mut seed_map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
+        if rank == 0 {
+            em.emit(&typed::enc_u64(root), &typed::enc_u64(root))?;
+        }
+        Ok(())
+    };
+    let out = ctx
+        .job()
+        .kv_meta(meta)
+        .output_cached(FRONTIER)
+        .map_shuffle(&mut seed_map)?;
+    metrics.job.merge(&out.stats);
+
     let mut depth = 0u32;
+    let mut level = 0u64;
+    let compress = opts.compress;
+    // Compression state: the neighbors this rank already proposed a
+    // parent for in the current level (first-parent wins, so later
+    // duplicate proposals carry no information and need not be shuffled).
+    let mut proposed: std::collections::HashSet<u64> = std::collections::HashSet::new();
     loop {
-        let mut trav_map = |em: &mut dyn Emitter| -> mimir_core::Result<()> {
-            for &v in &frontier {
-                if let Some(neighbors) = adj.map.get(&v) {
+        // Per-KV traversal map: claim the vertex (first parent proposal
+        // across ranks wins at the claim site) and propose this vertex
+        // as the parent of every neighbor.
+        let mut new_local = 0u64;
+        let adj_map = &adj.map;
+        proposed.clear();
+        let prop = &mut proposed;
+        let mut trav_map = |k: &[u8], v: &[u8], em: &mut dyn Emitter| -> mimir_core::Result<()> {
+            let vertex = typed::dec_u64(k);
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(vertex) {
+                e.insert(typed::dec_u64(v));
+                new_local += 1;
+                if let Some(neighbors) = adj_map.get(&vertex) {
                     for &n in neighbors {
-                        em.emit(&typed::enc_u64(n), &typed::enc_u64(v))?;
+                        if compress && !prop.insert(n) {
+                            continue;
+                        }
+                        em.emit(&typed::enc_u64(n), &typed::enc_u64(vertex))?;
                     }
                 }
             }
             Ok(())
         };
-        let job = ctx.job().kv_meta(meta);
-        let out = if opts.compress {
-            job.map_shuffle_compress(&mut trav_map, Box::new(keep_first))?
-        } else {
-            job.map_shuffle(&mut trav_map)?
-        };
+        let out = ctx
+            .job()
+            .kv_meta(meta)
+            .input_cached(FRONTIER)
+            .output_cached(FRONTIER)
+            // Traversal re-keys (vertex → neighbor): placement changes,
+            // so every level needs a real exchange.
+            .shuffle_elision(false)
+            .chain_shuffle(&mut trav_map)?;
         metrics.kv_bytes += out.stats.shuffle.kv_bytes_emitted;
         metrics.kvs_emitted += out.stats.shuffle.kvs_emitted;
         metrics.exchange_rounds += out.stats.shuffle.rounds;
         metrics.job.merge(&out.stats);
 
-        let mut next: Vec<u64> = Vec::new();
-        out.output.drain(|k, v| {
-            let vertex = typed::dec_u64(k);
-            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(vertex) {
-                e.insert(typed::dec_u64(v));
-                next.push(vertex);
-            }
-            Ok(())
-        })?;
-        frontier = next;
-        let frontier_global = ctx.allreduce_sum(frontier.len() as u64);
-        if frontier_global == 0 {
+        let new_global = ctx.allreduce_sum(new_local);
+        if new_global == 0 {
             break;
         }
-        depth += 1;
-        metrics.iterations += 1;
+        if level > 0 {
+            depth += 1;
+            metrics.iterations += 1;
+        }
+        level += 1;
     }
+    ctx.cache_remove(FRONTIER);
 
     let visited_global = ctx.allreduce_sum(parents.len() as u64);
     metrics.wall = t0.elapsed();

@@ -17,8 +17,9 @@ use mimir_apps::RunMetrics;
 use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 use mimir_obs::{
-    chrome_trace, jsonl_string, AdaptCounters, CommCounters, GroupCounters, JobCounters,
-    MemCounters, PhasePeaks, PhaseTimes, RankReport, Recorder, ShuffleCounters, WaitCounters,
+    chrome_trace, jsonl_string, AdaptCounters, CacheCounters, CacheNameRecord, CommCounters,
+    GroupCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, Recorder,
+    ShuffleCounters, WaitCounters,
 };
 
 /// Where trace files land when `MIMIR_TRACE_DIR` is unset.
@@ -194,4 +195,30 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         report.events_dropped = rec.dropped();
     }
     report
+}
+
+/// Folds a rank's cross-job cache state into its report: the counters
+/// plus one record per cached name. Harnesses that chain jobs call this
+/// after [`build_report`] with `ctx.cache_stats()` / `ctx.cache_snapshots()`.
+pub fn attach_cache(
+    report: &mut RankReport,
+    stats: mimir_core::CacheStats,
+    snaps: &[mimir_core::CacheEntrySnapshot],
+) {
+    report.cache = CacheCounters {
+        hits: stats.hits,
+        misses: stats.misses,
+        elisions: stats.elisions,
+        evictions: stats.evictions,
+        reloads: stats.reloads,
+        cached_bytes: stats.cached_bytes,
+    };
+    report.cache_names = snaps
+        .iter()
+        .map(|(name, bytes, elisions)| CacheNameRecord {
+            name: name.clone(),
+            bytes: *bytes,
+            elisions: *elisions,
+        })
+        .collect();
 }

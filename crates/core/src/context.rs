@@ -4,8 +4,9 @@ use mimir_io::IoModel;
 use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 
+use crate::cache::{lock_cache, shared_cache, CacheStats, SharedKvCache};
 use crate::job::MapReduceJob;
-use crate::{CancelToken, MimirConfig, Result};
+use crate::{CacheEntrySnapshot, CancelToken, KvContainer, MimirConfig, Result};
 
 /// A rank's handle to the Mimir runtime: communication, the node memory
 /// pool, the I/O model, and framework configuration. One context serves
@@ -16,6 +17,7 @@ pub struct MimirContext<'w> {
     pub(crate) io: IoModel,
     pub(crate) cfg: MimirConfig,
     pub(crate) cancel: Option<CancelToken>,
+    pub(crate) cache: SharedKvCache,
 }
 
 impl<'w> MimirContext<'w> {
@@ -32,6 +34,7 @@ impl<'w> MimirContext<'w> {
             io,
             cfg,
             cancel: None,
+            cache: shared_cache(),
         })
     }
 
@@ -73,6 +76,75 @@ impl<'w> MimirContext<'w> {
     /// Starts building a job on this context.
     pub fn job(&mut self) -> MapReduceJob<'_, 'w> {
         MapReduceJob::new(self)
+    }
+
+    /// Replaces this context's cross-job KV cache handle. The sched
+    /// service installs its rank-wide cache here so containers cached by
+    /// one job are visible to every later job on the rank; standalone
+    /// contexts keep the private cache created by [`Self::new`].
+    pub fn set_cache(&mut self, cache: SharedKvCache) {
+        self.cache = cache;
+    }
+
+    /// The cross-job KV cache handle (cheap to clone and share).
+    pub fn cache(&self) -> SharedKvCache {
+        self.cache.clone()
+    }
+
+    /// Cross-job cache counters for this rank.
+    pub fn cache_stats(&self) -> CacheStats {
+        lock_cache(&self.cache).stats()
+    }
+
+    /// Per-name cache snapshots `(name, resident bytes, elisions)`.
+    pub fn cache_snapshots(&self) -> Vec<CacheEntrySnapshot> {
+        lock_cache(&self.cache).entry_snapshots()
+    }
+
+    /// Whether `name` is currently cached (resident or spilled). Local;
+    /// does not count toward hit/miss statistics.
+    pub fn cache_contains(&self, name: &str) -> bool {
+        lock_cache(&self.cache).contains(name)
+    }
+
+    /// Records a cold-start cache miss (an iterative driver probed a
+    /// name before seeding it).
+    pub fn cache_note_miss(&self) {
+        lock_cache(&self.cache).note_miss();
+    }
+
+    /// Reads the named cached container without consuming it, reloading
+    /// it from spill first if it was evicted.
+    ///
+    /// # Errors
+    /// [`crate::MimirError::Cache`] for an unknown name; reload failures.
+    pub fn with_cached<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&KvContainer) -> Result<R>,
+    ) -> Result<R> {
+        lock_cache(&self.cache).with_resident(name, &self.pool, f)
+    }
+
+    /// Forces the named entry out to spill (tests and pressure drills;
+    /// the sched service evicts collectively through its own handle).
+    ///
+    /// # Errors
+    /// Spill I/O failures.
+    pub fn cache_evict(&self, name: &str) -> Result<Option<u64>> {
+        lock_cache(&self.cache).evict(name, &self.io)
+    }
+
+    /// Drops the named cache entry, freeing its pages or spill file.
+    pub fn cache_remove(&self, name: &str) {
+        lock_cache(&self.cache).remove(name);
+    }
+
+    /// Drops every cache entry. Iterative drivers call this when their
+    /// chain ends so a finished workload holds nothing against the
+    /// shared memory budget.
+    pub fn cache_clear(&self) {
+        lock_cache(&self.cache).clear();
     }
 
     /// Reads this rank's record-aligned share of a text file on the

@@ -32,6 +32,12 @@ pub enum MimirError {
     /// job observe this error at the same boundary, so partially-built
     /// containers drop — and credit their pool — on every rank.
     Cancelled,
+    /// A cross-job cache misuse: a chained input name was never cached,
+    /// or a shuffle-elided map emitted a key that does not belong to this
+    /// rank under the declared partitioner (the map was not
+    /// partition-preserving — disable elision with
+    /// `shuffle_elision(false)` for key-changing maps).
+    Cache(String),
 }
 
 impl fmt::Display for MimirError {
@@ -45,6 +51,7 @@ impl fmt::Display for MimirError {
             MimirError::HintViolation(msg) => write!(f, "KV-hint violation: {msg}"),
             MimirError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             MimirError::Cancelled => write!(f, "job cancelled at a phase boundary"),
+            MimirError::Cache(msg) => write!(f, "cross-job cache: {msg}"),
         }
     }
 }

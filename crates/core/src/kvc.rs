@@ -209,6 +209,21 @@ impl KvContainer {
         Ok(())
     }
 
+    /// Visits each page's encoded bytes in order without consuming the
+    /// container. Pages end at KV boundaries ([`Self::push`] never splits
+    /// a KV across pages), so every visited slice is a self-contained run
+    /// acceptable to [`Self::push_run`] — the serialization path the
+    /// cross-job cache uses to spill a container wholesale.
+    ///
+    /// # Errors
+    /// Propagates the first error from `f`.
+    pub fn for_each_page(&self, mut f: impl FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        for page in &self.pages {
+            f(page.as_slice())?;
+        }
+        Ok(())
+    }
+
     /// Number of KVs stored.
     pub fn len(&self) -> u64 {
         self.n_kvs

@@ -40,6 +40,7 @@
 
 pub mod adapt;
 mod buffer;
+mod cache;
 mod cancel;
 mod combiner;
 mod config;
@@ -62,6 +63,9 @@ mod stats;
 pub mod typed;
 
 pub use adapt::{AdaptController, AdaptStats, HotStore};
+pub use cache::{
+    lock_cache, shared_cache, CacheEntrySnapshot, CacheStats, CheckedOut, KvCache, SharedKvCache,
+};
 pub use cancel::CancelToken;
 pub use combiner::{CombineFn, CombinerTable, StreamingCombiner};
 pub use config::{AdaptPolicy, GroupingMode, KvMeta, LenHint, MimirConfig, ShuffleMode};
@@ -69,12 +73,12 @@ pub use context::MimirContext;
 pub use convert::{convert, convert_with};
 pub use error::MimirError;
 pub use group::{GroupIndex, GroupStats};
-pub use job::{JobOutput, MapFn, MapReduceJob, OutEmitter, ReduceFn};
+pub use job::{ChainMapFn, JobOutput, MapFn, MapReduceJob, OutEmitter, ReduceFn};
 pub use kmvc::{KmvContainer, ValueIter};
 pub use kv::{decode_one, encode_push, encoded_len, KvDecoder};
 pub use kvc::KvContainer;
 pub use partial::PartialReducer;
-pub use partitioner::Partitioner;
+pub use partitioner::{PartitionFingerprint, Partitioner};
 pub use recovery::{run_iterative_with_recovery, CheckpointStore, RestartPoint};
 pub use shuffle::{Emitter, ShuffleStats, Shuffler};
 pub use sink::KvSink;

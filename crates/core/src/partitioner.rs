@@ -12,7 +12,24 @@
 
 use std::sync::Arc;
 
-use crate::hash::partition_of;
+use crate::hash::{fxhash64, partition_of};
+
+/// Identity of a partition layout: two containers whose fingerprints are
+/// equal were placed by the same key→rank function over the same world,
+/// so a chained job declaring the same fingerprint may consume a cached
+/// container in place without re-shuffling (see [`crate::KvCache`]).
+///
+/// The fingerprint covers the partitioner's diagnostic name, its salt
+/// (structural parameters like [`Partitioner::u64_block`]'s key count),
+/// and the rank count. The hash seed is a compile-time constant of the
+/// framework's Fx hash, so it needs no per-run component.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PartitionFingerprint {
+    /// Hash of the partitioner's name and salt.
+    pub partitioner: u64,
+    /// World size the placement was computed for.
+    pub n_ranks: u32,
+}
 
 /// A key partitioner: maps a key to a destination rank in `0..n_ranks`.
 ///
@@ -27,6 +44,10 @@ type PartitionFn = dyn Fn(&[u8], usize) -> usize + Send + Sync;
 pub struct Partitioner {
     f: Arc<PartitionFn>,
     name: &'static str,
+    /// Structural parameter folded into the fingerprint, so two
+    /// `u64_block` partitioners over different key counts never compare
+    /// equal even though they share a name.
+    salt: u64,
     /// True only for [`Partitioner::hash`]: the destination is a pure
     /// function of `fxhash64(key)`, so emitters holding a precomputed
     /// hash may route via [`crate::hash::partition_of_hashed`] without
@@ -40,6 +61,7 @@ impl Partitioner {
         Self {
             f: Arc::new(partition_of),
             name: "hash",
+            salt: 0,
             is_hash: true,
         }
     }
@@ -48,6 +70,11 @@ impl Partitioner {
     /// `0..n_ranks` by a debug assertion in debug builds and by a modulo
     /// in release builds, so an out-of-range partitioner cannot write
     /// outside the send buffer.
+    ///
+    /// The name is the partitioner's cache identity: two custom
+    /// partitioners with the same name (and salt, see [`Self::salted`])
+    /// fingerprint as interchangeable. Pick distinct names for distinct
+    /// placement functions.
     pub fn custom(
         name: &'static str,
         f: impl Fn(&[u8], usize) -> usize + Send + Sync + 'static,
@@ -55,6 +82,7 @@ impl Partitioner {
         Self {
             f: Arc::new(f),
             name,
+            salt: 0,
             is_hash: false,
         }
     }
@@ -72,7 +100,29 @@ impl Partitioner {
                 ((v / per) as usize).min(p - 1)
             }),
             name: "u64-block",
+            salt: n_keys,
             is_hash: false,
+        }
+    }
+
+    /// Folds a structural parameter into this partitioner's fingerprint
+    /// (custom partitioners parameterized beyond their name).
+    #[must_use]
+    pub fn salted(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The placement identity of this partitioner over `n_ranks` ranks.
+    pub fn fingerprint(&self, n_ranks: usize) -> PartitionFingerprint {
+        let id = fxhash64(self.name.as_bytes())
+            ^ self
+                .salt
+                .rotate_left(17)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        PartitionFingerprint {
+            partitioner: id,
+            n_ranks: n_ranks as u32,
         }
     }
 
@@ -144,6 +194,35 @@ mod tests {
         }
         assert_eq!(p.of(&0u64.to_le_bytes(), 4), 0);
         assert_eq!(p.of(&99u64.to_le_bytes(), 4), 3);
+    }
+
+    #[test]
+    fn fingerprints_separate_layouts() {
+        let h = Partitioner::hash();
+        assert_eq!(h.fingerprint(4), Partitioner::hash().fingerprint(4));
+        assert_ne!(h.fingerprint(4), h.fingerprint(8), "rank count counts");
+        assert_ne!(
+            h.fingerprint(4),
+            Partitioner::u64_block(100).fingerprint(4),
+            "different functions differ"
+        );
+        assert_ne!(
+            Partitioner::u64_block(100).fingerprint(4),
+            Partitioner::u64_block(200).fingerprint(4),
+            "the block size is part of the identity"
+        );
+        assert_eq!(
+            Partitioner::u64_block(100).fingerprint(4),
+            Partitioner::u64_block(100).fingerprint(4)
+        );
+        assert_ne!(
+            Partitioner::custom("a", |_, _| 0).fingerprint(2),
+            Partitioner::custom("b", |_, _| 0).fingerprint(2)
+        );
+        assert_ne!(
+            Partitioner::custom("a", |_, _| 0).salted(7).fingerprint(2),
+            Partitioner::custom("a", |_, _| 0).fingerprint(2)
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | `job-lifecycle` | scheduler job records | non-`Done` outcomes, suspend-and-retry churn |
 //! | `deadlock-suspect` | wait fraction vs wall time | ≥95% wall spent blocked with nothing received |
 //! | `adaptation` | adaptive-controller counters, `RoundWait` stream | any adaptive decision (info) or mode-switch flapping (warn) |
+//! | `cache-efficiency` | cross-job cache counters, evict/reload event stream | low hit rate while cached bytes crowd the pool, eviction thrash; reports elisions and per-name residency (info) |
 //!
 //! The `mimir-doctor` binary wraps this over `.jsonl` / `.trace.json`
 //! files; see `src/main.rs` or `README.md`.
@@ -243,6 +244,7 @@ pub fn diagnose(reports: &[RankReport]) -> Diagnosis {
     rules::job_lifecycle(reports, &mut findings);
     rules::deadlock_suspect(reports, &mut findings);
     rules::adaptation(reports, &mut findings);
+    rules::cache_efficiency(reports, &mut findings);
     findings.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

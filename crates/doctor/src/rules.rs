@@ -42,6 +42,15 @@ pub const DEADLOCK_MIN_WALL_NS: u64 = 100_000_000;
 /// flapping rather than converging — the hysteresis window is too short
 /// for the workload's noise.
 pub const ADAPT_FLAP_WARN: u64 = 4;
+/// Cache hit rate (hits / lookups, permille) under which the cache is
+/// mostly paying misses — names are wrong or datasets are one-shot.
+pub const CACHE_HIT_WARN_PERMILLE: u64 = 500;
+/// Fraction of the pool budget (permille) the cache must crowd before a
+/// low hit rate is worth a warning — a small cold cache is harmless.
+pub const CACHE_CROWD_PERMILLE: u64 = 300;
+/// An evict→reload of the same cached name within this window is
+/// thrash: the pool is too small for the working set being chained.
+pub const CACHE_THRASH_WINDOW_NS: u64 = 1_000_000_000;
 
 fn num(v: u64) -> Json {
     Json::Num(v as f64)
@@ -617,6 +626,152 @@ pub fn adaptation(reports: &[RankReport], out: &mut Vec<Finding>) {
     });
 }
 
+/// Cross-job cache audit: is the retained memory paying for itself?
+/// Warns on a low hit rate while cached bytes crowd the pool, warns on
+/// eviction thrash (an evict→reload of the same name inside one
+/// window), and otherwise reports what the cache saved — elisions and
+/// per-name residency. Silent when no run touched the cache.
+pub fn cache_efficiency(reports: &[RankReport], out: &mut Vec<Finding>) {
+    use mimir_obs::EventKind;
+    // Per-rank caches hold disjoint partitions of named datasets, so
+    // activity counters and bytes sum across ranks; the pool budget is
+    // the shared per-node figure, so it maxes.
+    let sum = |f: fn(&RankReport) -> u64| reports.iter().map(f).sum::<u64>();
+    let hits = sum(|r| r.cache.hits);
+    let misses = sum(|r| r.cache.misses);
+    let elisions = sum(|r| r.cache.elisions);
+    let evictions = sum(|r| r.cache.evictions);
+    let reloads = sum(|r| r.cache.reloads);
+    let cached = sum(|r| r.cache.cached_bytes);
+    if hits + misses + elisions + evictions + reloads + cached == 0 {
+        return;
+    }
+    let budget = reports
+        .iter()
+        .map(|r| r.mem.budget_bytes)
+        .max()
+        .unwrap_or(0);
+    let lookups = hits + misses;
+    let hit_permille = (hits * 1000).checked_div(lookups).unwrap_or(1000);
+    let crowd_permille = if budget > 0 {
+        (cached as u128 * 1000 / budget as u128) as u64
+    } else {
+        0
+    };
+    // Per-name residency and elision savings, merged across ranks.
+    let mut names: Vec<(String, u64, u64)> = Vec::new();
+    for r in reports {
+        for rec in &r.cache_names {
+            match names.iter_mut().find(|(n, _, _)| n == &rec.name) {
+                Some((_, b, e)) => {
+                    *b += rec.bytes;
+                    *e += rec.elisions;
+                }
+                None => names.push((rec.name.clone(), rec.bytes, rec.elisions)),
+            }
+        }
+    }
+    names.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut evidence = vec![
+        ("hits".into(), num(hits)),
+        ("misses".into(), num(misses)),
+        ("elisions".into(), num(elisions)),
+        ("evictions".into(), num(evictions)),
+        ("reloads".into(), num(reloads)),
+        ("cached_bytes".into(), num(cached)),
+        ("hit_permille".into(), num(hit_permille)),
+        ("crowd_permille".into(), num(crowd_permille)),
+    ];
+    for (name, bytes, el) in &names {
+        evidence.push((format!("name:{name}:bytes"), num(*bytes)));
+        evidence.push((format!("name:{name}:elisions"), num(*el)));
+    }
+    // Thrash: an eviction followed by a reload of the same name (event
+    // payload `a` carries the name hash) inside the window means the
+    // pool evicted data the very next job needed back.
+    let mut thrash_ranks = Vec::new();
+    for r in reports {
+        let mut evicted: Vec<(u64, u64)> = Vec::new(); // (name_hash, t_ns)
+        let mut thrashed = false;
+        for e in &r.events {
+            match e.kind {
+                EventKind::CacheEvict => evicted.push((e.a, e.t_ns)),
+                EventKind::CacheReload
+                    if evicted.iter().any(|&(h, t)| {
+                        h == e.a && e.t_ns.saturating_sub(t) <= CACHE_THRASH_WINDOW_NS
+                    }) =>
+                {
+                    thrashed = true;
+                }
+                _ => {}
+            }
+        }
+        if thrashed {
+            thrash_ranks.push(r.rank);
+        }
+    }
+    if !thrash_ranks.is_empty() {
+        out.push(Finding {
+            severity: Severity::Warn,
+            code: "cache-efficiency",
+            title: format!(
+                "cache thrash: {} rank(s) evicted a cached dataset and \
+                 reloaded the same name within {} ms",
+                thrash_ranks.len(),
+                CACHE_THRASH_WINDOW_NS / 1_000_000
+            ),
+            phase: "",
+            ranks: thrash_ranks,
+            evidence,
+            hint: "The pool is too small for the chained working set: the \
+                   admission relief loop spilled a dataset the very next \
+                   job checked out again. Raise the budget, shrink the \
+                   cached datasets, or drop names the chain no longer \
+                   reads (cache_remove) so eviction picks true cold data.",
+        });
+        return;
+    }
+    if lookups > 0
+        && hit_permille < CACHE_HIT_WARN_PERMILLE
+        && crowd_permille > CACHE_CROWD_PERMILLE
+    {
+        out.push(Finding {
+            severity: Severity::Warn,
+            code: "cache-efficiency",
+            title: format!(
+                "cache holds {:.0}% of the pool but answers only {:.0}% of \
+                 lookups",
+                crowd_permille as f64 / 10.0,
+                hit_permille as f64 / 10.0
+            ),
+            phase: "",
+            ranks: Vec::new(),
+            evidence,
+            hint: "Retained partitions charge the same pool admission \
+                   meters, so a cold cache squeezes every tenant. Check \
+                   the chain's names: a miss means input_cached asked for \
+                   a name no prior job stashed with output_cached.",
+        });
+        return;
+    }
+    out.push(Finding {
+        severity: Severity::Info,
+        code: "cache-efficiency",
+        title: format!(
+            "cross-job cache served {hits} checkout(s) and elided \
+             {elisions} shuffle(s); {cached} B resident across {} name(s)",
+            names.len()
+        ),
+        phase: "",
+        ranks: Vec::new(),
+        evidence,
+        hint: "Each elision is a full exchange the chained job skipped \
+               because the producer's partitioner fingerprint matched — \
+               the M3R-style payoff of keeping de-serialized partitions \
+               in place across jobs.",
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,6 +1020,91 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].severity, Severity::Warn);
         assert!(out[0].title.contains("flapped"), "{}", out[0].title);
+    }
+
+    #[test]
+    fn cache_efficiency_is_silent_without_cache_activity() {
+        let mut out = Vec::new();
+        cache_efficiency(&world(2), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cache_efficiency_reports_elisions_as_info() {
+        let mut reports = world(2);
+        for r in &mut reports {
+            r.cache.hits = 5;
+            r.cache.elisions = 4;
+            r.cache.cached_bytes = 4096;
+            r.cache_names = vec![mimir_obs::CacheNameRecord {
+                name: "pr".into(),
+                bytes: 4096,
+                elisions: 4,
+            }];
+        }
+        let mut out = Vec::new();
+        cache_efficiency(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "cache-efficiency");
+        assert_eq!(out[0].severity, Severity::Info);
+        assert!(out[0].title.contains("elided 8"), "{}", out[0].title);
+        let ev_of = |k: &str| {
+            out[0]
+                .evidence
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing evidence {k}"))
+        };
+        assert_eq!(ev_of("name:pr:bytes"), Json::Num(8192.0));
+        assert_eq!(ev_of("name:pr:elisions"), Json::Num(8.0));
+    }
+
+    #[test]
+    fn cache_efficiency_warns_on_cold_cache_crowding_the_pool() {
+        let mut reports = world(2);
+        for r in &mut reports {
+            r.cache.hits = 1;
+            r.cache.misses = 9;
+            r.cache.cached_bytes = 400 << 10;
+            r.mem.budget_bytes = 1 << 20;
+        }
+        let mut out = Vec::new();
+        cache_efficiency(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].title.contains("lookups"), "{}", out[0].title);
+    }
+
+    #[test]
+    fn cache_efficiency_warns_on_eviction_thrash() {
+        let ev = |t_ns, kind, a| Event {
+            t_ns,
+            kind,
+            a,
+            b: 0,
+        };
+        let mut reports = world(2);
+        reports[0].cache.evictions = 1;
+        reports[0].cache.reloads = 1;
+        reports[0].events = vec![
+            ev(0, EventKind::CacheEvict, 77),
+            ev(CACHE_THRASH_WINDOW_NS / 2, EventKind::CacheReload, 77),
+        ];
+        let mut out = Vec::new();
+        cache_efficiency(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].title.contains("thrash"), "{}", out[0].title);
+        assert_eq!(out[0].ranks, vec![0]);
+
+        // The same pair outside the window is not thrash: with no other
+        // pressure signals the rule reports the plain Info summary.
+        reports[0].events[1].t_ns = CACHE_THRASH_WINDOW_NS * 2;
+        let mut out = Vec::new();
+        cache_efficiency(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Info);
     }
 
     #[test]

@@ -57,9 +57,9 @@ pub use mrmpi;
 /// The names most programs need.
 pub mod prelude {
     pub use mimir_core::{
-        run_iterative_with_recovery, typed, CancelToken, CheckpointStore, Emitter, JobOutput,
-        JobStats, KvContainer, KvMeta, LenHint, MimirConfig, MimirContext, MimirError, Partitioner,
-        StagedKvs, ValueIter,
+        run_iterative_with_recovery, typed, CacheStats, CancelToken, ChainMapFn, CheckpointStore,
+        Emitter, JobOutput, JobStats, KvCache, KvContainer, KvMeta, LenHint, MimirConfig,
+        MimirContext, MimirError, Partitioner, StagedKvs, ValueIter,
     };
     pub use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
     pub use mimir_io::{IoModel, IoModelConfig, SpillStore};

@@ -310,6 +310,45 @@ fn rank_events(rank: u64, events: &[Event], flows: &HashSet<u64>, out: &mut Vec<
                     ),
                 ]));
             }
+            EventKind::ShuffleElided => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str("shuffle-elided".into())),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("kvs", Json::Num(e.a as f64)),
+                            ("bytes", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
+            EventKind::CacheEvict | EventKind::CacheReload => {
+                let name = if e.kind == EventKind::CacheEvict {
+                    "cache-evict"
+                } else {
+                    "cache-reload"
+                };
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(name.into())),
+                    ("ph", Json::Str("i".into())),
+                    ("s", Json::Str("t".into())),
+                    ("ts", ts),
+                    ("pid", Json::Num(PID)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("name_hash", Json::Num(e.a as f64)),
+                            ("bytes", Json::Num(e.b as f64)),
+                        ]),
+                    ),
+                ]));
+            }
             EventKind::JobHeartbeat => {
                 // Memory counter on the job's own lane: tenants' pool
                 // footprints read side by side under their rank row.

@@ -177,11 +177,25 @@ pub enum EventKind {
     /// decision operand (new fill permille, hot destination rank, frames
     /// flushed, …, per code).
     AdaptDecision = 20,
+    /// A chained job consumed a cached input whose partition fingerprint
+    /// matched its own, so the shuffle for that input was skipped
+    /// entirely: map emits fed the local sink directly. `a` = KVs that
+    /// took the elided path, `b` = payload bytes.
+    ShuffleElided = 21,
+    /// The cross-job KV cache spilled a resident container to disk under
+    /// memory pressure. `a` = Fx hash of the entry's name, `b` = payload
+    /// bytes spilled.
+    CacheEvict = 22,
+    /// A previously evicted cache entry was reloaded from its spill file
+    /// on demand. `a` = Fx hash of the entry's name, `b` = payload bytes
+    /// reloaded. An evict/reload pair of the same name hash close in time
+    /// is the thrash signature `mimir-doctor` looks for.
+    CacheReload = 23,
 }
 
 impl EventKind {
     /// All kinds, index-aligned with their discriminants.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::PhaseBegin,
         EventKind::PhaseEnd,
         EventKind::RoundBegin,
@@ -203,6 +217,9 @@ impl EventKind {
         EventKind::FlowSend,
         EventKind::FlowRecv,
         EventKind::AdaptDecision,
+        EventKind::ShuffleElided,
+        EventKind::CacheEvict,
+        EventKind::CacheReload,
     ];
 
     /// Stable serialization name.
@@ -229,6 +246,9 @@ impl EventKind {
             EventKind::FlowSend => "flow_send",
             EventKind::FlowRecv => "flow_recv",
             EventKind::AdaptDecision => "adapt_decision",
+            EventKind::ShuffleElided => "shuffle_elided",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CacheReload => "cache_reload",
         }
     }
 

@@ -35,6 +35,6 @@ pub use recorder::{
     FLOW_SEQ_BITS,
 };
 pub use report::{
-    AdaptCounters, CommCounters, GroupCounters, JobCounters, JobRecord, MemCounters, PhasePeaks,
-    PhaseTimes, RankReport, ShuffleCounters, WaitCounters,
+    AdaptCounters, CacheCounters, CacheNameRecord, CommCounters, GroupCounters, JobCounters,
+    JobRecord, MemCounters, PhasePeaks, PhaseTimes, RankReport, ShuffleCounters, WaitCounters,
 };

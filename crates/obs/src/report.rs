@@ -330,6 +330,60 @@ impl AdaptCounters {
     }
 }
 
+/// Cross-job KV cache counters (mirrors `mimir-core`'s `CacheStats`).
+/// All zero when no job used `input_cached`/`output_cached`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Chained inputs found resident.
+    pub hits: u64,
+    /// Lookups of names the cache did not hold.
+    pub misses: u64,
+    /// Shuffles skipped because the cached placement matched the job's.
+    pub elisions: u64,
+    /// Resident containers spilled under memory pressure.
+    pub evictions: u64,
+    /// Evicted entries transparently reloaded from spill.
+    pub reloads: u64,
+    /// Payload bytes resident when the report was built (charged against
+    /// the pool budget).
+    pub cached_bytes: u64,
+}
+
+impl CacheCounters {
+    /// Element-wise sum: per-rank caches hold disjoint partitions, so
+    /// summed bytes are the cluster's total cached footprint — and all of
+    /// it charges the shared node budget.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.elisions += other.elisions;
+        self.evictions += other.evictions;
+        self.reloads += other.reloads;
+        self.cached_bytes += other.cached_bytes;
+    }
+}
+
+/// One named cross-job cache entry as a rank saw it at report time.
+/// Merged reports combine records by name (each rank holds its own
+/// partition, so bytes and elisions sum to dataset-wide totals).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheNameRecord {
+    /// The user-chosen cache name.
+    pub name: String,
+    /// Resident payload bytes (0 while evicted or removed).
+    pub bytes: u64,
+    /// Cumulative elided shuffles against this name.
+    pub elisions: u64,
+}
+
+impl CacheNameRecord {
+    /// Folds another rank's record for the *same name* into this one.
+    pub fn merge(&mut self, other: &CacheNameRecord) {
+        self.bytes += other.bytes;
+        self.elisions += other.elisions;
+    }
+}
+
 /// Job-level counters (mirrors parts of `mimir-core`'s `JobStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounters {
@@ -424,6 +478,10 @@ pub struct RankReport {
     pub peaks: PhasePeaks,
     /// Job-level counters.
     pub job: JobCounters,
+    /// Cross-job KV cache counters.
+    pub cache: CacheCounters,
+    /// Per-name cache entries. Merged reports combine records by name.
+    pub cache_names: Vec<CacheNameRecord>,
     /// Per-scheduled-job lifecycle records (empty outside the job
     /// service). Merged reports combine records by job id.
     pub jobs: Vec<JobRecord>,
@@ -459,6 +517,15 @@ impl RankReport {
         self.times.merge(&other.times);
         self.peaks.merge(&other.peaks);
         self.job.merge(&other.job);
+        self.cache.merge(&other.cache);
+        for theirs in &other.cache_names {
+            if let Some(mine) = self.cache_names.iter_mut().find(|c| c.name == theirs.name) {
+                mine.merge(theirs);
+            } else {
+                self.cache_names.push(theirs.clone());
+            }
+        }
+        self.cache_names.sort_by(|a, b| a.name.cmp(&b.name));
         for theirs in &other.jobs {
             if let Some(mine) = self.jobs.iter_mut().find(|j| j.id == theirs.id) {
                 mine.merge(theirs);
@@ -658,6 +725,32 @@ impl RankReport {
                 ]),
             ),
             (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Num(self.cache.hits as f64)),
+                    ("misses", Json::Num(self.cache.misses as f64)),
+                    ("elisions", Json::Num(self.cache.elisions as f64)),
+                    ("evictions", Json::Num(self.cache.evictions as f64)),
+                    ("reloads", Json::Num(self.cache.reloads as f64)),
+                    ("cached_bytes", Json::Num(self.cache.cached_bytes as f64)),
+                ]),
+            ),
+            (
+                "cache_names",
+                Json::Arr(
+                    self.cache_names
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("name", Json::Str(c.name.clone())),
+                                ("bytes", Json::Num(c.bytes as f64)),
+                                ("elisions", Json::Num(c.elisions as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "jobs",
                 Json::Arr(
                     self.jobs
@@ -706,6 +799,22 @@ impl RankReport {
         // Counters added after the first release parse leniently so
         // reports recorded by older builds still load.
         let u_opt = |path: &[&str]| -> u64 { field(v, path).map_or(0, |n| n as u64) };
+        // The cross-job cache postdates the first release: the whole
+        // section parses leniently.
+        let mut cache_names = Vec::new();
+        if let Some(Json::Arr(items)) = v.get("cache_names") {
+            for item in items {
+                cache_names.push(CacheNameRecord {
+                    name: item
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    bytes: item.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+                    elisions: item.get("elisions").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
+        }
         // The job service postdates the first release: absent in old
         // reports, so the whole section parses leniently.
         let mut jobs = Vec::new();
@@ -857,6 +966,15 @@ impl RankReport {
                 kvs_out: u(&["job", "kvs_out"])?,
                 node_peak_bytes: u(&["job", "node_peak_bytes"])?,
             },
+            cache: CacheCounters {
+                hits: u_opt(&["cache", "hits"]),
+                misses: u_opt(&["cache", "misses"]),
+                elisions: u_opt(&["cache", "elisions"]),
+                evictions: u_opt(&["cache", "evictions"]),
+                reloads: u_opt(&["cache", "reloads"]),
+                cached_bytes: u_opt(&["cache", "cached_bytes"]),
+            },
+            cache_names,
             jobs,
             events,
             events_dropped: u(&["events_dropped"])?,
@@ -965,6 +1083,19 @@ mod tests {
                 kvs_out: 50,
                 node_peak_bytes: 1 << 20,
             },
+            cache: CacheCounters {
+                hits: 6 + rank,
+                misses: 1,
+                elisions: 5 * (rank + 1),
+                evictions: rank,
+                reloads: rank,
+                cached_bytes: 4096 * (rank + 1),
+            },
+            cache_names: vec![CacheNameRecord {
+                name: "pr".into(),
+                bytes: 4096 * (rank + 1),
+                elisions: 5 * (rank + 1),
+            }],
             jobs: vec![JobRecord {
                 id: 7,
                 name: "wc-small".into(),
@@ -1022,6 +1153,14 @@ mod tests {
         );
         assert_eq!(a.adapt.hot_staged_kvs, 300, "hot staging sums");
         assert!((a.times.map_s - 1.5).abs() < 1e-12, "times take the max");
+        assert_eq!(a.cache.elisions, 5 + 10, "cache counters sum");
+        assert_eq!(
+            a.cache.cached_bytes,
+            4096 + 8192,
+            "per-rank partitions sum to the cluster footprint"
+        );
+        assert_eq!(a.cache_names.len(), 1, "same name folds");
+        assert_eq!(a.cache_names[0].bytes, 4096 + 8192);
         assert!(a.events.is_empty(), "merged reports drop per-rank events");
     }
 

@@ -24,7 +24,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mimir_core::{CancelToken, MimirContext};
+use mimir_core::{lock_cache, shared_cache, CancelToken, MimirContext, SharedKvCache};
 use mimir_io::IoModel;
 use mimir_mem::{MemPool, Reservation};
 use mimir_mpi::{Comm, ReduceOp};
@@ -124,6 +124,12 @@ pub struct JobService<'w> {
     /// decimates the heartbeat stream to ~1 ms so a busy tick loop
     /// (500 µs cadence) doesn't double the trace volume.
     last_heartbeat: Instant,
+    /// The rank-wide cross-job KV cache, installed on every worker's
+    /// context so chained jobs see each other's cached outputs. Cached
+    /// pages stay charged to `pool`, which makes them admission-visible;
+    /// the admission sweep evicts from here before declaring a footprint
+    /// unsatisfiable.
+    cache: SharedKvCache,
 }
 
 impl<'w> JobService<'w> {
@@ -140,6 +146,7 @@ impl<'w> JobService<'w> {
             running: Vec::new(),
             finished: Vec::new(),
             last_heartbeat: Instant::now(),
+            cache: shared_cache(),
         }
     }
 
@@ -238,6 +245,10 @@ impl<'w> JobService<'w> {
                 progressed = true;
             } else {
                 drop(probe);
+                if self.try_cache_relief() {
+                    progressed = true;
+                    continue;
+                }
                 if self.running.is_empty() {
                     // Nothing the service controls will ever free more
                     // memory: the footprint is unsatisfiable.
@@ -329,6 +340,55 @@ impl<'w> JobService<'w> {
         &self.pool
     }
 
+    /// The rank-wide cross-job KV cache shared by every job this service
+    /// runs (installed on worker contexts at admission).
+    pub fn cache(&self) -> SharedKvCache {
+        self.cache.clone()
+    }
+
+    /// Cache-pressure relief for the admission head: while any rank
+    /// still holds resident cached containers (a collective `Max` vote),
+    /// those ranks spill them LRU-first and the head's reservation is
+    /// re-probed and re-voted. Returns whether the head was admitted.
+    /// Bounded: every round with a yes-vote evicts at least one entry on
+    /// every rank that voted yes, so the vote goes to no within
+    /// `Σ entries` rounds. This is what keeps cache memory — charged to
+    /// the pool so admission *sees* it — from deadlocking admission.
+    fn try_cache_relief(&mut self) -> bool {
+        let footprint = self.queue[0].footprint;
+        // A rank whose spill path errors stops claiming evictability, so
+        // a broken spill directory cannot wedge the vote loop.
+        let mut spill_broken = false;
+        loop {
+            let evictable = !spill_broken && lock_cache(&self.cache).resident_bytes() > 0;
+            let any = self.comm.allreduce_u64(ReduceOp::Max, u64::from(evictable)) == 1;
+            if !any {
+                return false;
+            }
+            if evictable {
+                // Local spill I/O, no collectives. Target at least one
+                // byte so a zero footprint still makes progress.
+                let target = (footprint as u64).max(1);
+                if let Err(e) = lock_cache(&self.cache).evict_to_spill(target, &self.io) {
+                    eprintln!("sched: cache eviction failed: {e}");
+                    spill_broken = true;
+                }
+            }
+            let probe = self.pool.probe_reserve(footprint);
+            let all_ok = self
+                .comm
+                .allreduce_u64(ReduceOp::LAnd, u64::from(probe.is_some()))
+                == 1;
+            if all_ok {
+                let q = self.queue.remove(0);
+                let reservation = probe.expect("voted yes with a reservation in hand");
+                self.admit(q, reservation);
+                return true;
+            }
+            drop(probe);
+        }
+    }
+
     fn sort_queue(&mut self) {
         self.queue
             .sort_by_key(|q| std::cmp::Reverse(q.priority_key()));
@@ -349,7 +409,9 @@ impl<'w> JobService<'w> {
         let cfg = q.spec.config;
         let body = q.spec.body.clone();
         let cancel = q.cancel.clone();
-        let handle = std::thread::spawn(move || run_worker(comm, pool, io, cfg, cancel, body));
+        let cache = self.cache.clone();
+        let handle =
+            std::thread::spawn(move || run_worker(comm, pool, io, cfg, cancel, cache, body));
         self.running.push(RunningJob {
             id: q.id,
             spec: q.spec,
@@ -459,11 +521,13 @@ fn run_worker(
     io: IoModel,
     cfg: mimir_core::MimirConfig,
     cancel: CancelToken,
+    cache: SharedKvCache,
     body: JobBody,
 ) -> WorkerOut {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut ctx = MimirContext::new(&mut comm, pool, io, cfg)?;
         ctx.set_cancel_token(cancel);
+        ctx.set_cache(cache);
         body(&mut ctx)
     }));
     let (severity, output) = match result {

@@ -1,17 +1,19 @@
-//! Scheduler stress: 16 mixed-priority jobs on 4 ranks under a tight
-//! memory budget, wrapped in a watchdog. The service must retire every
-//! job deterministically, never violate the node budget (the pool's
-//! hard cap plus the admission reservations), and end with the pool
+//! Scheduler stress: 16 mixed-priority jobs plus a cached-chain tenant
+//! pair on 4 ranks under a tight memory budget, wrapped in a watchdog.
+//! The service must retire every job deterministically, never violate
+//! the node budget (the pool's hard cap plus the admission reservations
+//! plus the cross-job cache's retained pages), and end with the pool
 //! fully credited.
 
 use std::time::{Duration, Instant};
 
 use mimir_apps::wordcount::{wordcount_mimir, WcOptions};
+use mimir_core::{lock_cache, typed, KvMeta};
 use mimir_datagen::UniformWords;
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
 use mimir_mpi::{run_world, Comm};
-use mimir_obs::{CommCounters, MemCounters, RankReport, Recorder};
+use mimir_obs::{CacheCounters, CacheNameRecord, CommCounters, MemCounters, RankReport, Recorder};
 use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
 
 const RANKS: usize = 4;
@@ -20,6 +22,12 @@ const RANKS: usize = 4;
 const BUDGET: usize = 6 << 20;
 const JOBS: usize = 16;
 const WATCHDOG: Duration = Duration::from_secs(120);
+/// KVs each rank's chain producer emits (16 B apiece): the cached
+/// dataset holds ~512 KiB per rank against the budget while the
+/// WordCount tenants churn through admission.
+const CHAIN_KVS_PER_RANK: u64 = 32 * 1024;
+/// The cached dataset's name, shared by the producer/consumer pair.
+const CHAIN_NAME: &str = "chain.data";
 
 fn word_total(data: &[u8]) -> u64 {
     // Each encoded record is `word \0 count(8B le)`; sum the counts.
@@ -37,7 +45,12 @@ fn word_total(data: &[u8]) -> u64 {
 /// job records, trace events), gathers every report onto rank 0, and
 /// writes `<MIMIR_TRACE_DIR|traces>/sched_stress.jsonl` plus the chrome
 /// trace — the input `mimir-doctor` consumes in CI.
-fn export_trace(comm: &mut Comm, pool: &MemPool, records: Vec<mimir_obs::JobRecord>) {
+fn export_trace(
+    comm: &mut Comm,
+    pool: &MemPool,
+    records: Vec<mimir_obs::JobRecord>,
+    cache: (CacheCounters, Vec<CacheNameRecord>),
+) {
     let mut r = RankReport::new(comm.rank());
     r.ranks = comm.size() as u64;
     let cs = comm.stats();
@@ -66,6 +79,7 @@ fn export_trace(comm: &mut Comm, pool: &MemPool, records: Vec<mimir_obs::JobReco
         oom_events: ps.oom_events,
     };
     r.jobs = records;
+    (r.cache, r.cache_names) = cache;
     if let Some(rec) = mimir_obs::take() {
         r.events = rec.events();
         r.events_dropped = rec.dropped();
@@ -97,7 +111,16 @@ fn export_trace(comm: &mut Comm, pool: &MemPool, records: Vec<mimir_obs::JobReco
     }
 }
 
-fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
+type RankResult = (
+    Vec<Option<JobOutcome>>,
+    u64,
+    usize,
+    usize,
+    (Option<JobOutcome>, Option<JobOutcome>),
+    u64,
+);
+
+fn stress_world() -> Vec<RankResult> {
     let epoch = Instant::now();
     run_world(RANKS, move |comm| {
         if mimir_obs::env_enabled() {
@@ -141,9 +164,67 @@ fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
             })
             .collect();
 
+        // Cached-chain tenant pair: the producer stashes a partitioned
+        // dataset in the service's cross-job cache (its pages stay
+        // charged against the shared budget, visible to admission); the
+        // consumer waits for the name to appear, chains over it with the
+        // shuffle elided, and releases it so the pool credits to zero.
+        let producer = JobSpec::new("chain.produce", 256 * 1024, move |ctx| {
+            let rank = ctx.rank() as u64;
+            let out = ctx
+                .job()
+                .kv_meta(KvMeta::fixed(8, 8))
+                .output_cached(CHAIN_NAME)
+                .map_shuffle(&mut |em| {
+                    for i in 0..CHAIN_KVS_PER_RANK {
+                        em.emit(
+                            &typed::enc_u64(rank * CHAIN_KVS_PER_RANK + i),
+                            &typed::enc_u64(1),
+                        )?;
+                    }
+                    Ok(())
+                })?;
+            Ok(JobYield {
+                data: Vec::new(),
+                kvs_out: out.stats.kvs_out,
+                spill_bytes: 0,
+            })
+        })
+        .priority(10);
+        let consumer = JobSpec::new("chain.consume", 256 * 1024, move |ctx| {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while !ctx.cache_contains(CHAIN_NAME) {
+                if Instant::now() > deadline {
+                    return Err(mimir_core::MimirError::Cache(
+                        "chain.consume: the producer never cached its output".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let mut sum = 0u64;
+            ctx.job()
+                .kv_meta(KvMeta::fixed(8, 8))
+                .input_cached(CHAIN_NAME)
+                .chain_shuffle(&mut |k, v, em| {
+                    sum += typed::dec_u64(v);
+                    em.emit(k, v)
+                })?;
+            ctx.cache_remove(CHAIN_NAME);
+            Ok(JobYield {
+                data: Vec::new(),
+                kvs_out: sum,
+                spill_bytes: 0,
+            })
+        })
+        .priority(9);
+        let pid = svc.submit(producer);
+        let cid = svc.submit(consumer);
+
         svc.run_until_idle();
 
         let outcomes: Vec<_> = ids.iter().map(|&id| svc.outcome(id)).collect();
+        let chain_outcomes = (svc.outcome(pid), svc.outcome(cid));
+        let chain_kvs = svc.take_output(cid).map(|y| y.kvs_out).unwrap_or(0);
         // Deterministic content check: the total word count across all
         // ranks of every job equals the generated word count.
         let mut words_counted = 0;
@@ -154,11 +235,41 @@ fn stress_world() -> Vec<(Vec<Option<JobOutcome>>, u64, usize, usize)> {
         }
         let records = svc.job_records();
         let (peak, used) = (svc.pool().peak(), svc.pool().used());
+        let cache = {
+            let shared = svc.cache();
+            let guard = lock_cache(&shared);
+            let s = guard.stats();
+            let counters = CacheCounters {
+                hits: s.hits,
+                misses: s.misses,
+                elisions: s.elisions,
+                evictions: s.evictions,
+                reloads: s.reloads,
+                cached_bytes: s.cached_bytes,
+            };
+            let names = guard
+                .entry_snapshots()
+                .into_iter()
+                .map(|(name, bytes, elisions)| CacheNameRecord {
+                    name,
+                    bytes,
+                    elisions,
+                })
+                .collect();
+            (counters, names)
+        };
         drop(svc);
         if mimir_obs::env_enabled() {
-            export_trace(comm, &pool, records);
+            export_trace(comm, &pool, records, cache);
         }
-        (outcomes, words_counted, peak, used)
+        (
+            outcomes,
+            words_counted,
+            peak,
+            used,
+            chain_outcomes,
+            chain_kvs,
+        )
     })
 }
 
@@ -178,7 +289,8 @@ fn sixteen_mixed_priority_jobs_on_a_tight_budget() {
     let outs = runner.join().unwrap();
 
     let mut per_rank_words = Vec::new();
-    for (outcomes, words, peak, used) in outs {
+    let mut chain_total = 0u64;
+    for (outcomes, words, peak, used, chain_outcomes, chain_kvs) in outs {
         assert_eq!(outcomes.len(), JOBS);
         for (j, outcome) in outcomes.iter().enumerate() {
             assert_eq!(
@@ -187,13 +299,29 @@ fn sixteen_mixed_priority_jobs_on_a_tight_budget() {
                 "job {j} should finish despite the tight budget"
             );
         }
+        assert_eq!(
+            chain_outcomes,
+            (Some(JobOutcome::Done), Some(JobOutcome::Done)),
+            "the cached-chain tenants should finish"
+        );
         assert!(
             peak <= BUDGET,
             "budget violation: peak {peak} B over the {BUDGET} B node budget"
         );
-        assert_eq!(used, 0, "all reservations and pages credited back");
+        assert_eq!(
+            used, 0,
+            "all reservations, pages, and cached datasets credited back"
+        );
         per_rank_words.push(words);
+        chain_total += chain_kvs;
     }
+    // Each rank's consumer summed its own cached partition; the global
+    // sum must equal every KV the producers emitted, exactly once.
+    assert_eq!(
+        chain_total,
+        RANKS as u64 * CHAIN_KVS_PER_RANK,
+        "the chained consumer lost or duplicated cached KVs"
+    );
     // Every rank holds a deterministic slice of each job's output, and
     // the world-wide totals must match the generated corpora exactly:
     // the sum over ranks is the same regardless of scheduling order.
@@ -204,7 +332,7 @@ fn sixteen_mixed_priority_jobs_on_a_tight_budget() {
             let runner = std::thread::spawn(stress_world);
             runner.join().unwrap()
         };
-        outs.iter().map(|(_, words, _, _)| words).sum()
+        outs.iter().map(|(_, words, _, _, _, _)| words).sum()
     };
     assert_eq!(
         total, rerun_total,

@@ -1,13 +1,22 @@
 //! PageRank over a Graph500 Kronecker graph — a fourth domain workload
-//! beyond the paper's three benchmarks, showing two API features
+//! beyond the paper's three benchmarks, showing three API features
 //! together:
 //!
-//! * iterative multi-stage jobs feeding one stage's output into the
-//!   next map (the paper's second input source), and
+//! * iterative jobs chained through the **cross-job KV cache**: the rank
+//!   vector lives in the cache between iterations (`output_cached` /
+//!   `input_cached`), never round-tripping through serialization or
+//!   spill,
+//! * **shuffle elision**: the damping update preserves keys under the
+//!   same partitioner, so its shuffle is elided outright — the map feeds
+//!   grouping straight from the locally-resident partition, and
 //! * a **custom partitioner** (paper Section III-A: "Users can provide
 //!   alternative hash functions that suit their needs") — vertex ids are
 //!   dense after scrambling, so a block partitioner gives each rank a
-//!   contiguous range and the rank-local rank vector is a plain lookup.
+//!   contiguous range and keeps placement stable across the chain.
+//!
+//! Each iteration is two chained jobs: a *scatter* that re-keys rank
+//! shares along edges (a real shuffle — `shuffle_elision(false)`), and a
+//! key-preserving *update* whose shuffle is elided.
 //!
 //! Usage:
 //! ```text
@@ -55,7 +64,11 @@ fn main() {
             .expect("context");
         let meta = KvMeta::fixed(8, 8);
         let part = Partitioner::u64_block(n);
-        let owner = |v: u64| ((v / n.div_ceil(p as u64).max(1)) as usize).min(p - 1);
+        let sum_f64 = |_k: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>| {
+            let s = f64::from_le_bytes(a.try_into().unwrap())
+                + f64::from_le_bytes(b.try_into().unwrap());
+            out.extend_from_slice(&s.to_le_bytes());
+        };
 
         // Stage 1: partition the directed adjacency by source vertex.
         let out = ctx
@@ -80,60 +93,92 @@ fn main() {
             })
             .expect("build adjacency");
 
-        // My contiguous vertex range (courtesy of the block partitioner).
+        // Seed the cached rank vector: my contiguous vertex range
+        // (courtesy of the block partitioner) at the uniform 1/n.
         let per = n.div_ceil(p as u64).max(1);
         let my_range = (rank as u64 * per).min(n)..(((rank as u64) + 1) * per).min(n);
-        let mut pr: HashMap<u64, f64> = my_range.clone().map(|v| (v, 1.0 / n as f64)).collect();
+        ctx.job()
+            .kv_meta(meta)
+            .partitioner(part.clone())
+            .output_cached("pr")
+            .map_shuffle(&mut |em| {
+                for v in my_range.clone() {
+                    em.emit(&typed::enc_u64(v), &(1.0 / n as f64).to_le_bytes())?;
+                }
+                Ok(())
+            })
+            .expect("seed rank vector");
 
-        // Power iterations: scatter rank/degree along edges, gather sums.
+        // Power iterations: two chained jobs each. Scatter re-keys
+        // (vertex → neighbor), so it runs a real shuffle; the damping
+        // update preserves keys, so its shuffle is elided.
         for _ in 0..iters {
-            let sums = ctx
-                .job()
+            ctx.job()
                 .kv_meta(meta)
                 .out_meta(meta)
                 .partitioner(part.clone())
-                .map_partial_reduce(
-                    &mut |em| {
-                        for (&v, neighbors) in &adj {
-                            let share = pr[&v] / neighbors.len() as f64;
+                .input_cached("pr")
+                .output_cached("pr.sums")
+                .shuffle_elision(false)
+                .chain_partial_reduce(
+                    &mut |k, v, em| {
+                        let vertex = typed::dec_u64(k);
+                        // Self-contribution of zero keeps every vertex in
+                        // the sums, edges or not (and stays rank-local).
+                        em.emit(k, &0.0f64.to_le_bytes())?;
+                        if let Some(neighbors) = adj.get(&vertex) {
+                            let r = f64::from_le_bytes(v.try_into().unwrap());
+                            let share = r / neighbors.len() as f64;
                             for &dst in neighbors {
                                 em.emit(&typed::enc_u64(dst), &share.to_le_bytes())?;
                             }
                         }
                         Ok(())
                     },
-                    Box::new(|_k, a, b, out| {
-                        let s = f64::from_le_bytes(a.try_into().unwrap())
-                            + f64::from_le_bytes(b.try_into().unwrap());
-                        out.extend_from_slice(&s.to_le_bytes());
-                    }),
+                    Box::new(sum_f64),
                 )
-                .expect("pagerank iteration");
+                .expect("scatter stage");
 
-            let mut incoming: HashMap<u64, f64> = HashMap::new();
-            sums.output
-                .drain(|k, v| {
-                    incoming.insert(typed::dec_u64(k), f64::from_le_bytes(v.try_into().unwrap()));
-                    Ok(())
+            ctx.job()
+                .kv_meta(meta)
+                .partitioner(part.clone())
+                .input_cached("pr.sums")
+                .output_cached("pr")
+                .chain_shuffle(&mut |k, v, em| {
+                    let inc = f64::from_le_bytes(v.try_into().unwrap());
+                    let r = (1.0 - DAMPING) / n as f64 + DAMPING * inc;
+                    em.emit(k, &r.to_le_bytes())
                 })
-                .expect("drain sums");
-            for (v, r) in pr.iter_mut() {
-                let inc = incoming.get(v).copied().unwrap_or(0.0);
-                *r = (1.0 - DAMPING) / n as f64 + DAMPING * inc;
-            }
-            let _ = owner; // owner() kept for clarity of the block layout
+                .expect("damping update (elided)");
         }
 
-        // Each rank reports its top vertex.
-        pr.into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap_or((0, 0.0))
+        // Each rank reports its top vertex straight from the cached
+        // partition, then releases the chain's memory.
+        let best = ctx
+            .with_cached("pr", |kvc| {
+                let mut best = (0u64, f64::MIN);
+                for (k, v) in kvc.iter() {
+                    let r = f64::from_le_bytes(v.try_into().unwrap());
+                    if r > best.1 {
+                        best = (typed::dec_u64(k), r);
+                    }
+                }
+                Ok(best)
+            })
+            .expect("read cached rank vector");
+        let elisions = ctx.cache_stats().elisions;
+        ctx.cache_clear();
+        (best.0, best.1, elisions)
     });
 
     let mut tops = top;
     tops.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("top-ranked vertices after {:?}:", t0.elapsed());
-    for (v, r) in tops.iter().take(5) {
+    let elided: u64 = tops.iter().map(|&(_, _, e)| e).sum();
+    println!(
+        "top-ranked vertices after {:?} ({elided} shuffles elided):",
+        t0.elapsed()
+    );
+    for (v, r, _) in tops.iter().take(5) {
         println!("  vertex {v:<10} rank {r:.6}");
     }
     println!("peak node memory: {} KiB", nodes.max_node_peak() / 1024);
