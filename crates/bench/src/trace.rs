@@ -111,6 +111,12 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         collectives: cs.collectives,
         bytes_copied: cs.bytes_copied,
         send_allocs: cs.send_allocs,
+        wire_bytes_sent: cs.wire_bytes_sent,
+        wire_bytes_recvd: cs.wire_bytes_recvd,
+        wire_frames_sent: cs.wire_frames_sent,
+        wire_frames_recvd: cs.wire_frames_recvd,
+        wire_recv_allocs: cs.wire_recv_allocs,
+        handshake_ns: cs.handshake_ns,
     };
     let ps = pool.stats();
     report.mem = MemCounters {

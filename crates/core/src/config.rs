@@ -1,3 +1,5 @@
+use mimir_mpi::TransportKind;
+
 use crate::{MimirError, Result};
 
 /// Length encoding of one side (key or value) of a KV — the paper's
@@ -204,6 +206,12 @@ pub struct MimirConfig {
     /// Adaptive-shuffle policy, consulted only under
     /// [`ShuffleMode::Adaptive`].
     pub adapt: AdaptPolicy,
+    /// Which transport backs the ranks: in-process channel threads (the
+    /// default) or forked processes over Unix-domain sockets. Consulted
+    /// by harnesses that build the world from a config; everything above
+    /// the `Comm` API is backend-agnostic. Defaults to
+    /// [`TransportKind::from_env`] (`MIMIR_TRANSPORT={inproc,uds}`).
+    pub transport: TransportKind,
 }
 
 impl Default for MimirConfig {
@@ -214,6 +222,7 @@ impl Default for MimirConfig {
             shuffle_mode: ShuffleMode::default(),
             grouping_mode: GroupingMode::default(),
             adapt: AdaptPolicy::default(),
+            transport: TransportKind::from_env(),
         }
     }
 }

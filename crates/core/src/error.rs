@@ -38,6 +38,11 @@ pub enum MimirError {
     /// partition-preserving — disable elision with
     /// `shuffle_elision(false)` for key-changing maps).
     Cache(String),
+    /// A peer rank disconnected mid-job: its process died or its
+    /// transport endpoint closed while this rank was blocked on it. The
+    /// message names the lost peer. Unlike [`MimirError::Cancelled`]
+    /// this is involuntary — the job cannot be resumed on this world.
+    Disconnected(String),
 }
 
 impl fmt::Display for MimirError {
@@ -52,6 +57,7 @@ impl fmt::Display for MimirError {
             MimirError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             MimirError::Cancelled => write!(f, "job cancelled at a phase boundary"),
             MimirError::Cache(msg) => write!(f, "cross-job cache: {msg}"),
+            MimirError::Disconnected(msg) => write!(f, "peer disconnected: {msg}"),
         }
     }
 }
@@ -88,5 +94,10 @@ impl MimirError {
     /// True when the job stopped because its cancel token was raised.
     pub fn is_cancelled(&self) -> bool {
         matches!(self, MimirError::Cancelled)
+    }
+
+    /// True when the job died because a peer rank's transport went away.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, MimirError::Disconnected(_))
     }
 }

@@ -87,5 +87,7 @@ pub use stats::JobStats;
 
 pub use hash::{fast_range, fxhash64, partition_of, partition_of_hashed};
 
+pub use mimir_mpi::TransportKind;
+
 /// Result alias for fallible Mimir operations.
 pub type Result<T> = std::result::Result<T, MimirError>;

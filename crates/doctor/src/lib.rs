@@ -22,6 +22,7 @@
 //! | `deadlock-suspect` | wait fraction vs wall time | ≥95% wall spent blocked with nothing received |
 //! | `adaptation` | adaptive-controller counters, `RoundWait` stream | any adaptive decision (info) or mode-switch flapping (warn) |
 //! | `cache-efficiency` | cross-job cache counters, evict/reload event stream | low hit rate while cached bytes crowd the pool, eviction thrash; reports elisions and per-name residency (info) |
+//! | `transport` | per-backend wire counters (frames, bytes, handshake) | handshake stalls, tiny-message chatter; silent on the in-process backend |
 //!
 //! The `mimir-doctor` binary wraps this over `.jsonl` / `.trace.json`
 //! files; see `src/main.rs` or `README.md`.
@@ -245,6 +246,7 @@ pub fn diagnose(reports: &[RankReport]) -> Diagnosis {
     rules::deadlock_suspect(reports, &mut findings);
     rules::adaptation(reports, &mut findings);
     rules::cache_efficiency(reports, &mut findings);
+    rules::transport(reports, &mut findings);
     findings.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

@@ -51,6 +51,14 @@ pub const CACHE_CROWD_PERMILLE: u64 = 300;
 /// An evict→reload of the same cached name within this window is
 /// thrash: the pool is too small for the working set being chained.
 pub const CACHE_THRASH_WINDOW_NS: u64 = 1_000_000_000;
+/// Transport handshake time above which world bootstrap stalled —
+/// connect retries or a peer that was slow to bind its socket.
+pub const HANDSHAKE_WARN_NS: u64 = 1_000_000_000;
+/// Average wire bytes per frame under which the run is paying framing
+/// and syscall overhead on chatter rather than moving data…
+pub const TINY_FRAME_WARN_BYTES: u64 = 256;
+/// …but only once enough frames flowed for the ratio to be a pattern.
+pub const TINY_FRAME_MIN_FRAMES: u64 = 1000;
 
 fn num(v: u64) -> Json {
     Json::Num(v as f64)
@@ -772,6 +780,99 @@ pub fn cache_efficiency(reports: &[RankReport], out: &mut Vec<Finding>) {
     });
 }
 
+/// Transport wire health: silent on in-process runs (no wire counters),
+/// otherwise reports the socket backend's traffic and warns on the two
+/// pathologies the counters make visible — a stalled world bootstrap
+/// (handshake time over [`HANDSHAKE_WARN_NS`]) and tiny-message chatter
+/// (average frame under [`TINY_FRAME_WARN_BYTES`] across at least
+/// [`TINY_FRAME_MIN_FRAMES`] frames, i.e. framing overhead rivals the
+/// payload).
+pub fn transport(reports: &[RankReport], out: &mut Vec<Finding>) {
+    let frames: u64 = reports.iter().map(|r| r.comm.wire_frames_sent).sum();
+    let wire_bytes: u64 = reports.iter().map(|r| r.comm.wire_bytes_sent).sum();
+    let recv_allocs: u64 = reports.iter().map(|r| r.comm.wire_recv_allocs).sum();
+    let max_handshake = reports
+        .iter()
+        .map(|r| r.comm.handshake_ns)
+        .max()
+        .unwrap_or(0);
+    if frames == 0 && max_handshake == 0 {
+        // In-process backend: no wire, nothing to diagnose.
+        return;
+    }
+    let stalled: Vec<u64> = reports
+        .iter()
+        .filter(|r| r.comm.handshake_ns > HANDSHAKE_WARN_NS)
+        .map(|r| r.rank)
+        .collect();
+    let has_stall = !stalled.is_empty();
+    if has_stall {
+        out.push(Finding {
+            severity: Severity::Warn,
+            code: "transport",
+            title: format!(
+                "transport handshake stalled: {:.2} s on the slowest rank",
+                max_handshake as f64 / 1e9
+            ),
+            phase: "bootstrap",
+            ranks: stalled,
+            evidence: vec![
+                ("max_handshake_ns".into(), num(max_handshake)),
+                ("warn_ns".into(), num(HANDSHAKE_WARN_NS)),
+            ],
+            hint: "World bootstrap burned wall time in connect retries or \
+                   waiting on peers to bind their sockets. Check for ranks \
+                   starting late (slow fork, loaded machine) or a stale \
+                   rendezvous directory; raise connect_window only if the \
+                   stall is genuine start-up skew.",
+        });
+    }
+    let avg = wire_bytes.checked_div(frames).unwrap_or(0);
+    if frames >= TINY_FRAME_MIN_FRAMES && avg < TINY_FRAME_WARN_BYTES {
+        out.push(Finding {
+            severity: Severity::Warn,
+            code: "transport",
+            title: format!(
+                "tiny-message chatter: {frames} frames averaging {avg} B \
+                 on the wire"
+            ),
+            phase: "",
+            ranks: Vec::new(),
+            evidence: vec![
+                ("wire_frames_sent".into(), num(frames)),
+                ("avg_frame_bytes".into(), num(avg)),
+                ("warn_bytes".into(), num(TINY_FRAME_WARN_BYTES)),
+            ],
+            hint: "Each frame pays a header and a socket write; at this \
+                   size the overhead rivals the payload. Batch KVs into \
+                   larger exchanges (bigger shuffle rounds, Alltoallv mode) \
+                   instead of many small point-to-point sends.",
+        });
+        return;
+    }
+    if !has_stall {
+        out.push(Finding {
+            severity: Severity::Info,
+            code: "transport",
+            title: format!(
+                "socket transport moved {wire_bytes} B in {frames} frames \
+                 ({avg} B/frame)"
+            ),
+            phase: "",
+            ranks: Vec::new(),
+            evidence: vec![
+                ("wire_bytes_sent".into(), num(wire_bytes)),
+                ("wire_frames_sent".into(), num(frames)),
+                ("wire_recv_allocs".into(), num(recv_allocs)),
+                ("max_handshake_ns".into(), num(max_handshake)),
+            ],
+            hint: "Wire counters include framing headers; recv_allocs \
+                   counts reader-pool misses (flat after warm-up when the \
+                   pooled-buffer economy is working).",
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1103,6 +1204,76 @@ mod tests {
         reports[0].events[1].t_ns = CACHE_THRASH_WINDOW_NS * 2;
         let mut out = Vec::new();
         cache_efficiency(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn transport_is_silent_on_inproc_runs() {
+        let mut out = Vec::new();
+        transport(&world(4), &mut out);
+        assert!(out.is_empty(), "no wire counters, no finding");
+    }
+
+    #[test]
+    fn transport_reports_healthy_wire_as_info() {
+        let mut reports = world(2);
+        for r in &mut reports {
+            r.comm.wire_frames_sent = 100;
+            r.comm.wire_bytes_sent = 100 * 4096;
+            r.comm.wire_recv_allocs = 3;
+            r.comm.handshake_ns = 2_000_000;
+        }
+        let mut out = Vec::new();
+        transport(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "transport");
+        assert_eq!(out[0].severity, Severity::Info);
+        assert!(
+            out[0].title.contains("4096 B/frame"),
+            "got: {}",
+            out[0].title
+        );
+    }
+
+    #[test]
+    fn transport_warns_on_handshake_stall_naming_the_rank() {
+        let mut reports = world(3);
+        for r in &mut reports {
+            r.comm.wire_frames_sent = 10;
+            r.comm.wire_bytes_sent = 10 * 1024;
+            r.comm.handshake_ns = 1_000_000;
+        }
+        reports[1].comm.handshake_ns = HANDSHAKE_WARN_NS * 3;
+        let mut out = Vec::new();
+        transport(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert_eq!(out[0].ranks, vec![1]);
+        assert!(out[0].title.contains("handshake stalled"));
+    }
+
+    #[test]
+    fn transport_warns_on_tiny_message_chatter() {
+        let mut reports = world(2);
+        for r in &mut reports {
+            r.comm.wire_frames_sent = TINY_FRAME_MIN_FRAMES;
+            // Average well under the threshold: header-dominated chatter.
+            r.comm.wire_bytes_sent = TINY_FRAME_MIN_FRAMES * 40;
+            r.comm.handshake_ns = 1_000_000;
+        }
+        let mut out = Vec::new();
+        transport(&reports, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].title.contains("tiny-message chatter"));
+
+        // The same frame count with healthy frame sizes is only info.
+        for r in &mut reports {
+            r.comm.wire_bytes_sent = TINY_FRAME_MIN_FRAMES * 4096;
+        }
+        let mut out = Vec::new();
+        transport(&reports, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].severity, Severity::Info);
     }

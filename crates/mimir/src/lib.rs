@@ -64,7 +64,10 @@ pub mod prelude {
     pub use mimir_datagen::{Graph500, PointGen, UniformWords, WikipediaWords};
     pub use mimir_io::{IoModel, IoModelConfig, SpillStore};
     pub use mimir_mem::{MemPool, NodeMap};
-    pub use mimir_mpi::{run_world, run_world_result, Comm, ReduceOp, WorldError};
+    pub use mimir_mpi::{
+        run_world, run_world_on, run_world_result, run_world_result_on, Comm, ReduceOp,
+        TransportKind, WorldError,
+    };
     pub use mimir_sched::{JobOutcome, JobService, JobSpec, JobState, JobYield, SchedConfig};
     pub use mrmpi::{MapReduce, MrMpiConfig, OocMode};
 }

@@ -1,11 +1,11 @@
 use std::collections::VecDeque;
 
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::time::Instant;
 
 use crate::error::DisconnectPanic;
 use crate::msg::{tags, Msg, Payload, Tag};
-use crate::{CommError, CommStats};
+use crate::transport::{Endpoint, Transport};
+use crate::CommStats;
 
 /// Maximum number of idle message buffers kept in the per-rank pool.
 ///
@@ -18,11 +18,12 @@ const BUF_POOL_CAP: usize = 64;
 /// Handle for a nonblocking send posted with [`Comm::isend`] /
 /// [`Comm::isend_vec`].
 ///
-/// The in-process transport is eager and unbounded: the payload is handed
-/// to the destination's channel at post time, so requests are born
-/// complete. The type still exists so callers are written against the
-/// MPI-shaped post/complete protocol (and so a bounded-rendezvous
-/// transport could be dropped in later without touching call sites).
+/// Both backends are eager and unbounded: the payload is handed to the
+/// destination's channel (or the peer's writer queue) at post time, so
+/// requests are born complete. The type still exists so callers are
+/// written against the MPI-shaped post/complete protocol (and so a
+/// bounded-rendezvous transport could be dropped in later without touching
+/// call sites).
 #[derive(Debug)]
 #[must_use = "an isend must be completed with wait() or test()"]
 pub struct Request {
@@ -31,12 +32,12 @@ pub struct Request {
 
 impl Request {
     /// True once the send buffer may be reused. Always true on the eager
-    /// transport.
+    /// transports.
     pub fn test(&self) -> bool {
         self.completed
     }
 
-    /// Blocks until the send completes (a no-op on the eager transport).
+    /// Blocks until the send completes (a no-op on the eager transports).
     pub fn wait(self) {
         debug_assert!(self.completed);
     }
@@ -49,6 +50,12 @@ impl Request {
 /// `Sync`, like an `MPI_Comm` used correctly). Receives are matched by
 /// `(source, tag)`; messages that arrive ahead of the matching receive are
 /// parked in a per-source pending queue, preserving FIFO order per pair.
+///
+/// Message delivery is delegated to a [`Transport`] backend: rank threads
+/// over channel matrices in one process, or forked rank processes over
+/// Unix-domain sockets. Everything in this type — tag matching, wait-state
+/// attribution, flow stamping, pooled buffers, the derivation handshake —
+/// is backend-independent.
 pub struct Comm {
     name: String,
     rank: usize,
@@ -58,10 +65,8 @@ pub struct Comm {
     /// sequence (dup/split are collective), so the counter doubles as a
     /// cross-rank sequence number for the consistency handshake.
     derived: u64,
-    /// Sender endpoint towards each destination rank.
-    txs: Vec<Sender<Msg>>,
-    /// Receiver endpoint from each source rank.
-    rxs: Vec<Receiver<Msg>>,
+    /// The message-delivery backend for this communicator.
+    transport: Box<dyn Transport>,
     /// Messages received from each source but not yet matched by tag.
     pending: Vec<VecDeque<Msg>>,
     /// Idle message buffers, recycled between rounds so the steady-state
@@ -78,18 +83,14 @@ impl Comm {
         name: String,
         rank: usize,
         size: usize,
-        txs: Vec<Sender<Msg>>,
-        rxs: Vec<Receiver<Msg>>,
+        transport: Box<dyn Transport>,
     ) -> Self {
-        debug_assert_eq!(txs.len(), size);
-        debug_assert_eq!(rxs.len(), size);
         Self {
             name,
             rank,
             size,
             derived: 0,
-            txs,
-            rxs,
+            transport,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             free_bufs: Vec::new(),
             stats: CommStats::default(),
@@ -117,9 +118,11 @@ impl Comm {
         &self.name
     }
 
-    /// Communication counters accumulated by this rank so far.
+    /// Communication counters accumulated by this rank so far, including
+    /// the backend's process-level extras (handshake time, reader-pool
+    /// misses) when this is a world communicator.
     pub fn stats(&self) -> CommStats {
-        self.stats
+        self.stats.merge(&self.transport.extra_stats())
     }
 
     /// Sends `data` to `dst` with `tag`, taking ownership of the buffer
@@ -258,14 +261,11 @@ impl Comm {
         // sentinel 0, and flow_send is then a no-op.
         msg.flow = mimir_obs::next_flow_id();
         mimir_obs::flow_send(msg.flow, dst as u64, msg.data.len() as u64);
-        if self.txs[dst].send(msg).is_err() {
+        if let Err(err) = self.transport.send(dst, msg, &mut self.stats) {
             // resume_unwind skips the panic hook: the cascade teardown is
             // expected noise; the root-cause rank's own panic already
             // printed.
-            std::panic::resume_unwind(Box::new(DisconnectPanic(CommError::RankDisconnected {
-                observer: self.rank,
-                peer: dst,
-            })));
+            std::panic::resume_unwind(Box::new(DisconnectPanic(err)));
         }
     }
 
@@ -280,28 +280,28 @@ impl Comm {
             Payload::Heap(bytes) => {
                 u64::from_le_bytes(bytes.try_into().expect("8-byte u64 payload"))
             }
-            Payload::Chan(_) => unreachable!("channel payload on a value tag"),
+            Payload::Endpoint(_) => unreachable!("endpoint payload on a value tag"),
         }
     }
 
-    /// Ships a fresh channel sender to `dst` (communicator-derivation
+    /// Ships a derivation endpoint to `dst` (communicator-derivation
     /// control plane only).
-    fn send_chan_internal(&mut self, dst: usize, tag: Tag, sender: Sender<Msg>) {
+    fn send_endpoint_internal(&mut self, dst: usize, tag: Tag, ep: Endpoint) {
         self.send_msg(
             dst,
             Msg {
                 tag,
-                data: Payload::Chan(sender),
+                data: Payload::Endpoint(ep),
                 flow: 0,
             },
         );
     }
 
-    /// Receives a channel sender shipped with [`Self::send_chan_internal`].
-    fn recv_chan_internal(&mut self, src: usize, tag: Tag) -> Sender<Msg> {
+    /// Receives an endpoint shipped with [`Self::send_endpoint_internal`].
+    fn recv_endpoint_internal(&mut self, src: usize, tag: Tag) -> Endpoint {
         match self.recv_msg(src, tag) {
-            Payload::Chan(s) => s,
-            other => unreachable!("expected channel payload, got {} bytes", other.len()),
+            Payload::Endpoint(ep) => ep,
+            other => unreachable!("expected endpoint payload, got {} bytes", other.len()),
         }
     }
 
@@ -324,7 +324,7 @@ impl Comm {
         // wait-state attribution with one clock read per matched message.
         let wait_start = Instant::now();
         let data = loop {
-            match self.rxs[src].recv() {
+            match self.transport.recv(src, &mut self.stats) {
                 Ok(msg) if msg.tag == tag => {
                     self.stats.msgs_recvd += 1;
                     self.stats.bytes_recvd += msg.data.len() as u64;
@@ -332,12 +332,7 @@ impl Comm {
                     break msg.data;
                 }
                 Ok(msg) => self.pending[src].push_back(msg),
-                Err(_) => std::panic::resume_unwind(Box::new(DisconnectPanic(
-                    CommError::RankDisconnected {
-                        observer: self.rank,
-                        peer: src,
-                    },
-                ))),
+                Err(err) => std::panic::resume_unwind(Box::new(DisconnectPanic(err))),
             }
         };
         self.stats.wait_ns += wait_start.elapsed().as_nanos() as u64;
@@ -360,12 +355,15 @@ impl Comm {
     /// Duplicates this communicator (collective).
     ///
     /// Every rank receives a new communicator spanning the same group with
-    /// the same rank numbering but a *private channel matrix*: traffic on
-    /// the duplicate can never match traffic on the parent or on any other
-    /// duplicate, whatever tags either side uses. This is the isolation
-    /// primitive the job scheduler hands to each running job, so two jobs'
-    /// `alltoallv` rounds can interleave on the same ranks (even from
-    /// different threads — the duplicate is `Send` and fully independent).
+    /// the same rank numbering but a *private message namespace*: traffic
+    /// on the duplicate can never match traffic on the parent or on any
+    /// other duplicate, whatever tags either side uses. (On the in-process
+    /// backend the namespace is a private channel matrix; on the socket
+    /// backend it is a fresh communicator id multiplexed over the existing
+    /// connections.) This is the isolation primitive the job scheduler
+    /// hands to each running job, so two jobs' `alltoallv` rounds can
+    /// interleave on the same ranks (even from different threads — the
+    /// duplicate is `Send` and fully independent).
     ///
     /// The duplicate starts with an empty pooled-buffer free-list, so
     /// concurrent owners never contend for recycled buffers.
@@ -377,15 +375,17 @@ impl Comm {
     pub fn dup(&mut self) -> Comm {
         let seq = self.begin_derivation(DERIVE_DUP);
         let name = format!("{}.dup{seq}", self.name);
-        self.build_dup(name)
+        let members: Vec<usize> = (0..self.size).collect();
+        self.derive_transport(name, seq, &members, self.rank, tags::DUP)
     }
 
     /// [`Comm::dup`] with a caller-chosen label suffix (e.g. a job name),
     /// visible in spill directories and panic messages.
     pub fn dup_named(&mut self, label: &str) -> Comm {
-        let _seq = self.begin_derivation(DERIVE_DUP);
+        let seq = self.begin_derivation(DERIVE_DUP);
         let name = format!("{}.{label}", self.name);
-        self.build_dup(name)
+        let members: Vec<usize> = (0..self.size).collect();
+        self.derive_transport(name, seq, &members, self.rank, tags::DUP)
     }
 
     /// Partitions this communicator into disjoint sub-communicators
@@ -416,34 +416,13 @@ impl Comm {
             }
         }
         members.sort_unstable();
-        let new_size = members.len();
         let new_rank = members
             .iter()
             .position(|&(_, r)| r == self.rank)
             .expect("caller belongs to its own color group");
         let name = format!("{}.split{seq}.c{my_color}", self.name);
-
-        let mut txs: Vec<Option<Sender<Msg>>> = (0..new_size).map(|_| None).collect();
-        let mut rxs = Vec::with_capacity(new_size);
-        for (src_new, &(_, src_old)) in members.iter().enumerate() {
-            let (t, r) = mpsc::channel::<Msg>();
-            rxs.push(r);
-            if src_new == new_rank {
-                txs[new_rank] = Some(t);
-            } else {
-                self.send_chan_internal(src_old, tags::SPLIT, t);
-            }
-        }
-        for (dst_new, &(_, dst_old)) in members.iter().enumerate() {
-            if dst_new != new_rank {
-                txs[dst_new] = Some(self.recv_chan_internal(dst_old, tags::SPLIT));
-            }
-        }
-        let txs = txs
-            .into_iter()
-            .map(|t| t.expect("endpoint exchanged"))
-            .collect();
-        Some(Comm::new(name, new_rank, new_size, txs, rxs))
+        let members: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
+        Some(self.derive_transport(name, seq, &members, new_rank, tags::SPLIT))
     }
 
     /// Collective entry gate for `dup`/`split`: allgathers a token packing
@@ -469,35 +448,41 @@ impl Comm {
         seq
     }
 
-    /// Builds the duplicate's channel matrix: this rank creates one fresh
-    /// channel per source, keeps every receiving half, and ships each
-    /// sending half to the rank that will use it — all over the parent's
-    /// reserved `DUP` tag, so user traffic can't interleave. Sends are
-    /// eager, so posting all sends before any receive cannot deadlock.
-    fn build_dup(&mut self, name: String) -> Comm {
-        let me = self.rank;
-        let size = self.size;
-        let mut txs: Vec<Option<Sender<Msg>>> = (0..size).map(|_| None).collect();
-        let mut rxs = Vec::with_capacity(size);
-        for src in 0..size {
-            let (t, r) = mpsc::channel::<Msg>();
-            rxs.push(r);
-            if src == me {
-                txs[me] = Some(t);
-            } else {
-                self.send_chan_internal(src, tags::DUP, t);
+    /// The single derivation code path behind `dup` and `split`, shared by
+    /// every backend: the transport creates its receive side and one
+    /// [`Endpoint`] per peer; this rank ships each endpoint to the rank
+    /// that will use it over the parent's reserved `tag` (DUP or SPLIT, so
+    /// user traffic can't interleave), then installs the endpoints it
+    /// receives in turn. Sends are eager, so posting all sends before any
+    /// receive cannot deadlock.
+    ///
+    /// `members[new_rank]` is the parent rank sitting at `new_rank` in the
+    /// derived communicator; identical on every member by construction
+    /// (dup: trivially; split: from the sorted membership exchange).
+    fn derive_transport(
+        &mut self,
+        name: String,
+        seq: u64,
+        members: &[usize],
+        my_new_rank: usize,
+        tag: Tag,
+    ) -> Comm {
+        let (mut derivation, endpoints) = self.transport.begin_derive(seq, members, my_new_rank);
+        for (new_rank, ep) in endpoints.into_iter().enumerate() {
+            if let Some(ep) = ep {
+                debug_assert_ne!(new_rank, my_new_rank);
+                self.send_endpoint_internal(members[new_rank], tag, ep);
             }
         }
-        for (dst, tx) in txs.iter_mut().enumerate() {
-            if dst != me {
-                *tx = Some(self.recv_chan_internal(dst, tags::DUP));
+        for (new_rank, &old_rank) in members.iter().enumerate() {
+            if new_rank != my_new_rank {
+                let ep = self.recv_endpoint_internal(old_rank, tag);
+                self.transport
+                    .accept_endpoint(&mut derivation, new_rank, ep);
             }
         }
-        let txs = txs
-            .into_iter()
-            .map(|t| t.expect("endpoint exchanged"))
-            .collect();
-        Comm::new(name, me, size, txs, rxs)
+        let transport = self.transport.finish_derive(derivation);
+        Comm::new(name, my_new_rank, members.len(), transport)
     }
 }
 

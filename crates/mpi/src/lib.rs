@@ -19,11 +19,22 @@
 //!   so Mimir's partitioned send buffer / paired receive buffer design is
 //!   exercised unchanged.
 //!
-//! What is simulated: transport. Messages travel through in-process
-//! channels instead of a network. A rank that panics drops its channel
-//! endpoints, which wakes every peer blocked on it with a
-//! "rank disconnected" panic — the in-process analogue of an MPI job
-//! abort — and [`run_world`] then re-raises the root-cause panic.
+//! What is pluggable: transport. Everything under [`Comm`] goes through
+//! the [`Transport`] seam, with two backends:
+//!
+//! * [`TransportKind::Inproc`] (the default): ranks are OS threads in one
+//!   process connected by per-pair FIFO channels. A rank that panics
+//!   drops its channel endpoints, which wakes every peer blocked on it
+//!   with a "rank disconnected" panic — the in-process analogue of an MPI
+//!   job abort — and [`run_world`] then re-raises the root-cause panic.
+//! * [`TransportKind::Uds`]: ranks are real forked processes on one
+//!   machine connected by Unix-domain sockets with length-prefixed
+//!   frames, bootstrapped through a rendezvous directory. A rank process
+//!   that dies closes its sockets, and peers wake with the same
+//!   disconnect panic.
+//!
+//! [`run_world_on`] selects a backend explicitly;
+//! [`TransportKind::from_env`] reads `MIMIR_TRANSPORT={inproc,uds}`.
 
 mod ballot;
 mod collectives;
@@ -31,15 +42,23 @@ mod comm;
 mod error;
 mod msg;
 mod stats;
+mod transport;
+mod wire;
 mod world;
 
 pub use ballot::{pack_vote, unpack_tally, BallotTally, BallotVote, MAX_BALLOT_RANKS};
 pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Request};
 pub use error::{is_disconnect_panic, panic_message, CommError, WorldError};
-pub use msg::Tag;
+pub use msg::{Msg, Tag};
 pub use stats::CommStats;
-pub use world::{run_world, run_world_named, run_world_result};
+pub use transport::uds::{FaultPoint, UdsFault, UdsWorldOptions};
+pub use transport::{Endpoint, Transport, TransportKind};
+pub use wire::Wire;
+pub use world::{
+    run_world, run_world_named, run_world_on, run_world_result, run_world_result_on,
+    run_world_uds_with,
+};
 
 /// Result alias for fallible communication operations.
 pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,3 +1,5 @@
+use crate::transport::Endpoint;
+
 /// Message tag. User code may use any value below `0xFFFF_FF00`; the
 /// collective implementations reserve the values above it.
 pub type Tag = u32;
@@ -15,15 +17,16 @@ pub(crate) mod tags {
     pub const GATHER: Tag = 0xFFFF_FF03;
     pub const ALLGATHER: Tag = 0xFFFF_FF04;
     pub const ALLTOALLV: Tag = 0xFFFF_FF05;
-    /// Channel-endpoint exchange inside [`crate::Comm::dup`].
+    /// Endpoint exchange inside [`crate::Comm::dup`].
     pub const DUP: Tag = 0xFFFF_FF06;
-    /// Channel-endpoint exchange inside [`crate::Comm::split`].
+    /// Endpoint exchange inside [`crate::Comm::split`].
     pub const SPLIT: Tag = 0xFFFF_FF07;
 }
 
 /// Message payload: a single `u64` carried inline (the collectives'
 /// control-message path — no heap allocation per hop), an owned byte
-/// buffer, or a channel endpoint shipped during communicator construction.
+/// buffer, or a transport endpoint shipped during communicator
+/// construction.
 #[derive(Debug)]
 pub(crate) enum Payload {
     /// A `u64` carried inline in the message struct. On the wire this is
@@ -33,22 +36,24 @@ pub(crate) enum Payload {
     /// pool so steady-state exchange traffic reuses a stable set of
     /// allocations.
     Heap(Vec<u8>),
-    /// A fresh channel sender shipped to a peer while building a derived
-    /// communicator ([`crate::Comm::dup`] / [`crate::Comm::split`]). This
-    /// is how a new communicator gets a genuinely private channel matrix:
-    /// each rank keeps the receiving halves and distributes the sending
-    /// halves over the parent communicator's reserved tag space.
-    Chan(std::sync::mpsc::Sender<Msg>),
+    /// A backend endpoint shipped to a peer while building a derived
+    /// communicator ([`crate::Comm::dup`] / [`crate::Comm::split`]): a
+    /// fresh channel sender on the in-process backend, a communicator-id
+    /// token on the socket backend. Each rank keeps its receive side and
+    /// distributes these over the parent communicator's reserved tag
+    /// space.
+    Endpoint(Endpoint),
 }
 
 impl Payload {
-    /// Wire length in bytes. Channel endpoints are control-plane objects
-    /// with no wire representation; they count as zero payload bytes.
+    /// Wire length in bytes. In-process channel endpoints are
+    /// control-plane objects with no wire representation (zero bytes);
+    /// socket-namespace endpoints travel as their 8-byte communicator id.
     pub fn len(&self) -> usize {
         match self {
             Payload::Small(_) => 8,
             Payload::Heap(v) => v.len(),
-            Payload::Chan(_) => 0,
+            Payload::Endpoint(ep) => ep.wire_len(),
         }
     }
 
@@ -58,21 +63,25 @@ impl Payload {
         match self {
             Payload::Small(v) => v.to_le_bytes().to_vec(),
             Payload::Heap(v) => v,
-            Payload::Chan(_) => unreachable!("channel payloads never reach byte receives"),
+            Payload::Endpoint(_) => unreachable!("endpoint payloads never reach byte receives"),
         }
     }
 }
 
 /// An in-flight message: a tag plus a payload, stamped with the
 /// sender's flow id.
+///
+/// Public because it crosses the [`crate::transport::Transport`] trait
+/// boundary; its innards stay crate-private (backends and `Comm` are the
+/// only constructors).
 #[derive(Debug)]
-pub(crate) struct Msg {
-    pub tag: Tag,
-    pub data: Payload,
+pub struct Msg {
+    pub(crate) tag: Tag,
+    pub(crate) data: Payload,
     /// Causal-tracing stamp: `(src_world_rank << 48) | seq`, allocated
     /// by the sending rank's recorder just before the message ships, or
     /// 0 when tracing is off. The receive loop records the matched id,
     /// turning every message into a reconstructible happens-before edge
     /// (see `mimir_obs::EventKind::FlowSend`/`FlowRecv`).
-    pub flow: u64,
+    pub(crate) flow: u64,
 }

@@ -6,6 +6,13 @@
 /// harness report exactly that. `bytes_copied` and `send_allocs` expose the
 /// transport's copy and allocation behavior so the zero-copy shuffle path
 /// can be verified from counters alone.
+///
+/// The `wire_*` and `handshake_ns` fields are per-backend: they stay zero
+/// on the in-process transport (messages move by ownership transfer, there
+/// is no wire) and count frames, framed bytes, and bootstrap time on the
+/// UDS socket backend. Comparing `wire_bytes_sent` against `bytes_sent`
+/// answers "how much framing overhead did crossing process boundaries
+/// add"; `wire_frames_sent / wire_bytes_sent` exposes tiny-message chatter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Messages this rank sent (point-to-point and collective-internal).
@@ -40,21 +47,80 @@ pub struct CommStats {
     /// buffers (the time behind `bytes_copied`). Stays flat when a peer is
     /// slow; grows with traffic volume.
     pub work_ns: u64,
+    /// Bytes this rank put on the wire, *including framing headers*.
+    /// Zero on the in-process backend (no wire). Self-sends stay on a
+    /// process-local loopback and are not counted.
+    pub wire_bytes_sent: u64,
+    /// Bytes this rank took off the wire, including framing headers.
+    pub wire_bytes_recvd: u64,
+    /// Frames this rank sent (one frame per message on the UDS backend).
+    pub wire_frames_sent: u64,
+    /// Frames this rank received.
+    pub wire_frames_recvd: u64,
+    /// Receive-side buffer-pool misses: frames whose payload needed a
+    /// fresh heap allocation because the socket reader's pool was empty.
+    /// The wire-side analogue of `send_allocs`.
+    pub wire_recv_allocs: u64,
+    /// Nanoseconds this rank spent in transport bootstrap (socket bind /
+    /// connect / accept / hello exchange). Reported once per rank by the
+    /// world communicator; derived communicators reuse the connections
+    /// and report zero.
+    pub handshake_ns: u64,
 }
 
 impl CommStats {
+    /// Number of counter fields (the fixed-width encoding used by the
+    /// `Wire` impl and [`CommStats::as_array`]).
+    pub const FIELDS: usize = 15;
+
     /// Element-wise sum, for aggregating across ranks.
     pub fn merge(&self, other: &CommStats) -> CommStats {
+        let mut a = self.as_array();
+        for (acc, v) in a.iter_mut().zip(other.as_array()) {
+            *acc += v;
+        }
+        CommStats::from_array(a)
+    }
+
+    /// The counters in declaration order, for encoding and aggregation.
+    pub fn as_array(&self) -> [u64; Self::FIELDS] {
+        [
+            self.msgs_sent,
+            self.bytes_sent,
+            self.msgs_recvd,
+            self.bytes_recvd,
+            self.collectives,
+            self.bytes_copied,
+            self.send_allocs,
+            self.wait_ns,
+            self.work_ns,
+            self.wire_bytes_sent,
+            self.wire_bytes_recvd,
+            self.wire_frames_sent,
+            self.wire_frames_recvd,
+            self.wire_recv_allocs,
+            self.handshake_ns,
+        ]
+    }
+
+    /// Inverse of [`CommStats::as_array`].
+    pub fn from_array(v: [u64; Self::FIELDS]) -> CommStats {
         CommStats {
-            msgs_sent: self.msgs_sent + other.msgs_sent,
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            msgs_recvd: self.msgs_recvd + other.msgs_recvd,
-            bytes_recvd: self.bytes_recvd + other.bytes_recvd,
-            collectives: self.collectives + other.collectives,
-            bytes_copied: self.bytes_copied + other.bytes_copied,
-            send_allocs: self.send_allocs + other.send_allocs,
-            wait_ns: self.wait_ns + other.wait_ns,
-            work_ns: self.work_ns + other.work_ns,
+            msgs_sent: v[0],
+            bytes_sent: v[1],
+            msgs_recvd: v[2],
+            bytes_recvd: v[3],
+            collectives: v[4],
+            bytes_copied: v[5],
+            send_allocs: v[6],
+            wait_ns: v[7],
+            work_ns: v[8],
+            wire_bytes_sent: v[9],
+            wire_bytes_recvd: v[10],
+            wire_frames_sent: v[11],
+            wire_frames_recvd: v[12],
+            wire_recv_allocs: v[13],
+            handshake_ns: v[14],
         }
     }
 }

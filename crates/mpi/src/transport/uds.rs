@@ -1,0 +1,1076 @@
+//! The Unix-domain-socket backend: ranks are real forked processes on
+//! one machine.
+//!
+//! ## World bootstrap
+//!
+//! The parent creates a rendezvous directory and forks `n` children.
+//! Child `r` binds `rank{r}.sock` in that directory, connects to every
+//! lower rank (bounded wait with one retry — a peer may be slow to
+//! bind under load), accepts from every higher rank under a deadline,
+//! and identifies itself with a 4-byte hello frame. A peer that dies
+//! mid-handshake therefore surfaces as a bounded-time error, never a
+//! hang. Results travel back to the parent through per-rank files in
+//! the same directory ([`crate::Wire`]-encoded), panics through marker
+//! files, so the parent can classify every child's fate after `waitpid`.
+//!
+//! ## Framing
+//!
+//! One frame per message, over one socket pair per process pair:
+//!
+//! ```text
+//! [len: u32][kind: u8][comm: u64][tag: u32][flow: u64][payload: len bytes]
+//! ```
+//!
+//! `kind` distinguishes heap payloads from inline `u64`s (which never
+//! allocate on either side) and from derivation endpoints. `comm`
+//! multiplexes every communicator derived via `dup`/`split` over the
+//! same connections: a reader thread routes each frame to the
+//! `(comm, src)` inbox, so a derived communicator is a private message
+//! namespace without new sockets. The `flow` stamp rides along, which
+//! is what keeps causal tracing exact across process boundaries.
+//!
+//! ## Threads and the zero-copy discipline
+//!
+//! Per peer, one writer thread (drains a queue of frames; the rank
+//! thread never blocks on a socket — sends stay eager) and one reader
+//! thread (fills pooled buffers straight off the socket; pool misses
+//! are counted in `wire_recv_allocs`). Heap payloads make exactly one
+//! user-space copy on each side of the wire: rank memory → socket,
+//! socket → pooled buffer. Sent buffers are recycled into the reader
+//! pool, closing the same buffer economy the in-process backend gets
+//! from shipping `Vec`s by ownership.
+
+use std::time::Duration;
+
+/// Where a fault-injected rank exits, for chaos tests
+/// ([`UdsWorldOptions::fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The rank dies before binding its socket: peers see connect
+    /// failures and accept timeouts.
+    BeforeListen,
+    /// The rank dies after binding but before serving: lower ranks'
+    /// connects land in a backlog that is never drained and die with
+    /// the socket; higher ranks time out accepting.
+    AfterListen,
+}
+
+/// A deliberately killed rank, for chaos tests: rank `rank` calls
+/// `exit` at [`FaultPoint`] `at` instead of participating.
+#[derive(Debug, Clone, Copy)]
+pub struct UdsFault {
+    pub rank: usize,
+    pub at: FaultPoint,
+}
+
+/// Tunables for a UDS world ([`crate::run_world_uds_with`]).
+#[derive(Debug, Clone)]
+pub struct UdsWorldOptions {
+    /// Per-attempt handshake window: a connect retries within this long
+    /// (then once more — one full retry window), and the accept side
+    /// waits two windows, matching the connect side's total bound.
+    pub connect_window: Duration,
+    /// Parent-side watchdog: children still running after this long are
+    /// killed and reported as timed out.
+    pub world_timeout: Duration,
+    /// Chaos hook: kill one rank at a chosen point.
+    pub fault: Option<UdsFault>,
+}
+
+impl Default for UdsWorldOptions {
+    fn default() -> Self {
+        UdsWorldOptions {
+            connect_window: Duration::from_secs(10),
+            world_timeout: Duration::from_secs(120),
+            fault: None,
+        }
+    }
+}
+
+/// How one rank of a UDS world ended, as classified by the parent from
+/// the child's exit status plus its result/panic files.
+#[derive(Debug)]
+pub(crate) enum RankEnd {
+    /// Clean completion; the rank's `Wire`-encoded result.
+    Ok(Vec<u8>),
+    /// The rank's closure reported a clean abort (`run_world_result_on`
+    /// with `Err`); the encoded error.
+    Abort(Vec<u8>),
+    /// The rank panicked; `disconnect` marks a disconnect-cascade panic
+    /// (including handshake timeouts), folded away behind root causes.
+    Panicked { message: String, disconnect: bool },
+    /// The process died without reporting: killed, fault-injected, or
+    /// timed out.
+    Died(String),
+}
+
+#[cfg(unix)]
+pub(crate) use imp::{run_world_uds, UdsDerive};
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::{HashMap, VecDeque};
+    use std::io::{Read, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::panic::AssertUnwindSafe;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::mpsc::{self, Receiver, Sender};
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    use super::{FaultPoint, RankEnd, UdsWorldOptions};
+    use crate::comm::Comm;
+    use crate::error::{is_disconnect_panic, panic_message};
+    use crate::msg::{Msg, Payload, Tag};
+    use crate::transport::{Derivation, DeriveState, Endpoint, EndpointInner, Transport};
+    use crate::CommError;
+    use crate::CommStats;
+
+    /// Frame header: `[len u32][kind u8][comm u64][tag u32][flow u64]`.
+    const HEADER: usize = 25;
+    const KIND_HEAP: u8 = 0;
+    const KIND_SMALL: u8 = 1;
+    const KIND_ENDPOINT: u8 = 2;
+
+    /// Cap on the process-wide pool of idle receive buffers.
+    const PROC_POOL_CAP: usize = 256;
+
+    /// Exit code of a fault-injected rank (distinguishable from a panic's
+    /// 101 in `Died` messages).
+    const FAULT_EXIT: i32 = 86;
+
+    /// The world communicator's id. Derived ids can never collide with it
+    /// (`derive_id` never returns 0).
+    const WORLD_COMM: u64 = 0;
+
+    /// Minimal process-control FFI (libc symbols; no crate dependency).
+    /// glibc's `fork` — not a raw syscall — so pthread_atfork handlers run
+    /// and the child's allocator state is consistent even when the parent
+    /// is mid-allocation on another thread (the `cargo test` harness is
+    /// multi-threaded).
+    mod sys {
+        extern "C" {
+            pub fn fork() -> i32;
+            pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+            pub fn kill(pid: i32, sig: i32) -> i32;
+        }
+        pub const WNOHANG: i32 = 1;
+        pub const SIGKILL: i32 = 9;
+    }
+
+    fn encode_header(hdr: &mut [u8; HEADER], len: u32, kind: u8, comm: u64, tag: Tag, flow: u64) {
+        hdr[0..4].copy_from_slice(&len.to_le_bytes());
+        hdr[4] = kind;
+        hdr[5..13].copy_from_slice(&comm.to_le_bytes());
+        hdr[13..17].copy_from_slice(&tag.to_le_bytes());
+        hdr[17..25].copy_from_slice(&flow.to_le_bytes());
+    }
+
+    fn decode_header(hdr: &[u8; HEADER]) -> (u32, u8, u64, Tag, u64) {
+        (
+            u32::from_le_bytes(hdr[0..4].try_into().expect("len bytes")),
+            hdr[4],
+            u64::from_le_bytes(hdr[5..13].try_into().expect("comm bytes")),
+            Tag::from_le_bytes(hdr[13..17].try_into().expect("tag bytes")),
+            u64::from_le_bytes(hdr[17..25].try_into().expect("flow bytes")),
+        )
+    }
+
+    /// splitmix64 finalizer: the mixing step of `derive_id`.
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Deterministic id for a derived communicator, computed
+    /// independently by every member from collectively-agreed inputs
+    /// (parent id, derivation sequence, membership in world ranks).
+    /// Equality of the shipped ids is asserted at `accept_endpoint` —
+    /// the socket backend's collective-consistency proof.
+    fn derive_id(parent: u64, seq: u64, members_world: &[usize]) -> u64 {
+        let mut h = mix(parent ^ mix(seq.wrapping_add(0x9e37_79b9_7f4a_7c15)));
+        for &m in members_world {
+            h = mix(h ^ (m as u64 + 1));
+        }
+        h.max(1)
+    }
+
+    enum WriteCmd {
+        Frame {
+            comm: u64,
+            msg: Msg,
+        },
+        /// Flush barrier at world teardown: acked once every frame queued
+        /// before it has hit the socket, so a cleanly-exiting rank never
+        /// loses sent messages.
+        Shutdown(Sender<()>),
+    }
+
+    struct Peer {
+        out_tx: Sender<WriteCmd>,
+        /// Set by the reader on EOF/error and by the writer on a failed
+        /// write; sends to a dead peer fail fast with a disconnect.
+        dead: AtomicBool,
+    }
+
+    #[derive(Default)]
+    struct Router {
+        /// `(comm, world_src)` → inbox of the owning communicator.
+        inboxes: HashMap<(u64, usize), Sender<Msg>>,
+        /// Frames that arrived before their communicator registered
+        /// (a peer can finish a derivation and send before we install
+        /// the inbox only in adversarial interleavings, but correctness
+        /// must not depend on timing).
+        stash: HashMap<(u64, usize), VecDeque<Msg>>,
+        /// World ranks whose connection is gone. Registration against a
+        /// dead source yields an already-closed inbox: stashed frames
+        /// drain first, then the receiver observes the disconnect —
+        /// exactly the in-process channel semantics.
+        dead: Vec<bool>,
+    }
+
+    /// Per-process connection state, shared by every communicator and
+    /// I/O thread in one rank process.
+    struct Shared {
+        peers: Vec<Option<Peer>>,
+        router: Mutex<Router>,
+        /// Idle receive buffers, filled by readers, returned by writers
+        /// after a send — the cross-process analogue of shipping `Vec`
+        /// ownership on the in-process backend.
+        pool: Mutex<Vec<Vec<u8>>>,
+        pool_misses: AtomicU64,
+        handshake_ns: u64,
+    }
+
+    impl Shared {
+        fn lock_router(&self) -> MutexGuard<'_, Router> {
+            self.router.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
+        fn route(&self, comm: u64, src: usize, msg: Msg) {
+            let mut router = self.lock_router();
+            if let Some(tx) = router.inboxes.get(&(comm, src)) {
+                // A failed send means the communicator was dropped after
+                // registering; late frames for it are discarded.
+                let _ = tx.send(msg);
+            } else {
+                router.stash.entry((comm, src)).or_default().push_back(msg);
+            }
+        }
+
+        fn register(&self, comm: u64, src: usize) -> Receiver<Msg> {
+            let (tx, rx) = mpsc::channel();
+            let mut router = self.lock_router();
+            if let Some(stash) = router.stash.remove(&(comm, src)) {
+                for m in stash {
+                    let _ = tx.send(m);
+                }
+            }
+            if !router.dead[src] {
+                router.inboxes.insert((comm, src), tx);
+            }
+            rx
+        }
+
+        fn mark_dead(&self, world: usize) {
+            if let Some(p) = &self.peers[world] {
+                p.dead.store(true, Ordering::Relaxed);
+            }
+            let mut router = self.lock_router();
+            router.dead[world] = true;
+            // Dropping the inbox senders wakes every receiver blocked on
+            // this source (after any already-routed frames), turning the
+            // socket EOF into the same disconnect cascade the in-process
+            // backend gets from dropped channel endpoints.
+            router.inboxes.retain(|&(_, src), _| src != world);
+        }
+
+        fn take_recv_buf(&self, len: usize) -> Vec<u8> {
+            let buf = self
+                .pool
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop()
+                .unwrap_or_default();
+            if buf.capacity() < len {
+                self.pool_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            buf
+        }
+
+        fn recycle(&self, mut buf: Vec<u8>) {
+            if buf.capacity() == 0 {
+                return;
+            }
+            let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+            if pool.len() < PROC_POOL_CAP {
+                buf.clear();
+                pool.push(buf);
+            }
+        }
+    }
+
+    fn writer_loop(
+        shared: Arc<Shared>,
+        world_peer: usize,
+        mut stream: UnixStream,
+        rx: Receiver<WriteCmd>,
+    ) {
+        let mut hdr = [0u8; HEADER];
+        while let Ok(cmd) = rx.recv() {
+            let (comm, msg) = match cmd {
+                WriteCmd::Shutdown(ack) => {
+                    let _ = ack.send(());
+                    break;
+                }
+                WriteCmd::Frame { comm, msg } => (comm, msg),
+            };
+            let ok = match msg.data {
+                Payload::Heap(buf) => {
+                    assert!(buf.len() <= u32::MAX as usize, "frame payload over 4 GiB");
+                    encode_header(
+                        &mut hdr,
+                        buf.len() as u32,
+                        KIND_HEAP,
+                        comm,
+                        msg.tag,
+                        msg.flow,
+                    );
+                    let res = stream.write_all(&hdr).and_then(|_| stream.write_all(&buf));
+                    if res.is_ok() {
+                        shared.recycle(buf);
+                    }
+                    res.is_ok()
+                }
+                Payload::Small(v) => {
+                    let mut frame = [0u8; HEADER + 8];
+                    let (head, tail) = frame.split_at_mut(HEADER);
+                    encode_header(
+                        head.try_into().expect("header slice"),
+                        8,
+                        KIND_SMALL,
+                        comm,
+                        msg.tag,
+                        msg.flow,
+                    );
+                    tail.copy_from_slice(&v.to_le_bytes());
+                    stream.write_all(&frame).is_ok()
+                }
+                Payload::Endpoint(ep) => match ep.0 {
+                    EndpointInner::Tagged { comm: child } => {
+                        let mut frame = [0u8; HEADER + 8];
+                        let (head, tail) = frame.split_at_mut(HEADER);
+                        encode_header(
+                            head.try_into().expect("header slice"),
+                            8,
+                            KIND_ENDPOINT,
+                            comm,
+                            msg.tag,
+                            msg.flow,
+                        );
+                        tail.copy_from_slice(&child.to_le_bytes());
+                        stream.write_all(&frame).is_ok()
+                    }
+                    EndpointInner::Chan(_) => {
+                        unreachable!("in-process channel endpoint on the socket backend")
+                    }
+                },
+            };
+            if !ok {
+                shared.mark_dead(world_peer);
+                break;
+            }
+        }
+    }
+
+    fn reader_loop(shared: Arc<Shared>, world_peer: usize, mut stream: UnixStream) {
+        let mut hdr = [0u8; HEADER];
+        loop {
+            if stream.read_exact(&mut hdr).is_err() {
+                break;
+            }
+            let (len, kind, comm, tag, flow) = decode_header(&hdr);
+            let data = match kind {
+                KIND_SMALL => {
+                    let mut b = [0u8; 8];
+                    if len != 8 || stream.read_exact(&mut b).is_err() {
+                        break;
+                    }
+                    Payload::Small(u64::from_le_bytes(b))
+                }
+                KIND_ENDPOINT => {
+                    let mut b = [0u8; 8];
+                    if len != 8 || stream.read_exact(&mut b).is_err() {
+                        break;
+                    }
+                    Payload::Endpoint(Endpoint(EndpointInner::Tagged {
+                        comm: u64::from_le_bytes(b),
+                    }))
+                }
+                KIND_HEAP => {
+                    let mut buf = shared.take_recv_buf(len as usize);
+                    buf.resize(len as usize, 0);
+                    if stream.read_exact(&mut buf).is_err() {
+                        break;
+                    }
+                    Payload::Heap(buf)
+                }
+                _ => break, // protocol corruption: treat as disconnect
+            };
+            shared.route(comm, world_peer, Msg { tag, data, flow });
+        }
+        shared.mark_dead(world_peer);
+    }
+
+    /// The socket transport for one communicator: peers are reached
+    /// through the process-wide connections, namespaced by `comm` id.
+    pub(crate) struct UdsTransport {
+        comm: u64,
+        /// This rank in the communicator's rank space.
+        my_rank: usize,
+        /// Communicator rank → world rank.
+        members: Vec<usize>,
+        shared: Arc<Shared>,
+        /// Self-sends bypass the wire entirely.
+        loop_tx: Sender<Msg>,
+        /// Communicator rank → inbox (the loopback receiver at
+        /// `my_rank`).
+        rxs: Vec<Receiver<Msg>>,
+        /// World communicators report the process-level extras
+        /// (handshake time, reader-pool misses) exactly once.
+        is_world: bool,
+    }
+
+    impl UdsTransport {
+        fn for_comm(
+            comm: u64,
+            my_rank: usize,
+            members: Vec<usize>,
+            shared: Arc<Shared>,
+            is_world: bool,
+        ) -> UdsTransport {
+            let (loop_tx, loop_rx) = mpsc::channel();
+            let mut loop_rx = Some(loop_rx);
+            let rxs: Vec<Receiver<Msg>> = members
+                .iter()
+                .enumerate()
+                .map(|(new_rank, &w)| {
+                    if new_rank == my_rank {
+                        loop_rx.take().expect("exactly one self slot")
+                    } else {
+                        shared.register(comm, w)
+                    }
+                })
+                .collect();
+            UdsTransport {
+                comm,
+                my_rank,
+                members,
+                shared,
+                loop_tx,
+                rxs,
+                is_world,
+            }
+        }
+
+        fn disconnect(&self, peer: usize) -> CommError {
+            CommError::RankDisconnected {
+                observer: self.my_rank,
+                peer,
+            }
+        }
+    }
+
+    impl Drop for UdsTransport {
+        fn drop(&mut self) {
+            // Unregister this communicator's routes; frames arriving
+            // afterwards are discarded by `route`.
+            let comm = self.comm;
+            let mut router = self.shared.lock_router();
+            router.inboxes.retain(|&(c, _), _| c != comm);
+            router.stash.retain(|&(c, _), _| c != comm);
+        }
+    }
+
+    impl Transport for UdsTransport {
+        fn send(&mut self, dst: usize, msg: Msg, stats: &mut CommStats) -> Result<(), CommError> {
+            if dst == self.my_rank {
+                return self.loop_tx.send(msg).map_err(|_| self.disconnect(dst));
+            }
+            let world_dst = self.members[dst];
+            let peer = self.shared.peers[world_dst]
+                .as_ref()
+                .expect("non-self comm rank maps to a peer connection");
+            if peer.dead.load(Ordering::Relaxed) {
+                return Err(self.disconnect(dst));
+            }
+            stats.wire_frames_sent += 1;
+            stats.wire_bytes_sent += (HEADER + msg.data.len()) as u64;
+            peer.out_tx
+                .send(WriteCmd::Frame {
+                    comm: self.comm,
+                    msg,
+                })
+                .map_err(|_| self.disconnect(dst))
+        }
+
+        fn recv(&mut self, src: usize, stats: &mut CommStats) -> Result<Msg, CommError> {
+            match self.rxs[src].recv() {
+                Ok(msg) => {
+                    if src != self.my_rank {
+                        stats.wire_frames_recvd += 1;
+                        stats.wire_bytes_recvd += (HEADER + msg.data.len()) as u64;
+                    }
+                    Ok(msg)
+                }
+                Err(_) => Err(self.disconnect(src)),
+            }
+        }
+
+        fn begin_derive(
+            &mut self,
+            seq: u64,
+            members: &[usize],
+            my_new_rank: usize,
+        ) -> (Derivation, Vec<Option<Endpoint>>) {
+            let members_world: Vec<usize> = members.iter().map(|&m| self.members[m]).collect();
+            let child = derive_id(self.comm, seq, &members_world);
+            let endpoints = (0..members.len())
+                .map(|new_rank| {
+                    (new_rank != my_new_rank)
+                        .then_some(Endpoint(EndpointInner::Tagged { comm: child }))
+                })
+                .collect();
+            (
+                Derivation(DeriveState::Uds(UdsDerive {
+                    comm: child,
+                    members_world,
+                    my_new_rank,
+                })),
+                endpoints,
+            )
+        }
+
+        fn accept_endpoint(&mut self, d: &mut Derivation, from_new_rank: usize, ep: Endpoint) {
+            let DeriveState::Uds(state) = &mut d.0 else {
+                unreachable!("uds transport handed a foreign derivation");
+            };
+            let EndpointInner::Tagged { comm: got } = ep.0 else {
+                panic!(
+                    "collective-consistency violation: rank {} received an \
+                     in-process channel endpoint on the socket backend",
+                    self.my_rank
+                );
+            };
+            assert!(
+                got == state.comm,
+                "collective-consistency violation: rank {} computed derived \
+                 comm id {:#x} but rank {from_new_rank} shipped {got:#x} \
+                 (diverged membership or derivation inputs)",
+                self.my_rank,
+                state.comm,
+            );
+        }
+
+        fn finish_derive(&mut self, d: Derivation) -> Box<dyn Transport> {
+            let DeriveState::Uds(state) = d.0 else {
+                unreachable!("uds transport handed a foreign derivation");
+            };
+            Box::new(UdsTransport::for_comm(
+                state.comm,
+                state.my_new_rank,
+                state.members_world,
+                Arc::clone(&self.shared),
+                false,
+            ))
+        }
+
+        fn extra_stats(&self) -> CommStats {
+            if !self.is_world {
+                return CommStats::default();
+            }
+            CommStats {
+                handshake_ns: self.shared.handshake_ns,
+                wire_recv_allocs: self.shared.pool_misses.load(Ordering::Relaxed),
+                ..CommStats::default()
+            }
+        }
+    }
+
+    /// Derivation state for the socket backend: the deterministic child
+    /// id plus the membership, carried between `begin_derive` and
+    /// `finish_derive`. (The inboxes are registered lazily in
+    /// `finish_derive`; the router stash covers any frame racing ahead.)
+    #[derive(Debug)]
+    pub(crate) struct UdsDerive {
+        comm: u64,
+        members_world: Vec<usize>,
+        my_new_rank: usize,
+    }
+
+    /// Owner of the per-peer writer threads; `shutdown` is the flush
+    /// barrier that makes "exited cleanly" imply "every sent frame was
+    /// delivered to the kernel".
+    struct WorldGuard {
+        shared: Arc<Shared>,
+        writers: Vec<(usize, std::thread::JoinHandle<()>)>,
+    }
+
+    impl WorldGuard {
+        fn shutdown(self) {
+            let mut acks: Vec<(usize, Receiver<()>)> = Vec::new();
+            for (w, _) in &self.writers {
+                if let Some(p) = &self.shared.peers[*w] {
+                    let (tx, rx) = mpsc::channel();
+                    if p.out_tx.send(WriteCmd::Shutdown(tx)).is_ok() {
+                        acks.push((*w, rx));
+                    }
+                }
+            }
+            let mut acked = vec![false; self.shared.peers.len()];
+            for (w, rx) in acks {
+                if rx.recv_timeout(Duration::from_secs(10)).is_ok() {
+                    acked[w] = true;
+                }
+            }
+            for (w, handle) in self.writers {
+                // A writer that never acked is wedged on a dead peer's
+                // socket; leak it (the process is about to exit) rather
+                // than hang the flush.
+                if acked[w] {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+
+    fn sock_path(dir: &Path, rank: usize) -> PathBuf {
+        dir.join(format!("rank{rank}.sock"))
+    }
+
+    fn connect_with_retry(
+        path: &Path,
+        window: Duration,
+        me: usize,
+        peer: usize,
+    ) -> Result<UnixStream, String> {
+        let mut last_err = String::from("never attempted");
+        // One bounded attempt window plus one full retry window: a slow
+        // peer gets 2×window total before we declare it disconnected.
+        for _attempt in 0..2 {
+            let deadline = Instant::now() + window;
+            loop {
+                match UnixStream::connect(path) {
+                    Ok(s) => return Ok(s),
+                    Err(e) => {
+                        last_err = e.to_string();
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "rank {me}: handshake with rank {peer} failed after retry \
+             ({:?} per attempt): {last_err}",
+            window
+        ))
+    }
+
+    /// Builds this rank's connection set, threads, and world transport.
+    /// Errors are handshake failures (peer died or timed out) and must
+    /// surface as bounded-time disconnects, never hangs.
+    fn bootstrap(
+        rank: usize,
+        n: usize,
+        dir: &Path,
+        opts: &UdsWorldOptions,
+    ) -> Result<(UdsTransport, WorldGuard), String> {
+        let t0 = Instant::now();
+        let listener = UnixListener::bind(sock_path(dir, rank))
+            .map_err(|e| format!("rank {rank}: binding rendezvous socket: {e}"))?;
+        if let Some(fault) = &opts.fault {
+            if fault.rank == rank && fault.at == FaultPoint::AfterListen {
+                std::process::exit(FAULT_EXIT);
+            }
+        }
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("rank {rank}: nonblocking listener: {e}"))?;
+
+        let mut streams: Vec<Option<UnixStream>> = (0..n).map(|_| None).collect();
+        // Connect to every lower rank, announcing our rank in a hello
+        // frame so the acceptor can index us.
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let mut s = connect_with_retry(&sock_path(dir, peer), opts.connect_window, rank, peer)?;
+            s.write_all(&(rank as u32).to_le_bytes())
+                .map_err(|e| format!("rank {rank}: hello to rank {peer}: {e}"))?;
+            *slot = Some(s);
+        }
+        // Accept from every higher rank under a deadline matching the
+        // connect side's total bound (window + one retry window).
+        let need = n - rank - 1;
+        let deadline = Instant::now() + opts.connect_window * 2;
+        let mut got = 0;
+        while got < need {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)
+                        .map_err(|e| format!("rank {rank}: accepted socket: {e}"))?;
+                    s.set_read_timeout(Some(opts.connect_window))
+                        .map_err(|e| format!("rank {rank}: hello timeout: {e}"))?;
+                    let mut hello = [0u8; 4];
+                    (&s).read_exact(&mut hello)
+                        .map_err(|e| format!("rank {rank}: reading hello: {e}"))?;
+                    let peer = u32::from_le_bytes(hello) as usize;
+                    if peer <= rank || peer >= n || streams[peer].is_some() {
+                        return Err(format!("rank {rank}: bogus hello from rank {peer}"));
+                    }
+                    s.set_read_timeout(None)
+                        .map_err(|e| format!("rank {rank}: clearing hello timeout: {e}"))?;
+                    streams[peer] = Some(s);
+                    got += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "rank {rank}: handshake timed out waiting for {} \
+                             peer connection(s)",
+                            need - got
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(format!("rank {rank}: accepting peer: {e}")),
+            }
+        }
+
+        // Connections complete: build the shared state, then the I/O
+        // threads, then the world transport (inboxes registered before
+        // readers start is not required — the stash covers the gap —
+        // but peers/router must exist before any thread runs).
+        let mut out_rxs: Vec<Option<Receiver<WriteCmd>>> = (0..n).map(|_| None).collect();
+        let peers: Vec<Option<Peer>> = (0..n)
+            .map(|w| {
+                streams[w].as_ref()?;
+                let (tx, rx) = mpsc::channel();
+                out_rxs[w] = Some(rx);
+                Some(Peer {
+                    out_tx: tx,
+                    dead: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            peers,
+            router: Mutex::new(Router {
+                dead: vec![false; n],
+                ..Router::default()
+            }),
+            pool: Mutex::new(Vec::new()),
+            pool_misses: AtomicU64::new(0),
+            handshake_ns: t0.elapsed().as_nanos() as u64,
+        });
+        let mut writers = Vec::new();
+        for (w, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let reader = stream
+                .try_clone()
+                .map_err(|e| format!("rank {rank}: cloning socket for rank {w}: {e}"))?;
+            let out_rx = out_rxs[w].take().expect("writer queue for connected peer");
+            let shared_w = Arc::clone(&shared);
+            let writer = std::thread::Builder::new()
+                .name(format!("uds-w{rank}-{w}"))
+                .spawn(move || writer_loop(shared_w, w, stream, out_rx))
+                .map_err(|e| format!("rank {rank}: spawning writer: {e}"))?;
+            writers.push((w, writer));
+            let shared_r = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("uds-r{rank}-{w}"))
+                .spawn(move || reader_loop(shared_r, w, reader))
+                .map_err(|e| format!("rank {rank}: spawning reader: {e}"))?;
+        }
+        let transport = UdsTransport::for_comm(
+            WORLD_COMM,
+            rank,
+            (0..n).collect(),
+            Arc::clone(&shared),
+            true,
+        );
+        Ok((transport, WorldGuard { shared, writers }))
+    }
+
+    /// Removes the rendezvous directory when the parent is done.
+    struct DirGuard(PathBuf);
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Worlds started by this process, for unique rendezvous paths.
+    static WORLD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn rendezvous_dir() -> PathBuf {
+        let mut base = std::env::temp_dir();
+        // sun_path caps socket paths around 108 bytes; fall back to /tmp
+        // when TMPDIR is somewhere deep.
+        if base.as_os_str().len() > 64 {
+            base = PathBuf::from("/tmp");
+        }
+        base.join(format!(
+            "mimir-uds-{}-{}",
+            std::process::id(),
+            WORLD_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn write_file(dir: &Path, tmp_name: String, final_name: String, bytes: &[u8]) {
+        let tmp = dir.join(tmp_name);
+        let fin = dir.join(final_name);
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &fin);
+        }
+    }
+
+    fn write_result(dir: &Path, rank: usize, abort: bool, bytes: &[u8]) {
+        let mut out = Vec::with_capacity(bytes.len() + 1);
+        out.push(u8::from(abort));
+        out.extend_from_slice(bytes);
+        write_file(
+            dir,
+            format!(".result{rank}.tmp"),
+            format!("result{rank}.bin"),
+            &out,
+        );
+    }
+
+    fn write_panic(dir: &Path, rank: usize, disconnect: bool, message: &str) {
+        let mut out = Vec::with_capacity(message.len() + 1);
+        out.push(u8::from(disconnect));
+        out.extend_from_slice(message.as_bytes());
+        write_file(
+            dir,
+            format!(".panic{rank}.tmp"),
+            format!("panic{rank}.txt"),
+            &out,
+        );
+    }
+
+    fn child_main<F>(
+        rank: usize,
+        n: usize,
+        name: &str,
+        dir: &Path,
+        opts: &UdsWorldOptions,
+        body: &F,
+    ) -> !
+    where
+        F: Fn(&mut Comm) -> (bool, Vec<u8>),
+    {
+        // The guard escapes the catch so queued frames flush on every
+        // exit path that got past the handshake — on a panic, peers
+        // still receive everything sent before it, matching in-process
+        // channel semantics where sent messages stay deliverable.
+        let guard_slot: Mutex<Option<WorldGuard>> = Mutex::new(None);
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(bool, Vec<u8>), String> {
+                if let Some(fault) = &opts.fault {
+                    if fault.rank == rank && fault.at == FaultPoint::BeforeListen {
+                        std::process::exit(FAULT_EXIT);
+                    }
+                }
+                let (transport, guard) = bootstrap(rank, n, dir, opts)?;
+                *guard_slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(guard);
+                let mut comm = Comm::new(name.to_string(), rank, n, Box::new(transport));
+                let out = body(&mut comm);
+                drop(comm);
+                Ok(out)
+            }));
+        if let Some(g) = guard_slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            g.shutdown();
+        }
+        let code = match outcome {
+            Ok(Ok((abort, bytes))) => {
+                write_result(dir, rank, abort, &bytes);
+                0
+            }
+            Ok(Err(handshake)) => {
+                // Handshake failures are disconnect-class: the peer died
+                // or stalled; fold behind genuine root causes.
+                write_panic(dir, rank, true, &handshake);
+                101
+            }
+            Err(payload) => {
+                write_panic(
+                    dir,
+                    rank,
+                    is_disconnect_panic(payload.as_ref()),
+                    &panic_message(payload.as_ref()),
+                );
+                101
+            }
+        };
+        std::process::exit(code)
+    }
+
+    #[derive(Clone, Copy)]
+    enum ChildStatus {
+        Exited(i32),
+        Signaled(i32),
+        TimedOut,
+        Lost,
+    }
+
+    fn classify(dir: &Path, rank: usize, status: ChildStatus) -> RankEnd {
+        if let Ok(bytes) = std::fs::read(dir.join(format!("result{rank}.bin"))) {
+            if !bytes.is_empty() {
+                let payload = bytes[1..].to_vec();
+                return if bytes[0] == 0 {
+                    RankEnd::Ok(payload)
+                } else {
+                    RankEnd::Abort(payload)
+                };
+            }
+        }
+        if let Ok(bytes) = std::fs::read(dir.join(format!("panic{rank}.txt"))) {
+            if !bytes.is_empty() {
+                return RankEnd::Panicked {
+                    disconnect: bytes[0] != 0,
+                    message: String::from_utf8_lossy(&bytes[1..]).into_owned(),
+                };
+            }
+        }
+        RankEnd::Died(match status {
+            ChildStatus::Exited(code) => {
+                format!("rank process exited with code {code} before reporting a result")
+            }
+            ChildStatus::Signaled(sig) => {
+                format!("rank process killed by signal {sig} before reporting a result")
+            }
+            ChildStatus::TimedOut => {
+                "rank process exceeded the world timeout and was killed".to_string()
+            }
+            ChildStatus::Lost => "rank process lost by waitpid".to_string(),
+        })
+    }
+
+    /// Forks `n` rank processes, runs `body` in each over a bootstrapped
+    /// socket world, and returns every rank's fate. The parent never
+    /// hangs: the handshake is bounded on the children's side and the
+    /// world timeout bounds everything else.
+    pub(crate) fn run_world_uds<F>(
+        name: &str,
+        n: usize,
+        opts: &UdsWorldOptions,
+        body: &F,
+    ) -> Vec<RankEnd>
+    where
+        F: Fn(&mut Comm) -> (bool, Vec<u8>),
+    {
+        assert!(n > 0, "world needs at least one rank");
+        let dir = rendezvous_dir();
+        std::fs::create_dir_all(&dir).expect("creating rendezvous directory");
+        let guard = DirGuard(dir.clone());
+
+        let mut pids: Vec<i32> = Vec::with_capacity(n);
+        for rank in 0..n {
+            match unsafe { sys::fork() } {
+                -1 => {
+                    for &pid in &pids {
+                        unsafe {
+                            sys::kill(pid, sys::SIGKILL);
+                            let mut st = 0;
+                            sys::waitpid(pid, &mut st, 0);
+                        }
+                    }
+                    panic!("fork failed spawning rank {rank}");
+                }
+                0 => child_main(rank, n, name, &dir, opts, body),
+                pid => pids.push(pid),
+            }
+        }
+
+        let deadline = Instant::now() + opts.world_timeout;
+        let mut statuses: Vec<Option<ChildStatus>> = (0..n).map(|_| None).collect();
+        loop {
+            let mut pending = false;
+            let mut progressed = false;
+            for (r, &pid) in pids.iter().enumerate() {
+                if statuses[r].is_some() {
+                    continue;
+                }
+                let mut st: i32 = 0;
+                let got = unsafe { sys::waitpid(pid, &mut st, sys::WNOHANG) };
+                if got == pid {
+                    statuses[r] = Some(if st & 0x7f == 0 {
+                        ChildStatus::Exited((st >> 8) & 0xff)
+                    } else {
+                        ChildStatus::Signaled(st & 0x7f)
+                    });
+                    progressed = true;
+                } else if got == -1 {
+                    statuses[r] = Some(ChildStatus::Lost);
+                    progressed = true;
+                } else {
+                    pending = true;
+                }
+            }
+            if !pending {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for (r, &pid) in pids.iter().enumerate() {
+                    if statuses[r].is_none() {
+                        unsafe {
+                            sys::kill(pid, sys::SIGKILL);
+                            let mut st = 0;
+                            sys::waitpid(pid, &mut st, 0);
+                        }
+                        statuses[r] = Some(ChildStatus::TimedOut);
+                    }
+                }
+                break;
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+
+        let ends = statuses
+            .into_iter()
+            .enumerate()
+            .map(|(r, st)| classify(&dir, r, st.expect("every child reaped")))
+            .collect();
+        drop(guard);
+        ends
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) use stub::{run_world_uds, UdsDerive};
+
+#[cfg(not(unix))]
+mod stub {
+    use super::{RankEnd, UdsWorldOptions};
+    use crate::comm::Comm;
+
+    #[derive(Debug)]
+    pub(crate) struct UdsDerive {}
+
+    pub(crate) fn run_world_uds<F>(
+        _name: &str,
+        _n: usize,
+        _opts: &UdsWorldOptions,
+        _body: &F,
+    ) -> Vec<RankEnd>
+    where
+        F: Fn(&mut Comm) -> (bool, Vec<u8>),
+    {
+        panic!("the uds transport requires a Unix platform");
+    }
+}

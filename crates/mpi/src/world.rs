@@ -1,9 +1,11 @@
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc;
 
 use crate::comm::Comm;
 use crate::error::{panic_message, DisconnectPanic, WorldError};
-use crate::msg::Msg;
+use crate::transport::inproc::InprocTransport;
+use crate::transport::uds::{self, RankEnd, UdsWorldOptions};
+use crate::transport::TransportKind;
+use crate::wire::Wire;
 
 /// Runs `f` as an SPMD program across `n_ranks` rank threads and returns
 /// the per-rank results indexed by rank.
@@ -67,25 +69,10 @@ where
 {
     assert!(n_ranks > 0, "world needs at least one rank");
 
-    // Channel matrix: one FIFO channel per (src, dst) pair.
-    // txs[src][dst] sends to dst; rxs[dst][src] receives from src.
-    let mut txs: Vec<Vec<mpsc::Sender<Msg>>> =
-        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
-    let mut rxs: Vec<Vec<mpsc::Receiver<Msg>>> =
-        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
-    for tx_row in txs.iter_mut() {
-        for rx_row in rxs.iter_mut() {
-            let (t, r) = mpsc::channel::<Msg>();
-            tx_row.push(t);
-            rx_row.push(r);
-        }
-    }
-
-    let comms: Vec<Comm> = txs
+    let comms: Vec<Comm> = InprocTransport::make_world(n_ranks)
         .into_iter()
-        .zip(rxs)
         .enumerate()
-        .map(|(rank, (tx_row, rx_row))| Comm::new(name.to_string(), rank, n_ranks, tx_row, rx_row))
+        .map(|(rank, t)| Comm::new(name.to_string(), rank, n_ranks, Box::new(t)))
         .collect();
 
     let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
@@ -181,6 +168,177 @@ where
             Err(WorldError::RankPanicked { rank, message })
         }
     }
+}
+
+/// [`run_world`] on an explicit [`TransportKind`]: rank threads for
+/// [`TransportKind::Inproc`], forked rank processes over Unix-domain
+/// sockets for [`TransportKind::Uds`]. The closure and its semantics are
+/// identical on both backends; `R: Wire` is what lets a result cross the
+/// process boundary.
+///
+/// Combine with [`TransportKind::from_env`] to let `MIMIR_TRANSPORT`
+/// choose the backend at run time:
+///
+/// ```
+/// use mimir_mpi::{run_world_on, ReduceOp, TransportKind};
+///
+/// let sums = run_world_on(TransportKind::from_env(), 4, |comm| {
+///     comm.allreduce_u64(ReduceOp::Sum, comm.rank() as u64)
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+///
+/// # Panics
+/// Like [`run_world`]: the root-cause rank failure is re-raised on the
+/// caller's thread (for UDS as a `String` panic carrying the child's
+/// panic message, with disconnect cascades and plain child deaths folded
+/// away behind any genuine panic).
+pub fn run_world_on<R, F>(kind: TransportKind, n_ranks: usize, f: F) -> Vec<R>
+where
+    R: Wire + Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    match kind {
+        TransportKind::Inproc => run_world(n_ranks, f),
+        TransportKind::Uds => {
+            let ends = uds::run_world_uds("world", n_ranks, &UdsWorldOptions::default(), &|comm| {
+                let mut bytes = Vec::new();
+                f(comm).wire_write(&mut bytes);
+                (false, bytes)
+            });
+            if let Some((rank, message)) = uds_failure(&ends) {
+                panic!("rank {rank}: {message}");
+            }
+            ends.into_iter()
+                .enumerate()
+                .map(|(rank, end)| match end {
+                    RankEnd::Ok(bytes) => decode_rank::<R>(rank, bytes),
+                    _ => unreachable!("non-Ok rank end after failure check"),
+                })
+                .collect()
+        }
+    }
+}
+
+/// [`run_world_result`] on an explicit [`TransportKind`]. Abort and panic
+/// precedence match the in-process backend: a rank's clean `Err` wins
+/// (lowest rank), then a genuine panic, with disconnect cascades folded
+/// away.
+pub fn run_world_result_on<R, E, F>(
+    kind: TransportKind,
+    n_ranks: usize,
+    f: F,
+) -> Result<Vec<R>, WorldError<E>>
+where
+    R: Wire + Send,
+    E: Wire + Send + 'static,
+    F: Fn(&mut Comm) -> Result<R, E> + Send + Sync,
+{
+    match kind {
+        TransportKind::Inproc => run_world_result(n_ranks, f),
+        TransportKind::Uds => {
+            let ends = uds::run_world_uds("world", n_ranks, &UdsWorldOptions::default(), &|comm| {
+                let mut bytes = Vec::new();
+                match f(comm) {
+                    Ok(r) => {
+                        r.wire_write(&mut bytes);
+                        (false, bytes)
+                    }
+                    Err(e) => {
+                        e.wire_write(&mut bytes);
+                        (true, bytes)
+                    }
+                }
+            });
+            for end in &ends {
+                if let RankEnd::Abort(bytes) = end {
+                    let mut slice = &bytes[..];
+                    let e = E::wire_read(&mut slice).expect("decoding abort error");
+                    return Err(WorldError::Aborted(e));
+                }
+            }
+            if let Some((rank, message)) = uds_failure(&ends) {
+                return Err(WorldError::RankPanicked { rank, message });
+            }
+            Ok(ends
+                .into_iter()
+                .enumerate()
+                .map(|(rank, end)| match end {
+                    RankEnd::Ok(bytes) => decode_rank::<R>(rank, bytes),
+                    _ => unreachable!("non-Ok rank end after failure checks"),
+                })
+                .collect())
+        }
+    }
+}
+
+/// A UDS world with explicit [`UdsWorldOptions`] — timeouts and the
+/// fault-injection hooks used by the chaos tests — returning a structured
+/// error instead of panicking. Rank failures surface as
+/// [`WorldError::RankPanicked`] naming the root cause, with the same
+/// precedence as [`run_world_on`]; a child that dies without reporting
+/// (killed, fault-injected, or timed out) is folded in as a panic whose
+/// message describes how it died.
+pub fn run_world_uds_with<R, F>(
+    n_ranks: usize,
+    opts: &UdsWorldOptions,
+    f: F,
+) -> Result<Vec<R>, WorldError<String>>
+where
+    R: Wire + Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    let ends = uds::run_world_uds("world", n_ranks, opts, &|comm| {
+        let mut bytes = Vec::new();
+        f(comm).wire_write(&mut bytes);
+        (false, bytes)
+    });
+    if let Some((rank, message)) = uds_failure(&ends) {
+        return Err(WorldError::RankPanicked { rank, message });
+    }
+    Ok(ends
+        .into_iter()
+        .enumerate()
+        .map(|(rank, end)| match end {
+            RankEnd::Ok(bytes) => decode_rank::<R>(rank, bytes),
+            _ => unreachable!("non-Ok rank end after failure check"),
+        })
+        .collect())
+}
+
+fn decode_rank<R: Wire>(rank: usize, bytes: Vec<u8>) -> R {
+    let mut slice = &bytes[..];
+    let v = R::wire_read(&mut slice)
+        .unwrap_or_else(|| panic!("malformed result encoding from rank {rank}"));
+    assert!(slice.is_empty(), "trailing result bytes from rank {rank}");
+    v
+}
+
+/// Root-cause selection for a failed UDS world, mirroring the in-process
+/// precedence: a genuine panic beats a silent child death, which beats
+/// the disconnect cascade both of them cause on surviving ranks.
+fn uds_failure(ends: &[RankEnd]) -> Option<(usize, String)> {
+    let mut genuine: Option<(usize, String)> = None;
+    let mut died: Option<(usize, String)> = None;
+    let mut cascade: Option<(usize, String)> = None;
+    for (rank, end) in ends.iter().enumerate() {
+        let (slot, message) = match end {
+            RankEnd::Panicked {
+                message,
+                disconnect: false,
+            } => (&mut genuine, message),
+            RankEnd::Died(message) => (&mut died, message),
+            RankEnd::Panicked {
+                message,
+                disconnect: true,
+            } => (&mut cascade, message),
+            RankEnd::Ok(_) | RankEnd::Abort(_) => continue,
+        };
+        if slot.is_none() {
+            *slot = Some((rank, message.clone()));
+        }
+    }
+    genuine.or(died).or(cascade)
 }
 
 #[cfg(test)]

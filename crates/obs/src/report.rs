@@ -35,6 +35,20 @@ pub struct CommCounters {
     /// Heap allocations taken on the send path (pool misses + pooled
     /// buffer growths); flat after warm-up on the zero-copy path.
     pub send_allocs: u64,
+    /// Bytes put on the wire including framing headers; zero on the
+    /// in-process backend (no wire), per-frame overhead on sockets.
+    pub wire_bytes_sent: u64,
+    /// Bytes taken off the wire including framing headers.
+    pub wire_bytes_recvd: u64,
+    /// Frames sent (one per cross-process message on the socket backend).
+    pub wire_frames_sent: u64,
+    /// Frames received.
+    pub wire_frames_recvd: u64,
+    /// Receive-side buffer-pool misses in the socket readers.
+    pub wire_recv_allocs: u64,
+    /// Nanoseconds spent in transport bootstrap (socket bind / connect /
+    /// accept / hello), reported once per rank by its world communicator.
+    pub handshake_ns: u64,
 }
 
 impl CommCounters {
@@ -47,6 +61,12 @@ impl CommCounters {
         self.collectives += other.collectives;
         self.bytes_copied += other.bytes_copied;
         self.send_allocs += other.send_allocs;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_recvd += other.wire_bytes_recvd;
+        self.wire_frames_sent += other.wire_frames_sent;
+        self.wire_frames_recvd += other.wire_frames_recvd;
+        self.wire_recv_allocs += other.wire_recv_allocs;
+        self.handshake_ns += other.handshake_ns;
     }
 }
 
@@ -566,6 +586,27 @@ impl RankReport {
                     ("collectives", Json::Num(self.comm.collectives as f64)),
                     ("bytes_copied", Json::Num(self.comm.bytes_copied as f64)),
                     ("send_allocs", Json::Num(self.comm.send_allocs as f64)),
+                    (
+                        "wire_bytes_sent",
+                        Json::Num(self.comm.wire_bytes_sent as f64),
+                    ),
+                    (
+                        "wire_bytes_recvd",
+                        Json::Num(self.comm.wire_bytes_recvd as f64),
+                    ),
+                    (
+                        "wire_frames_sent",
+                        Json::Num(self.comm.wire_frames_sent as f64),
+                    ),
+                    (
+                        "wire_frames_recvd",
+                        Json::Num(self.comm.wire_frames_recvd as f64),
+                    ),
+                    (
+                        "wire_recv_allocs",
+                        Json::Num(self.comm.wire_recv_allocs as f64),
+                    ),
+                    ("handshake_ns", Json::Num(self.comm.handshake_ns as f64)),
                 ]),
             ),
             (
@@ -883,6 +924,12 @@ impl RankReport {
                 collectives: u(&["comm", "collectives"])?,
                 bytes_copied: u_opt(&["comm", "bytes_copied"]),
                 send_allocs: u_opt(&["comm", "send_allocs"]),
+                wire_bytes_sent: u_opt(&["comm", "wire_bytes_sent"]),
+                wire_bytes_recvd: u_opt(&["comm", "wire_bytes_recvd"]),
+                wire_frames_sent: u_opt(&["comm", "wire_frames_sent"]),
+                wire_frames_recvd: u_opt(&["comm", "wire_frames_recvd"]),
+                wire_recv_allocs: u_opt(&["comm", "wire_recv_allocs"]),
+                handshake_ns: u_opt(&["comm", "handshake_ns"]),
             },
             mem: MemCounters {
                 pages_allocated: u(&["mem", "pages_allocated"])?,
@@ -1013,6 +1060,12 @@ mod tests {
                 collectives: 4,
                 bytes_copied: 1700,
                 send_allocs: 3 + rank,
+                wire_bytes_sent: 1200 + rank,
+                wire_bytes_recvd: 1100,
+                wire_frames_sent: 12,
+                wire_frames_recvd: 11,
+                wire_recv_allocs: 2,
+                handshake_ns: 5000 + rank,
             },
             mem: MemCounters {
                 pages_allocated: 8,

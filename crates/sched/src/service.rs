@@ -317,6 +317,15 @@ impl<'w> JobService<'w> {
             .and_then(|f| f.output.take())
     }
 
+    /// A finished job's failure as a [`mimir_core::MimirError`], or
+    /// `None` while it runs or when it succeeded. A job whose peer
+    /// process died mid-run (or mid-handshake on the socket transport)
+    /// comes back as [`mimir_core::MimirError::Disconnected`] — the
+    /// reconciliation vote already ran, so this never hangs.
+    pub fn take_error(&self, id: u64) -> Option<mimir_core::MimirError> {
+        self.outcome(id).and_then(|o| o.as_error())
+    }
+
     /// Per-job lifecycle records for every retired job (for the
     /// `jobs` section of a `RankReport`).
     pub fn job_records(&self) -> Vec<JobRecord> {
@@ -534,6 +543,9 @@ fn run_worker(
         Ok(Ok(y)) => (JobOutcome::Done.code(), Some(y)),
         Ok(Err(e)) if e.is_cancelled() => (JobOutcome::Cancelled.code(), None),
         Ok(Err(e)) if e.is_oom() => (JobOutcome::OutOfMemory.code(), None),
+        // A body that caught the transport loss and returned it as an
+        // error votes the same severity as one that panicked on it.
+        Ok(Err(e)) if e.is_disconnected() => (JobOutcome::Disconnected.code(), None),
         Ok(Err(_)) => (JobOutcome::Failed.code(), None),
         Err(payload) if mimir_mpi::is_disconnect_panic(payload.as_ref()) => {
             (JobOutcome::Disconnected.code(), None)
@@ -747,6 +759,40 @@ mod tests {
         for (outcome, used) in outs {
             assert_eq!(outcome, Some(JobOutcome::Panicked));
             assert_eq!(used, 0);
+        }
+    }
+
+    #[test]
+    fn lost_peer_surfaces_as_disconnected_error_not_a_hang() {
+        let outs = service_world(16 << 20, SchedConfig::default(), |svc| {
+            // Rank 0's body observes the transport loss and returns it as
+            // an error; rank 1 blocks on the dead peer and dies of the
+            // disconnect cascade. Both vote Disconnected, reconciliation
+            // completes, and take_error hands back a typed MimirError.
+            let spec = JobSpec::new("lost-peer", 64 * 1024, |ctx| {
+                if ctx.rank() == 0 {
+                    return Err(mimir_core::MimirError::Disconnected(
+                        "peer socket closed mid-exchange".into(),
+                    ));
+                }
+                ctx.barrier();
+                Ok(JobYield::default())
+            });
+            let id = svc.submit(spec);
+            let ok = svc.submit(sum_job("after", 0));
+            svc.run_until_idle();
+            (
+                svc.outcome(id),
+                svc.take_error(id),
+                svc.take_error(ok),
+                svc.pool().used(),
+            )
+        });
+        for (outcome, err, ok_err, used) in outs {
+            assert_eq!(outcome, Some(JobOutcome::Disconnected));
+            assert!(err.expect("failed job yields an error").is_disconnected());
+            assert!(ok_err.is_none(), "successful jobs yield no error");
+            assert_eq!(used, 0, "reservation released despite the loss");
         }
     }
 

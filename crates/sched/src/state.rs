@@ -1,5 +1,8 @@
 //! Job lifecycle states and terminal outcomes.
 
+use mimir_core::MimirError;
+use mimir_mpi::Wire;
+
 /// Where a job is in its lifecycle:
 /// `Queued → Admitted → Running → {Done, Failed, Cancelled}`.
 ///
@@ -85,6 +88,39 @@ impl JobOutcome {
             JobOutcome::Cancelled => JobState::Cancelled,
             _ => JobState::Failed,
         }
+    }
+
+    /// The [`MimirError`] a caller should see for a failed outcome, or
+    /// `None` for [`JobOutcome::Done`]. Notably, a reconciled
+    /// `Disconnected` — a peer rank's process or transport died —
+    /// surfaces as [`MimirError::Disconnected`] rather than a hang or a
+    /// generic failure.
+    pub fn as_error(self) -> Option<MimirError> {
+        match self {
+            JobOutcome::Done => None,
+            JobOutcome::Disconnected => Some(MimirError::Disconnected(
+                "a peer rank's worker dropped the job communicator".into(),
+            )),
+            JobOutcome::Cancelled => Some(MimirError::Cancelled),
+            JobOutcome::OutOfMemory => Some(MimirError::Config(
+                "job suspended on OOM until retries were exhausted".into(),
+            )),
+            JobOutcome::Failed => Some(MimirError::Config("job body returned an error".into())),
+            JobOutcome::Panicked => Some(MimirError::Config("job body panicked".into())),
+        }
+    }
+}
+
+/// Outcomes cross process boundaries in result files and reconciliation
+/// traffic on the socket transport; the stable [`JobOutcome::code`] is
+/// the wire form.
+impl Wire for JobOutcome {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.code().wire_write(out);
+    }
+
+    fn wire_read(buf: &mut &[u8]) -> Option<Self> {
+        JobOutcome::from_code(u64::wire_read(buf)?)
     }
 }
 

@@ -4,13 +4,18 @@
 //! mode. If the duplicated channel matrices leaked into each other
 //! (a misrouted send, a cross-matched collective), the interleaved
 //! shuffles would corrupt both outputs.
+//!
+//! The whole suite is parameterized over the transport backend:
+//! `MIMIR_TRANSPORT=uds` re-proves every property with ranks as forked
+//! processes exchanging frames over Unix-domain sockets, with zero
+//! changes above the `Comm` API.
 
 use mimir_apps::wordcount::{wordcount_mimir, WcOptions};
 use mimir_core::{GroupingMode, MimirConfig, MimirContext, ShuffleMode};
 use mimir_datagen::UniformWords;
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
-use mimir_mpi::run_world;
+use mimir_mpi::{run_world_on, TransportKind};
 use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
 
 const RANKS: usize = 4;
@@ -48,7 +53,7 @@ fn wc_body(seed: u64, ctx: &mut MimirContext<'_>) -> mimir_core::Result<JobYield
 /// Runs WordCount for `seed` alone in a world and returns each rank's
 /// encoded output.
 fn solo_outputs(cfg: MimirConfig, seed: u64) -> Vec<Vec<u8>> {
-    run_world(RANKS, move |comm| {
+    run_world_on(TransportKind::from_env(), RANKS, move |comm| {
         let pool = make_pool(comm.rank());
         let mut ctx = MimirContext::new(comm, pool, IoModel::free(), cfg).unwrap();
         wc_body(seed, &mut ctx).unwrap().data
@@ -58,7 +63,7 @@ fn solo_outputs(cfg: MimirConfig, seed: u64) -> Vec<Vec<u8>> {
 /// Runs both WordCounts concurrently under the job service and returns
 /// each rank's encoded outputs `(job_a, job_b)`.
 fn concurrent_outputs(cfg: MimirConfig) -> Vec<(Vec<u8>, Vec<u8>)> {
-    run_world(RANKS, move |comm| {
+    run_world_on(TransportKind::from_env(), RANKS, move |comm| {
         let pool = make_pool(comm.rank());
         let mut svc = JobService::new(comm, pool, IoModel::free(), SchedConfig::default());
         let a = svc.submit(JobSpec::new("wc-a", 1 << 20, move |ctx| wc_body(1, ctx)).config(cfg));
@@ -155,7 +160,7 @@ fn adaptive_spec_override_matches_solo() {
     };
     let solo_a = solo_outputs(adaptive_cfg, 1);
     let solo_b = solo_outputs(MimirConfig::default(), 2);
-    let both = run_world(RANKS, move |comm| {
+    let both = run_world_on(TransportKind::from_env(), RANKS, move |comm| {
         let pool = make_pool(comm.rank());
         let mut svc = JobService::new(comm, pool, IoModel::free(), SchedConfig::default());
         // Job A opts into the adaptive runtime via the spec; job B stays

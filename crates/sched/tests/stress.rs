@@ -12,7 +12,7 @@ use mimir_core::{lock_cache, typed, KvMeta};
 use mimir_datagen::UniformWords;
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
-use mimir_mpi::{run_world, Comm};
+use mimir_mpi::{run_world_on, Comm, TransportKind};
 use mimir_obs::{CacheCounters, CacheNameRecord, CommCounters, MemCounters, RankReport, Recorder};
 use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
 
@@ -62,6 +62,12 @@ fn export_trace(
         collectives: cs.collectives,
         bytes_copied: cs.bytes_copied,
         send_allocs: cs.send_allocs,
+        wire_bytes_sent: cs.wire_bytes_sent,
+        wire_bytes_recvd: cs.wire_bytes_recvd,
+        wire_frames_sent: cs.wire_frames_sent,
+        wire_frames_recvd: cs.wire_frames_recvd,
+        wire_recv_allocs: cs.wire_recv_allocs,
+        handshake_ns: cs.handshake_ns,
     };
     r.waits.total_wait_ns = cs.wait_ns;
     r.waits.total_work_ns = cs.work_ns;
@@ -122,7 +128,7 @@ type RankResult = (
 
 fn stress_world() -> Vec<RankResult> {
     let epoch = Instant::now();
-    run_world(RANKS, move |comm| {
+    run_world_on(TransportKind::from_env(), RANKS, move |comm| {
         if mimir_obs::env_enabled() {
             mimir_obs::install(Recorder::with_epoch(
                 comm.rank(),
