@@ -17,9 +17,9 @@ use mimir_apps::RunMetrics;
 use mimir_mem::MemPool;
 use mimir_mpi::Comm;
 use mimir_obs::{
-    chrome_trace, jsonl_string, AdaptCounters, CacheCounters, CacheNameRecord, CommCounters,
-    GroupCounters, JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, Recorder,
-    ShuffleCounters, WaitCounters,
+    chrome_trace, jsonl_string, AdaptCounters, CacheCounters, CacheNameRecord, GroupCounters,
+    JobCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, Recorder, ShuffleCounters,
+    WaitCounters,
 };
 
 /// Where trace files land when `MIMIR_TRACE_DIR` is unset.
@@ -103,21 +103,7 @@ impl TraceSession {
 pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
     let mut report = RankReport::new(comm.rank());
     let cs = comm.stats();
-    report.comm = CommCounters {
-        sends: cs.msgs_sent,
-        recvs: cs.msgs_recvd,
-        bytes_sent: cs.bytes_sent,
-        bytes_recvd: cs.bytes_recvd,
-        collectives: cs.collectives,
-        bytes_copied: cs.bytes_copied,
-        send_allocs: cs.send_allocs,
-        wire_bytes_sent: cs.wire_bytes_sent,
-        wire_bytes_recvd: cs.wire_bytes_recvd,
-        wire_frames_sent: cs.wire_frames_sent,
-        wire_frames_recvd: cs.wire_frames_recvd,
-        wire_recv_allocs: cs.wire_recv_allocs,
-        handshake_ns: cs.handshake_ns,
-    };
+    report.comm = cs.counters();
     let ps = pool.stats();
     report.mem = MemCounters {
         pages_allocated: ps.page_allocs,
@@ -147,11 +133,10 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
         gini_permille: j.shuffle.gini_permille,
     };
     report.waits = WaitCounters {
-        total_wait_ns: cs.wait_ns,
-        total_work_ns: cs.work_ns,
         sync_wait_ns: j.shuffle.sync_wait_ns,
         data_wait_ns: j.shuffle.data_wait_ns,
         barrier_wait_ns: j.barrier_wait_ns,
+        ..cs.wait_counters()
     };
     let a = &j.shuffle.adapt;
     report.adapt = AdaptCounters {
@@ -199,6 +184,12 @@ pub fn build_report(comm: &Comm, pool: &MemPool, m: &RunMetrics) -> RankReport {
     if let Some(rec) = mimir_obs::take() {
         report.events = rec.events().to_vec();
         report.events_dropped = rec.dropped();
+    }
+    // When the live telemetry plane is armed on this rank thread, fold
+    // its publisher bookkeeping into the final report so the end-of-run
+    // export records what live observation itself cost.
+    if let Some(live) = mimir_obs::live::shared() {
+        report.live = live.live_counters();
     }
     report
 }

@@ -37,6 +37,31 @@ use crate::{
     AdaptPolicy, GroupingMode, JobStats, KvContainer, KvMeta, MimirError, Result, ShuffleMode,
 };
 
+/// Pushes the pool's current occupancy into this rank's live telemetry
+/// accumulator (a no-op unless the plane is armed on this thread), so
+/// the online memory-headroom rule sees gauges that move at phase
+/// boundaries instead of only in the end-of-job report.
+fn note_live_mem(pool: &mimir_mem::MemPool) {
+    if mimir_obs::live::shared().is_none() {
+        return;
+    }
+    let ps = pool.stats();
+    mimir_obs::live::note_mem(mimir_obs::MemCounters {
+        pages_allocated: ps.page_allocs,
+        pages_recycled: ps.page_frees,
+        bytes_in_use: ps.used as u64,
+        peak_bytes: ps.peak as u64,
+        // `usize::MAX` means "unlimited": store 0 so the headroom rule
+        // skips unmetered pools (same convention as the final report).
+        budget_bytes: if ps.budget == usize::MAX {
+            0
+        } else {
+            ps.budget as u64
+        },
+        oom_events: ps.oom_events,
+    });
+}
+
 /// A configured-but-not-yet-run MapReduce job.
 pub struct MapReduceJob<'c, 'w> {
     ctx: &'c mut MimirContext<'w>,
@@ -303,6 +328,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         cancel_checkpoint(comm, cancel)?;
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
         let mut shuffler = Shuffler::with_policy(
@@ -356,6 +382,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         cancel_checkpoint(comm, cancel)?;
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, self.kv_meta);
         let mut shuffler = Shuffler::with_policy(
@@ -424,6 +451,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         cancel_checkpoint(comm, cancel)?;
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let fingerprint = self.partitioner.fingerprint(comm.size());
         let input = lock_cache(cache).checkout(&in_name, pool)?;
@@ -489,6 +517,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- chained map + (elided) aggregate -------------------------
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let fingerprint = self.partitioner.fingerprint(comm.size());
         let input = lock_cache(cache).checkout(&in_name, pool)?;
@@ -520,6 +549,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- convert ---------------------------------------------------
         let t1 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let convert_span = mimir_obs::phase_span(Phase::Convert);
         let (kmvc, group) = convert_with(kvc, pool, gmode)?;
         drop(convert_span);
@@ -530,6 +560,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- reduce ----------------------------------------------------
         let t2 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let mut out = KvContainer::new(pool, out_meta);
         let unique_keys = kmvc.n_groups() as u64;
@@ -596,6 +627,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let fingerprint = self.partitioner.fingerprint(comm.size());
         let input = lock_cache(cache).checkout(&in_name, pool)?;
@@ -626,6 +658,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
         let t2 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let unique_keys = reducer.unique_keys() as u64;
         let group = reducer.group_stats();
@@ -679,6 +712,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- map + implicit aggregate --------------------------------
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = KvContainer::new(pool, kv_meta);
         let mut shuffler = Shuffler::with_policy(
@@ -720,6 +754,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- convert ---------------------------------------------------
         let t1 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let convert_span = mimir_obs::phase_span(Phase::Convert);
         let (kmvc, convert_group) = convert_with(kvc, pool, gmode)?;
         group.merge(&convert_group);
@@ -731,6 +766,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
         // --- reduce ----------------------------------------------------
         let t2 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let mut out = KvContainer::new(pool, out_meta);
         let unique_keys = kmvc.n_groups() as u64;
@@ -791,6 +827,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
         let t0 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let map_span = mimir_obs::phase_span(Phase::Map);
         let sink = PartialReducer::with_mode(pool, kv_meta, combine, gmode)?;
         let mut shuffler = Shuffler::with_policy(
@@ -829,6 +866,7 @@ impl<'c, 'w> MapReduceJob<'c, 'w> {
 
         let t2 = Instant::now();
         pool.reset_phase_peak();
+        note_live_mem(pool);
         let reduce_span = mimir_obs::phase_span(Phase::Reduce);
         let unique_keys = reducer.unique_keys() as u64;
         group.merge(&reducer.group_stats());

@@ -479,6 +479,7 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
             self.stats.imbalance_permille = imbalance;
             self.stats.gini_permille = gini;
         }
+        self.push_live();
         Ok((self.sink, self.stats))
     }
 
@@ -486,6 +487,36 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
     /// towards each rank so far.
     pub fn dest_histogram(&self) -> (&[u64], &[u64]) {
         (&self.dest_bytes, &self.dest_kvs)
+    }
+
+    /// Pushes the running shuffle counters — with skew computed over the
+    /// cumulative per-destination histogram *so far* — into this rank's
+    /// live telemetry accumulator, so the online partition-skew rule sees
+    /// traffic while rounds are still in flight. No-op unless the live
+    /// plane is armed on this thread.
+    fn push_live(&self) {
+        if mimir_obs::live::shared().is_none() {
+            return;
+        }
+        let s = &self.stats;
+        let mut counters = mimir_obs::ShuffleCounters {
+            kvs_emitted: s.kvs_emitted,
+            kv_bytes_emitted: s.kv_bytes_emitted,
+            kvs_received: s.kvs_received,
+            rounds: s.rounds,
+            spilled_bytes: 0,
+            bytes_received: s.bytes_received,
+            max_round_recv_bytes: s.max_round_recv_bytes,
+            max_dest_bytes: self.dest_bytes.iter().copied().max().unwrap_or(0),
+            imbalance_permille: s.imbalance_permille,
+            gini_permille: s.gini_permille,
+        };
+        let mut scratch = self.dest_bytes.clone();
+        if let Some((imbalance, gini)) = skew_permille(&mut scratch) {
+            counters.imbalance_permille = imbalance;
+            counters.gini_permille = gini;
+        }
+        mimir_obs::live::note_shuffle(counters);
     }
 
     /// Read access to the sink mid-shuffle (mainly for tests and
@@ -547,6 +578,7 @@ impl<'a, S: KvSink> Shuffler<'a, S> {
         );
         mimir_obs::emit(EventKind::RoundWait, sync_delta, data_delta);
         self.stats.rounds += 1;
+        self.push_live();
         if let Some(ctl) = &mut self.adapt {
             // This round's wait split becomes the next round's vote.
             ctl.observe_round(sync_delta, data_delta);

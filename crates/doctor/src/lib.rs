@@ -24,6 +24,13 @@
 //! | `cache-efficiency` | cross-job cache counters, evict/reload event stream | low hit rate while cached bytes crowd the pool, eviction thrash; reports elisions and per-name residency (info) |
 //! | `transport` | per-backend wire counters (frames, bytes, handshake) | handshake stalls, tiny-message chatter; silent on the in-process backend |
 //!
+//! Two companion modes live in [`live`]: **live-attach** (`mimir-doctor
+//! --watch <dir>` tails a run's telemetry directory and re-runs the
+//! live-capable rules over a rolling window while the job is still in
+//! flight) and **post-mortem triage** ([`diagnose_postmortem`] ingests
+//! the flight-recorder dumps a crashed run leaves behind and names the
+//! rank that died without dumping).
+//!
 //! The `mimir-doctor` binary wraps this over `.jsonl` / `.trace.json`
 //! files; see `src/main.rs` or `README.md`.
 
@@ -31,10 +38,12 @@
 
 pub mod critical_path;
 pub mod ingest;
+pub mod live;
 pub mod rules;
 
 pub use critical_path::{critical_path, CriticalPath, Segment, SegmentKind};
 pub use ingest::{ingest_chrome, ingest_jsonl, ingest_path_text};
+pub use live::{diagnose_postmortem, LiveTailer, LiveWatcher, LiveWindow};
 
 use mimir_obs::{Json, RankReport};
 
@@ -95,6 +104,39 @@ pub fn fmt_duration_ns(ns: f64) -> String {
     format!("{v:.prec$} {unit}")
 }
 
+/// Formats a byte quantity for human output: the largest of
+/// B/KiB/MiB/GiB/TiB that keeps the value ≥ 1, printed to 3 significant
+/// digits (whole bytes stay exact). JSON output keeps raw bytes; only
+/// [`Diagnosis::to_text`] humanizes.
+pub fn fmt_bytes(bytes: f64) -> String {
+    let bytes = bytes.max(0.0);
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        return format!("{} B", bytes as u64);
+    }
+    let prec = if v >= 100.0 {
+        0
+    } else if v >= 10.0 {
+        1
+    } else {
+        2
+    };
+    format!("{v:.prec$} {}", UNITS[unit])
+}
+
+/// Whether an evidence key names a byte quantity (`max_dest_bytes`,
+/// `bytes_recvd`, `wire_bytes_sent`, …): any `_`-separated component
+/// equal to `bytes`.
+fn is_bytes_key(k: &str) -> bool {
+    k.split('_').any(|part| part == "bytes")
+}
+
 /// One diagnosed problem: what, where, how bad, and what to do.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -116,7 +158,7 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("severity", Json::Str(self.severity.as_str().into())),
             ("code", Json::Str(self.code.into())),
@@ -210,11 +252,15 @@ impl Diagnosis {
                 out.push_str(&format!("  ranks: {}\n", ranks.join(", ")));
             }
             for (k, v) in &f.evidence {
-                // Durations are stored as raw nanoseconds (stable for
-                // scripting); the human rendering converts them.
+                // Durations are stored as raw nanoseconds and sizes as
+                // raw bytes (stable for scripting); the human rendering
+                // converts both.
                 match v {
                     Json::Num(ns) if k.ends_with("_ns") => {
                         out.push_str(&format!("  {k}: {}\n", fmt_duration_ns(*ns)));
+                    }
+                    Json::Num(b) if is_bytes_key(k) => {
+                        out.push_str(&format!("  {k}: {}\n", fmt_bytes(*b)));
                     }
                     _ => out.push_str(&format!("  {k}: {v}\n")),
                 }
@@ -312,6 +358,46 @@ mod tests {
             json.contains("198000000"),
             "JSON keeps raw nanoseconds:\n{json}"
         );
+    }
+
+    #[test]
+    fn bytes_humanize_to_three_significant_digits() {
+        assert_eq!(fmt_bytes(0.0), "0 B");
+        assert_eq!(fmt_bytes(999.0), "999 B");
+        assert_eq!(fmt_bytes(1024.0), "1.00 KiB");
+        assert_eq!(fmt_bytes(1536.0), "1.50 KiB");
+        assert_eq!(fmt_bytes(10.0 * 1024.0 * 1024.0), "10.0 MiB");
+        assert_eq!(fmt_bytes(200.0 * 1024.0 * 1024.0 * 1024.0), "200 GiB");
+        assert!(is_bytes_key("max_dest_bytes"));
+        assert!(is_bytes_key("bytes_recvd"));
+        assert!(is_bytes_key("wire_bytes_sent"));
+        assert!(!is_bytes_key("imbalance_permille"));
+        assert!(!is_bytes_key("total_wait_ns"));
+    }
+
+    #[test]
+    fn text_humanizes_bytes_evidence_but_json_stays_raw() {
+        let mut r = RankReport::new(0);
+        r.ranks = 1;
+        // Trip the headroom rule: its evidence carries *_bytes keys.
+        r.mem.budget_bytes = 1 << 30;
+        r.mem.peak_bytes = (1 << 30) - (1 << 20);
+        let d = diagnose(&[r]);
+        let text = d.to_text();
+        assert!(
+            text.contains("budget_bytes: 1.00 GiB"),
+            "sizes humanize in text:\n{text}"
+        );
+        assert!(
+            text.contains("peak_bytes: 1023 MiB"),
+            "sizes humanize in text:\n{text}"
+        );
+        assert!(
+            !text.contains("budget_bytes: 1073741824"),
+            "no raw bytes in evidence lines:\n{text}"
+        );
+        let json = d.to_json().to_string();
+        assert!(json.contains("1073741824"), "JSON keeps raw bytes:\n{json}");
     }
 
     #[test]

@@ -1,0 +1,815 @@
+//! The online doctor: live-attach to a telemetry directory while the
+//! run is still in flight, and post-mortem triage of flight-recorder
+//! corpses after a crash.
+//!
+//! The live telemetry plane (`mimir_obs::live`, armed via
+//! `MIMIR_LIVE_DIR`) makes every rank append cumulative
+//! `{"record":"live",...}` snapshots to `rank<r>.live.jsonl` on a fixed
+//! interval. This module turns that stream back into diagnoses:
+//!
+//! - [`LiveTailer`] tails the per-rank files incrementally (byte
+//!   offsets, partial-line carry), yielding parsed [`LiveSample`]s.
+//! - [`LiveWindow`] keeps a rolling time window of samples per rank and
+//!   produces *windowed deltas*: what each rank did over the last few
+//!   seconds, as a synthetic [`RankReport`] the ordinary rules accept.
+//! - [`LiveWatcher`] wires both to the rule engine: each step tails,
+//!   windows, re-runs the live-capable rules ([`LIVE_RULES`]) over the
+//!   deltas, dedupes findings (re-firing on severity escalation), and
+//!   appends newly fired findings to `<dir>/findings.jsonl`. It also
+//!   renders a refreshing per-rank status view for `mimir-doctor
+//!   --watch`.
+//! - [`diagnose_postmortem`] ingests a crash-scoped dump directory
+//!   (`rank<r>.crash.jsonl` files written by the flight recorder),
+//!   infers never-dumped (killed) ranks from the survivors' disconnect
+//!   messages, and folds everything into one [`Diagnosis`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mimir_obs::{live::PHASE_NONE, Json, Phase, RankReport};
+
+use crate::{diagnose, Diagnosis, Finding, Severity};
+
+/// Rule codes the online doctor re-runs over the rolling window. The
+/// others need whole-run context (critical path, spill totals, cache
+/// end-state) and stay post-mortem-only.
+pub const LIVE_RULES: [&str; 6] = [
+    "straggler",
+    "critical-path",
+    "partition-skew",
+    "memory-headroom",
+    "deadlock-suspect",
+    "transport",
+];
+
+/// A rank goes *stale* when it has published nothing for this many
+/// milliseconds while the plane is still being tailed — the live
+/// analogue of a disconnect.
+pub const STALE_MS: u64 = 2_000;
+
+/// Default rolling-window width the deltas are computed over.
+pub const WINDOW_MS: u64 = 5_000;
+
+/// One parsed `live` record: a cumulative counter snapshot from a rank,
+/// stamped with the publisher's sequence number and rank-relative time.
+#[derive(Debug, Clone)]
+pub struct LiveSample {
+    /// Publishing rank.
+    pub rank: u64,
+    /// World size the rank was armed with.
+    pub world: u64,
+    /// Publisher sequence number (gaps mean lost writes).
+    pub seq: u64,
+    /// Milliseconds since the rank armed its plane.
+    pub t_ms: u64,
+    /// Latest phase mark (`Phase` discriminant, or
+    /// [`mimir_obs::live::PHASE_NONE`]).
+    pub phase: u64,
+    /// The cumulative counters, as a full report.
+    pub report: RankReport,
+}
+
+/// What one tail step observed in a rank's live file.
+#[derive(Debug)]
+pub enum TailEvent {
+    /// A new cumulative snapshot (boxed: a full RankReport dwarfs the
+    /// other variant).
+    Sample(Box<LiveSample>),
+    /// The rank disarmed cleanly (`live_end`).
+    End {
+        /// The finished rank.
+        rank: u64,
+    },
+}
+
+/// Incremental reader over a live directory's `rank<r>.live.jsonl`
+/// files: remembers a byte offset per file and only parses complete
+/// lines, so it is safe to poll while the publishers are mid-write.
+#[derive(Debug)]
+pub struct LiveTailer {
+    dir: PathBuf,
+    /// Per-file read offset and partial trailing line.
+    state: HashMap<PathBuf, (u64, String)>,
+}
+
+impl LiveTailer {
+    /// Tails `dir` (created or not yet populated is fine — polling just
+    /// yields nothing until files appear).
+    pub fn new(dir: impl Into<PathBuf>) -> LiveTailer {
+        LiveTailer {
+            dir: dir.into(),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Reads every complete new line from every rank file, in file
+    /// order. I/O errors on individual files are skipped (a publisher
+    /// may be mid-rename); malformed lines are dropped silently — the
+    /// stream must stay usable even if a rank's file is truncated.
+    pub fn poll(&mut self) -> Vec<TailEvent> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("rank") && n.ends_with(".live.jsonl"))
+            })
+            .collect();
+        files.sort();
+        for path in files {
+            let (offset, partial) = self.state.entry(path.clone()).or_default();
+            let Ok(mut f) = std::fs::File::open(&path) else {
+                continue;
+            };
+            if f.seek(SeekFrom::Start(*offset)).is_err() {
+                continue;
+            }
+            let mut buf = String::new();
+            let Ok(n) = f.read_to_string(&mut buf) else {
+                continue;
+            };
+            *offset += n as u64;
+            let mut text = std::mem::take(partial);
+            text.push_str(&buf);
+            let complete_up_to = text.rfind('\n').map_or(0, |i| i + 1);
+            *partial = text[complete_up_to..].to_string();
+            for line in text[..complete_up_to].lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(doc) = Json::parse(line) else {
+                    continue;
+                };
+                match doc.get("record").and_then(Json::as_str) {
+                    Some("live") => {
+                        if let Some(s) = parse_sample(&doc) {
+                            out.push(TailEvent::Sample(Box::new(s)));
+                        }
+                    }
+                    Some("live_end") => {
+                        if let Some(rank) = doc.get("rank").and_then(Json::as_u64) {
+                            out.push(TailEvent::End { rank });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_sample(doc: &Json) -> Option<LiveSample> {
+    let report = RankReport::from_json(doc).ok()?;
+    let num = |k: &str| doc.get(k).and_then(Json::as_u64);
+    Some(LiveSample {
+        rank: report.rank,
+        world: num("world")?,
+        seq: num("seq")?,
+        t_ms: num("t_ms")?,
+        phase: num("phase").unwrap_or(PHASE_NONE),
+        report,
+    })
+}
+
+/// Per-rank bookkeeping inside the window.
+#[derive(Debug)]
+struct RankLane {
+    samples: VecDeque<LiveSample>,
+    last_arrival: Instant,
+    ended: bool,
+}
+
+/// A rolling time-series window of live samples, keyed by rank, from
+/// which per-rank *windowed deltas* are computed: synthetic
+/// [`RankReport`]s describing only the last [`WINDOW_MS`] of activity,
+/// in exactly the shape the post-mortem rules consume.
+#[derive(Debug)]
+pub struct LiveWindow {
+    window_ms: u64,
+    lanes: HashMap<u64, RankLane>,
+    world: u64,
+}
+
+impl Default for LiveWindow {
+    fn default() -> Self {
+        LiveWindow::new(WINDOW_MS)
+    }
+}
+
+impl LiveWindow {
+    /// An empty window holding `window_ms` of history per rank.
+    pub fn new(window_ms: u64) -> LiveWindow {
+        LiveWindow {
+            window_ms: window_ms.max(1),
+            lanes: HashMap::new(),
+            world: 0,
+        }
+    }
+
+    /// Feeds one tail event in.
+    pub fn push(&mut self, ev: TailEvent) {
+        match ev {
+            TailEvent::Sample(s) => {
+                let s = *s;
+                self.world = self.world.max(s.world);
+                let lane = self.lanes.entry(s.rank).or_insert_with(|| RankLane {
+                    samples: VecDeque::new(),
+                    last_arrival: Instant::now(),
+                    ended: false,
+                });
+                lane.last_arrival = Instant::now();
+                let newest = s.t_ms;
+                lane.samples.push_back(s);
+                let horizon = newest.saturating_sub(self.window_ms);
+                // Keep one sample at-or-before the horizon as the delta
+                // base, so the window always spans ~window_ms.
+                while lane.samples.len() > 2 && lane.samples[1].t_ms <= horizon {
+                    lane.samples.pop_front();
+                }
+            }
+            TailEvent::End { rank } => {
+                if let Some(lane) = self.lanes.get_mut(&rank) {
+                    lane.ended = true;
+                }
+            }
+        }
+    }
+
+    /// World size observed so far (0 before the first sample).
+    pub fn world(&self) -> u64 {
+        self.world
+    }
+
+    /// Ranks that have disarmed cleanly.
+    pub fn ended(&self) -> usize {
+        self.lanes.values().filter(|l| l.ended).count()
+    }
+
+    /// Ranks currently contributing samples.
+    pub fn ranks(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The newest sample per rank, ascending by rank.
+    pub fn latest(&self) -> Vec<&LiveSample> {
+        let mut v: Vec<&LiveSample> = self
+            .lanes
+            .values()
+            .filter_map(|l| l.samples.back())
+            .collect();
+        v.sort_by_key(|s| s.rank);
+        v
+    }
+
+    /// The windowed delta per rank: newest snapshot minus the oldest
+    /// retained one, with rank/world identity restored. Empty until at
+    /// least one rank has two samples; ranks with a single sample
+    /// contribute their snapshot as-is (everything since arm *is* the
+    /// window).
+    pub fn deltas(&self) -> Vec<RankReport> {
+        let mut out = Vec::new();
+        for lane in self.lanes.values() {
+            let (Some(first), Some(last)) = (lane.samples.front(), lane.samples.back()) else {
+                continue;
+            };
+            let mut d = if lane.samples.len() >= 2 {
+                last.report.delta_since(&first.report)
+            } else {
+                last.report.clone()
+            };
+            d.rank = last.rank;
+            d.ranks = self.world.max(1);
+            out.push(d);
+        }
+        out.sort_by_key(|r| r.rank);
+        out
+    }
+
+    /// Ranks silent for longer than `stale_ms` while not yet ended.
+    pub fn stale(&self, stale_ms: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .lanes
+            .iter()
+            .filter(|(_, l)| !l.ended && l.last_arrival.elapsed().as_millis() as u64 > stale_ms)
+            .map(|(&r, _)| r)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The live-attach loop state behind `mimir-doctor --watch`: tails the
+/// directory, re-runs the live rules over the rolling window, appends
+/// newly fired findings to `<dir>/findings.jsonl`, and renders a
+/// refreshing status view.
+pub struct LiveWatcher {
+    dir: PathBuf,
+    tailer: LiveTailer,
+    window: LiveWindow,
+    /// Best severity already reported per dedup key; a finding re-fires
+    /// only when it escalates.
+    reported: HashMap<String, Severity>,
+    /// Everything fired so far, newest last (for rendering).
+    fired: Vec<Finding>,
+    started: Instant,
+}
+
+impl LiveWatcher {
+    /// Attaches to a live directory (existing or not-yet-created).
+    pub fn new(dir: impl Into<PathBuf>) -> LiveWatcher {
+        let dir = dir.into();
+        LiveWatcher {
+            tailer: LiveTailer::new(&dir),
+            window: LiveWindow::default(),
+            reported: HashMap::new(),
+            fired: Vec::new(),
+            started: Instant::now(),
+            dir,
+        }
+    }
+
+    /// One watch step: tail, window, evaluate, log. Returns the
+    /// findings that fired *this* step (already appended to the
+    /// findings log).
+    pub fn step(&mut self) -> Vec<Finding> {
+        for ev in self.tailer.poll() {
+            self.window.push(ev);
+        }
+        let mut fresh = Vec::new();
+        let deltas = self.window.deltas();
+        if !deltas.is_empty() {
+            for f in diagnose(&deltas).findings {
+                if !LIVE_RULES.contains(&f.code) {
+                    continue;
+                }
+                self.consider(f, &mut fresh);
+            }
+        }
+        // Staleness: a rank that stopped publishing mid-run is either
+        // dead or wedged — the live analogue of a disconnect.
+        let stale = self.window.stale(STALE_MS);
+        if !stale.is_empty() && self.window.ended() < self.window.ranks() {
+            let list: Vec<String> = stale.iter().map(|r| format!("rank {r}")).collect();
+            self.consider(
+                Finding {
+                    severity: Severity::Critical,
+                    code: "live-stale",
+                    title: format!(
+                        "{} stopped publishing live telemetry >{}ms ago (dead or wedged)",
+                        list.join(", "),
+                        STALE_MS
+                    ),
+                    phase: "",
+                    ranks: stale,
+                    evidence: vec![("stale_after_ms".into(), Json::Num(STALE_MS as f64))],
+                    hint: "check the flight-recorder dir for this rank's crash dump; \
+                           survivors' dumps name the peer they lost",
+                },
+                &mut fresh,
+            );
+        }
+        if !fresh.is_empty() {
+            self.append_log(&fresh);
+        }
+        fresh
+    }
+
+    fn consider(&mut self, f: Finding, fresh: &mut Vec<Finding>) {
+        let ranks: Vec<String> = f.ranks.iter().map(u64::to_string).collect();
+        let key = format!("{}|{}", f.code, ranks.join(","));
+        match self.reported.get(&key) {
+            Some(&prev) if prev >= f.severity => {}
+            _ => {
+                self.reported.insert(key, f.severity);
+                self.fired.push(f.clone());
+                fresh.push(f);
+            }
+        }
+    }
+
+    /// Appends fired findings (with a watcher-relative `at_ms` stamp) to
+    /// `<dir>/findings.jsonl`. Best-effort: the watcher must never take
+    /// the run down.
+    fn append_log(&self, findings: &[Finding]) {
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join("findings.jsonl"))
+        else {
+            return;
+        };
+        let at = self.started.elapsed().as_millis() as f64;
+        for finding in findings {
+            let mut doc = finding.to_json();
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("at_ms".into(), Json::Num(at)));
+            }
+            let _ = writeln!(f, "{doc}");
+        }
+    }
+
+    /// Everything fired since attach, in firing order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.fired
+    }
+
+    /// Whether every observed rank has disarmed cleanly (never true
+    /// before the first sample).
+    pub fn finished(&self) -> bool {
+        self.window.ranks() > 0 && self.window.ended() == self.window.ranks()
+    }
+
+    /// The per-rank status view: one line per rank (phase, rank-time,
+    /// window wait share, received bytes, pool residency), then the
+    /// fired findings, newest last.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "mimir-doctor --watch {}  ({} rank(s), {} finished)\n",
+            self.dir.display(),
+            self.window.ranks(),
+            self.window.ended(),
+        ));
+        let deltas: HashMap<u64, RankReport> = self
+            .window
+            .deltas()
+            .into_iter()
+            .map(|d| (d.rank, d))
+            .collect();
+        out.push_str("rank  phase      t_ms      wait%  recv       mem\n");
+        for s in self.window.latest() {
+            let phase = Phase::from_code(s.phase).map_or("-", Phase::name);
+            let (wait_pct, recv) = deltas
+                .get(&s.rank)
+                .map(|d| {
+                    let wall_ns = (d.times.map_s + d.times.convert_s + d.times.reduce_s) * 1e9;
+                    let pct = if wall_ns > 0.0 {
+                        (d.waits.total_wait_ns as f64 / wall_ns * 100.0).min(100.0)
+                    } else {
+                        0.0
+                    };
+                    (pct, d.comm.bytes_recvd)
+                })
+                .unwrap_or((0.0, 0));
+            out.push_str(&format!(
+                "{:<5} {:<10} {:<9} {:>5.1}  {:<10} {}\n",
+                s.rank,
+                phase,
+                s.t_ms,
+                wait_pct,
+                crate::fmt_bytes(recv as f64),
+                crate::fmt_bytes(s.report.mem.bytes_in_use as f64),
+            ));
+        }
+        if self.fired.is_empty() {
+            out.push_str("\nno findings yet\n");
+        } else {
+            out.push_str(&format!("\n{} finding(s):\n", self.fired.len()));
+            for f in &self.fired {
+                out.push_str(&format!(
+                    "  [{}] {}: {}\n",
+                    f.severity.as_str().to_uppercase(),
+                    f.code,
+                    f.title
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// One flight-recorder corpse: the crash header plus the dumped report.
+#[derive(Debug)]
+struct Corpse {
+    rank: u64,
+    world: u64,
+    cause: String,
+    message: String,
+    report: Option<RankReport>,
+}
+
+/// Post-mortem triage of a flight-recorder directory: parses every
+/// `rank*.crash.jsonl` dump, runs the full rule set over the dumped
+/// reports, names never-dumped (killed) ranks from the survivors'
+/// disconnect messages, and summarizes the crash causes.
+///
+/// # Errors
+/// An unreadable directory, or a directory containing no crash dumps.
+pub fn diagnose_postmortem(dir: &Path) -> Result<Diagnosis, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("rank") && n.ends_with(".crash.jsonl"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "{}: no rank*.crash.jsonl flight-recorder dumps found",
+            dir.display()
+        ));
+    }
+    let mut corpses: Vec<Corpse> = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        // A rank killed outright (SIGKILL, bare exit) leaves its
+        // pre-opened SIGTERM dump file *empty* — the handler never ran.
+        // An empty or headerless file is "no dump", not a parse error.
+        if text.trim().is_empty() {
+            continue;
+        }
+        let docs = Json::parse_lines(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let Some(crash) = docs
+            .iter()
+            .find(|d| d.get("record").and_then(Json::as_str) == Some("crash"))
+        else {
+            continue;
+        };
+        let num = |k: &str| crash.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let s = |k: &str| {
+            crash
+                .get(k)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        // The report + event lines are the standard export format; a
+        // SIGTERM dump pre-formats an empty report, so tolerate both.
+        let report = crate::ingest::ingest_jsonl(&text)
+            .ok()
+            .and_then(|mut v| (!v.is_empty()).then(|| v.remove(0)));
+        corpses.push(Corpse {
+            rank: num("rank"),
+            world: num("world"),
+            cause: s("cause"),
+            message: s("message"),
+            report,
+        });
+    }
+    if corpses.is_empty() {
+        return Err(format!(
+            "{}: every dump file is empty — no rank got far enough to record",
+            dir.display()
+        ));
+    }
+    // A rank that never dumped was killed outright (SIGKILL leaves no
+    // corpse); survivors' disconnect messages name the peer they lost.
+    let world = corpses.iter().map(|c| c.world).max().unwrap_or(0) as usize;
+    let dumped: Vec<u64> = corpses.iter().map(|c| c.rank).collect();
+    let mut findings = Vec::new();
+    let mut silent: Vec<u64> = (0..world as u64).filter(|r| !dumped.contains(r)).collect();
+    if !silent.is_empty() {
+        // Rank the silent candidates by how often the survivors'
+        // messages mention them, so the title leads with the likely
+        // root cause.
+        let mentions = |rank: u64| {
+            corpses
+                .iter()
+                .filter(|c| mentions_rank(&c.message, rank))
+                .count()
+        };
+        silent.sort_by_key(|&r| std::cmp::Reverse(mentions(r)));
+        let named = silent[0];
+        let observers = mentions(named);
+        silent.sort_unstable();
+        findings.push(Finding {
+            severity: Severity::Critical,
+            code: "transport",
+            title: format!(
+                "rank {named} died without a flight-recorder dump; \
+                 {observers} surviving rank(s) observed the disconnect"
+            ),
+            phase: "",
+            ranks: silent.clone(),
+            evidence: vec![
+                ("world".into(), Json::Num(world as f64)),
+                ("dumps_found".into(), Json::Num(dumped.len() as f64)),
+                ("disconnect_observers".into(), Json::Num(observers as f64)),
+            ],
+            hint: "a rank killed by SIGKILL (or the OOM killer) cannot dump; \
+                   its peers' crash causes and messages identify it — check \
+                   scheduler/OS logs for why it died",
+        });
+    }
+    // Summarize what the corpses say happened, worst cause first.
+    for c in &corpses {
+        let severity = match c.cause.as_str() {
+            "disconnect" => Severity::Warn, // cascade, not root cause
+            _ => Severity::Critical,
+        };
+        findings.push(Finding {
+            severity,
+            code: "flight-recorder",
+            title: format!("rank {} dumped on {}: {}", c.rank, c.cause, c.message),
+            phase: "",
+            ranks: vec![c.rank],
+            evidence: vec![("events_retained".into(), {
+                let n = c.report.as_ref().map_or(0, |r| r.events.len());
+                Json::Num(n as f64)
+            })],
+            hint: "the dump is a full trace export: re-run mimir-doctor on the \
+                   individual rank*.crash.jsonl file for counters and timeline",
+        });
+    }
+    // The dumped reports still hold full counters: run the ordinary
+    // rules over whatever half-finished state the ranks died with.
+    let reports: Vec<RankReport> = corpses.iter().filter_map(|c| c.report.clone()).collect();
+    let mut diagnosis = diagnose(&reports);
+    diagnosis.findings.extend(findings);
+    diagnosis.findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.title.cmp(&b.title))
+    });
+    Ok(diagnosis)
+}
+
+/// Whether `message` mentions `rank` as a standalone "rank N" token
+/// (so "rank 1" does not match "rank 12").
+fn mentions_rank(message: &str, rank: u64) -> bool {
+    let needle = format!("rank {rank}");
+    let mut start = 0;
+    while let Some(i) = message[start..].find(&needle) {
+        let end = start + i + needle.len();
+        let boundary = message[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_ascii_digit());
+        if boundary {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_line(rank: u64, seq: u64, t_ms: u64, wait_ns: u64, wall_s: f64) -> String {
+        let mut r = RankReport::new(rank as usize);
+        r.ranks = 2;
+        r.waits.total_wait_ns = wait_ns;
+        r.waits.sync_wait_ns = wait_ns;
+        r.times.map_s = wall_s;
+        let mut line = Json::obj(vec![("record", Json::Str("live".into()))]);
+        if let (Json::Obj(dst), Json::Obj(src)) = (&mut line, r.to_json()) {
+            dst.extend(src);
+        }
+        if let Json::Obj(dst) = &mut line {
+            dst.push(("world".into(), Json::Num(2.0)));
+            dst.push(("seq".into(), Json::Num(seq as f64)));
+            dst.push(("t_ms".into(), Json::Num(t_ms as f64)));
+            dst.push(("phase".into(), Json::Num(0.0)));
+        }
+        format!("{line}\n")
+    }
+
+    #[test]
+    fn tailer_reads_incrementally_and_carries_partial_lines() {
+        let dir = std::env::temp_dir().join(format!("doctor-tail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rank0.live.jsonl");
+        let full = live_line(0, 0, 100, 0, 0.1);
+        let (head, tail) = full.split_at(full.len() / 2);
+        std::fs::write(&path, head).unwrap();
+        let mut t = LiveTailer::new(&dir);
+        assert!(t.poll().is_empty(), "half a line yields nothing");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(tail.as_bytes()).unwrap();
+        f.write_all(live_line(0, 1, 200, 5, 0.2).as_bytes())
+            .unwrap();
+        f.write_all(b"{\"record\":\"live_end\",\"rank\":0,\"t_ms\":201}\n")
+            .unwrap();
+        drop(f);
+        let evs = t.poll();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(&evs[0], TailEvent::Sample(s) if s.seq == 0 && s.t_ms == 100));
+        assert!(matches!(&evs[1], TailEvent::Sample(s) if s.seq == 1));
+        assert!(matches!(&evs[2], TailEvent::End { rank: 0 }));
+        assert!(t.poll().is_empty(), "nothing new on re-poll");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_deltas_subtract_and_prune() {
+        let mut w = LiveWindow::new(1_000);
+        for (seq, t, wait) in [
+            (0u64, 0u64, 0u64),
+            (1, 500, 10),
+            (2, 900, 30),
+            (3, 2_500, 70),
+        ] {
+            let line = live_line(0, seq, t, wait, t as f64 / 1e3);
+            let doc = Json::parse(line.trim()).unwrap();
+            w.push(TailEvent::Sample(Box::new(parse_sample(&doc).unwrap())));
+        }
+        let d = w.deltas();
+        assert_eq!(d.len(), 1);
+        // Window pruned to [900, 2500]: delta counts 70-30.
+        assert_eq!(d[0].waits.total_wait_ns, 40);
+        assert_eq!(d[0].ranks, 2);
+    }
+
+    #[test]
+    fn watcher_fires_a_live_straggler_and_dedupes() {
+        let dir = std::env::temp_dir().join(format!("doctor-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Rank 0 waits 180 of 200ms; rank 1 (the straggler) barely waits.
+        let mut f0 = Vec::new();
+        let mut f1 = Vec::new();
+        for (seq, t) in [(0u64, 100u64), (1, 300)] {
+            f0.extend_from_slice(live_line(0, seq, t, t * 900_000, t as f64 / 1e3).as_bytes());
+            f1.extend_from_slice(live_line(1, seq, t, t * 1_000, t as f64 / 1e3).as_bytes());
+        }
+        std::fs::write(dir.join("rank0.live.jsonl"), f0).unwrap();
+        std::fs::write(dir.join("rank1.live.jsonl"), f1).unwrap();
+        let mut watcher = LiveWatcher::new(&dir);
+        let fired = watcher.step();
+        let straggler = fired
+            .iter()
+            .find(|f| f.code == "straggler")
+            .unwrap_or_else(|| panic!("no straggler among: {fired:?}"));
+        assert!(
+            straggler.ranks.contains(&1),
+            "names the victim: {straggler:?}"
+        );
+        assert!(watcher.step().is_empty(), "no re-fire without escalation");
+        let log = std::fs::read_to_string(dir.join("findings.jsonl")).unwrap();
+        assert!(log.contains("straggler"), "findings hit the log: {log}");
+        assert!(log.contains("at_ms"));
+        let rendered = watcher.render();
+        assert!(rendered.contains("straggler"), "render: {rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn postmortem_names_the_never_dumped_rank() {
+        let dir = std::env::temp_dir().join(format!("doctor-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for rank in [0u64, 1, 3] {
+            let mut r = RankReport::new(rank as usize);
+            r.ranks = 4;
+            let crash = Json::obj(vec![
+                ("record", Json::Str("crash".into())),
+                ("rank", Json::Num(rank as f64)),
+                ("world", Json::Num(4.0)),
+                ("cause", Json::Str("disconnect".into())),
+                (
+                    "message",
+                    Json::Str(format!("rank {rank}: lost connection to rank 2 mid-recv")),
+                ),
+            ]);
+            let body = format!("{crash}\n{}", mimir_obs::jsonl_string(&[r]));
+            std::fs::write(dir.join(format!("rank{rank}.crash.jsonl")), body).unwrap();
+        }
+        let d = diagnose_postmortem(&dir).unwrap();
+        let dead = d
+            .findings
+            .iter()
+            .find(|f| f.code == "transport" && f.severity == Severity::Critical)
+            .unwrap_or_else(|| panic!("no dead-rank finding: {}", d.to_text()));
+        assert!(
+            dead.title.contains("rank 2"),
+            "names the dead rank: {}",
+            dead.title
+        );
+        assert_eq!(dead.ranks, vec![2]);
+        assert!(
+            d.findings
+                .iter()
+                .filter(|f| f.code == "flight-recorder")
+                .count()
+                == 3,
+            "one summary per corpse: {}",
+            d.to_text()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mentions_rank_respects_token_boundaries() {
+        assert!(mentions_rank("lost rank 1 mid-recv", 1));
+        assert!(!mentions_rank("lost rank 12 mid-recv", 1));
+        assert!(mentions_rank("rank 12", 12));
+        assert!(!mentions_rank("no ranks here", 3));
+    }
+}

@@ -1,0 +1,103 @@
+//! Acceptance: the live telemetry plane + online doctor, end to end. A
+//! 4-rank in-process world with a 120 ms injected mid-map sleep on rank
+//! 1 must produce a *live* straggler finding naming the victim rank
+//! while the job is still running — the world loop literally spins
+//! until the concurrently attached [`LiveWatcher`] reports it, so the
+//! assertion is "the finding fired before the job completed" by
+//! construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mimir_doctor::LiveWatcher;
+use mimir_mpi::{run_world, ReduceOp};
+use mimir_obs::live::{set_force_config, LiveConfig};
+
+/// Bounded so a broken plane fails the test instead of hanging it:
+/// 100 rounds × ~120 ms ≈ 12 s worst case, far past the few publishes
+/// the straggler rule needs.
+const MAX_ROUNDS: u64 = 100;
+
+#[test]
+fn live_straggler_names_the_victim_before_the_job_completes() {
+    let dir = std::env::temp_dir().join(format!("mimir-live-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = LiveConfig::new(&dir);
+    cfg.interval = Duration::from_millis(20);
+    set_force_config(Some(cfg));
+
+    let found = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let watcher = {
+        let found = found.clone();
+        let done = done.clone();
+        let dir = dir.clone();
+        std::thread::spawn(move || {
+            let mut w = LiveWatcher::new(&dir);
+            let mut fired = Vec::new();
+            while !done.load(Ordering::SeqCst) {
+                fired.extend(w.step());
+                if fired
+                    .iter()
+                    .any(|f| f.code == "straggler" && f.ranks.contains(&1))
+                {
+                    found.store(true, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            fired
+        })
+    };
+
+    let found_in_world = found.clone();
+    let rounds: Vec<u64> = run_world(4, move |comm| {
+        let _map = mimir_obs::phase_span(mimir_obs::Phase::Map);
+        let mut rounds = 0u64;
+        while !found_in_world.load(Ordering::SeqCst) && rounds < MAX_ROUNDS {
+            if comm.rank() == 1 {
+                // The injected straggler: rank 1 dawdles mid-map while
+                // its peers block in the collective below.
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            comm.allreduce_u64(ReduceOp::Sum, 1);
+            rounds += 1;
+        }
+        rounds
+    });
+    done.store(true, Ordering::SeqCst);
+    let fired = watcher.join().unwrap();
+    set_force_config(None);
+
+    assert!(
+        found.load(Ordering::SeqCst),
+        "no live straggler finding named rank 1 within {MAX_ROUNDS} rounds; \
+         fired: {fired:#?}"
+    );
+    assert!(
+        rounds.iter().all(|&r| r < MAX_ROUNDS),
+        "the world observed the finding while running (rounds: {rounds:?})"
+    );
+
+    // The finding also streamed to the on-disk findings log, the
+    // artifact CI uploads.
+    let log = std::fs::read_to_string(dir.join("findings.jsonl"))
+        .expect("live watcher wrote findings.jsonl");
+    assert!(log.contains("\"straggler\""), "log: {log}");
+    assert!(log.contains("at_ms"), "findings are timestamped: {log}");
+
+    // Every rank published live records and disarmed cleanly.
+    for rank in 0..4 {
+        let text = std::fs::read_to_string(dir.join(format!("rank{rank}.live.jsonl"))).unwrap();
+        assert!(
+            text.contains("\"record\":\"live\""),
+            "rank {rank} published"
+        );
+        assert!(
+            text.contains("\"record\":\"live_end\""),
+            "rank {rank} disarmed cleanly"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,6 +103,50 @@ impl CommStats {
         ]
     }
 
+    /// Element-wise saturating difference `self − earlier`, for pushing
+    /// incremental deltas (e.g. to the live telemetry plane) from a
+    /// cumulative counter set.
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        let mut a = self.as_array();
+        for (acc, v) in a.iter_mut().zip(earlier.as_array()) {
+            *acc = acc.saturating_sub(v);
+        }
+        CommStats::from_array(a)
+    }
+
+    /// This rank's counters as the dependency-free `mimir-obs` mirror
+    /// used by [`mimir_obs::RankReport`]. `wait_ns`/`work_ns` are not
+    /// part of the mirror — they belong to the report's wait-state
+    /// section, see [`CommStats::wait_counters`].
+    pub fn counters(&self) -> mimir_obs::CommCounters {
+        mimir_obs::CommCounters {
+            sends: self.msgs_sent,
+            recvs: self.msgs_recvd,
+            bytes_sent: self.bytes_sent,
+            bytes_recvd: self.bytes_recvd,
+            collectives: self.collectives,
+            bytes_copied: self.bytes_copied,
+            send_allocs: self.send_allocs,
+            wire_bytes_sent: self.wire_bytes_sent,
+            wire_bytes_recvd: self.wire_bytes_recvd,
+            wire_frames_sent: self.wire_frames_sent,
+            wire_frames_recvd: self.wire_frames_recvd,
+            wire_recv_allocs: self.wire_recv_allocs,
+            handshake_ns: self.handshake_ns,
+        }
+    }
+
+    /// The transport-attributed half of the report's wait-state section:
+    /// total blocked and total copy/encode time. The shuffle-attributed
+    /// categories (`sync`/`data`/`barrier`) live above this crate.
+    pub fn wait_counters(&self) -> mimir_obs::WaitCounters {
+        mimir_obs::WaitCounters {
+            total_wait_ns: self.wait_ns,
+            total_work_ns: self.work_ns,
+            ..mimir_obs::WaitCounters::default()
+        }
+    }
+
     /// Inverse of [`CommStats::as_array`].
     pub fn from_array(v: [u64; Self::FIELDS]) -> CommStats {
         CommStats {

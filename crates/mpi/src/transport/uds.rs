@@ -529,6 +529,26 @@ mod imp {
             }
         }
 
+        fn recv_deadline(
+            &mut self,
+            src: usize,
+            stats: &mut CommStats,
+            timeout: std::time::Duration,
+        ) -> Result<Option<Msg>, CommError> {
+            use std::sync::mpsc::RecvTimeoutError;
+            match self.rxs[src].recv_timeout(timeout) {
+                Ok(msg) => {
+                    if src != self.my_rank {
+                        stats.wire_frames_recvd += 1;
+                        stats.wire_bytes_recvd += (HEADER + msg.data.len()) as u64;
+                    }
+                    Ok(Some(msg))
+                }
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(self.disconnect(src)),
+            }
+        }
+
         fn begin_derive(
             &mut self,
             seq: u64,
@@ -872,6 +892,12 @@ mod imp {
     where
         F: Fn(&mut Comm) -> (bool, Vec<u8>),
     {
+        // Arm the live telemetry plane before bootstrap (no-op unless
+        // configured). `process_scoped` installs the SIGTERM flight
+        // recorder: a forked rank killed mid-run still leaves a corpse.
+        // Comm::new below runs on this thread after arming, so the comm
+        // picks the accumulator up from the thread-local.
+        let live = mimir_obs::live::arm(rank, n, true);
         // The guard escapes the catch so queued frames flush on every
         // exit path that got past the handshake — on a panic, peers
         // still receive everything sent before it, matching in-process
@@ -897,24 +923,34 @@ mod imp {
         let code = match outcome {
             Ok(Ok((abort, bytes))) => {
                 write_result(dir, rank, abort, &bytes);
+                if abort {
+                    mimir_obs::live::flight_dump(rank, n, "abort", "rank returned an error");
+                }
                 0
             }
             Ok(Err(handshake)) => {
                 // Handshake failures are disconnect-class: the peer died
                 // or stalled; fold behind genuine root causes.
                 write_panic(dir, rank, true, &handshake);
+                mimir_obs::live::flight_dump(rank, n, "disconnect", &handshake);
                 101
             }
             Err(payload) => {
-                write_panic(
-                    dir,
+                let disconnect = is_disconnect_panic(payload.as_ref());
+                let message = panic_message(payload.as_ref());
+                write_panic(dir, rank, disconnect, &message);
+                mimir_obs::live::flight_dump(
                     rank,
-                    is_disconnect_panic(payload.as_ref()),
-                    &panic_message(payload.as_ref()),
+                    n,
+                    if disconnect { "disconnect" } else { "panic" },
+                    &message,
                 );
                 101
             }
         };
+        if let Some(handle) = live {
+            handle.disarm();
+        }
         std::process::exit(code)
     }
 

@@ -86,11 +86,36 @@ where
                 std::thread::Builder::new()
                     .name(format!("{name}-rank{rank}"))
                     .spawn_scoped(scope, move || {
+                        // Arm the live telemetry plane on the rank thread
+                        // (no-op unless configured). The comm was built on
+                        // the caller thread, so attach it explicitly.
+                        let live = mimir_obs::live::arm(rank, n_ranks, false);
+                        if let Some(handle) = &live {
+                            comm.attach_live(handle.shared());
+                        }
                         // Catch the panic so the Comm (and its channel
                         // endpoints) drops deterministically before the
                         // thread exits, waking blocked peers.
                         let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                         drop(comm);
+                        if let Err(payload) = &res {
+                            // Flight recorder: leave a doctor-ingestible
+                            // corpse for the failed rank (no-op unarmed).
+                            let cause = if payload.is::<DisconnectPanic>() {
+                                "disconnect"
+                            } else {
+                                "panic"
+                            };
+                            mimir_obs::live::flight_dump(
+                                rank,
+                                n_ranks,
+                                cause,
+                                &panic_message(payload.as_ref()),
+                            );
+                        }
+                        if let Some(handle) = live {
+                            handle.disarm();
+                        }
                         res
                     })
                     .expect("spawning rank thread")

@@ -15,6 +15,10 @@
 //!   Perfetto / `about://tracing`, and JSON-lines for scripting. Both sit
 //!   on the crate's own minimal [`json`] module, so nothing external is
 //!   needed to write *or* parse them.
+//! - **Live telemetry + flight recorder** ([`live`]): per-rank sidecar
+//!   streams of periodic counter snapshots for in-flight diagnosis
+//!   (`MIMIR_LIVE_DIR`), and crash-scoped postmortem dumps so failed
+//!   runs still leave a doctor-ingestible record.
 
 #![warn(missing_docs)]
 
@@ -22,6 +26,7 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod live;
 pub mod recorder;
 pub mod report;
 
@@ -29,6 +34,7 @@ pub use chrome::{chrome_trace, chrome_trace_string};
 pub use event::{pack_rank_bytes, unpack_rank_bytes, Event, EventKind, Phase, Step};
 pub use json::{Json, JsonError};
 pub use jsonl::jsonl_string;
+pub use live::{flight_dump, LiveConfig, LiveHandle, LiveShared};
 pub use recorder::{
     active, emit, env_capacity, env_enabled, env_flow_enabled, flow_recv, flow_send, install,
     next_flow_id, phase_span, span, step_span, take, Recorder, SpanGuard, DEFAULT_CAPACITY,
@@ -36,5 +42,6 @@ pub use recorder::{
 };
 pub use report::{
     AdaptCounters, CacheCounters, CacheNameRecord, CommCounters, GroupCounters, JobCounters,
-    JobRecord, MemCounters, PhasePeaks, PhaseTimes, RankReport, ShuffleCounters, WaitCounters,
+    JobRecord, LiveCounters, MemCounters, PhasePeaks, PhaseTimes, RankReport, ShuffleCounters,
+    WaitCounters,
 };

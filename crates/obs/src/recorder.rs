@@ -225,7 +225,11 @@ pub fn env_capacity() -> usize {
         if let Ok(raw) = std::env::var(var) {
             let (cap, warning) = parse_capacity(var, &raw);
             if let Some(w) = warning {
-                eprintln!("{w}");
+                // Every rank thread resolves the capacity, but one bad
+                // value only deserves one warning per process.
+                use std::sync::Once;
+                static WARN: Once = Once::new();
+                WARN.call_once(|| eprintln!("{w}"));
             }
             return cap;
         }
@@ -295,9 +299,12 @@ pub fn span(begin: EventKind, end: EventKind, a: u64, b: u64) -> SpanGuard {
     }
 }
 
-/// Span covering one MapReduce phase.
+/// Span covering one MapReduce phase. Also marks the phase on the live
+/// telemetry plane (when armed), so `mimir-doctor --watch` and crash
+/// dumps know where each rank currently is — even with tracing off.
 #[inline]
 pub fn phase_span(phase: Phase) -> SpanGuard {
+    crate::live::note_phase(phase as u64);
     span(EventKind::PhaseBegin, EventKind::PhaseEnd, phase as u64, 0)
 }
 

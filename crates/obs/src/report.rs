@@ -404,6 +404,36 @@ impl CacheNameRecord {
     }
 }
 
+/// Telemetry-plane counters: the live publisher's own bookkeeping
+/// (`obs::live`). All zero when no live sink was armed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveCounters {
+    /// Live snapshots published by this rank.
+    pub snapshots: u64,
+    /// Bytes of live records appended to the rank's sidecar file.
+    pub published_bytes: u64,
+    /// Nanoseconds the publisher spent building and writing snapshots
+    /// (the plane's own overhead, on the publisher thread).
+    pub publish_ns: u64,
+    /// Worst observed gap between consecutive snapshots, in
+    /// milliseconds over the configured interval (0 = every snapshot
+    /// landed on time).
+    pub max_publish_lag_ms: u64,
+    /// Flight-recorder dumps this rank wrote (crash corpses).
+    pub flight_dumps: u64,
+}
+
+impl LiveCounters {
+    /// Sums the traffic counters; the lag high-water mark takes the max.
+    pub fn merge(&mut self, other: &LiveCounters) {
+        self.snapshots += other.snapshots;
+        self.published_bytes += other.published_bytes;
+        self.publish_ns += other.publish_ns;
+        self.max_publish_lag_ms = self.max_publish_lag_ms.max(other.max_publish_lag_ms);
+        self.flight_dumps += other.flight_dumps;
+    }
+}
+
 /// Job-level counters (mirrors parts of `mimir-core`'s `JobStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounters {
@@ -500,6 +530,8 @@ pub struct RankReport {
     pub job: JobCounters,
     /// Cross-job KV cache counters.
     pub cache: CacheCounters,
+    /// Telemetry-plane counters (the live publisher's bookkeeping).
+    pub live: LiveCounters,
     /// Per-name cache entries. Merged reports combine records by name.
     pub cache_names: Vec<CacheNameRecord>,
     /// Per-scheduled-job lifecycle records (empty outside the job
@@ -538,6 +570,7 @@ impl RankReport {
         self.peaks.merge(&other.peaks);
         self.job.merge(&other.job);
         self.cache.merge(&other.cache);
+        self.live.merge(&other.live);
         for theirs in &other.cache_names {
             if let Some(mine) = self.cache_names.iter_mut().find(|c| c.name == theirs.name) {
                 mine.merge(theirs);
@@ -556,6 +589,109 @@ impl RankReport {
         self.jobs.sort_by_key(|j| j.id);
         self.events.clear();
         self.events_dropped += other.events_dropped;
+    }
+
+    /// The windowed difference `self − base`, where `base` is an
+    /// *earlier snapshot of the same rank*: cumulative counters subtract
+    /// (saturating, so a restarted counter degrades to "whole window"
+    /// instead of wrapping), gauges and high-water marks take the later
+    /// value, and phase times subtract clamped at zero. This is the
+    /// online doctor's unit of analysis — rules run over the delta of a
+    /// rolling live window rather than run-lifetime totals.
+    pub fn delta_since(&self, base: &RankReport) -> RankReport {
+        let d = u64::saturating_sub;
+        let mut out = self.clone();
+        out.events.clear();
+        out.events_dropped = d(self.events_dropped, base.events_dropped);
+        out.comm = CommCounters {
+            sends: d(self.comm.sends, base.comm.sends),
+            recvs: d(self.comm.recvs, base.comm.recvs),
+            bytes_sent: d(self.comm.bytes_sent, base.comm.bytes_sent),
+            bytes_recvd: d(self.comm.bytes_recvd, base.comm.bytes_recvd),
+            collectives: d(self.comm.collectives, base.comm.collectives),
+            bytes_copied: d(self.comm.bytes_copied, base.comm.bytes_copied),
+            send_allocs: d(self.comm.send_allocs, base.comm.send_allocs),
+            wire_bytes_sent: d(self.comm.wire_bytes_sent, base.comm.wire_bytes_sent),
+            wire_bytes_recvd: d(self.comm.wire_bytes_recvd, base.comm.wire_bytes_recvd),
+            wire_frames_sent: d(self.comm.wire_frames_sent, base.comm.wire_frames_sent),
+            wire_frames_recvd: d(self.comm.wire_frames_recvd, base.comm.wire_frames_recvd),
+            wire_recv_allocs: d(self.comm.wire_recv_allocs, base.comm.wire_recv_allocs),
+            handshake_ns: d(self.comm.handshake_ns, base.comm.handshake_ns),
+        };
+        out.mem = MemCounters {
+            pages_allocated: d(self.mem.pages_allocated, base.mem.pages_allocated),
+            pages_recycled: d(self.mem.pages_recycled, base.mem.pages_recycled),
+            // Gauges and limits: the window's latest view.
+            bytes_in_use: self.mem.bytes_in_use,
+            peak_bytes: self.mem.peak_bytes,
+            budget_bytes: self.mem.budget_bytes,
+            oom_events: d(self.mem.oom_events, base.mem.oom_events),
+        };
+        out.shuffle = ShuffleCounters {
+            kvs_emitted: d(self.shuffle.kvs_emitted, base.shuffle.kvs_emitted),
+            kv_bytes_emitted: d(self.shuffle.kv_bytes_emitted, base.shuffle.kv_bytes_emitted),
+            kvs_received: d(self.shuffle.kvs_received, base.shuffle.kvs_received),
+            rounds: d(self.shuffle.rounds, base.shuffle.rounds),
+            spilled_bytes: d(self.shuffle.spilled_bytes, base.shuffle.spilled_bytes),
+            bytes_received: d(self.shuffle.bytes_received, base.shuffle.bytes_received),
+            max_round_recv_bytes: self.shuffle.max_round_recv_bytes,
+            max_dest_bytes: self.shuffle.max_dest_bytes,
+            imbalance_permille: self.shuffle.imbalance_permille,
+            gini_permille: self.shuffle.gini_permille,
+        };
+        out.waits = WaitCounters {
+            total_wait_ns: d(self.waits.total_wait_ns, base.waits.total_wait_ns),
+            total_work_ns: d(self.waits.total_work_ns, base.waits.total_work_ns),
+            sync_wait_ns: d(self.waits.sync_wait_ns, base.waits.sync_wait_ns),
+            data_wait_ns: d(self.waits.data_wait_ns, base.waits.data_wait_ns),
+            barrier_wait_ns: d(self.waits.barrier_wait_ns, base.waits.barrier_wait_ns),
+        };
+        out.times = PhaseTimes {
+            map_s: (self.times.map_s - base.times.map_s).max(0.0),
+            aggregate_s: (self.times.aggregate_s - base.times.aggregate_s).max(0.0),
+            convert_s: (self.times.convert_s - base.times.convert_s).max(0.0),
+            reduce_s: (self.times.reduce_s - base.times.reduce_s).max(0.0),
+        };
+        out.group = GroupCounters {
+            inserts: d(self.group.inserts, base.group.inserts),
+            probes: d(self.group.probes, base.group.probes),
+            max_probe: self.group.max_probe,
+            rehashes: d(self.group.rehashes, base.group.rehashes),
+            interned_bytes: d(self.group.interned_bytes, base.group.interned_bytes),
+            groups: d(self.group.groups, base.group.groups),
+            capacity: self.group.capacity,
+            probe_hist: {
+                let mut h = [0u64; 8];
+                for (i, slot) in h.iter_mut().enumerate() {
+                    *slot = d(self.group.probe_hist[i], base.group.probe_hist[i]);
+                }
+                h
+            },
+        };
+        out.cache = CacheCounters {
+            hits: d(self.cache.hits, base.cache.hits),
+            misses: d(self.cache.misses, base.cache.misses),
+            elisions: d(self.cache.elisions, base.cache.elisions),
+            evictions: d(self.cache.evictions, base.cache.evictions),
+            reloads: d(self.cache.reloads, base.cache.reloads),
+            cached_bytes: self.cache.cached_bytes,
+        };
+        out.job = JobCounters {
+            unique_keys: d(self.job.unique_keys, base.job.unique_keys),
+            kvs_out: d(self.job.kvs_out, base.job.kvs_out),
+            node_peak_bytes: self.job.node_peak_bytes,
+        };
+        out.live = LiveCounters {
+            snapshots: d(self.live.snapshots, base.live.snapshots),
+            published_bytes: d(self.live.published_bytes, base.live.published_bytes),
+            publish_ns: d(self.live.publish_ns, base.live.publish_ns),
+            max_publish_lag_ms: self.live.max_publish_lag_ms,
+            flight_dumps: d(self.live.flight_dumps, base.live.flight_dumps),
+        };
+        // adapt, peaks, cache_names, jobs keep the latest view: they are
+        // descriptors rather than flow counters, and the watch UI wants
+        // the current state of each.
+        out
     }
 
     /// Serializes to a JSON object (see [`Self::from_json`] for the
@@ -774,6 +910,22 @@ impl RankReport {
                     ("evictions", Json::Num(self.cache.evictions as f64)),
                     ("reloads", Json::Num(self.cache.reloads as f64)),
                     ("cached_bytes", Json::Num(self.cache.cached_bytes as f64)),
+                ]),
+            ),
+            (
+                "live",
+                Json::obj(vec![
+                    ("snapshots", Json::Num(self.live.snapshots as f64)),
+                    (
+                        "published_bytes",
+                        Json::Num(self.live.published_bytes as f64),
+                    ),
+                    ("publish_ns", Json::Num(self.live.publish_ns as f64)),
+                    (
+                        "max_publish_lag_ms",
+                        Json::Num(self.live.max_publish_lag_ms as f64),
+                    ),
+                    ("flight_dumps", Json::Num(self.live.flight_dumps as f64)),
                 ]),
             ),
             (
@@ -1021,6 +1173,15 @@ impl RankReport {
                 reloads: u_opt(&["cache", "reloads"]),
                 cached_bytes: u_opt(&["cache", "cached_bytes"]),
             },
+            // The telemetry plane postdates the first release: the whole
+            // section parses leniently.
+            live: LiveCounters {
+                snapshots: u_opt(&["live", "snapshots"]),
+                published_bytes: u_opt(&["live", "published_bytes"]),
+                publish_ns: u_opt(&["live", "publish_ns"]),
+                max_publish_lag_ms: u_opt(&["live", "max_publish_lag_ms"]),
+                flight_dumps: u_opt(&["live", "flight_dumps"]),
+            },
             cache_names,
             jobs,
             events,
@@ -1144,6 +1305,13 @@ mod tests {
                 reloads: rank,
                 cached_bytes: 4096 * (rank + 1),
             },
+            live: LiveCounters {
+                snapshots: 12 + rank,
+                published_bytes: 9000 * (rank + 1),
+                publish_ns: 40_000 + rank,
+                max_publish_lag_ms: 3 * rank,
+                flight_dumps: rank % 2,
+            },
             cache_names: vec![CacheNameRecord {
                 name: "pr".into(),
                 bytes: 4096 * (rank + 1),
@@ -1265,6 +1433,54 @@ mod tests {
         let back = RankReport::from_json_string(&s).unwrap();
         assert!(back.jobs.is_empty());
         assert_eq!(back.comm, r.comm);
+    }
+
+    #[test]
+    fn old_reports_without_live_section_still_parse() {
+        let mut r = sample(0);
+        r.live = LiveCounters::default();
+        let mut s = r.to_json_string();
+        // Simulate a pre-telemetry-plane report by deleting the field.
+        let needle = "\"live\":{\"snapshots\":0,\"published_bytes\":0,\"publish_ns\":0,\
+                      \"max_publish_lag_ms\":0,\"flight_dumps\":0},";
+        assert!(s.contains("\"live\""), "fixture must carry the section");
+        s = s.replace(needle, "");
+        assert!(!s.contains("\"live\""), "deletion must hit");
+        let back = RankReport::from_json_string(&s).unwrap();
+        assert_eq!(back.live, LiveCounters::default());
+        assert_eq!(back.comm, r.comm);
+    }
+
+    #[test]
+    fn merge_folds_live_counters() {
+        let mut a = sample(0);
+        a.merge(&sample(1));
+        assert_eq!(a.live.snapshots, 12 + 13, "snapshots sum");
+        assert_eq!(a.live.max_publish_lag_ms, 3, "lag takes the max");
+        assert_eq!(a.live.flight_dumps, 1, "dumps sum");
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_keeps_gauges() {
+        let base = sample(0);
+        let mut later = sample(0);
+        later.comm.sends += 7;
+        later.waits.total_wait_ns += 1_000_000;
+        later.mem.bytes_in_use = 555;
+        later.times.map_s += 0.25;
+        later.shuffle.kvs_emitted += 40;
+        let d = later.delta_since(&base);
+        assert_eq!(d.comm.sends, 7, "cumulative counters subtract");
+        assert_eq!(d.waits.total_wait_ns, 1_000_000);
+        assert_eq!(d.shuffle.kvs_emitted, 40);
+        assert_eq!(d.mem.bytes_in_use, 555, "gauges take the latest view");
+        assert_eq!(d.mem.budget_bytes, later.mem.budget_bytes);
+        assert!((d.times.map_s - 0.25).abs() < 1e-12, "times subtract");
+        assert_eq!(d.comm.recvs, 0, "unchanged counters delta to zero");
+        // A restarted (smaller) counter saturates instead of wrapping.
+        let mut restarted = sample(0);
+        restarted.comm.sends = 1;
+        assert_eq!(restarted.delta_since(&base).comm.sends, 0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ fn random_report(rng: &mut Rng, rank: usize) -> RankReport {
     r.job.unique_keys = rng.below(1 << 20);
     r.job.kvs_out = rng.below(1 << 20);
     r.job.node_peak_bytes = rng.below(1 << 30);
+    r.live.snapshots = rng.below(1 << 12);
+    r.live.published_bytes = rng.below(1 << 28);
+    r.live.publish_ns = rng.below(1 << 32);
+    r.live.max_publish_lag_ms = rng.below(1 << 10);
+    r.live.flight_dumps = rng.below(3);
     r.events_dropped = rng.below(100);
     // 0–3 job records drawn from a small id pool so ranks share ids.
     for _ in 0..rng.below(4) {
@@ -165,4 +170,26 @@ fn merge_sums_waits_and_maxes_skew() {
     assert_eq!(a.shuffle.gini_permille, 300);
     assert_eq!(a.mem.oom_events, 1);
     assert_eq!(a.ranks, 2);
+}
+
+#[test]
+fn merge_sums_live_counters_and_maxes_lag() {
+    // Same spot-check discipline for the telemetry-plane counters.
+    let mut a = RankReport::new(0);
+    a.live.snapshots = 10;
+    a.live.published_bytes = 4000;
+    a.live.publish_ns = 900;
+    a.live.max_publish_lag_ms = 3;
+    a.live.flight_dumps = 1;
+    let mut b = RankReport::new(1);
+    b.live.snapshots = 12;
+    b.live.published_bytes = 5000;
+    b.live.publish_ns = 1100;
+    b.live.max_publish_lag_ms = 25;
+    a.merge(&b);
+    assert_eq!(a.live.snapshots, 22);
+    assert_eq!(a.live.published_bytes, 9000);
+    assert_eq!(a.live.publish_ns, 2000);
+    assert_eq!(a.live.max_publish_lag_ms, 25, "lag takes the max");
+    assert_eq!(a.live.flight_dumps, 1);
 }

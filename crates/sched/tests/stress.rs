@@ -13,7 +13,7 @@ use mimir_datagen::UniformWords;
 use mimir_io::IoModel;
 use mimir_mem::MemPool;
 use mimir_mpi::{run_world_on, Comm, TransportKind};
-use mimir_obs::{CacheCounters, CacheNameRecord, CommCounters, MemCounters, RankReport, Recorder};
+use mimir_obs::{CacheCounters, CacheNameRecord, MemCounters, RankReport, Recorder};
 use mimir_sched::{JobOutcome, JobService, JobSpec, JobYield, SchedConfig};
 
 const RANKS: usize = 4;
@@ -54,23 +54,8 @@ fn export_trace(
     let mut r = RankReport::new(comm.rank());
     r.ranks = comm.size() as u64;
     let cs = comm.stats();
-    r.comm = CommCounters {
-        sends: cs.msgs_sent,
-        recvs: cs.msgs_recvd,
-        bytes_sent: cs.bytes_sent,
-        bytes_recvd: cs.bytes_recvd,
-        collectives: cs.collectives,
-        bytes_copied: cs.bytes_copied,
-        send_allocs: cs.send_allocs,
-        wire_bytes_sent: cs.wire_bytes_sent,
-        wire_bytes_recvd: cs.wire_bytes_recvd,
-        wire_frames_sent: cs.wire_frames_sent,
-        wire_frames_recvd: cs.wire_frames_recvd,
-        wire_recv_allocs: cs.wire_recv_allocs,
-        handshake_ns: cs.handshake_ns,
-    };
-    r.waits.total_wait_ns = cs.wait_ns;
-    r.waits.total_work_ns = cs.work_ns;
+    r.comm = cs.counters();
+    r.waits = cs.wait_counters();
     let ps = pool.stats();
     r.mem = MemCounters {
         pages_allocated: ps.page_allocs,
@@ -281,18 +266,35 @@ fn stress_world() -> Vec<RankResult> {
 
 #[test]
 fn sixteen_mixed_priority_jobs_on_a_tight_budget() {
+    // When the telemetry plane is armed (MIMIR_LIVE_DIR set — CI does
+    // this), attach an in-process online doctor to the live directory
+    // for the duration of the stress: it tails the per-rank sidecars,
+    // evaluates the live rules, and leaves `findings.jsonl` behind as
+    // the live-findings log CI uploads.
+    let live_dir = std::env::var_os("MIMIR_LIVE_DIR").map(std::path::PathBuf::from);
+
     // Watchdog: the whole SPMD run must finish well inside the bound —
     // a deadlocked vote or a lost wakeup would otherwise hang CI.
     let start = Instant::now();
     let runner = std::thread::spawn(stress_world);
+    let mut watcher = live_dir.map(mimir_doctor::LiveWatcher::new);
     while !runner.is_finished() {
         assert!(
             start.elapsed() < WATCHDOG,
             "watchdog: scheduler stress did not finish within {WATCHDOG:?}"
         );
+        if let Some(w) = &mut watcher {
+            w.step();
+        }
         std::thread::sleep(Duration::from_millis(20));
     }
     let outs = runner.join().unwrap();
+    if let Some(w) = &mut watcher {
+        // Final step drains whatever the ranks published on their way
+        // out, then the fired findings land in the test log for triage.
+        w.step();
+        eprintln!("{}", w.render());
+    }
 
     let mut per_rank_words = Vec::new();
     let mut chain_total = 0u64;
